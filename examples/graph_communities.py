@@ -1,0 +1,80 @@
+"""Graph community detection via the Kernel K-means / spectral equivalence.
+
+The paper's background (Sec. 2.2) cites Dhillon et al.: weighted Kernel
+K-means on the normalized-cut kernel *is* spectral clustering.  This
+example exercises that equivalence both ways:
+
+1. community detection on networkx graphs (karate club, planted
+   partitions) with :func:`repro.graph.cluster_graph`;
+2. point-cloud clustering through a kNN graph
+   (:class:`repro.graph.SpectralKernelKMeans`) on the interleaved-moons
+   dataset — a geometry where *plain* kernel k-means struggles but the
+   graph formulation solves cleanly.
+
+The heavy lifting is still the paper's machinery: the normalized-cut
+kernel feeds the same SpMM/SpMV weighted kernel k-means pipeline, and the
+spectral initialisation is orthogonal iteration built on this library's
+own sparse SpMM.
+
+Run:  python examples/graph_communities.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro import PopcornKernelKMeans, SpectralKernelKMeans
+from repro.data import make_moons
+from repro.eval import adjusted_rand_index
+from repro.graph import cluster_graph
+from repro.kernels import GaussianKernel
+from repro.reporting import format_table
+
+
+def karate_club() -> list:
+    """The canonical two-faction social network."""
+    g = nx.karate_club_graph()
+    truth = np.array(
+        [0 if g.nodes[v]["club"] == "Mr. Hi" else 1 for v in sorted(g.nodes)]
+    )
+    labels = cluster_graph(g, 2, seed=0)
+    return ["karate club (2 factions)", g.number_of_nodes(),
+            f"{adjusted_rand_index(labels, truth):.3f}"]
+
+
+def planted_partition() -> list:
+    """Four dense communities with sparse cross edges."""
+    rng_seed = 42
+    g = nx.planted_partition_graph(4, 25, p_in=0.5, p_out=0.02, seed=rng_seed)
+    truth = np.repeat(np.arange(4), 25)
+    labels = cluster_graph(g, 4, seed=0)
+    return ["planted partition (4 x 25)", g.number_of_nodes(),
+            f"{adjusted_rand_index(labels, truth):.3f}"]
+
+
+def moons_comparison() -> list:
+    """Where the graph view beats the radial kernel view."""
+    x, y = make_moons(400, rng=3)
+    plain = PopcornKernelKMeans(
+        2, kernel=GaussianKernel(gamma=20.0), seed=0, init="k-means++", max_iter=100
+    ).fit(x)
+    spectral = SpectralKernelKMeans(2, seed=0).fit(x)
+    return [
+        ["moons: plain kernel k-means (RBF)", 400,
+         f"{adjusted_rand_index(plain.labels_, y):.3f}"],
+        ["moons: spectral (kNN graph + weighted KKM)", 400,
+         f"{adjusted_rand_index(spectral.labels_, y):.3f}"],
+    ]
+
+
+def main() -> None:
+    rows = [karate_club(), planted_partition(), *moons_comparison()]
+    print(format_table(["task", "nodes/points", "ARI vs truth"], rows))
+    print(
+        "\nAll four results come from the same weighted Kernel K-means "
+        "engine — normalized cut as kernel k-means, per Dhillon et al. "
+        "(the equivalence the paper's Sec. 2.2 cites)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""SAR-style image change detection with Kernel K-means.
+
+The paper's introduction motivates GPU Kernel K-means with
+latency-sensitive applications, citing SAR image change detection
+(Jia et al., IEEE GRSL 2016): cluster per-pixel difference features from
+two co-registered images into "changed" vs "unchanged".  This example
+synthesises a pair of speckled images with a hidden changed region,
+builds the difference-image feature vectors, and lets Popcorn find the
+changed pixels — then reports detection quality and the modeled GPU time
+(the quantity the paper argues must be small for real-time use).
+
+Run:  python examples/image_change_detection.py
+"""
+
+import numpy as np
+
+from repro import PopcornKernelKMeans
+from repro.eval import clustering_accuracy
+from repro.kernels import GaussianKernel
+from repro.reporting import fmt_seconds, format_table
+
+SIDE = 48  # image side length -> n = 2304 pixels
+
+
+def synthesize_pair(rng: np.random.Generator):
+    """Two speckled intensity images; a disc-shaped region changes."""
+    base = rng.gamma(shape=4.0, scale=0.25, size=(SIDE, SIDE))
+    img1 = base * rng.gamma(shape=9.0, scale=1 / 9.0, size=(SIDE, SIDE))  # speckle
+    img2 = base * rng.gamma(shape=9.0, scale=1 / 9.0, size=(SIDE, SIDE))
+    yy, xx = np.mgrid[0:SIDE, 0:SIDE]
+    changed = (yy - SIDE * 0.6) ** 2 + (xx - SIDE * 0.35) ** 2 < (SIDE * 0.18) ** 2
+    img2 = img2 + changed * rng.gamma(shape=6.0, scale=0.5, size=(SIDE, SIDE))
+    return img1, img2, changed.ravel().astype(np.int32)
+
+
+def difference_features(img1: np.ndarray, img2: np.ndarray, win: int = 2) -> np.ndarray:
+    """Per-pixel features: log-ratio plus a (2*win+1)^2 local-mean context.
+
+    The log-ratio operator is the standard SAR change statistic; the
+    local mean is the neighbourhood information Jia et al. exploit — it
+    averages the multiplicative speckle out of the change signal.
+    """
+    eps = 1e-6
+    log_ratio = np.log((img2 + eps) / (img1 + eps))
+    padded = np.pad(log_ratio, win, mode="edge")
+    local = np.zeros_like(log_ratio)
+    width = 2 * win + 1
+    for dy in range(-win, win + 1):
+        for dx in range(-win, win + 1):
+            local += padded[win + dy : win + dy + SIDE, win + dx : win + dx + SIDE]
+    local /= width * width
+    feats = np.stack([log_ratio.ravel(), local.ravel()], axis=1)
+    # standardise features
+    feats = (feats - feats.mean(axis=0)) / (feats.std(axis=0) + 1e-9)
+    return feats.astype(np.float32)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    img1, img2, truth = synthesize_pair(rng)
+    x = difference_features(img1, img2)
+    n = x.shape[0]
+    print(f"{SIDE}x{SIDE} image pair -> {n} pixels, {x.shape[1]} features; "
+          f"{truth.sum()} truly changed\n")
+
+    model = PopcornKernelKMeans(
+        2, kernel=GaussianKernel(gamma=0.1), seed=0, init="k-means++", max_iter=50
+    ).fit(x)
+
+    acc = clustering_accuracy(model.labels_, truth)
+    # orient labels: the changed class is the smaller cluster
+    pred = model.labels_
+    if np.bincount(pred)[0] < np.bincount(pred)[1]:
+        pred = 1 - pred
+    tp = int(((pred == 1) & (truth == 1)).sum())
+    fp = int(((pred == 1) & (truth == 0)).sum())
+    fn = int(((pred == 0) & (truth == 1)).sum())
+    precision = tp / max(tp + fp, 1)
+    recall = tp / max(tp + fn, 1)
+
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["detection accuracy (best matching)", f"{acc:.3f}"],
+                ["precision (changed)", f"{precision:.3f}"],
+                ["recall (changed)", f"{recall:.3f}"],
+                ["iterations", model.n_iter_],
+                ["modeled GPU time (total)", fmt_seconds(sum(model.timings_.values()))],
+                ["modeled GPU time (distances)", fmt_seconds(model.timings_["distances"])],
+            ],
+        )
+    )
+    print(
+        "\nThe modeled end-to-end time is milliseconds — the latency class "
+        "the paper argues GPU Kernel K-means unlocks for change detection."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Kernel showcase: which kernels find which non-linear structure.
+
+Sweeps the library's kernels over three synthetic geometries (blobs,
+concentric circles, interleaved moons) and reports ARI against ground
+truth, reproducing the qualitative story of the paper's Sec. 1-2: the
+linear kernel is classical K-means; non-linear kernels buy non-linear
+boundaries at O(n^2) per iteration.
+
+Run:  python examples/nonlinear_clustering.py
+"""
+
+import numpy as np
+
+from repro import PopcornKernelKMeans
+from repro.data import make_blobs, make_circles, make_moons
+from repro.eval import adjusted_rand_index, purity
+from repro.kernels import GaussianKernel, LinearKernel, PolynomialKernel
+from repro.reporting import format_table
+
+
+def best_of(model_factory, x, y, seeds=(0, 1, 2)) -> float:
+    """Best ARI over a few seeds (kernel k-means is init sensitive)."""
+    return max(
+        adjusted_rand_index(model_factory(s).fit(x).labels_, y) for s in seeds
+    )
+
+
+def main() -> None:
+    datasets = {
+        "blobs (linear ok)": make_blobs(600, 2, 3, rng=1),
+        "circles (non-linear)": make_circles(600, rng=1),
+        "moons (non-linear)": make_moons(600, rng=1),
+    }
+    kernels = {
+        "linear": lambda: LinearKernel(),
+        "polynomial d=2": lambda: PolynomialKernel(gamma=1.0, coef0=1.0, degree=2),
+        "gaussian g=5": lambda: GaussianKernel(gamma=5.0),
+        "gaussian g=20": lambda: GaussianKernel(gamma=20.0),
+    }
+
+    rows = []
+    for dname, (x, y) in datasets.items():
+        k = len(np.unique(y))
+        for kname, kfac in kernels.items():
+            ari = best_of(
+                lambda s: PopcornKernelKMeans(
+                    k, kernel=kfac(), seed=s, init="k-means++", max_iter=100
+                ),
+                x,
+                y,
+            )
+            rows.append([dname, kname, f"{ari:.3f}"])
+
+    print(format_table(["dataset", "kernel", "best ARI (3 seeds)"], rows))
+    print(
+        "\nReading: the linear kernel handles blobs but not circles; "
+        "the RBF kernel separates the rings exactly, which is the gap "
+        "Kernel K-means exists to close."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+offline environments where the `wheel` package is unavailable and PEP 517
+builds cannot run.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

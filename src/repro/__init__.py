@@ -1,0 +1,87 @@
+"""repro — a full Python reproduction of *Popcorn: Accelerating Kernel
+K-means on GPUs through Sparse Linear Algebra* (PPoPP 2025).
+
+Layout
+------
+``repro.core``
+    The paper's contribution: :class:`PopcornKernelKMeans` and the
+    SpMM/SpMV distance pipeline.
+``repro.sparse``
+    From-scratch CSR substrate (SpMM, SpMV, SpGEMM, selection matrices).
+``repro.gpu``
+    Simulated A100 device: exact numerics plus an analytically modeled,
+    calibration-documented execution clock and Nsight-style profiler.
+``repro.kernels``
+    Kernel functions and the GEMM/SYRK Gram-matrix dispatch.
+``repro.baselines``
+    The paper's comparators: the hand-written-kernel CUDA baseline, the
+    PRMLT CPU implementation, and classical Lloyd K-means.
+``repro.modeling``
+    Paper-scale analytical launch models (used by every figure bench).
+``repro.distributed`` / ``repro.approx``
+    Extensions: multi-GPU Popcorn (the paper's future work) and Nyström
+    approximate Kernel K-means.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import PopcornKernelKMeans
+>>> from repro.data import make_circles
+>>> x, y = make_circles(600, rng=0)
+>>> model = PopcornKernelKMeans(2, kernel="gaussian", seed=0).fit(x)
+>>> model.labels_.shape
+(600,)
+"""
+
+from .config import Config, DEFAULT_CONFIG
+from .core import PopcornKernelKMeans, WeightedPopcornKernelKMeans
+from .baselines import (
+    BaselineCUDAKernelKMeans,
+    ElkanKMeans,
+    LloydKMeans,
+    PRMLTKernelKMeans,
+)
+from .distributed import DistributedPopcornKernelKMeans
+from .approx import NystromKernelKMeans
+from .graph import SpectralKernelKMeans
+from .harness import ExperimentResult, TrialStats, run_trials
+from .gpu import A100_80GB, Device, DeviceSpec
+from .kernels import (
+    GaussianKernel,
+    Kernel,
+    LaplacianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+    kernel_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Config",
+    "DEFAULT_CONFIG",
+    "PopcornKernelKMeans",
+    "WeightedPopcornKernelKMeans",
+    "BaselineCUDAKernelKMeans",
+    "PRMLTKernelKMeans",
+    "LloydKMeans",
+    "ElkanKMeans",
+    "DistributedPopcornKernelKMeans",
+    "NystromKernelKMeans",
+    "SpectralKernelKMeans",
+    "run_trials",
+    "TrialStats",
+    "ExperimentResult",
+    "Device",
+    "DeviceSpec",
+    "A100_80GB",
+    "Kernel",
+    "LinearKernel",
+    "PolynomialKernel",
+    "GaussianKernel",
+    "SigmoidKernel",
+    "LaplacianKernel",
+    "kernel_by_name",
+]

@@ -1,0 +1,5 @@
+"""Approximate Kernel K-means (Nyström) extension."""
+
+from .nystrom import NystromKernelKMeans, nystrom_embedding
+
+__all__ = ["NystromKernelKMeans", "nystrom_embedding"]

@@ -1,0 +1,30 @@
+"""Baseline implementations the paper evaluates against.
+
+* :class:`BaselineCUDAKernelKMeans` — the hand-written-kernel GPU baseline
+  (Sec. 5.3);
+* :class:`PRMLTKernelKMeans` — the MATLAB PRMLT CPU comparator (Sec. 5.4);
+* :class:`LloydKMeans` — classical K-means (background, Sec. 2.1);
+* initialisation strategies (random, k-means++, kernel k-means++).
+"""
+
+from .cuda_baseline import BaselineCUDAKernelKMeans
+from .cpu_prmlt import PRMLTKernelKMeans
+from .elkan import ElkanKMeans
+from .init import (
+    kernel_kmeans_pp_labels,
+    kmeans_pp_centers,
+    labels_from_centers,
+    random_labels,
+)
+from .lloyd import LloydKMeans
+
+__all__ = [
+    "BaselineCUDAKernelKMeans",
+    "PRMLTKernelKMeans",
+    "LloydKMeans",
+    "ElkanKMeans",
+    "random_labels",
+    "kmeans_pp_centers",
+    "kernel_kmeans_pp_labels",
+    "labels_from_centers",
+]

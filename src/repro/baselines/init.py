@@ -1,0 +1,121 @@
+"""Cluster initialisation strategies.
+
+The artifact's ``--init`` flag supports ``random`` (each point gets a
+uniform random label in [0, k), Sec. 4.1).  We additionally provide
+k-means++ (Arthur & Vassilvitskii, Sec. 2.1 background) for Lloyd's
+algorithm and its kernel-space analogue for Kernel K-means — both are
+extensions the paper's background motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import as_matrix
+from ..errors import ConfigError, ShapeError
+
+__all__ = [
+    "random_labels",
+    "kmeans_pp_centers",
+    "kernel_kmeans_pp_labels",
+    "labels_from_centers",
+]
+
+
+def _check_k(n: int, k: int) -> None:
+    if not (1 <= k <= n):
+        raise ConfigError(f"k must satisfy 1 <= k <= n, got k={k}, n={n}")
+
+
+def random_labels(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random assignment (the paper's initialisation, Alg. 2 line 3).
+
+    Guarantees no cluster starts empty by seeding one point per cluster
+    before sampling the rest uniformly — matching the artifact's V
+    construction, which assumes positive cardinalities at start-up.
+    """
+    _check_k(n, k)
+    labels = rng.integers(0, k, size=n, dtype=np.int32)
+    # pin k distinct points, one per cluster, so every row of V is non-empty
+    pinned = rng.choice(n, size=k, replace=False)
+    labels[pinned] = np.arange(k, dtype=np.int32)
+    return labels
+
+
+def kmeans_pp_centers(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding in input space; returns the chosen row indices.
+
+    Each new center is sampled with probability proportional to the
+    squared distance to the nearest already-chosen center, giving the
+    O(log k)-competitive guarantee of Arthur & Vassilvitskii.
+    """
+    xm = as_matrix(x, dtype=np.float64, name="x")
+    n = xm.shape[0]
+    _check_k(n, k)
+    centers = np.empty(k, dtype=np.int64)
+    centers[0] = rng.integers(0, n)
+    sq = ((xm - xm[centers[0]]) ** 2).sum(axis=1)
+    for j in range(1, k):
+        total = sq.sum()
+        if total <= 0:
+            # all remaining points coincide with chosen centers
+            remaining = np.setdiff1d(np.arange(n), centers[:j])
+            centers[j:] = rng.choice(remaining, size=k - j, replace=False)
+            break
+        probs = sq / total
+        centers[j] = rng.choice(n, p=probs)
+        cand = ((xm - xm[centers[j]]) ** 2).sum(axis=1)
+        np.minimum(sq, cand, out=sq)
+    return centers
+
+
+def kernel_kmeans_pp_labels(k_mat: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Kernel-space k-means++ initial labels from a precomputed kernel matrix.
+
+    Distances in feature space between points i and j come from the kernel
+    trick: ``||phi(p_i) - phi(p_j)||^2 = K_ii - 2 K_ij + K_jj``.  Centers
+    are seeded k-means++-style on those distances and every point is then
+    labelled by its nearest seed.
+    """
+    n = k_mat.shape[0]
+    if k_mat.shape != (n, n):
+        raise ShapeError("kernel matrix must be square")
+    _check_k(n, k)
+    diag = np.ascontiguousarray(np.diagonal(k_mat)).astype(np.float64)
+    kf = k_mat.astype(np.float64, copy=False)
+
+    centers = np.empty(k, dtype=np.int64)
+    centers[0] = rng.integers(0, n)
+
+    def dist_to(c: int) -> np.ndarray:
+        d = diag - 2.0 * kf[:, c] + diag[c]
+        return np.maximum(d, 0.0)
+
+    sq = dist_to(int(centers[0]))
+    per_center = np.empty((k, n))
+    per_center[0] = sq
+    for j in range(1, k):
+        total = sq.sum()
+        if total <= 0:
+            remaining = np.setdiff1d(np.arange(n), centers[:j])
+            pick = rng.choice(remaining, size=k - j, replace=False)
+            centers[j:] = pick
+            for jj in range(j, k):
+                per_center[jj] = dist_to(int(centers[jj]))
+            break
+        centers[j] = rng.choice(n, p=sq / total)
+        per_center[j] = dist_to(int(centers[j]))
+        np.minimum(sq, per_center[j], out=sq)
+    return np.argmin(per_center, axis=0).astype(np.int32)
+
+
+def labels_from_centers(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Assign every point to its nearest center (squared Euclidean)."""
+    xm = as_matrix(x, dtype=np.float64, name="x")
+    c = xm[np.asarray(centers, dtype=np.int64)]
+    d = (
+        (xm**2).sum(axis=1)[:, None]
+        - 2.0 * xm @ c.T
+        + (c**2).sum(axis=1)[None, :]
+    )
+    return np.argmin(d, axis=1).astype(np.int32)

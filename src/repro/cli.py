@@ -1,0 +1,200 @@
+"""Artifact-compatible command-line interface (``gpukmeans``).
+
+Mirrors the flag set documented in the paper's Appendix A.4::
+
+    -n INT      number of data points (random data when -i is not set)
+    -d INT      dimensionality
+    -k INT      number of clusters
+    --runs INT  number of clustering repetitions
+    -t FLOAT    convergence tolerance
+    -m INT      maximum iterations
+    -c {0|1}    whether to check convergence
+    --init STR  centroid initialisation (random | k-means++)
+    -f STR      kernel function (linear | polynomial | sigmoid | gaussian)
+    -i STR      input file (libsvm or CSV)
+    -s INT      RNG seed
+    -l {0|2}    implementation: 0 = naive baseline, 2 = Popcorn
+    -o STR      write clustering results to a file
+
+plus reproduction-specific extras (``--device``, ``--gram-method``,
+``--breakdown``).  Prints modeled timings, since the GPU is simulated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .baselines import BaselineCUDAKernelKMeans
+from .core import PopcornKernelKMeans
+from .data import load_dataset, make_random
+from .gpu import Device, named_device
+from .kernels import kernel_by_name
+from .reporting import fmt_seconds, format_table
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``gpukmeans`` argument parser (artifact Appendix A.4 flags)."""
+    p = argparse.ArgumentParser(
+        prog="gpukmeans",
+        description="Popcorn kernel k-means on a simulated GPU (PPoPP'25 reproduction)",
+    )
+    p.add_argument("-n", type=int, default=1000, help="number of data points")
+    p.add_argument("-d", type=int, default=16, help="dimensionality")
+    p.add_argument("-k", type=int, default=10, help="number of clusters")
+    p.add_argument("--runs", type=int, default=1, help="number of clustering runs")
+    p.add_argument("-t", dest="tol", type=float, default=1e-4, help="convergence tolerance")
+    p.add_argument("-m", dest="max_iter", type=int, default=30, help="maximum iterations")
+    p.add_argument(
+        "-c",
+        dest="check_convergence",
+        type=int,
+        choices=(0, 1),
+        default=0,
+        help="1 = stop at convergence, 0 = run exactly -m iterations",
+    )
+    p.add_argument(
+        "--init", default="random", choices=("random", "k-means++"), help="initialisation"
+    )
+    p.add_argument(
+        "-f",
+        dest="kernel",
+        default="polynomial",
+        choices=("linear", "polynomial", "sigmoid", "gaussian"),
+        help="kernel function",
+    )
+    p.add_argument("-i", dest="input", default=None, help="input file (libsvm or CSV)")
+    p.add_argument("-s", dest="seed", type=int, default=0, help="RNG seed")
+    p.add_argument(
+        "-l",
+        dest="impl",
+        type=int,
+        choices=(0, 2),
+        default=2,
+        help="0 = naive GPU baseline, 2 = Popcorn",
+    )
+    p.add_argument("-o", dest="output", default=None, help="write labels to this file")
+    p.add_argument("--device", default="a100-80gb", help="simulated device name")
+    p.add_argument(
+        "--gram-method",
+        default="auto",
+        choices=("auto", "gemm", "syrk"),
+        help="kernel-matrix strategy (Popcorn only)",
+    )
+    p.add_argument(
+        "--breakdown", action="store_true", help="print the per-phase runtime breakdown"
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a chrome://tracing JSON of the last run's modeled timeline",
+    )
+    return p
+
+
+def _load_points(args) -> np.ndarray:
+    if args.input:
+        x, _ = load_dataset(args.input)
+        return x
+    x, _ = make_random(args.n, args.d, rng=args.seed)
+    return x
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    x = _load_points(args)
+    n, d = x.shape
+    spec = named_device(args.device)
+    kern = kernel_by_name(args.kernel)
+
+    rows = []
+    labels = None
+    last = None
+    for run in range(args.runs):
+        device = Device(spec)
+        seed = args.seed + run
+        if args.impl == 2:
+            algo = PopcornKernelKMeans(
+                args.k,
+                kernel=kern,
+                device=device,
+                gram_method=args.gram_method,
+                max_iter=args.max_iter,
+                tol=args.tol,
+                check_convergence=bool(args.check_convergence),
+                init=args.init,
+                seed=seed,
+            )
+        else:
+            if args.init != "random":
+                print("note: the baseline implementation only supports --init random",
+                      file=sys.stderr)
+            algo = BaselineCUDAKernelKMeans(
+                args.k,
+                kernel=kern,
+                device=device,
+                max_iter=args.max_iter,
+                tol=args.tol,
+                check_convergence=bool(args.check_convergence),
+                seed=seed,
+            )
+        algo.fit(x)
+        labels = algo.labels_
+        last = algo
+        ph = algo.timings_
+        rows.append(
+            [
+                run,
+                algo.n_iter_,
+                f"{algo.objective_:.6g}",
+                fmt_seconds(ph.get("kernel_matrix", 0.0)),
+                fmt_seconds(ph.get("distances", 0.0)),
+                fmt_seconds(ph.get("argmin_update", 0.0)),
+                fmt_seconds(sum(ph.values())),
+            ]
+        )
+
+    impl = "Popcorn" if args.impl == 2 else "baseline CUDA"
+    print(f"{impl} kernel k-means | n={n} d={d} k={args.k} kernel={args.kernel} "
+          f"device={spec.name}")
+    if args.impl == 2:
+        print(f"gram method: {last.gram_method_}")
+    print(
+        format_table(
+            ["run", "iters", "objective", "K time", "distances", "argmin+update", "total"],
+            rows,
+        )
+    )
+    if args.breakdown:
+        print("\nper-operation summary (modeled):")
+        summary = last.device_.profiler.summary()
+        print(
+            format_table(
+                ["op", "count", "time", "GFLOP/s", "AI"],
+                [
+                    [s["name"], s["count"], fmt_seconds(s["time_s"]),
+                     f"{s['gflops']:.0f}", f"{s['ai']:.3f}"]
+                    for s in summary
+                ],
+            )
+        )
+    if args.trace:
+        from .gpu.trace import write_chrome_trace
+
+        write_chrome_trace(last.device_.profiler, args.trace)
+        print(f"\nchrome trace written to {args.trace}")
+    if args.output:
+        np.savetxt(args.output, labels, fmt="%d")
+        print(f"\nlabels written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Global configuration for the reproduction.
+
+The paper evaluates Popcorn in single precision (Sec. 4.4 assumes FP32 and
+32-bit indices).  ``Config.dtype`` mirrors that default while allowing FP64
+for numerically-delicate tests.  The configuration object is deliberately
+small and immutable-ish; modules take a ``Config`` (or the module-level
+:data:`DEFAULT_CONFIG`) instead of reading global state ad hoc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ._typing import as_float_dtype
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Config:
+    """Package-wide numerical configuration.
+
+    Attributes
+    ----------
+    dtype:
+        Floating dtype for matrices (default float32, as in the paper).
+    seed:
+        Default RNG seed used when an API is called without an explicit
+        generator.
+    gemm_syrk_threshold:
+        The tunable ``t`` of paper Sec. 4.2: use GEMM when ``n / d > t``,
+        SYRK otherwise.  The paper calibrates ``t = 100`` on an A100.
+    max_iter:
+        Default maximum number of clustering iterations (paper runs 30).
+    tol:
+        Default convergence tolerance on the relative objective decrease.
+    """
+
+    dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float32))
+    seed: int = 0
+    gemm_syrk_threshold: float = 100.0
+    max_iter: int = 30
+    tol: float = 1e-4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dtype", as_float_dtype(self.dtype))
+        if self.gemm_syrk_threshold <= 0:
+            raise ConfigError("gemm_syrk_threshold must be positive")
+        if self.max_iter < 1:
+            raise ConfigError("max_iter must be >= 1")
+        if self.tol < 0:
+            raise ConfigError("tol must be non-negative")
+
+    def with_(self, **kwargs) -> "Config":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def rng(self, seed: int | None = None) -> np.random.Generator:
+        """Create a :class:`numpy.random.Generator` from ``seed`` or the default."""
+        return np.random.default_rng(self.seed if seed is None else seed)
+
+
+#: Default configuration used when callers do not pass one explicitly.
+DEFAULT_CONFIG = Config()

@@ -1,0 +1,40 @@
+"""Arithmetic-intensity formulas of paper Sec. 4.4 (Eqs. 16-17).
+
+The paper assumes FP32 values and 32-bit sparse indices; both formulas
+are FLOPs over bytes with the 4-byte element factor in the denominator.
+"""
+
+from __future__ import annotations
+
+from ..errors import ShapeError
+
+__all__ = ["kernel_matrix_intensity", "distances_intensity"]
+
+
+def kernel_matrix_intensity(n: int, d: int, f_k: float | None = None, b_k: float | None = None) -> float:
+    """Eq. 16: AI of computing K.
+
+    ``(F_K + 2 n^2 d) / (4 (B_K + 2 n d + n^2))`` where ``F_K`` / ``B_K``
+    are the FLOPs / memory operations of the elementwise kernel
+    application.  Defaults model a 4-FLOP kernel function touching each
+    entry twice (read B, write K).
+    """
+    if n < 1 or d < 1:
+        raise ShapeError("n and d must be positive")
+    fk = 4.0 * n * n if f_k is None else f_k
+    bk = 2.0 * n * n if b_k is None else b_k
+    return (fk + 2.0 * n * n * d) / (4.0 * (bk + 2.0 * n * d + n * n))
+
+
+def distances_intensity(n: int, k: int) -> float:
+    """Eq. 17: AI of one distance-phase iteration.
+
+    ``(2 n^2 + 2 n + 3 n k) / (4 (n^2 + 6 n + 4 k + 3 n k))`` — one SpMM,
+    one SpMV and the three-matrix elementwise add, with P~ and C~ stored
+    as vectors.
+    """
+    if n < 1 or k < 1:
+        raise ShapeError("n and k must be positive")
+    num = 2.0 * n * n + 2.0 * n + 3.0 * n * k
+    den = 4.0 * (n * n + 6.0 * n + 4.0 * k + 3.0 * n * k)
+    return num / den

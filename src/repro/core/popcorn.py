@@ -1,0 +1,343 @@
+"""The Popcorn Kernel K-means estimator (paper Alg. 2).
+
+``PopcornKernelKMeans`` is the public entry point of the reproduction: a
+scikit-learn-style estimator that runs the matrix-centric Kernel K-means
+pipeline on the simulated GPU —
+
+1. kernel matrix ``K = kappa(P P^T)`` via GEMM/SYRK dispatch (Sec. 4.2);
+2. per-iteration distances ``D = -2 K V^T + P~ + C~`` via SpMM + SpMV
+   (Sec. 4.3);
+3. assignment via a row argmin and a CSR rebuild of V (Sec. 4.1).
+
+Every launch is charged to the device's profiler, so after ``fit`` the
+object exposes both the clustering result *and* the modeled performance
+profile (phase breakdown for Fig. 8, SpMM throughput for Fig. 5, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._typing import as_matrix, check_labels
+from ..config import DEFAULT_CONFIG
+from ..errors import ConfigError, ShapeError
+from ..gpu import custom, cusparse, raft
+from ..gpu.device import Device
+from ..gpu.spec import A100_80GB, DeviceSpec
+from ..kernels import Kernel, PolynomialKernel, device_kernel_matrix, kernel_by_name
+from ..baselines.init import kernel_kmeans_pp_labels, random_labels
+from .assignment import ConvergenceTracker, objective_value
+
+__all__ = ["PopcornKernelKMeans"]
+
+
+class PopcornKernelKMeans:
+    """GPU Kernel K-means via sparse linear algebra (Popcorn, PPoPP'25).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    kernel:
+        A :class:`~repro.kernels.Kernel` instance or a name accepted by
+        :func:`~repro.kernels.kernel_by_name` (default: the paper's
+        polynomial kernel with gamma = c = 1, degree 2).
+    device:
+        A :class:`~repro.gpu.Device`, a :class:`~repro.gpu.DeviceSpec`,
+        or None for a fresh A100-80GB.
+    gram_method:
+        ``"auto"`` (the n/d dispatch of Sec. 4.2), ``"gemm"`` or ``"syrk"``.
+    gram_threshold:
+        Dispatch ratio ``t`` for ``"auto"`` (default 100, Sec. 5.2).
+    max_iter:
+        Iteration cap (the paper's timed runs use 30).
+    tol:
+        Relative objective-improvement tolerance (artifact ``-t``).
+    check_convergence:
+        Artifact ``-c``: when False, run exactly ``max_iter`` iterations.
+    init:
+        ``"random"`` (paper) or ``"k-means++"`` (kernel-space seeding).
+    empty_cluster_policy:
+        ``"keep"`` leaves empty clusters empty (their centroid norm is 0);
+        ``"reseed"`` moves the globally farthest point into each empty
+        cluster before rebuilding V.
+    seed:
+        RNG seed for initialisation.
+    dtype:
+        float32 (paper) or float64.
+
+    Attributes (after ``fit``)
+    --------------------------
+    labels_ : final assignment vector (int32, length n).
+    n_iter_ : iterations executed.
+    objective_ : final Kernel K-means objective.
+    objective_history_ : per-iteration objective values.
+    converged_, convergence_reason_ : stopping diagnostics.
+    gram_method_ : Gram routine actually used ("gemm"/"syrk"/"precomputed").
+    timings_ : modeled seconds per phase (kernel_matrix / distances /
+        argmin_update / transfer / init).
+    device_ : the simulated device (profiler holds the full launch log).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        kernel: Kernel | str = None,
+        device: Device | DeviceSpec | None = None,
+        gram_method: str = "auto",
+        gram_threshold: float | None = None,
+        max_iter: int = DEFAULT_CONFIG.max_iter,
+        tol: float = DEFAULT_CONFIG.tol,
+        check_convergence: bool = True,
+        init: str = "random",
+        empty_cluster_policy: str = "keep",
+        seed: int | None = None,
+        dtype=np.float32,
+    ) -> None:
+        if n_clusters < 1:
+            raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
+        if gram_method not in ("auto", "gemm", "syrk"):
+            raise ConfigError(f"gram_method must be auto/gemm/syrk, got {gram_method!r}")
+        if init not in ("random", "k-means++"):
+            raise ConfigError(f"init must be 'random' or 'k-means++', got {init!r}")
+        if empty_cluster_policy not in ("keep", "reseed"):
+            raise ConfigError(
+                f"empty_cluster_policy must be 'keep' or 'reseed', got {empty_cluster_policy!r}"
+            )
+        if max_iter < 1:
+            raise ConfigError("max_iter must be >= 1")
+        self.n_clusters = int(n_clusters)
+        if kernel is None:
+            kernel = PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
+        elif isinstance(kernel, str):
+            kernel = kernel_by_name(kernel)
+        self.kernel = kernel
+        self._device_arg = device
+        self.gram_method = gram_method
+        self.gram_threshold = gram_threshold
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.check_convergence = bool(check_convergence)
+        self.init = init
+        self.empty_cluster_policy = empty_cluster_policy
+        self.seed = seed
+        self.dtype = np.dtype(dtype)
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x: Optional[np.ndarray] = None,
+        *,
+        kernel_matrix: Optional[np.ndarray] = None,
+        init_labels: Optional[np.ndarray] = None,
+    ) -> "PopcornKernelKMeans":
+        """Cluster the dataset (or a precomputed kernel matrix).
+
+        Exactly one of ``x`` / ``kernel_matrix`` may drive the kernel
+        computation; passing ``kernel_matrix`` skips the GEMM/SYRK stage
+        (the entry point for non-Gram-expressible kernels).
+        """
+        if x is None and kernel_matrix is None:
+            raise ShapeError("fit needs either points x or a precomputed kernel_matrix")
+
+        device = self._make_device()
+        self.device_ = device
+        prof = device.profiler
+        rng = np.random.default_rng(
+            DEFAULT_CONFIG.seed if self.seed is None else self.seed
+        )
+
+        n_points = (
+            np.asarray(kernel_matrix).shape[0]
+            if kernel_matrix is not None
+            else np.asarray(x).shape[0]
+        )
+        self._check_capacity(device, n_points)
+
+        # ---- kernel matrix (Alg. 2 lines 1-2) -------------------------
+        if kernel_matrix is not None:
+            km = as_matrix(kernel_matrix, dtype=self.dtype, name="kernel_matrix")
+            if km.shape[0] != km.shape[1]:
+                raise ShapeError("kernel_matrix must be square")
+            n = km.shape[0]
+            k_buf = device.h2d(km)
+            with prof.phase("kernel_matrix"):
+                p_norms = custom.diag_extract(device, k_buf)
+            self.gram_method_ = "precomputed"
+            self._train_x = None
+        else:
+            xm = as_matrix(x, dtype=self.dtype, name="x")
+            n = xm.shape[0]
+            p_buf = device.h2d(xm)
+            with prof.phase("kernel_matrix"):
+                k_buf, p_norms, used = device_kernel_matrix(
+                    device,
+                    p_buf,
+                    self.kernel,
+                    method=self.gram_method,
+                    threshold=self.gram_threshold,
+                )
+            self.gram_method_ = used
+            self._train_x = xm
+            p_buf.free()
+
+        k = self.n_clusters
+        if k > n:
+            raise ConfigError(f"n_clusters={k} exceeds number of points n={n}")
+
+        # ---- initial assignment (Alg. 2 lines 3-4) ---------------------
+        with prof.phase("init"):
+            if init_labels is not None:
+                labels = check_labels(init_labels, n, k).copy()
+            elif self.init == "k-means++":
+                labels = kernel_kmeans_pp_labels(k_buf.a, k, rng)
+            else:
+                labels = random_labels(n, k, rng)
+
+        tracker = ConvergenceTracker(tol=self.tol, check=self.check_convergence)
+        n_iter = 0
+
+        # ---- main loop (Alg. 2 lines 6-16) -----------------------------
+        for _ in range(self.max_iter):
+            with prof.phase("argmin_update"):
+                v = custom.v_build(device, labels, k, dtype=self.dtype)
+            with prof.phase("distances"):
+                e = cusparse.spmm_kvt(device, k_buf, v, alpha=-2.0)
+                z = custom.z_gather(device, e, labels)
+                c_norms = cusparse.spmv(device, v, z, alpha=-0.5)
+                z.free()
+                d = custom.d_add(device, e, p_norms, c_norms)
+            with prof.phase("argmin_update"):
+                new_labels = raft.coalesced_reduction_argmin(device, d)
+                if self.empty_cluster_policy == "reseed":
+                    new_labels = self._reseed_empty(d.a, new_labels, k)
+            objective = objective_value(d.a, new_labels)
+            c_norms.free()
+            d.free()
+            v.free()
+            n_iter += 1
+            labels = new_labels
+            if tracker.update(labels, objective):
+                break
+
+        # centroid norms consistent with the *final* labels (predict needs
+        # them; the loop's own c_norms correspond to the pre-update V)
+        from .norms import centroid_norms_spgemm
+        from .selection import build_selection as _build_sel
+
+        self._c_norms = centroid_norms_spgemm(
+            k_buf.a.astype(np.float64), _build_sel(labels, k, dtype=np.float64)
+        )
+
+        k_buf.free()
+        p_norms.free()
+
+        self.labels_ = labels
+        self.n_iter_ = n_iter
+        self.objective_history_ = list(tracker.objectives)
+        self.objective_ = tracker.objectives[-1]
+        self.converged_ = tracker.converged
+        self.convergence_reason_ = tracker.reason
+        self.timings_ = prof.phase_times()
+        return self
+
+    def fit_predict(self, x: Optional[np.ndarray] = None, **kwargs) -> np.ndarray:
+        """Fit and return the final labels."""
+        return self.fit(x, **kwargs).labels_
+
+    # ------------------------------------------------------------------
+    # out-of-sample prediction (extension beyond the artifact CLI)
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        x: Optional[np.ndarray] = None,
+        *,
+        cross_kernel: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Assign new points to the fitted clusters.
+
+        ``||phi(q) - c_j||^2 = kappa(q, q) - 2 (K_c V^T)_qj + ||c_j||^2``
+        where ``K_c[q, i] = kappa(q, p_i)`` is the cross-kernel against the
+        training points.  Supply ``cross_kernel`` (m x n_train) directly
+        when the estimator was fitted on a precomputed kernel matrix.
+        """
+        self._require_fitted()
+        if cross_kernel is not None:
+            kc = as_matrix(cross_kernel, dtype=np.float64, name="cross_kernel")
+            if kc.shape[1] != self.labels_.shape[0]:
+                raise ShapeError(
+                    f"cross_kernel must have {self.labels_.shape[0]} columns"
+                )
+        else:
+            if self._train_x is None:
+                raise ShapeError(
+                    "estimator was fitted on a precomputed kernel; pass cross_kernel"
+                )
+            xm = as_matrix(x, dtype=self.dtype, name="x")
+            kc = self.kernel.pairwise(xm, self._train_x).astype(np.float64)
+        from .selection import build_selection
+        from ..sparse import spmm
+
+        # kappa(q, q) is constant per row and cannot move the argmin, so the
+        # distance used here drops it: d_qj = -2 (K_c V^T)_qj + ||c_j||^2.
+        v = build_selection(self.labels_, self.n_clusters, dtype=np.float64)
+        kvt = spmm(v, np.ascontiguousarray(kc.T)).T  # (m, k)
+        d = -2.0 * kvt + self._c_norms[None, :].astype(np.float64)
+        return np.argmin(d, axis=1).astype(np.int32)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _make_device(self) -> Device:
+        dev = self._device_arg
+        if dev is None:
+            return Device(A100_80GB)
+        if isinstance(dev, DeviceSpec):
+            return Device(dev)
+        if isinstance(dev, Device):
+            return dev
+        raise ConfigError(f"device must be a Device or DeviceSpec, got {type(dev).__name__}")
+
+    def _check_capacity(self, device: Device, n: int) -> None:
+        """Fail fast when the kernel matrix cannot fit in device memory.
+
+        The run's footprint is dominated by the dense n x n kernel matrix
+        plus the n x k distance buffer; exceeding capacity would fail
+        mid-run anyway, but this check raises up front with a pointer at
+        the distributed implementation (the paper's Sec. 7 remedy).
+        """
+        from ..errors import AllocationError
+
+        itemsize = self.dtype.itemsize
+        required = itemsize * (n * n + 2.0 * n * self.n_clusters + 4.0 * n)
+        if required > device.capacity_bytes:
+            raise AllocationError(
+                f"kernel k-means on n={n} points needs ~{required / 1e9:.1f} GB "
+                f"but {device.spec.name} has {device.spec.mem_capacity_gb:g} GB; "
+                "partition the kernel matrix with "
+                "repro.distributed.DistributedPopcornKernelKMeans or reduce n "
+                "(e.g. repro.approx.NystromKernelKMeans)"
+            )
+
+    def _require_fitted(self) -> None:
+        if not hasattr(self, "labels_"):
+            raise ConfigError("estimator is not fitted; call fit() first")
+
+    def _reseed_empty(self, d_mat: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
+        """Move the farthest-from-centroid points into empty clusters."""
+        counts = np.bincount(labels, minlength=k)
+        empty = np.flatnonzero(counts == 0)
+        if empty.size == 0:
+            return labels
+        labels = labels.copy()
+        assigned_d = d_mat[np.arange(labels.shape[0]), labels].copy()
+        for j in empty:
+            i = int(np.argmax(assigned_d))
+            labels[i] = j
+            assigned_d[i] = -np.inf  # don't steal the same point twice
+        return labels

@@ -1,0 +1,29 @@
+"""Datasets: synthetic generators, Table 2 stand-ins, and file I/O."""
+
+from .io import load_dataset, read_csv, read_libsvm, write_csv, write_libsvm
+from .suite import TABLE2, DatasetInfo, dataset_names, generate, table2_rows
+from .synthetic import (
+    make_anisotropic,
+    make_blobs,
+    make_circles,
+    make_moons,
+    make_random,
+)
+
+__all__ = [
+    "make_blobs",
+    "make_circles",
+    "make_moons",
+    "make_anisotropic",
+    "make_random",
+    "TABLE2",
+    "DatasetInfo",
+    "dataset_names",
+    "table2_rows",
+    "generate",
+    "read_libsvm",
+    "write_libsvm",
+    "read_csv",
+    "write_csv",
+    "load_dataset",
+]

@@ -1,0 +1,127 @@
+"""Dataset file I/O: libSVM sparse text format and CSV.
+
+The artifact accepts inputs "stored in libsvm format or as a standard
+CSV" (Appendix A.4).  Both readers return dense float32 matrices plus a
+label vector (libSVM rows carry labels; CSV labels are optional via a
+column index).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+
+__all__ = ["read_libsvm", "write_libsvm", "read_csv", "write_csv", "load_dataset"]
+
+
+def read_libsvm(path: str, *, n_features: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Parse a libSVM file into ``(X, y)``.
+
+    Each line is ``<label> <index>:<value> ...`` with 1-based feature
+    indices.  Missing features are zero.  ``n_features`` forces the
+    feature count (otherwise inferred from the maximum index).
+    """
+    labels = []
+    rows = []  # list of (indices array, values array)
+    max_idx = 0
+    with open(path, "r") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                labels.append(float(parts[0]))
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{lineno}: bad label {parts[0]!r}") from exc
+            idxs, vals = [], []
+            for tok in parts[1:]:
+                try:
+                    i_s, v_s = tok.split(":", 1)
+                    i, v = int(i_s), float(v_s)
+                except ValueError as exc:
+                    raise DatasetError(f"{path}:{lineno}: bad feature token {tok!r}") from exc
+                if i < 1:
+                    raise DatasetError(f"{path}:{lineno}: libsvm indices are 1-based, got {i}")
+                idxs.append(i)
+                vals.append(v)
+            if idxs and any(idxs[t] >= idxs[t + 1] for t in range(len(idxs) - 1)):
+                order = np.argsort(idxs, kind="stable")
+                idxs = [idxs[t] for t in order]
+                vals = [vals[t] for t in order]
+            rows.append((np.asarray(idxs, dtype=np.int64), np.asarray(vals, dtype=np.float32)))
+            if idxs:
+                max_idx = max(max_idx, idxs[-1])
+    d = n_features if n_features is not None else max_idx
+    if n_features is not None and max_idx > n_features:
+        raise DatasetError(
+            f"{path}: feature index {max_idx} exceeds n_features={n_features}"
+        )
+    x = np.zeros((len(rows), max(d, 1)), dtype=np.float32)
+    for r, (idxs, vals) in enumerate(rows):
+        if idxs.size:
+            x[r, idxs - 1] = vals
+    y = np.asarray(labels, dtype=np.float64)
+    y_int = y.astype(np.int32) if np.all(y == np.floor(y)) else y
+    return x, np.asarray(y_int)
+
+
+def write_libsvm(path: str, x: np.ndarray, y: Optional[np.ndarray] = None) -> None:
+    """Write ``(X, y)`` in libSVM format (zeros omitted, 1-based indices)."""
+    xm = np.asarray(x)
+    if xm.ndim != 2:
+        raise DatasetError("X must be 2-D")
+    labels = np.zeros(xm.shape[0]) if y is None else np.asarray(y)
+    if labels.shape[0] != xm.shape[0]:
+        raise DatasetError("label length mismatch")
+    with open(path, "w") as fh:
+        for r in range(xm.shape[0]):
+            nz = np.flatnonzero(xm[r])
+            toks = " ".join(f"{int(j) + 1}:{xm[r, j]:.7g}" for j in nz)
+            lab = labels[r]
+            lab_s = str(int(lab)) if float(lab) == int(lab) else f"{lab:.7g}"
+            fh.write(f"{lab_s} {toks}\n" if toks else f"{lab_s}\n")
+
+
+def read_csv(
+    path: str, *, label_column: Optional[int] = None, delimiter: str = ","
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Read a headerless numeric CSV into ``(X, y)``.
+
+    ``label_column`` extracts that column (negative indices allowed) as
+    integer labels; ``y`` is None when no label column is given.
+    """
+    try:
+        data = np.loadtxt(path, delimiter=delimiter, ndmin=2)
+    except ValueError as exc:
+        raise DatasetError(f"{path}: not a numeric CSV: {exc}") from exc
+    if label_column is None:
+        return np.ascontiguousarray(data, dtype=np.float32), None
+    ncol = data.shape[1]
+    col = label_column if label_column >= 0 else ncol + label_column
+    if not (0 <= col < ncol):
+        raise DatasetError(f"label_column {label_column} out of range for {ncol} columns")
+    y = data[:, col].astype(np.int32)
+    x = np.delete(data, col, axis=1)
+    return np.ascontiguousarray(x, dtype=np.float32), y
+
+
+def write_csv(path: str, x: np.ndarray, y: Optional[np.ndarray] = None) -> None:
+    """Write ``X`` (optionally with a trailing label column) as CSV."""
+    xm = np.asarray(x, dtype=np.float64)
+    if y is not None:
+        xm = np.concatenate([xm, np.asarray(y, dtype=np.float64)[:, None]], axis=1)
+    np.savetxt(path, xm, delimiter=",", fmt="%.8g")
+
+
+def load_dataset(path: str, **kwargs) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Dispatch on file extension: ``.csv`` -> CSV, anything else -> libSVM."""
+    if not os.path.exists(path):
+        raise DatasetError(f"no such dataset file: {path}")
+    if path.endswith(".csv"):
+        return read_csv(path, **kwargs)
+    return read_libsvm(path, **kwargs)

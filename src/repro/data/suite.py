@@ -1,0 +1,83 @@
+"""Stand-ins for the paper's evaluation datasets (Table 2).
+
+The paper benchmarks six libSVM datasets; their runtime behaviour depends
+only on ``(n, d)`` (Sec. 5.1.3 — the kernel choice doesn't influence
+runtime, and clustering cost is data-independent).  Each entry here
+records the exact Table 2 dimensions plus a synthetic generator producing
+a dataset of the same shape with mild cluster structure, scaled down by a
+``scale`` factor so executing runs fit laptop memory.  Users with the real
+libSVM files can load them through :mod:`repro.data.io` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from .synthetic import make_blobs
+
+__all__ = ["DatasetInfo", "TABLE2", "dataset_names", "table2_rows", "generate"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """One row of the paper's Table 2."""
+
+    name: str
+    description: str
+    n: int
+    d: int
+
+    def scaled(self, scale: float) -> Tuple[int, int]:
+        """(n, d) after applying a down-scale factor in (0, 1]."""
+        if not (0 < scale <= 1):
+            raise DatasetError(f"scale must be in (0, 1], got {scale}")
+        return max(16, int(round(self.n * scale))), max(2, int(round(self.d * scale)))
+
+
+#: Table 2 of the paper, verbatim.
+TABLE2: Dict[str, DatasetInfo] = {
+    "acoustic": DatasetInfo("acoustic", "Vehicle sensor data", 78823, 50),
+    "cifar10": DatasetInfo("cifar10", "32x32 color images", 50000, 3072),
+    "ledgar": DatasetInfo("ledgar", "Large corpus of legal documents", 70000, 19996),
+    "letter": DatasetInfo("letter", "Hand-written letters", 10500, 26),
+    "mnist": DatasetInfo("mnist", "Hand-written digits dataset", 60000, 780),
+    "scotus": DatasetInfo("scotus", "Text of US Supreme Court rulings", 6400, 126405),
+}
+
+
+def dataset_names() -> list:
+    """Table 2 dataset names in the paper's order."""
+    return list(TABLE2)
+
+
+def table2_rows() -> list:
+    """Rows of Table 2 as (name, description, n, d) tuples."""
+    return [(i.name, i.description, i.n, i.d) for i in TABLE2.values()]
+
+
+def generate(
+    name: str,
+    *,
+    scale: float = 1.0,
+    k: int = 10,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthesise a stand-in for a Table 2 dataset at the given scale.
+
+    The stand-in is a k-component Gaussian mixture with the dataset's
+    (scaled) dimensions — enough structure for the clustering to converge
+    the way real data does, with exactly the (n, d) that drive runtime.
+    """
+    try:
+        info = TABLE2[name.lower()]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+    n, d = info.scaled(scale)
+    g = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    return make_blobs(n, d, min(k, n), spread=1.5, rng=g)

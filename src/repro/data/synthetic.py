@@ -1,0 +1,144 @@
+"""Synthetic dataset generators.
+
+Provides the non-linearly-separable shapes that motivate Kernel K-means
+(concentric circles, interleaved moons — the cases where Lloyd's
+algorithm provably draws the wrong boundary) plus Gaussian blobs and a
+uniform-random generator matching the artifact's "if -i is not set, a
+random dataset is initialized" behaviour.
+
+All generators take an explicit :class:`numpy.random.Generator` (or seed)
+and return ``(X, y)`` with float32 features and int32 ground-truth labels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+
+__all__ = [
+    "make_blobs",
+    "make_circles",
+    "make_moons",
+    "make_anisotropic",
+    "make_random",
+]
+
+
+def _rng_of(rng) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _shuffled(x: np.ndarray, y: np.ndarray, rng: np.random.Generator):
+    order = rng.permutation(x.shape[0])
+    return (
+        np.ascontiguousarray(x[order], dtype=np.float32),
+        np.ascontiguousarray(y[order], dtype=np.int32),
+    )
+
+
+def make_blobs(
+    n: int,
+    d: int = 2,
+    k: int = 3,
+    *,
+    spread: float = 0.6,
+    center_box: float = 10.0,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian blobs — the linearly separable easy case."""
+    if n < k or k < 1 or d < 1:
+        raise DatasetError(f"invalid blob spec n={n}, d={d}, k={k}")
+    g = _rng_of(rng)
+    centers = g.uniform(-center_box, center_box, size=(k, d))
+    sizes = np.full(k, n // k)
+    sizes[: n % k] += 1
+    xs, ys = [], []
+    for j in range(k):
+        xs.append(centers[j] + spread * g.standard_normal((sizes[j], d)))
+        ys.append(np.full(sizes[j], j))
+    return _shuffled(np.concatenate(xs), np.concatenate(ys), g)
+
+
+def make_circles(
+    n: int,
+    *,
+    factor: float = 0.3,
+    noise: float = 0.04,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two concentric circles — the canonical Kernel K-means showcase.
+
+    Lloyd's algorithm cannot separate them (the optimal linear boundary
+    cuts both rings); an RBF Kernel K-means separates them cleanly.
+    """
+    if not (0 < factor < 1):
+        raise DatasetError(f"factor must be in (0, 1), got {factor}")
+    g = _rng_of(rng)
+    n_out = n // 2
+    n_in = n - n_out
+    theta_out = g.uniform(0, 2 * np.pi, n_out)
+    theta_in = g.uniform(0, 2 * np.pi, n_in)
+    outer = np.stack([np.cos(theta_out), np.sin(theta_out)], axis=1)
+    inner = factor * np.stack([np.cos(theta_in), np.sin(theta_in)], axis=1)
+    x = np.concatenate([outer, inner])
+    x += noise * g.standard_normal(x.shape)
+    y = np.concatenate([np.zeros(n_out), np.ones(n_in)])
+    return _shuffled(x, y, g)
+
+
+def make_moons(
+    n: int,
+    *,
+    noise: float = 0.06,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two interleaving half-moons — non-convex, non-linearly separable."""
+    g = _rng_of(rng)
+    n_a = n // 2
+    n_b = n - n_a
+    ta = g.uniform(0, np.pi, n_a)
+    tb = g.uniform(0, np.pi, n_b)
+    a = np.stack([np.cos(ta), np.sin(ta)], axis=1)
+    b = np.stack([1.0 - np.cos(tb), 0.5 - np.sin(tb)], axis=1)
+    x = np.concatenate([a, b])
+    x += noise * g.standard_normal(x.shape)
+    y = np.concatenate([np.zeros(n_a), np.ones(n_b)])
+    return _shuffled(x, y, g)
+
+
+def make_anisotropic(
+    n: int,
+    d: int = 2,
+    k: int = 3,
+    *,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Blobs sheared by a random linear map — stresses distance isotropy."""
+    g = _rng_of(rng)
+    x, y = make_blobs(n, d, k, rng=g)
+    shear = g.standard_normal((d, d)) * 0.5 + np.eye(d)
+    return _shuffled(x @ shear.astype(np.float32), y, g)
+
+
+def make_random(
+    n: int,
+    d: int,
+    *,
+    rng=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniform random points in [0, 1)^d (the artifact's default input).
+
+    Ground-truth labels are all zero — there is no structure to recover;
+    this generator exists for performance experiments, matching Sec. 5.2's
+    use of synthetic data for the GEMM/SYRK study.
+    """
+    if n < 1 or d < 1:
+        raise DatasetError(f"invalid random spec n={n}, d={d}")
+    g = _rng_of(rng)
+    x = g.random((n, d), dtype=np.float32)
+    return x, np.zeros(n, dtype=np.int32)

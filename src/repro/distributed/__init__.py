@@ -1,0 +1,17 @@
+"""Distributed Kernel K-means extension (paper Sec. 7 future work)."""
+
+from .comm import INFINIBAND, NVLINK, CommSpec, allgather_cost, allreduce_cost
+from .dist_popcorn import DistributedPopcornKernelKMeans, model_distributed_popcorn
+from .partition import block_of, row_blocks
+
+__all__ = [
+    "CommSpec",
+    "NVLINK",
+    "INFINIBAND",
+    "allgather_cost",
+    "allreduce_cost",
+    "row_blocks",
+    "block_of",
+    "DistributedPopcornKernelKMeans",
+    "model_distributed_popcorn",
+]

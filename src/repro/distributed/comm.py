@@ -1,0 +1,69 @@
+"""Communication cost model for the distributed extension.
+
+The paper's future work (Sec. 7) is a distributed Kernel K-means built on
+distributed SpMM/SpMV.  We model a single node with ``g`` GPUs connected
+by NVLink (or several nodes over InfiniBand) using the standard
+latency-bandwidth model with ring-algorithm collectives:
+
+* allgather of ``B`` bytes total: ``(g-1) * alpha + (g-1)/g * B / bw``
+* allreduce of ``B`` bytes:      ``2 (g-1) * alpha + 2 (g-1)/g * B / bw``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..gpu.launch import Launch
+
+__all__ = ["CommSpec", "NVLINK", "INFINIBAND", "allgather_cost", "allreduce_cost"]
+
+
+@dataclass(frozen=True)
+class CommSpec:
+    """Interconnect parameters.
+
+    Attributes
+    ----------
+    name: link name.
+    bw_gbps: per-link unidirectional bandwidth (GB/s).
+    latency_s: per-message latency (seconds).
+    """
+
+    name: str
+    bw_gbps: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bw_gbps <= 0 or self.latency_s < 0:
+            raise ConfigError("bandwidth must be positive and latency non-negative")
+
+
+#: NVLink 3 (A100 NVSwitch node): ~300 GB/s effective per GPU pair.
+NVLINK = CommSpec("NVLink3", bw_gbps=300.0, latency_s=3.0e-6)
+
+#: HDR InfiniBand across nodes: ~25 GB/s effective.
+INFINIBAND = CommSpec("HDR-InfiniBand", bw_gbps=25.0, latency_s=1.5e-6)
+
+
+def _check_g(g: int) -> None:
+    if g < 1:
+        raise ConfigError(f"device count must be >= 1, got {g}")
+
+
+def allgather_cost(comm: CommSpec, g: int, total_bytes: float) -> Launch:
+    """Ring allgather of ``total_bytes`` (concatenated over all ranks)."""
+    _check_g(g)
+    if g == 1:
+        return Launch("comm.allgather", 0.0, 0.0, 0.0)
+    t = (g - 1) * comm.latency_s + (g - 1) / g * total_bytes / (comm.bw_gbps * 1e9)
+    return Launch("comm.allgather", 0.0, float(total_bytes), t, meta={"g": g})
+
+
+def allreduce_cost(comm: CommSpec, g: int, nbytes: float) -> Launch:
+    """Ring allreduce of an ``nbytes`` buffer (every rank ends with the sum)."""
+    _check_g(g)
+    if g == 1:
+        return Launch("comm.allreduce", 0.0, 0.0, 0.0)
+    t = 2 * (g - 1) * comm.latency_s + 2 * (g - 1) / g * nbytes / (comm.bw_gbps * 1e9)
+    return Launch("comm.allreduce", float(nbytes) / 4.0, float(nbytes), t, meta={"g": g})

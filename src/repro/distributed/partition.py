@@ -1,0 +1,47 @@
+"""1-D row partitioning for the distributed extension.
+
+The kernel matrix K is partitioned by rows (each device owns the rows of
+its points); the selection matrix V is tiny and replicated.  This module
+computes balanced contiguous row blocks and the per-device column slices
+of V needed for local SpMMs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["row_blocks", "block_of"]
+
+
+def row_blocks(n: int, g: int) -> List[Tuple[int, int]]:
+    """Split ``n`` rows into ``g`` contiguous blocks, sizes differing by <= 1.
+
+    The first ``n % g`` blocks get the extra row, matching the usual
+    block-cyclic-free distribution of dense row panels.
+    """
+    if n < 1 or g < 1:
+        raise ConfigError(f"n and g must be positive, got n={n}, g={g}")
+    if g > n:
+        raise ConfigError(f"more devices ({g}) than rows ({n})")
+    base, extra = divmod(n, g)
+    blocks = []
+    start = 0
+    for p in range(g):
+        size = base + (1 if p < extra else 0)
+        blocks.append((start, start + size))
+        start += size
+    return blocks
+
+
+def block_of(n: int, g: int, row: int) -> int:
+    """Owning device of a global row index."""
+    if not (0 <= row < n):
+        raise ConfigError(f"row {row} out of range for n={n}")
+    for p, (lo, hi) in enumerate(row_blocks(n, g)):
+        if lo <= row < hi:
+            return p
+    raise AssertionError("unreachable")  # pragma: no cover

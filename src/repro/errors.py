@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by public API surfaces derives from :class:`ReproError`
+so callers can catch package failures with a single ``except`` clause while
+still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape.
+
+    Raised by the sparse substrate (mismatched multiply dimensions), the
+    clustering estimators (wrong input rank), and the device layer.
+    """
+
+
+class DTypeError(ReproError, TypeError):
+    """An array argument has an unsupported dtype (non-floating, etc.)."""
+
+
+class SparseFormatError(ReproError, ValueError):
+    """A CSR structure violates a format invariant.
+
+    Examples: non-monotone ``rowptrs``, column index out of bounds, or a
+    length mismatch between ``values`` and ``colinds``.
+    """
+
+
+class DeviceError(ReproError, RuntimeError):
+    """A simulated-device operation is invalid.
+
+    Examples: operating on a freed buffer, mixing buffers from different
+    devices, or exceeding the configured device memory capacity.
+    """
+
+
+class AllocationError(DeviceError):
+    """Simulated device memory exhausted."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to make progress (e.g. empty input)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset file or generator specification is invalid."""

@@ -1,0 +1,21 @@
+"""Clustering-quality metrics and validation helpers."""
+
+from .metrics import (
+    adjusted_rand_index,
+    clustering_accuracy,
+    contingency_table,
+    normalized_mutual_info,
+    purity,
+)
+from .validation import assert_monotone, cluster_sizes_ok, relative_decrease
+
+__all__ = [
+    "contingency_table",
+    "adjusted_rand_index",
+    "normalized_mutual_info",
+    "purity",
+    "clustering_accuracy",
+    "assert_monotone",
+    "relative_decrease",
+    "cluster_sizes_ok",
+]

@@ -1,0 +1,102 @@
+"""Clustering-quality metrics (implemented from scratch on NumPy).
+
+The paper evaluates performance, not accuracy, but the examples and the
+correctness tests need external validation: Adjusted Rand Index,
+Normalised Mutual Information, purity, and clustering accuracy under the
+best label permutation (Hungarian assignment via scipy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from .._typing import as_index_vector
+from ..errors import ShapeError
+
+__all__ = [
+    "contingency_table",
+    "adjusted_rand_index",
+    "normalized_mutual_info",
+    "purity",
+    "clustering_accuracy",
+]
+
+
+def _pair(a, b):
+    ya = as_index_vector(a, name="labels_a")
+    yb = as_index_vector(b, name="labels_b")
+    if ya.shape != yb.shape:
+        raise ShapeError(f"label vectors differ in length: {ya.shape[0]} vs {yb.shape[0]}")
+    if ya.size == 0:
+        raise ShapeError("label vectors must be non-empty")
+    return ya, yb
+
+
+def contingency_table(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Joint count matrix ``C[i, j] = |{t : a_t = i, b_t = j}|``.
+
+    Labels are re-indexed densely, so arbitrary non-negative label ids are
+    accepted.
+    """
+    ya, yb = _pair(a, b)
+    _, ia = np.unique(ya, return_inverse=True)
+    _, ib = np.unique(yb, return_inverse=True)
+    ka, kb = ia.max() + 1, ib.max() + 1
+    return np.bincount(ia * kb + ib, minlength=ka * kb).reshape(ka, kb)
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """ARI in [-1, 1]; 1 = identical partitions, ~0 = random agreement."""
+    c = contingency_table(a, b).astype(np.float64)
+    n = c.sum()
+    sum_comb = (c * (c - 1) / 2).sum()
+    rows = c.sum(axis=1)
+    cols = c.sum(axis=0)
+    comb_rows = (rows * (rows - 1) / 2).sum()
+    comb_cols = (cols * (cols - 1) / 2).sum()
+    total = n * (n - 1) / 2
+    expected = comb_rows * comb_cols / total if total else 0.0
+    max_index = 0.5 * (comb_rows + comb_cols)
+    denom = max_index - expected
+    if denom == 0:
+        return 1.0 if sum_comb == max_index else 0.0
+    return float((sum_comb - expected) / denom)
+
+
+def normalized_mutual_info(a: np.ndarray, b: np.ndarray) -> float:
+    """NMI in [0, 1] with arithmetic-mean normalisation."""
+    c = contingency_table(a, b).astype(np.float64)
+    n = c.sum()
+    p = c / n
+    pa = p.sum(axis=1)
+    pb = p.sum(axis=0)
+    nz = p > 0
+    mi = float((p[nz] * np.log(p[nz] / np.outer(pa, pb)[nz])).sum())
+    ha = float(-(pa[pa > 0] * np.log(pa[pa > 0])).sum())
+    hb = float(-(pb[pb > 0] * np.log(pb[pb > 0])).sum())
+    denom = 0.5 * (ha + hb)
+    if denom == 0:
+        return 1.0  # both partitions are single clusters
+    return float(max(0.0, min(1.0, mi / denom)))
+
+
+def purity(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of points in the majority true class of their cluster."""
+    c = contingency_table(pred, truth)
+    return float(c.max(axis=1).sum() / c.sum())
+
+
+def clustering_accuracy(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Accuracy under the best one-to-one cluster-to-class matching.
+
+    Solves the assignment problem on the contingency table (Hungarian
+    algorithm); upper-bounds purity when cluster counts match.
+    """
+    c = contingency_table(pred, truth)
+    # pad to square so the assignment is always feasible
+    k = max(c.shape)
+    padded = np.zeros((k, k), dtype=c.dtype)
+    padded[: c.shape[0], : c.shape[1]] = c
+    rows, cols = linear_sum_assignment(-padded)
+    return float(padded[rows, cols].sum() / c.sum())

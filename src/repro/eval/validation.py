@@ -1,0 +1,39 @@
+"""Validation helpers shared by tests and examples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConvergenceError
+
+__all__ = ["assert_monotone", "relative_decrease", "cluster_sizes_ok"]
+
+
+def assert_monotone(objectives: Sequence[float], *, rel_tol: float = 1e-5) -> None:
+    """Raise unless the objective sequence is non-increasing (within tol).
+
+    Kernel K-means alternation cannot increase the objective for PSD
+    kernels; ``rel_tol`` absorbs float32 round-off.
+    """
+    for i in range(1, len(objectives)):
+        prev, curr = objectives[i - 1], objectives[i]
+        if curr > prev + rel_tol * max(abs(prev), 1.0):
+            raise ConvergenceError(
+                f"objective increased at iteration {i}: {prev} -> {curr}"
+            )
+
+
+def relative_decrease(objectives: Sequence[float]) -> float:
+    """Total relative objective improvement from first to last iteration."""
+    if len(objectives) < 2:
+        return 0.0
+    first, last = objectives[0], objectives[-1]
+    return (first - last) / max(abs(first), 1e-30)
+
+
+def cluster_sizes_ok(labels: np.ndarray, k: int, *, min_size: int = 0) -> bool:
+    """Check every cluster has at least ``min_size`` members."""
+    counts = np.bincount(np.asarray(labels), minlength=k)
+    return bool((counts >= min_size).all())

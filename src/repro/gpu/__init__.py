@@ -1,0 +1,47 @@
+"""Simulated GPU substrate.
+
+Executes every operation numerically on the host while charging modeled
+execution time from an analytical, A100-calibrated roofline cost model —
+the substitution (documented in DESIGN.md) for the paper's CUDA testbed.
+"""
+
+from .device import Device
+from .launch import Launch
+from .memory import DeviceArray
+from .profiler import Profiler
+from .roofline import RooflinePoint, attainable_gflops, op_point, points_from, roofline_series
+from .spec import (
+    A100_40GB,
+    A100_80GB,
+    CPUSpec,
+    DeviceSpec,
+    EPYC_7763,
+    H100_80GB,
+    V100_32GB,
+    named_device,
+)
+from .cusparse import DeviceCSR
+from .trace import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "Device",
+    "DeviceArray",
+    "DeviceCSR",
+    "Launch",
+    "Profiler",
+    "DeviceSpec",
+    "CPUSpec",
+    "A100_80GB",
+    "A100_40GB",
+    "V100_32GB",
+    "H100_80GB",
+    "EPYC_7763",
+    "named_device",
+    "attainable_gflops",
+    "roofline_series",
+    "RooflinePoint",
+    "op_point",
+    "points_from",
+]

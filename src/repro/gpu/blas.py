@@ -1,0 +1,59 @@
+"""Simulated cuBLAS: GEMM and SYRK for the Gram matrix ``B = P P^T``.
+
+Sec. 4.2 of the paper: either routine yields a correct ``B``; GEMM
+computes all of it, SYRK computes one triangle in half the FLOPs but then
+needs an explicit mirror copy because cuSPARSE requires the full dense
+matrix.  The numerics here are exact (NumPy) while the time charged comes
+from the calibrated cost model, reproducing the Fig. 2 trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from . import cost
+from .device import Device
+from .memory import DeviceArray
+
+__all__ = ["gemm_gram", "syrk_gram", "gram"]
+
+
+def gemm_gram(device: Device, p: DeviceArray) -> DeviceArray:
+    """Compute ``B = P @ P^T`` with the GEMM routine (all n^2 entries)."""
+    device.check_resident(p)
+    if p.a.ndim != 2:
+        raise ShapeError("gemm_gram expects a 2-D points buffer")
+    n, d = p.shape
+    out = device.wrap(p.a @ p.a.T)
+    device.record(cost.gemm_cost(device.spec, n, d))
+    return out
+
+def syrk_gram(device: Device, p: DeviceArray) -> DeviceArray:
+    """Compute ``B = P @ P^T`` with SYRK plus the triangular mirror copy.
+
+    The SYRK itself fills only the lower triangle; the hand-written mirror
+    kernel (Sec. 4.2) copies it into the upper one.  We emulate the two
+    stages faithfully so the profiler sees both launches.
+    """
+    device.check_resident(p)
+    if p.a.ndim != 2:
+        raise ShapeError("syrk_gram expects a 2-D points buffer")
+    n, d = p.shape
+    full = p.a @ p.a.T
+    lower = np.tril(full)  # what the SYRK writes
+    device.record(cost.syrk_cost(device.spec, n, d))
+    # mirror copy: strictly-lower triangle reflected above the diagonal
+    mirrored = lower + np.tril(full, -1).T
+    out = device.wrap(mirrored)
+    device.record(cost.triangular_copy_cost(device.spec, n))
+    return out
+
+
+def gram(device: Device, p: DeviceArray, method: str) -> DeviceArray:
+    """Dispatch to :func:`gemm_gram` or :func:`syrk_gram` by name."""
+    if method == "gemm":
+        return gemm_gram(device, p)
+    if method == "syrk":
+        return syrk_gram(device, p)
+    raise ShapeError(f"unknown gram method {method!r}; expected 'gemm' or 'syrk'")

@@ -1,0 +1,72 @@
+"""Kernel-launch records produced by the device cost model.
+
+Every simulated operation yields a :class:`Launch` describing the useful
+FLOPs, the profiler-counted FLOPs (Nsight counts redundant arithmetic in
+hand-written reductions — see :mod:`repro.gpu.calibration`), the off-chip
+bytes moved, and the modeled execution time.  The profiler aggregates
+these records into the quantities the paper reports (throughput in
+GFLOP/s, arithmetic intensity, phase breakdowns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Launch"]
+
+
+@dataclass(frozen=True)
+class Launch:
+    """One simulated kernel or library-routine invocation.
+
+    Attributes
+    ----------
+    name:
+        Operation identifier (e.g. ``"cusparse.spmm"``).
+    flops:
+        Useful floating-point operations performed.
+    counted_flops:
+        FLOPs a hardware profiler would count (>= ``flops`` when the
+        implementation retires redundant arithmetic).
+    bytes:
+        Off-chip memory traffic in bytes (reads + writes).
+    time_s:
+        Modeled wall-clock execution time in seconds.
+    phase:
+        Pipeline phase label (``"kernel_matrix"``, ``"distances"``,
+        ``"argmin_update"``, ``"transfer"``, ...).
+    """
+
+    name: str
+    flops: float
+    bytes: float
+    time_s: float
+    counted_flops: float = 0.0
+    phase: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.counted_flops == 0.0:
+            object.__setattr__(self, "counted_flops", self.flops)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Counted FLOPs per byte of off-chip traffic."""
+        return self.counted_flops / self.bytes if self.bytes else 0.0
+
+    @property
+    def achieved_gflops(self) -> float:
+        """Profiler-visible throughput in GFLOP/s."""
+        return self.counted_flops / self.time_s / 1e9 if self.time_s else 0.0
+
+    def with_phase(self, phase: str) -> "Launch":
+        """Return a copy tagged with the given pipeline phase."""
+        return Launch(
+            name=self.name,
+            flops=self.flops,
+            bytes=self.bytes,
+            time_s=self.time_s,
+            counted_flops=self.counted_flops,
+            phase=phase,
+            meta=dict(self.meta),
+        )

@@ -1,0 +1,77 @@
+"""Simulated device memory: buffers, the allocator, and transfers.
+
+A :class:`DeviceArray` wraps a host NumPy array (the actual numerics) plus
+bookkeeping that mirrors a real device allocation.  The owning
+:class:`~repro.gpu.device.Device` tracks live bytes against the spec's
+capacity — exceeding it raises :class:`~repro.errors.AllocationError`,
+mirroring ``cudaErrorMemoryAllocation``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from ..errors import DeviceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .device import Device
+
+__all__ = ["DeviceArray", "nbytes_of"]
+
+
+def nbytes_of(shape: Tuple[int, ...], dtype) -> int:
+    """Size in bytes of an array of the given shape/dtype."""
+    n = 1
+    for s in shape:
+        n *= int(s)
+    return n * np.dtype(dtype).itemsize
+
+
+class DeviceArray:
+    """A dense array resident on a simulated device.
+
+    The payload is a host ndarray (``.a``); the wrapper enforces device
+    affinity (ops reject operands from different devices) and lifetime
+    (using a freed buffer raises).
+    """
+
+    __slots__ = ("_array", "device", "_alive", "nbytes")
+
+    def __init__(self, device: "Device", array: np.ndarray) -> None:
+        self._array = array
+        self.device = device
+        self._alive = True
+        self.nbytes = int(array.nbytes)
+
+    @property
+    def a(self) -> np.ndarray:
+        """The numerical payload; raises if the buffer was freed."""
+        if not self._alive:
+            raise DeviceError("use of freed device buffer")
+        return self._array
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.a.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.a.dtype
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def free(self) -> None:
+        """Release the buffer back to the device allocator (idempotent)."""
+        if self._alive:
+            self._alive = False
+            self.device._release(self.nbytes)
+            self._array = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._alive else "freed"
+        shape = self._array.shape if self._alive else "-"
+        return f"DeviceArray(shape={shape}, {state}, device={self.device.spec.name!r})"

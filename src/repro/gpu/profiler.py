@@ -1,0 +1,120 @@
+"""Nsight-Compute-like profiler for the simulated device.
+
+Collects :class:`~repro.gpu.launch.Launch` records, tags them with the
+active pipeline phase, and answers the aggregate queries the paper's
+evaluation needs: total modeled time, per-phase breakdown (Fig. 8),
+per-operation achieved throughput (Fig. 5), and arithmetic intensity
+(Fig. 6).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+from .launch import Launch
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Accumulates launch records and aggregates them.
+
+    The profiler is attached to a :class:`~repro.gpu.device.Device`; every
+    simulated operation appends one or more launches.  A *phase* context
+    (``with profiler.phase("distances"): ...``) tags records so runtime
+    breakdowns can be reconstructed.
+    """
+
+    def __init__(self) -> None:
+        self.launches: List[Launch] = []
+        self._phase_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Tag launches recorded inside the block with phase ``name``."""
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else ""
+
+    def record(self, launch: Launch) -> Launch:
+        """Append ``launch``, tagging it with the current phase."""
+        if self.current_phase and not launch.phase:
+            launch = launch.with_phase(self.current_phase)
+        self.launches.append(launch)
+        return launch
+
+    def reset(self) -> None:
+        """Discard all recorded launches (keeps the phase stack)."""
+        self.launches.clear()
+
+    # ------------------------------------------------------------------
+    # aggregate queries
+    # ------------------------------------------------------------------
+    def total_time(self) -> float:
+        """Sum of modeled execution time over all launches (seconds)."""
+        return sum(l.time_s for l in self.launches)
+
+    def phase_times(self) -> Dict[str, float]:
+        """Modeled time per phase label."""
+        out: Dict[str, float] = defaultdict(float)
+        for l in self.launches:
+            out[l.phase or "(untagged)"] += l.time_s
+        return dict(out)
+
+    def time_of(self, name: str) -> float:
+        """Total modeled time of launches whose name matches ``name``."""
+        return sum(l.time_s for l in self.launches if l.name == name)
+
+    def launches_of(self, name: str) -> List[Launch]:
+        """All launches with the given operation name."""
+        return [l for l in self.launches if l.name == name]
+
+    def count_of(self, name: str) -> int:
+        """Number of launches with the given operation name."""
+        return sum(1 for l in self.launches if l.name == name)
+
+    def achieved_gflops(self, name: str) -> float:
+        """Aggregate profiler-visible throughput of an operation (GFLOP/s).
+
+        This is what Nsight reports for the dominant kernel in Fig. 5:
+        counted FLOPs divided by accumulated execution time.
+        """
+        sel = self.launches_of(name)
+        t = sum(l.time_s for l in sel)
+        f = sum(l.counted_flops for l in sel)
+        return f / t / 1e9 if t else 0.0
+
+    def arithmetic_intensity(self, name: str) -> float:
+        """Aggregate counted-FLOPs-per-byte of an operation (Fig. 6 x-axis)."""
+        sel = self.launches_of(name)
+        b = sum(l.bytes for l in sel)
+        f = sum(l.counted_flops for l in sel)
+        return f / b if b else 0.0
+
+    def summary(self) -> List[dict]:
+        """Per-operation rollup: count, time, throughput, intensity."""
+        names = []
+        for l in self.launches:
+            if l.name not in names:
+                names.append(l.name)
+        return [
+            {
+                "name": nm,
+                "count": self.count_of(nm),
+                "time_s": self.time_of(nm),
+                "gflops": self.achieved_gflops(nm),
+                "ai": self.arithmetic_intensity(nm),
+            }
+            for nm in names
+        ]

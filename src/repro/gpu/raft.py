@@ -1,0 +1,31 @@
+"""Simulated RAFT primitives.
+
+Popcorn assigns points with RAFT's ``coalescedReduction`` (Sec. 4.3):
+a row-wise argmin over the ``n x k`` distance matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from . import cost
+from .device import Device
+from .memory import DeviceArray
+
+__all__ = ["coalesced_reduction_argmin"]
+
+
+def coalesced_reduction_argmin(device: Device, d_mat: DeviceArray) -> np.ndarray:
+    """Row-wise argmin of the distances matrix; returns host int32 labels.
+
+    Ties break toward the lowest cluster index, matching the CUDA
+    reduction's deterministic ordering.
+    """
+    device.check_resident(d_mat)
+    if d_mat.a.ndim != 2:
+        raise ShapeError("coalesced_reduction_argmin expects a 2-D buffer")
+    n, k = d_mat.shape
+    labels = np.argmin(d_mat.a, axis=1).astype(np.int32)
+    device.record(cost.argmin_cost(device.spec, n, k))
+    return labels

@@ -1,0 +1,78 @@
+"""Roofline model (Williams et al., CACM 2009) for the simulated device.
+
+Fig. 6 of the paper places Popcorn's SpMM and the baseline's reduction
+kernel on the A100 roofline; these helpers produce the same series —
+attainable throughput as a function of arithmetic intensity, plus the
+(AI, achieved GFLOP/s) points recorded by the profiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .launch import Launch
+from .profiler import Profiler
+from .spec import DeviceSpec
+
+__all__ = ["attainable_gflops", "roofline_series", "RooflinePoint", "op_point", "points_from"]
+
+
+def attainable_gflops(spec: DeviceSpec, ai: float) -> float:
+    """Peak attainable throughput at arithmetic intensity ``ai`` (FLOP/byte)."""
+    if ai < 0:
+        raise ValueError("arithmetic intensity must be non-negative")
+    return min(spec.peak_fp32_gflops, ai * spec.mem_bw_gbps)
+
+
+def roofline_series(
+    spec: DeviceSpec, ai_min: float = 0.05, ai_max: float = 200.0, points: int = 64
+) -> List[tuple]:
+    """Log-spaced (AI, attainable GFLOP/s) pairs tracing the roofline."""
+    ais = np.logspace(np.log10(ai_min), np.log10(ai_max), points)
+    return [(float(ai), attainable_gflops(spec, float(ai))) for ai in ais]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A kernel's placement on the roofline plot.
+
+    ``fraction_of_roof`` is achieved / attainable at the kernel's AI —
+    the paper's observation is that Popcorn sits closer to 1.0 than the
+    baseline, especially for k in {50, 100}.
+    """
+
+    name: str
+    arithmetic_intensity: float
+    achieved_gflops: float
+    attainable_gflops: float
+
+    @property
+    def fraction_of_roof(self) -> float:
+        return (
+            self.achieved_gflops / self.attainable_gflops
+            if self.attainable_gflops
+            else 0.0
+        )
+
+
+def op_point(spec: DeviceSpec, profiler: Profiler, name: str) -> RooflinePoint:
+    """Roofline placement of the named operation from profiler aggregates."""
+    ai = profiler.arithmetic_intensity(name)
+    achieved = profiler.achieved_gflops(name)
+    return RooflinePoint(name, ai, achieved, attainable_gflops(spec, ai))
+
+
+def points_from(spec: DeviceSpec, launches: Sequence[Launch]) -> List[RooflinePoint]:
+    """Roofline placement of each launch individually."""
+    return [
+        RooflinePoint(
+            l.name,
+            l.arithmetic_intensity,
+            l.achieved_gflops,
+            attainable_gflops(spec, l.arithmetic_intensity),
+        )
+        for l in launches
+    ]

@@ -1,0 +1,157 @@
+"""Hardware specifications for the simulated devices.
+
+The paper's testbed is an NVIDIA A100 (80 GB HBM2e) attached to a 64-core
+AMD EPYC 7763 over PCIe Gen4 (Sec. 5.1.1).  :class:`DeviceSpec` captures
+the handful of parameters the analytical cost model needs; additional
+specs (V100, H100) are provided for architecture sweeps and to exercise
+the "performance portability" claim of Sec. 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = [
+    "DeviceSpec",
+    "CPUSpec",
+    "A100_80GB",
+    "A100_40GB",
+    "V100_32GB",
+    "H100_80GB",
+    "EPYC_7763",
+    "named_device",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    peak_fp32_gflops:
+        Peak single-precision throughput (GFLOP/s) of the CUDA cores.
+    mem_bw_gbps:
+        Peak off-chip (HBM) bandwidth in GB/s.
+    mem_capacity_gb:
+        Device memory capacity; the allocator enforces it.
+    launch_overhead_s:
+        Fixed host-side cost per kernel launch (seconds).
+    lib_call_overhead_s:
+        Extra fixed cost of a library routine invocation (cuBLAS/cuSPARSE
+        handle work, descriptor inspection) on top of the launch overhead.
+    pcie_bw_gbps:
+        Host-device transfer bandwidth (PCIe Gen4 x16 ~ 24 GB/s effective).
+    """
+
+    name: str
+    peak_fp32_gflops: float
+    mem_bw_gbps: float
+    mem_capacity_gb: float
+    launch_overhead_s: float = 4.0e-6
+    lib_call_overhead_s: float = 1.2e-5
+    pcie_bw_gbps: float = 24.0
+
+    def __post_init__(self) -> None:
+        if min(self.peak_fp32_gflops, self.mem_bw_gbps, self.mem_capacity_gb) <= 0:
+            raise ConfigError("device peak rates and capacity must be positive")
+
+    @property
+    def ridge_ai(self) -> float:
+        """Roofline ridge point (FLOP/byte) where compute and memory balance."""
+        return self.peak_fp32_gflops / self.mem_bw_gbps
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Parameters of the simulated CPU running the PRMLT baseline.
+
+    The paper's CPU comparator is the MATLAB PRMLT Kernel K-means.  Dense
+    BLAS calls inside MATLAB are served by a multithreaded MKL, while the
+    clustering loop body is interpreted, index-heavy M-code — hence the two
+    very different effective rates.
+
+    Attributes
+    ----------
+    dense_gflops:
+        Effective throughput of dense BLAS (kernel-matrix GEMM) calls.
+    scalar_gflops:
+        Effective throughput of the interpreted clustering phase
+        (sparse-like indexed reductions in M-code).
+    mem_bw_gbps:
+        Sustained memory bandwidth of the socket.
+    per_cluster_overhead_s:
+        Interpreted per-cluster bookkeeping cost per iteration; makes CPU
+        time grow with k, which is why the paper's Fig. 3 speedups are
+        larger at k in {50, 100} than at k = 10.
+    """
+
+    name: str
+    dense_gflops: float
+    scalar_gflops: float
+    mem_bw_gbps: float
+    per_cluster_overhead_s: float = 2.0e-4
+
+    def __post_init__(self) -> None:
+        if min(self.dense_gflops, self.scalar_gflops, self.mem_bw_gbps) <= 0:
+            raise ConfigError("cpu rates must be positive")
+
+
+#: The paper's testbed GPU (A100-SXM4-80GB: 19.5 TFLOP/s FP32, ~1935 GB/s).
+A100_80GB = DeviceSpec(
+    name="NVIDIA A100-80GB",
+    peak_fp32_gflops=19500.0,
+    mem_bw_gbps=1935.0,
+    mem_capacity_gb=80.0,
+)
+
+A100_40GB = DeviceSpec(
+    name="NVIDIA A100-40GB",
+    peak_fp32_gflops=19500.0,
+    mem_bw_gbps=1555.0,
+    mem_capacity_gb=40.0,
+)
+
+V100_32GB = DeviceSpec(
+    name="NVIDIA V100-32GB",
+    peak_fp32_gflops=15700.0,
+    mem_bw_gbps=900.0,
+    mem_capacity_gb=32.0,
+)
+
+H100_80GB = DeviceSpec(
+    name="NVIDIA H100-80GB",
+    peak_fp32_gflops=66900.0,
+    mem_bw_gbps=3350.0,
+    mem_capacity_gb=80.0,
+)
+
+#: The paper's host CPU running MATLAB PRMLT.
+EPYC_7763 = CPUSpec(
+    name="AMD EPYC 7763 (MATLAB PRMLT)",
+    dense_gflops=800.0,
+    scalar_gflops=8.0,
+    mem_bw_gbps=40.0,
+    per_cluster_overhead_s=3.0e-4,
+)
+
+_NAMED = {
+    "a100-80gb": A100_80GB,
+    "a100-40gb": A100_40GB,
+    "v100-32gb": V100_32GB,
+    "h100-80gb": H100_80GB,
+}
+
+
+def named_device(name: str) -> DeviceSpec:
+    """Look up a :class:`DeviceSpec` by case-insensitive name."""
+    try:
+        return _NAMED[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown device {name!r}; available: {sorted(_NAMED)}"
+        ) from None

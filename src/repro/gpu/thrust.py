@@ -1,0 +1,71 @@
+"""Simulated thrust: elementwise transforms and reductions.
+
+The paper uses ``thrust::transform`` to apply the kernel function to every
+entry of the Gram matrix (Sec. 4.2) and a reduction to compute cluster
+cardinalities (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ShapeError
+from . import cost
+from .device import Device
+from .memory import DeviceArray
+
+__all__ = ["transform", "bincount"]
+
+
+def transform(
+    device: Device,
+    buf: DeviceArray,
+    fn: Callable[[np.ndarray], np.ndarray],
+    *,
+    flops_per_entry: float = 4.0,
+    in_place: bool = True,
+) -> DeviceArray:
+    """Apply ``fn`` elementwise to a dense device buffer.
+
+    ``fn`` receives the payload array and must return an array of the same
+    shape (it may write in place and return its argument).  The cost model
+    charges a streaming read+write of the whole buffer.
+    """
+    device.check_resident(buf)
+    n2 = buf.a.size
+    result = fn(buf.a)
+    if result.shape != buf.a.shape:
+        raise ShapeError("transform function changed the buffer shape")
+    if in_place:
+        if result is not buf.a:
+            buf.a[...] = result
+        out = buf
+    else:
+        out = device.wrap(np.ascontiguousarray(result))
+    # charge as an n x n transform; cost model takes the row count
+    side = int(np.sqrt(n2)) if buf.a.ndim == 2 and buf.a.shape[0] == buf.a.shape[1] else None
+    if side is not None:
+        device.record(cost.kernel_transform_cost(device.spec, side, flops_per_entry))
+    else:
+        flops = flops_per_entry * n2
+        bytes_ = 4.0 * 2.0 * n2
+        t = cost.roofline_time(device.spec, flops, bytes_, eff_compute=0.5, eff_memory=0.85)
+        device.record(
+            cost.Launch("thrust.transform", flops, bytes_, t, meta={"size": n2})
+        )
+    return out
+
+
+def bincount(device: Device, labels: np.ndarray, k: int) -> np.ndarray:
+    """Cluster cardinalities via a device reduction (Sec. 4.1).
+
+    Returns a host int64 vector; charges one reduction launch.
+    """
+    counts = np.bincount(labels, minlength=k).astype(np.int64)
+    n = labels.shape[0]
+    bytes_ = 4.0 * (n + k)
+    t = cost.roofline_time(device.spec, float(n), bytes_, eff_memory=0.4)
+    device.record(cost.Launch("thrust.reduce_counts", float(n), bytes_, t, meta={"n": n, "k": k}))
+    return counts

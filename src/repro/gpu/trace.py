@@ -1,0 +1,77 @@
+"""Chrome-trace export of the simulated device's launch log.
+
+``chrome://tracing`` / Perfetto accept a JSON array of "complete" events
+(``ph: "X"``) with microsecond timestamps.  Exporting the profiler's
+modeled timeline gives the same visual debugging workflow a real
+Nsight Systems capture would — lanes per phase, one slice per launch.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .launch import Launch
+from .profiler import Profiler
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+
+def to_chrome_trace(profiler: Profiler, *, process_name: str = "simulated-gpu") -> List[dict]:
+    """Serial timeline of all launches as chrome-trace event dicts.
+
+    Launches are laid end to end in record order (the simulated device is
+    a single in-order stream).  Phases map to thread lanes so the
+    kernel-matrix / distances / argmin structure is visible at a glance.
+    """
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    phase_tids = {}
+    clock_us = 0.0
+    for launch in profiler.launches:
+        phase = launch.phase or "(untagged)"
+        tid = phase_tids.setdefault(phase, len(phase_tids))
+        dur = launch.time_s * 1e6
+        events.append(
+            {
+                "name": launch.name,
+                "cat": phase,
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "ts": clock_us,
+                "dur": dur,
+                "args": {
+                    "flops": launch.flops,
+                    "counted_flops": launch.counted_flops,
+                    "bytes": launch.bytes,
+                    "achieved_gflops": launch.achieved_gflops,
+                    "arithmetic_intensity": launch.arithmetic_intensity,
+                    **launch.meta,
+                },
+            }
+        )
+        clock_us += dur
+    for phase, tid in phase_tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"phase: {phase}"},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(profiler: Profiler, path: str, **kwargs) -> None:
+    """Write the trace to ``path`` (open in chrome://tracing or Perfetto)."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(profiler, **kwargs), fh)

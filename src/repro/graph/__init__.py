@@ -1,0 +1,17 @@
+"""Graph clustering via the Kernel K-means / spectral equivalence."""
+
+from .spectral import (
+    SpectralKernelKMeans,
+    cluster_graph,
+    knn_graph,
+    ncut_kernel,
+    power_iteration_embedding,
+)
+
+__all__ = [
+    "SpectralKernelKMeans",
+    "cluster_graph",
+    "knn_graph",
+    "ncut_kernel",
+    "power_iteration_embedding",
+]

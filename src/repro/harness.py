@@ -1,0 +1,108 @@
+"""Multi-trial experiment harness.
+
+The paper's protocol averages every number over 4 trials (Sec. 5.1.3).
+:func:`run_trials` runs an estimator factory across seeds and aggregates
+the modeled phase timings, objectives, and iteration counts with
+mean/std/min/max — the shape every results table in `benchmarks/` and the
+CLI's ``--runs`` flag rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .errors import ConfigError
+
+__all__ = ["TrialStats", "ExperimentResult", "run_trials"]
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean / std / min / max summary of one scalar across trials."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    values: tuple
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "TrialStats":
+        v = [float(x) for x in values]
+        if not v:
+            raise ConfigError("cannot summarise zero trials")
+        m = sum(v) / len(v)
+        var = sum((x - m) ** 2 for x in v) / len(v)
+        return cls(mean=m, std=math.sqrt(var), min=min(v), max=max(v), values=tuple(v))
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"{self.mean:.4g} ± {self.std:.2g}"
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of a multi-trial run."""
+
+    n_trials: int
+    objective: TrialStats
+    n_iter: TrialStats
+    total_time: TrialStats
+    phase_times: Dict[str, TrialStats] = field(default_factory=dict)
+    labels: List[np.ndarray] = field(default_factory=list)
+
+    def phase(self, name: str) -> TrialStats:
+        """Stats of one phase; zero-stats if the phase never appeared."""
+        return self.phase_times.get(
+            name, TrialStats(0.0, 0.0, 0.0, 0.0, (0.0,) * self.n_trials)
+        )
+
+
+def run_trials(
+    estimator_factory: Callable[[int], object],
+    fit: Callable[[object], object],
+    *,
+    n_trials: int = 4,
+    base_seed: int = 0,
+    keep_labels: bool = False,
+) -> ExperimentResult:
+    """Run ``fit(estimator_factory(seed))`` for ``n_trials`` seeds.
+
+    ``estimator_factory(seed)`` must build a fresh estimator;
+    ``fit(est)`` must run it and return an object exposing ``objective_``,
+    ``n_iter_`` and ``timings_`` (all the clustering engines in this
+    package qualify).  Seeds are ``base_seed .. base_seed + n_trials - 1``,
+    matching the CLI's ``--runs`` behaviour.
+    """
+    if n_trials < 1:
+        raise ConfigError("n_trials must be >= 1")
+    objectives: List[float] = []
+    iters: List[float] = []
+    totals: List[float] = []
+    per_phase: Dict[str, List[float]] = {}
+    labels: List[np.ndarray] = []
+    for t in range(n_trials):
+        est = estimator_factory(base_seed + t)
+        fitted = fit(est)
+        objectives.append(float(fitted.objective_))
+        iters.append(float(fitted.n_iter_))
+        timings = dict(getattr(fitted, "timings_", {}))
+        totals.append(float(sum(timings.values())))
+        for phase, v in timings.items():
+            per_phase.setdefault(phase, [0.0] * t).append(float(v))
+        for phase, vals in per_phase.items():
+            if len(vals) < t + 1:  # phase absent this trial
+                vals.append(0.0)
+        if keep_labels:
+            labels.append(np.array(fitted.labels_, copy=True))
+    return ExperimentResult(
+        n_trials=n_trials,
+        objective=TrialStats.of(objectives),
+        n_iter=TrialStats.of(iters),
+        total_time=TrialStats.of(totals),
+        phase_times={p: TrialStats.of(v) for p, v in per_phase.items()},
+        labels=labels,
+    )

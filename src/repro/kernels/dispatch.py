@@ -1,0 +1,75 @@
+"""Dynamic GEMM/SYRK selection for the kernel-matrix computation.
+
+Sec. 4.2 of the paper: GEMM computes all of ``B = P P^T`` (2 n^2 d FLOPs)
+while SYRK computes one triangle (n^2 d FLOPs) but requires a mirror copy
+because cuSPARSE needs the full matrix.  Which is faster depends on the
+shape: the paper finds GEMM wins when ``n / d`` exceeds a threshold ``t``
+(about 100 on their A100) and leaves ``t`` tunable.
+
+This module holds the selection rule plus a model-driven auto-tuner that
+sweeps ``t`` against the device cost model (the ablation bench uses it).
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_CONFIG
+from ..errors import ConfigError
+from ..gpu.cost import gemm_cost, syrk_cost, triangular_copy_cost
+from ..gpu.spec import DeviceSpec
+
+__all__ = ["choose_gram_method", "model_gram_times", "tune_threshold"]
+
+
+def choose_gram_method(n: int, d: int, threshold: float | None = None) -> str:
+    """Return ``"gemm"`` when ``n / d > threshold`` else ``"syrk"``.
+
+    This is the paper's dispatch rule with the calibrated default
+    ``t = 100`` (Sec. 5.2: "it is best to use the GEMM-based algorithm
+    when the ratio between n and d is greater than 100").
+    """
+    if n < 1 or d < 1:
+        raise ConfigError(f"n and d must be positive, got n={n}, d={d}")
+    t = DEFAULT_CONFIG.gemm_syrk_threshold if threshold is None else threshold
+    if t <= 0:
+        raise ConfigError("threshold must be positive")
+    return "gemm" if n / d > t else "syrk"
+
+
+def model_gram_times(spec: DeviceSpec, n: int, d: int) -> dict:
+    """Modeled seconds of both Gram strategies: {'gemm': t, 'syrk': t}.
+
+    The SYRK figure includes the mandatory triangular mirror copy.
+    """
+    gemm_t = gemm_cost(spec, n, d).time_s
+    syrk_t = syrk_cost(spec, n, d).time_s + triangular_copy_cost(spec, n).time_s
+    return {"gemm": gemm_t, "syrk": syrk_t}
+
+
+def tune_threshold(
+    spec: DeviceSpec,
+    *,
+    n_values=(10000, 20000, 50000),
+    ratios=(1, 3, 10, 30, 100, 300, 1000),
+) -> float:
+    """Pick the ratio threshold minimising total modeled Gram time.
+
+    Evaluates every candidate threshold from ``ratios`` over the
+    ``(n, d)`` grid implied by ``n_values x ratios`` and returns the one
+    whose dispatch decisions accumulate the least modeled time — the
+    architecture-dependent tuning the paper leaves to the user.
+    """
+    grid = []
+    for n in n_values:
+        for r in ratios:
+            d = max(1, int(round(n / r)))
+            grid.append((n, d, model_gram_times(spec, n, d)))
+
+    best_t, best_total = None, float("inf")
+    for cand in ratios:
+        total = 0.0
+        for n, d, times in grid:
+            method = "gemm" if n / d > cand else "syrk"
+            total += times[method]
+        if total < best_total:
+            best_total, best_t = total, float(cand)
+    return best_t

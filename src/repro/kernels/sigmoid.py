@@ -1,0 +1,34 @@
+"""Sigmoid kernel: ``kappa(x, y) = tanh(gamma * x.y + c)``.
+
+One of the three kernels the artifact CLI exposes (``-f sigmoid``).  Note
+the sigmoid kernel is not positive semi-definite for all parameter
+choices; Kernel K-means still runs but the objective-descent guarantee
+only holds for PSD kernels, which the test suite reflects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import Kernel
+
+__all__ = ["SigmoidKernel"]
+
+
+class SigmoidKernel(Kernel):
+    """``tanh(gamma * <x, y> + c)``."""
+
+    flops_per_entry = 6.0
+
+    def __init__(self, gamma: float = 1.0, coef0: float = 0.0) -> None:
+        if gamma <= 0:
+            raise ConfigError("gamma must be positive")
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def from_gram(self, b: np.ndarray, diag: np.ndarray | None = None) -> np.ndarray:
+        b *= b.dtype.type(self.gamma)
+        b += b.dtype.type(self.coef0)
+        np.tanh(b, out=b)
+        return b

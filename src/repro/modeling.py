@@ -1,0 +1,192 @@
+"""Analytical runtime models at paper scale.
+
+The executing device cannot materialise a 50000 x 50000 kernel matrix in
+this environment, but every figure in the paper's evaluation is a function
+of modeled launch times only.  This module rebuilds the exact launch
+sequences of Popcorn, the baseline CUDA implementation, and the CPU PRMLT
+implementation *analytically* — same cost functions, same order, no
+numerics — and returns a populated :class:`~repro.gpu.Profiler`.
+
+An integration test pins the contract: for sizes small enough to execute,
+the analytical model and the executing estimator produce identical launch
+logs (name, flops, bytes, time), launch for launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .errors import ConfigError
+from .gpu import cost
+from .gpu.profiler import Profiler
+from .gpu.spec import A100_80GB, CPUSpec, DeviceSpec, EPYC_7763
+from .kernels.dispatch import choose_gram_method
+
+__all__ = [
+    "RunModel",
+    "model_popcorn",
+    "model_baseline",
+    "model_cpu",
+    "model_gram",
+]
+
+FP32 = cost.FP32
+
+
+@dataclass(frozen=True)
+class RunModel:
+    """Modeled run: the launch log plus convenience totals.
+
+    Attributes
+    ----------
+    profiler:
+        The populated launch log (same aggregation API the executing
+        device exposes).
+    n, d, k, iters:
+        The workload parameters.
+    """
+
+    profiler: Profiler
+    n: int
+    d: int
+    k: int
+    iters: int
+
+    @property
+    def total_s(self) -> float:
+        return self.profiler.total_time()
+
+    @property
+    def phases(self) -> Dict[str, float]:
+        return self.profiler.phase_times()
+
+    def phase_s(self, phase: str) -> float:
+        return self.phases.get(phase, 0.0)
+
+
+def _check(n: int, d: int, k: int, iters: int) -> None:
+    if min(n, d, k, iters) < 1:
+        raise ConfigError(f"n, d, k, iters must be positive, got {(n, d, k, iters)}")
+    if k > n:
+        raise ConfigError(f"k={k} exceeds n={n}")
+
+
+def model_gram(spec: DeviceSpec, n: int, d: int, method: str) -> Profiler:
+    """Launches of the Gram stage only (Fig. 2 workload)."""
+    prof = Profiler()
+    with prof.phase("kernel_matrix"):
+        if method == "gemm":
+            prof.record(cost.gemm_cost(spec, n, d))
+        elif method == "syrk":
+            prof.record(cost.syrk_cost(spec, n, d))
+            prof.record(cost.triangular_copy_cost(spec, n))
+        else:
+            raise ConfigError(f"method must be 'gemm' or 'syrk', got {method!r}")
+    return prof
+
+
+def model_popcorn(
+    n: int,
+    d: int,
+    k: int,
+    *,
+    iters: int = 30,
+    spec: DeviceSpec = A100_80GB,
+    gram_method: str = "auto",
+    gram_threshold: float | None = None,
+    kernel_flops_per_entry: float = 4.0,
+    include_transfer: bool = True,
+) -> RunModel:
+    """Analytical launch log of a full Popcorn run (Alg. 2).
+
+    Mirrors :meth:`repro.core.PopcornKernelKMeans.fit` launch for launch:
+    H2D of the points, GEMM/SYRK + transform + diag for K, then per
+    iteration V build, SpMM, z-gather, SpMV, D-add, argmin.
+    """
+    _check(n, d, k, iters)
+    prof = Profiler()
+    if include_transfer:
+        with prof.phase("transfer"):
+            prof.record(cost.h2d_cost(spec, FP32 * n * d))
+    used = choose_gram_method(n, d, gram_threshold) if gram_method == "auto" else gram_method
+    with prof.phase("kernel_matrix"):
+        if used == "gemm":
+            prof.record(cost.gemm_cost(spec, n, d))
+        else:
+            prof.record(cost.syrk_cost(spec, n, d))
+            prof.record(cost.triangular_copy_cost(spec, n))
+        prof.record(cost.kernel_transform_cost(spec, n, kernel_flops_per_entry))
+        prof.record(cost.diag_extract_cost(spec, n))
+    for _ in range(iters):
+        with prof.phase("argmin_update"):
+            prof.record(cost.vbuild_cost(spec, n, k))
+        with prof.phase("distances"):
+            prof.record(cost.spmm_cost(spec, n, k))
+            prof.record(cost.zgather_cost(spec, n, k))
+            prof.record(cost.spmv_cost(spec, n, k))
+            prof.record(cost.dadd_cost(spec, n, k))
+        with prof.phase("argmin_update"):
+            prof.record(cost.argmin_cost(spec, n, k))
+    return RunModel(prof, n, d, k, iters)
+
+
+def model_baseline(
+    n: int,
+    d: int,
+    k: int,
+    *,
+    iters: int = 30,
+    spec: DeviceSpec = A100_80GB,
+    kernel_flops_per_entry: float = 4.0,
+    include_transfer: bool = True,
+) -> RunModel:
+    """Analytical launch log of the baseline CUDA implementation (Sec. 5.3).
+
+    GEMM-only kernel matrix, then per iteration the cardinality reduction
+    plus the three hand-written kernels and the argmin.
+    """
+    _check(n, d, k, iters)
+    prof = Profiler()
+    if include_transfer:
+        with prof.phase("transfer"):
+            prof.record(cost.h2d_cost(spec, FP32 * n * d))
+    with prof.phase("kernel_matrix"):
+        prof.record(cost.gemm_cost(spec, n, d))
+        prof.record(cost.kernel_transform_cost(spec, n, kernel_flops_per_entry))
+        prof.record(cost.diag_extract_cost(spec, n))
+    for _ in range(iters):
+        with prof.phase("argmin_update"):
+            # thrust cardinality reduction (matches BaselineCUDAKernelKMeans)
+            bytes_ = 4.0 * (n + k)
+            t = cost.roofline_time(spec, float(n), bytes_, eff_memory=0.4)
+            prof.record(
+                cost.Launch("thrust.reduce_counts", float(n), bytes_, t, meta={"n": n, "k": k})
+            )
+        with prof.phase("distances"):
+            prof.record(cost.baseline_k1_cost(spec, n, k))
+            prof.record(cost.baseline_k2_cost(spec, n, k))
+            prof.record(cost.baseline_k3_cost(spec, n, k))
+        with prof.phase("argmin_update"):
+            prof.record(cost.argmin_cost(spec, n, k))
+    return RunModel(prof, n, d, k, iters)
+
+
+def model_cpu(
+    n: int,
+    d: int,
+    k: int,
+    *,
+    iters: int = 30,
+    cpu: CPUSpec = EPYC_7763,
+) -> RunModel:
+    """Analytical time of the PRMLT CPU implementation (Sec. 5.4)."""
+    _check(n, d, k, iters)
+    prof = Profiler()
+    with prof.phase("kernel_matrix"):
+        prof.record(cost.cpu_gram_cost(cpu, n, d))
+        prof.record(cost.cpu_kernel_transform_cost(cpu, n))
+    with prof.phase("clustering"):
+        for _ in range(iters):
+            prof.record(cost.cpu_iteration_cost(cpu, n, k))
+    return RunModel(prof, n, d, k, iters)

@@ -1,0 +1,127 @@
+"""Terminal (ASCII) charts for benchmark and example output.
+
+The paper's figures are bar/line charts; these helpers render the same
+series in plain text so the reproduction's output is readable without a
+plotting stack (matplotlib is not a dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .errors import ConfigError
+
+__all__ = ["bar_chart", "grouped_bar_chart", "scatter_plot"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart with right-aligned values."""
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must have equal length")
+    if not labels:
+        raise ConfigError("nothing to plot")
+    vmax = max(max(values), 1e-300)
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for lab, val in zip(labels, values):
+        bar = "#" * max(1 if val > 0 else 0, int(round(width * val / vmax)))
+        lines.append(f"{str(lab).ljust(label_w)} | {bar} {val:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Grouped horizontal bars: one block per group, one bar per series."""
+    if not groups or not series:
+        raise ConfigError("nothing to plot")
+    for name, vals in series.items():
+        if len(vals) != len(groups):
+            raise ConfigError(f"series {name!r} length mismatch")
+    vmax = max(max(v) for v in series.values())
+    vmax = max(vmax, 1e-300)
+    name_w = max(len(n) for n in series)
+    lines = [title] if title else []
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, vals in series.items():
+            val = vals[gi]
+            bar = "#" * max(1 if val > 0 else 0, int(round(width * val / vmax)))
+            lines.append(f"  {name.ljust(name_w)} | {bar} {val:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Sequence[Tuple[float, float]],
+    *,
+    rows: int = 16,
+    cols: int = 60,
+    logx: bool = False,
+    logy: bool = False,
+    marker: str = "*",
+    title: str = "",
+) -> str:
+    """Character-grid scatter plot (used for the roofline figure).
+
+    Axis ranges are data-driven; log scales mirror the paper's roofline
+    axes.  Multiple points landing in one cell keep the first marker.
+    """
+    import math
+
+    if not points:
+        raise ConfigError("nothing to plot")
+    def tx(v: float) -> float:
+        if logx:
+            if v <= 0:
+                raise ConfigError("logx requires positive x values")
+            return math.log10(v)
+        return v
+
+    def ty(v: float) -> float:
+        if logy:
+            if v <= 0:
+                raise ConfigError("logy requires positive y values")
+            return math.log10(v)
+        return v
+
+    xs = [tx(p[0]) for p in points]
+    ys = [ty(p[1]) for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid: List[List[str]] = [[" "] * cols for _ in range(rows)]
+    for (px, py), mk in zip(zip(xs, ys), _markers(points, marker)):
+        c = min(cols - 1, int((px - x0) / xr * (cols - 1)))
+        r = min(rows - 1, int((py - y0) / yr * (rows - 1)))
+        r = rows - 1 - r  # y grows upward
+        if grid[r][c] == " ":
+            grid[r][c] = mk
+    lines = [title] if title else []
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * cols)
+    lo = f"{10**x0:.3g}" if logx else f"{x0:.3g}"
+    hi = f"{10**x1:.3g}" if logx else f"{x1:.3g}"
+    lines.append(f" x: {lo} .. {hi}" + ("  (log)" if logx else ""))
+    lo = f"{10**y0:.3g}" if logy else f"{y0:.3g}"
+    hi = f"{10**y1:.3g}" if logy else f"{y1:.3g}"
+    lines.append(f" y: {lo} .. {hi}" + ("  (log)" if logy else ""))
+    return "\n".join(lines)
+
+
+def _markers(points, default: str):
+    """Per-point markers: third tuple element if present, else default."""
+    for p in points:
+        yield p[2] if len(p) > 2 else default

@@ -1,0 +1,52 @@
+"""Table/series formatting shared by the benchmark harness and the CLI.
+
+The benchmark scripts print the same rows the paper's figures plot and
+also persist them as CSV so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "write_csv_rows", "fmt_seconds", "fmt_speedup"]
+
+
+def fmt_seconds(t: float) -> str:
+    """Human-scale time: µs/ms/s depending on magnitude."""
+    if t < 1e-3:
+        return f"{t * 1e6:.1f}us"
+    if t < 1.0:
+        return f"{t * 1e3:.2f}ms"
+    return f"{t:.3f}s"
+
+
+def fmt_speedup(x: float) -> str:
+    """Speedup with the paper's one-decimal style."""
+    return f"{x:.1f}x" if x >= 10 else f"{x:.2f}x"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned plain-text table."""
+    srows: List[List[str]] = [[str(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in srows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    def line(cells):
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in srows)
+    return "\n".join(out)
+
+
+def write_csv_rows(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Write rows (plus header) to ``path``, creating parent directories."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(headers)
+        for r in rows:
+            w.writerow(list(r))

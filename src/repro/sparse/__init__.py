@@ -1,0 +1,59 @@
+"""From-scratch CSR sparse linear algebra substrate.
+
+The paper's contribution is a formulation of Kernel K-means in terms of
+SpMM and SpMV over a cluster-selection matrix ``V``; this subpackage
+provides those primitives (plus SpGEMM for the ablation path) built
+directly on NumPy, mirroring the CSR layout cuSPARSE uses.
+"""
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .construct import (
+    binary_selection_matrix,
+    cluster_counts,
+    from_coo,
+    from_dense,
+    from_scipy,
+    identity,
+    random_csr,
+    selection_matrix,
+)
+from .ops import (
+    add,
+    col_sums,
+    diagonal,
+    prune_explicit_zeros,
+    row_scale,
+    row_sums,
+    scale,
+    transpose,
+)
+from .spgemm import spgemm, spgemm_flops
+from .spmm import spmm, spmm_transpose_dense
+from .spmv import spmv
+
+__all__ = [
+    "CSRMatrix",
+    "COOMatrix",
+    "from_dense",
+    "from_coo",
+    "from_scipy",
+    "identity",
+    "random_csr",
+    "selection_matrix",
+    "binary_selection_matrix",
+    "cluster_counts",
+    "transpose",
+    "diagonal",
+    "scale",
+    "add",
+    "row_sums",
+    "col_sums",
+    "row_scale",
+    "prune_explicit_zeros",
+    "spmm",
+    "spmm_transpose_dense",
+    "spmv",
+    "spgemm",
+    "spgemm_flops",
+]

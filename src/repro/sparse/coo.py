@@ -1,0 +1,138 @@
+"""Coordinate (COO) sparse matrix container.
+
+CSR is the compute format (it is what cuSPARSE's SpMM/SpMV consume), but
+COO is the natural *assembly* format: incremental construction, easy
+concatenation, trivial transpose.  The substrate therefore provides a
+small COO container whose only compute path is conversion to CSR —
+mirroring how real pipelines assemble in COO and convert once.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE, as_float_dtype, as_index_vector
+from ..errors import ShapeError, SparseFormatError
+from .csr import CSRMatrix
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """A COO sparse matrix: parallel ``rows`` / ``cols`` / ``values`` arrays.
+
+    Duplicates are permitted (they sum on conversion to CSR, matching
+    scipy semantics).  The container is append-friendly: see
+    :meth:`append` and :meth:`concat`.
+    """
+
+    __slots__ = ("rows", "cols", "values", "shape")
+
+    def __init__(self, rows, cols, values, shape: Tuple[int, int]) -> None:
+        self.rows = as_index_vector(rows, name="rows")
+        self.cols = as_index_vector(cols, name="cols")
+        vals = np.asarray(values)
+        if vals.ndim != 1:
+            raise ShapeError("values must be 1-D")
+        if not (self.rows.shape == self.cols.shape == vals.shape):
+            raise ShapeError("rows/cols/values must have equal length")
+        dt = vals.dtype if vals.dtype in (np.dtype(np.float32), np.dtype(np.float64)) else np.float64
+        self.values = np.ascontiguousarray(vals, dtype=dt)
+        nrows, ncols = int(shape[0]), int(shape[1])
+        self.shape = (nrows, ncols)
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= nrows:
+                raise SparseFormatError("row index out of bounds")
+            if self.cols.min() < 0 or self.cols.max() >= ncols:
+                raise SparseFormatError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: Tuple[int, int], *, dtype=np.float64) -> "COOMatrix":
+        """A COO matrix with no entries."""
+        return cls(
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=as_float_dtype(dtype)),
+            shape,
+        )
+
+    @classmethod
+    def from_csr(cls, a: CSRMatrix) -> "COOMatrix":
+        """Expand a CSR matrix into COO triplets."""
+        return cls(a.row_indices(), a.colinds.copy(), a.values.copy(), a.shape)
+
+    @classmethod
+    def from_dense(cls, d: np.ndarray) -> "COOMatrix":
+        """Collect the nonzeros of a dense matrix."""
+        arr = np.asarray(d)
+        if arr.ndim != 2:
+            raise ShapeError("dense input must be 2-D")
+        r, c = np.nonzero(arr)
+        return cls(r.astype(INDEX_DTYPE), c.astype(INDEX_DTYPE), arr[r, c], arr.shape)
+
+    # ------------------------------------------------------------------
+    # properties / assembly
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets (duplicates counted separately)."""
+        return int(self.values.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    def append(self, row: int, col: int, value: float) -> "COOMatrix":
+        """Return a new COO with one extra triplet (containers are immutable)."""
+        if not (0 <= row < self.shape[0] and 0 <= col < self.shape[1]):
+            raise SparseFormatError(f"entry {(row, col)} out of bounds for {self.shape}")
+        return COOMatrix(
+            np.append(self.rows, np.int32(row)),
+            np.append(self.cols, np.int32(col)),
+            np.append(self.values, self.dtype.type(value)),
+            self.shape,
+        )
+
+    @classmethod
+    def concat(cls, parts) -> "COOMatrix":
+        """Stack the triplets of same-shape COO matrices (duplicates sum later)."""
+        parts = list(parts)
+        if not parts:
+            raise ShapeError("concat needs at least one matrix")
+        shape = parts[0].shape
+        for p in parts[1:]:
+            if p.shape != shape:
+                raise ShapeError("concat requires identical shapes")
+        return cls(
+            np.concatenate([p.rows for p in parts]),
+            np.concatenate([p.cols for p in parts]),
+            np.concatenate([p.values.astype(np.float64) for p in parts]),
+            shape,
+        )
+
+    # ------------------------------------------------------------------
+    # conversion / inspection
+    # ------------------------------------------------------------------
+    def to_csr(self, *, dtype=None) -> CSRMatrix:
+        """Canonical CSR (sorted, duplicates summed)."""
+        from .construct import from_coo
+
+        return from_coo(self.rows, self.cols, self.values, self.shape, dtype=dtype)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise (duplicates summed)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.rows, self.cols), self.values.astype(np.float64))
+        return out.astype(self.dtype)
+
+    def transpose(self) -> "COOMatrix":
+        """Swap row/column coordinates — O(1) views into the same data."""
+        return COOMatrix(self.cols, self.rows, self.values, (self.shape[1], self.shape[0]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype.name})"

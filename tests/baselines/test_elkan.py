@@ -1,0 +1,75 @@
+"""Tests for Elkan's triangle-inequality-accelerated k-means."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ElkanKMeans, LloydKMeans, random_labels
+from repro.data import make_blobs
+from repro.errors import ConfigError
+from repro.eval import adjusted_rand_index
+
+
+class TestElkanCorrectness:
+    def test_matches_lloyd_inertia(self):
+        """Elkan is exact: same local optimum as Lloyd from the same init."""
+        x, _ = make_blobs(200, 4, 5, rng=3)
+        init = random_labels(200, 5, np.random.default_rng(0))
+        e = ElkanKMeans(5, seed=0, tol=1e-10).fit(x, init_labels=init)
+        l = LloydKMeans(5, seed=0, tol=1e-10).fit(x, init_labels=init)
+        assert e.inertia_ == pytest.approx(l.inertia_, rel=1e-6)
+
+    def test_matches_lloyd_labels(self):
+        x, _ = make_blobs(150, 3, 4, rng=7)
+        init = random_labels(150, 4, np.random.default_rng(1))
+        e = ElkanKMeans(4, seed=0, tol=1e-10).fit(x, init_labels=init)
+        l = LloydKMeans(4, seed=0, tol=1e-10).fit(x, init_labels=init)
+        assert np.array_equal(e.labels_, l.labels_)
+
+    def test_recovers_blobs(self):
+        x, y = make_blobs(300, 5, 4, rng=5)
+        e = ElkanKMeans(4, seed=0).fit(x)
+        assert adjusted_rand_index(e.labels_, y) > 0.95
+
+    def test_centers_shape(self):
+        x, _ = make_blobs(100, 6, 3, rng=2)
+        e = ElkanKMeans(3, seed=0).fit(x)
+        assert e.centers_.shape == (3, 6)
+
+    def test_fit_predict(self):
+        x, _ = make_blobs(80, 3, 3, rng=4)
+        m = ElkanKMeans(3, seed=0)
+        assert np.array_equal(m.fit_predict(x), m.labels_)
+
+
+class TestElkanPruning:
+    def test_prunes_on_separated_blobs(self):
+        """Well-separated clusters: most distances provably skippable.
+
+        With k-means++ on clean blobs Elkan converges in one iteration,
+        paying only the initial full pass — half of what Lloyd's two
+        passes would cost; with overlapping blobs multiple iterations
+        still prune a substantial fraction.
+        """
+        x, _ = make_blobs(400, 4, 8, rng=1, spread=0.3, center_box=50.0)
+        e = ElkanKMeans(8, seed=0).fit(x)
+        assert e.pruned_fraction_ >= 0.5
+        assert e.distance_computations_ < e.distance_computations_lloyd_
+
+        x2, _ = make_blobs(400, 4, 8, rng=1, spread=2.0, center_box=8.0)
+        e2 = ElkanKMeans(8, seed=0).fit(x2)
+        assert e2.n_iter_ > 1
+        assert e2.pruned_fraction_ > 0.3
+
+    def test_statistics_consistent(self):
+        x, _ = make_blobs(100, 3, 4, rng=9)
+        e = ElkanKMeans(4, seed=0).fit(x)
+        assert e.distance_computations_ >= 100 * 4  # at least the init pass
+        assert 0.0 <= e.pruned_fraction_ < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ElkanKMeans(0)
+        with pytest.raises(ConfigError):
+            ElkanKMeans(2, init="magic")
+        with pytest.raises(ConfigError):
+            ElkanKMeans(10).fit(np.zeros((4, 2)))

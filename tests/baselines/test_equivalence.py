@@ -1,0 +1,148 @@
+"""Cross-implementation equivalence: the paper's central correctness claim.
+
+Popcorn, the baseline CUDA implementation, and the CPU PRMLT
+implementation run the *same* alternating minimisation — from identical
+initial assignments they must produce identical assignment trajectories.
+Only their modeled costs differ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BaselineCUDAKernelKMeans,
+    PRMLTKernelKMeans,
+    random_labels,
+)
+from repro.core import PopcornKernelKMeans
+from repro.kernels import GaussianKernel, LinearKernel, PolynomialKernel
+
+
+@pytest.mark.parametrize("kern", [LinearKernel(), PolynomialKernel(), GaussianKernel(gamma=0.5)],
+                         ids=["linear", "poly", "gauss"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_three_implementations_agree(rng, kern, seed):
+    x = np.random.default_rng(seed).standard_normal((60, 5)).astype(np.float64)
+    k = 4
+    init = random_labels(60, k, np.random.default_rng(seed + 100))
+    common = dict(kernel=kern, max_iter=15, check_convergence=False)
+    pop = PopcornKernelKMeans(k, dtype=np.float64, **common).fit(x, init_labels=init)
+    cuda = BaselineCUDAKernelKMeans(k, dtype=np.float64, **common).fit(x, init_labels=init)
+    cpu = PRMLTKernelKMeans(k, kernel=kern, max_iter=15, check_convergence=False).fit(
+        x, init_labels=init
+    )
+    assert np.array_equal(pop.labels_, cuda.labels_)
+    assert np.array_equal(pop.labels_, cpu.labels_)
+    # objective trajectories agree too
+    assert np.allclose(pop.objective_history_, cuda.objective_history_, rtol=1e-8)
+    assert np.allclose(pop.objective_history_, cpu.objective_history_, rtol=1e-6)
+
+
+def test_float32_popcorn_tracks_float64_reference(rng):
+    """FP32 (the paper's precision) may diverge only by round-off ties."""
+    x = rng.standard_normal((50, 4))
+    k = 3
+    init = random_labels(50, k, rng)
+    f32 = PopcornKernelKMeans(k, dtype=np.float32, max_iter=5, check_convergence=False).fit(
+        x, init_labels=init
+    )
+    f64 = PopcornKernelKMeans(k, dtype=np.float64, max_iter=5, check_convergence=False).fit(
+        x, init_labels=init
+    )
+    # identical for well-separated random data at this scale
+    agree = (f32.labels_ == f64.labels_).mean()
+    assert agree > 0.95
+
+
+class TestModeledCostContrasts:
+    """The three implementations' modeled times must order correctly."""
+
+    def _fit_all(self, rng, n=64, d=6, k=4):
+        x = rng.standard_normal((n, d)).astype(np.float64)
+        init = random_labels(n, k, rng)
+        pop = PopcornKernelKMeans(k, dtype=np.float64, max_iter=10, check_convergence=False).fit(
+            x, init_labels=init
+        )
+        cuda = BaselineCUDAKernelKMeans(k, dtype=np.float64, max_iter=10, check_convergence=False).fit(
+            x, init_labels=init
+        )
+        cpu = PRMLTKernelKMeans(k, max_iter=10, check_convergence=False).fit(x, init_labels=init)
+        return pop, cuda, cpu
+
+    def test_cpu_slowest(self, rng):
+        pop, cuda, cpu = self._fit_all(rng)
+        assert sum(cpu.timings_.values()) > sum(cuda.timings_.values())
+        assert sum(cpu.timings_.values()) > sum(pop.timings_.values())
+
+    def test_baseline_distance_phase_slower_than_popcorn_at_scale(self):
+        """At executing (tiny) sizes the baseline's fewer launches can win —
+        the small-problem penalty is part of the model (the SCOTUS anomaly).
+        At paper scale Popcorn's distance phase must be faster."""
+        from repro.modeling import model_baseline, model_popcorn
+
+        p = model_popcorn(50000, 780, 50).phase_s("distances")
+        b = model_baseline(50000, 780, 50).phase_s("distances")
+        assert b > p
+
+
+class TestBaselineCUDASpecifics:
+    def test_baseline_uses_gemm_only(self, rng):
+        x = rng.standard_normal((40, 4)).astype(np.float32)
+        m = BaselineCUDAKernelKMeans(3, seed=0, max_iter=2).fit(x)
+        assert m.device_.profiler.count_of("cublas.gemm") == 1
+        assert m.device_.profiler.count_of("cublas.syrk") == 0
+
+    def test_baseline_kernel_launch_names(self, rng):
+        x = rng.standard_normal((30, 3)).astype(np.float32)
+        m = BaselineCUDAKernelKMeans(2, seed=0, max_iter=3, check_convergence=False).fit(x)
+        p = m.device_.profiler
+        assert p.count_of("baseline.k1_cluster_reduce") == 3
+        assert p.count_of("baseline.k2_centroid_norms") == 3
+        assert p.count_of("baseline.k3_distance_assemble") == 3
+
+    def test_baseline_memory_released(self, rng):
+        from repro.gpu import A100_80GB, Device
+
+        dev = Device(A100_80GB)
+        x = rng.standard_normal((30, 3)).astype(np.float32)
+        BaselineCUDAKernelKMeans(2, device=dev, seed=0, max_iter=2).fit(x)
+        assert dev.allocated_bytes == 0
+
+    def test_baseline_gaussian_kernel(self, rng):
+        x = rng.standard_normal((30, 3)).astype(np.float64)
+        init = random_labels(30, 3, rng)
+        kern = GaussianKernel(gamma=0.7)
+        b = BaselineCUDAKernelKMeans(3, kernel=kern, dtype=np.float64, max_iter=5).fit(
+            x, init_labels=init
+        )
+        p = PopcornKernelKMeans(3, kernel=kern, dtype=np.float64, max_iter=5).fit(
+            x, init_labels=init
+        )
+        assert np.array_equal(b.labels_, p.labels_)
+
+    def test_baseline_precomputed_kernel(self, rng):
+        x = rng.standard_normal((25, 3))
+        km = PolynomialKernel().pairwise(x.astype(np.float64))
+        init = random_labels(25, 2, rng)
+        a = BaselineCUDAKernelKMeans(2, dtype=np.float64).fit(kernel_matrix=km, init_labels=init)
+        b = PopcornKernelKMeans(2, dtype=np.float64).fit(kernel_matrix=km, init_labels=init)
+        assert np.array_equal(a.labels_, b.labels_)
+
+
+class TestPRMLTSpecifics:
+    def test_phases_recorded(self, rng):
+        x = rng.standard_normal((30, 4))
+        m = PRMLTKernelKMeans(3, seed=0, max_iter=4, check_convergence=False).fit(x)
+        assert m.timings_["kernel_matrix"] > 0
+        assert m.timings_["clustering"] > 0
+
+    def test_cpu_iteration_launches(self, rng):
+        x = rng.standard_normal((20, 3))
+        m = PRMLTKernelKMeans(2, seed=0, max_iter=5, check_convergence=False).fit(x)
+        assert m.profiler_.count_of("cpu.kkmeans_iteration") == 5
+
+    def test_precomputed_kernel_path(self, rng):
+        x = rng.standard_normal((20, 3))
+        km = PolynomialKernel().pairwise(x)
+        m = PRMLTKernelKMeans(2, seed=0, max_iter=3).fit(kernel_matrix_precomputed=km)
+        assert m.labels_.shape == (20,)

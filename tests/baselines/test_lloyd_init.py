@@ -1,0 +1,133 @@
+"""Tests for classical Lloyd K-means and the initialisation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LloydKMeans,
+    kernel_kmeans_pp_labels,
+    kmeans_pp_centers,
+    labels_from_centers,
+    random_labels,
+)
+from repro.data import make_blobs
+from repro.errors import ConfigError
+from repro.eval import adjusted_rand_index
+from repro.kernels import PolynomialKernel
+
+
+class TestLloyd:
+    def test_recovers_blobs(self):
+        x, y = make_blobs(200, 4, 4, rng=5)
+        m = LloydKMeans(4, seed=0).fit(x)
+        assert adjusted_rand_index(m.labels_, y) > 0.95
+
+    def test_inertia_monotone(self):
+        x, _ = make_blobs(150, 3, 3, rng=2)
+        m = LloydKMeans(3, seed=0).fit(x)
+        h = m.objective_history_
+        assert all(h[i + 1] <= h[i] + 1e-9 for i in range(len(h) - 1))
+
+    def test_centers_shape(self):
+        x, _ = make_blobs(100, 5, 3, rng=1)
+        m = LloydKMeans(3, seed=0).fit(x)
+        assert m.centers_.shape == (3, 5)
+
+    def test_predict_consistent_with_fit(self):
+        x, _ = make_blobs(120, 3, 3, rng=4)
+        m = LloydKMeans(3, seed=0).fit(x)
+        assert np.array_equal(m.predict(x), m.labels_)
+
+    def test_random_init(self):
+        x, y = make_blobs(150, 3, 3, rng=6)
+        m = LloydKMeans(3, init="random", seed=0).fit(x)
+        assert m.labels_.shape == (150,)
+
+    def test_init_labels(self, rng):
+        x, _ = make_blobs(60, 2, 3, rng=8)
+        init = random_labels(60, 3, rng)
+        m = LloydKMeans(3, max_iter=1).fit(x, init_labels=init)
+        assert m.n_iter_ == 1
+
+    def test_kmeanspp_at_least_as_good_on_average(self):
+        """k-means++ should not lose to random init across seeds (mean inertia)."""
+        x, _ = make_blobs(200, 2, 6, rng=9, spread=1.0)
+        rand_inertia = np.mean([LloydKMeans(6, init="random", seed=s).fit(x).inertia_ for s in range(5)])
+        pp_inertia = np.mean([LloydKMeans(6, init="k-means++", seed=s).fit(x).inertia_ for s in range(5)])
+        assert pp_inertia <= rand_inertia * 1.05
+
+    def test_k_exceeds_n(self):
+        with pytest.raises(ConfigError):
+            LloydKMeans(10).fit(np.zeros((5, 2)))
+
+    def test_bad_init_name(self):
+        with pytest.raises(ConfigError):
+            LloydKMeans(2, init="bogus")
+
+    def test_duplicate_points_ok(self):
+        x = np.ones((20, 2), dtype=np.float64)
+        m = LloydKMeans(3, seed=0).fit(x)
+        assert m.inertia_ == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRandomLabels:
+    def test_every_cluster_nonempty(self, rng):
+        for _ in range(10):
+            lab = random_labels(20, 7, rng)
+            assert len(np.unique(lab)) == 7
+
+    def test_range_and_dtype(self, rng):
+        lab = random_labels(50, 5, rng)
+        assert lab.dtype == np.int32
+        assert lab.min() >= 0 and lab.max() < 5
+
+    def test_k_equals_n(self, rng):
+        lab = random_labels(6, 6, rng)
+        assert sorted(lab) == list(range(6))
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ConfigError):
+            random_labels(5, 6, rng)
+        with pytest.raises(ConfigError):
+            random_labels(5, 0, rng)
+
+
+class TestKMeansPP:
+    def test_centers_distinct(self, rng):
+        x, _ = make_blobs(100, 3, 5, rng=3)
+        c = kmeans_pp_centers(x, 5, rng)
+        assert len(np.unique(c)) == 5
+
+    def test_degenerate_identical_points(self, rng):
+        x = np.ones((10, 2))
+        c = kmeans_pp_centers(x, 3, rng)
+        assert len(np.unique(c)) == 3  # falls back to distinct sampling
+
+    def test_labels_from_centers(self, rng):
+        x, _ = make_blobs(60, 2, 3, rng=2)
+        c = kmeans_pp_centers(x, 3, rng)
+        lab = labels_from_centers(x, c)
+        # each center's own point belongs to its cluster
+        for j, ci in enumerate(c):
+            assert lab[ci] == j
+
+
+class TestKernelKMeansPP:
+    def test_valid_labels(self, rng):
+        x = rng.standard_normal((40, 3))
+        km = PolynomialKernel().pairwise(x)
+        lab = kernel_kmeans_pp_labels(km, 4, rng)
+        assert lab.shape == (40,)
+        assert lab.min() >= 0 and lab.max() < 4
+
+    def test_degenerate_kernel(self, rng):
+        km = np.ones((10, 10))  # all points identical in feature space
+        lab = kernel_kmeans_pp_labels(km, 3, rng)
+        assert lab.shape == (10,)
+
+    def test_separated_blobs_seeded_apart(self, rng):
+        """On well-separated blobs, k-means++ seeds land one per blob."""
+        x, y = make_blobs(90, 3, 3, rng=1, spread=0.2, center_box=50.0)
+        km = (x @ x.T).astype(np.float64)
+        lab = kernel_kmeans_pp_labels(km, 3, rng)
+        assert adjusted_rand_index(lab, y) > 0.9

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import random_labels
+from repro.data import make_blobs, make_circles
+from repro.gpu import A100_80GB, Device
+from repro.kernels import GaussianKernel, LinearKernel, PolynomialKernel, kernel_matrix
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def device():
+    """A fresh simulated A100."""
+    return Device(A100_80GB)
+
+
+@pytest.fixture
+def blobs():
+    """Small separable dataset: (X float32 (90, 5), y, k=3)."""
+    x, y = make_blobs(90, 5, 3, rng=7)
+    return x, y, 3
+
+
+@pytest.fixture
+def circles():
+    """Non-linearly separable dataset: (X (240, 2), y, k=2)."""
+    x, y = make_circles(240, rng=11)
+    return x, y, 2
+
+
+@pytest.fixture
+def poly_kernel():
+    """The paper's evaluation kernel: polynomial, gamma=c=1, degree 2."""
+    return PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
+
+
+@pytest.fixture
+def small_kernel_matrix(rng):
+    """A PSD kernel matrix (60x60, float64) plus labels and k."""
+    x = rng.standard_normal((60, 4))
+    k_mat = kernel_matrix(x, PolynomialKernel())
+    labels = random_labels(60, 4, rng)
+    return k_mat, labels, 4
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running tests")

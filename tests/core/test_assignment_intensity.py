@@ -1,0 +1,125 @@
+"""Tests for assignment/convergence logic and the Eq. 16/17 formulas."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConvergenceTracker,
+    argmin_assign,
+    distances_intensity,
+    kernel_matrix_intensity,
+    objective_value,
+)
+from repro.errors import ShapeError
+
+
+class TestArgminAssign:
+    def test_basic(self):
+        d = np.array([[3.0, 1.0], [0.5, 2.0]])
+        assert np.array_equal(argmin_assign(d), [1, 0])
+
+    def test_tie_break_low_index(self):
+        d = np.array([[1.0, 1.0]])
+        assert argmin_assign(d)[0] == 0
+
+    def test_requires_2d(self):
+        with pytest.raises(ShapeError):
+            argmin_assign(np.ones(3))
+
+    def test_dtype(self):
+        assert argmin_assign(np.ones((2, 2))).dtype == np.int32
+
+
+class TestObjective:
+    def test_sums_assigned_entries(self):
+        d = np.array([[1.0, 9.0], [9.0, 2.0]])
+        assert objective_value(d, np.array([0, 1])) == pytest.approx(3.0)
+
+    def test_argmin_assignment_minimises(self, rng):
+        d = np.abs(rng.standard_normal((20, 5)))
+        best = objective_value(d, argmin_assign(d))
+        other = objective_value(d, rng.integers(0, 5, 20).astype(np.int32))
+        assert best <= other
+
+    def test_bad_labels(self):
+        with pytest.raises(ShapeError):
+            objective_value(np.ones((3, 2)), np.array([0, 2, 0]))
+
+
+class TestConvergenceTracker:
+    def test_stops_on_stable_assignment(self):
+        t = ConvergenceTracker(tol=0.0)
+        lab = np.array([0, 1, 1])
+        assert not t.update(lab, 10.0)
+        assert t.update(lab.copy(), 9.0)
+        assert t.converged
+        assert "stable" in t.reason
+
+    def test_stops_on_small_objective_improvement(self):
+        t = ConvergenceTracker(tol=1e-2)
+        assert not t.update(np.array([0, 1]), 100.0)
+        assert t.update(np.array([1, 0]), 99.9999)  # improvement 1e-6 < tol
+        assert "tol" in t.reason
+
+    def test_does_not_stop_on_big_improvement(self):
+        t = ConvergenceTracker(tol=1e-4)
+        assert not t.update(np.array([0, 1]), 100.0)
+        assert not t.update(np.array([1, 0]), 50.0)
+
+    def test_check_false_never_converges(self):
+        t = ConvergenceTracker(tol=1e-2, check=False)
+        lab = np.array([0, 0])
+        assert not t.update(lab, 1.0)
+        assert not t.update(lab, 1.0)
+        assert not t.converged
+
+    def test_objective_increase_does_not_trigger_tol_stop(self):
+        t = ConvergenceTracker(tol=1e-2)
+        t.update(np.array([0, 1]), 10.0)
+        assert not t.update(np.array([1, 0]), 11.0)  # worse, keep going
+
+    def test_records_history(self):
+        t = ConvergenceTracker(check=False)
+        for i, obj in enumerate([5.0, 4.0, 3.0]):
+            t.update(np.array([i % 2, 1]), obj)
+        assert t.objectives == [5.0, 4.0, 3.0]
+
+
+class TestIntensityFormulas:
+    def test_eq16_value(self):
+        """Eq. 16 with F_K = 4n^2, B_K = 2n^2."""
+        n, d = 1000, 100
+        got = kernel_matrix_intensity(n, d)
+        want = (4 * n**2 + 2 * n**2 * d) / (4 * (2 * n**2 + 2 * n * d + n**2))
+        assert got == pytest.approx(want)
+
+    def test_eq16_custom_kernel_costs(self):
+        got = kernel_matrix_intensity(100, 10, f_k=0.0, b_k=0.0)
+        want = (2 * 100**2 * 10) / (4 * (2 * 100 * 10 + 100**2))
+        assert got == pytest.approx(want)
+
+    def test_eq16_grows_with_d(self):
+        assert kernel_matrix_intensity(1000, 1000) > kernel_matrix_intensity(1000, 10)
+
+    def test_eq17_value(self):
+        n, k = 1000, 10
+        got = distances_intensity(n, k)
+        want = (2 * n**2 + 2 * n + 3 * n * k) / (4 * (n**2 + 6 * n + 4 * k + 3 * n * k))
+        assert got == pytest.approx(want)
+
+    def test_eq17_limit_is_half(self):
+        """For n >> k the distance phase AI tends to 2n^2/4n^2 = 0.5."""
+        assert distances_intensity(10**7, 10) == pytest.approx(0.5, abs=0.01)
+
+    def test_eq17_memory_bound_on_a100(self):
+        """AI ~ 0.5 sits far below the A100 ridge (~10): SpMM is
+        bandwidth-bound, the premise of the whole Fig. 5/6 analysis."""
+        from repro.gpu import A100_80GB
+
+        assert distances_intensity(50000, 100) < A100_80GB.ridge_ai / 10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ShapeError):
+            kernel_matrix_intensity(0, 5)
+        with pytest.raises(ShapeError):
+            distances_intensity(5, 0)

@@ -1,0 +1,96 @@
+"""Tests for the on-the-fly (blocked) Kernel K-means variant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import random_labels
+from repro.core import OnTheFlyKernelKMeans, PopcornKernelKMeans, model_onthefly
+from repro.errors import ConfigError, ShapeError
+from repro.kernels import GaussianKernel, LaplacianKernel, LinearKernel, PolynomialKernel
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("kern", [LinearKernel(), PolynomialKernel(), GaussianKernel(gamma=0.4)],
+                             ids=["linear", "poly", "gauss"])
+    @pytest.mark.parametrize("block_rows", [1, 7, 40, 1000])
+    def test_matches_standard_popcorn(self, rng, kern, block_rows):
+        """Any panel height reproduces the standard trajectory exactly."""
+        x = rng.standard_normal((60, 4)).astype(np.float64)
+        init = random_labels(60, 3, rng)
+        otf = OnTheFlyKernelKMeans(
+            3, kernel=kern, block_rows=block_rows, max_iter=8, check_convergence=False
+        ).fit(x, init_labels=init)
+        std = PopcornKernelKMeans(
+            3, kernel=kern, dtype=np.float64, max_iter=8, check_convergence=False
+        ).fit(x, init_labels=init)
+        assert np.array_equal(otf.labels_, std.labels_)
+        assert np.allclose(otf.objective_history_, std.objective_history_, rtol=1e-8)
+
+    def test_convergence_detection(self, blobs):
+        x, _, k = blobs
+        m = OnTheFlyKernelKMeans(k, block_rows=32, seed=0, max_iter=100).fit(x)
+        assert m.converged_
+        assert m.n_iter_ < 100
+
+
+class TestMemoryFootprint:
+    def test_panel_bytes_scale_with_block(self, rng):
+        x = rng.standard_normal((100, 3)).astype(np.float32)
+        m = OnTheFlyKernelKMeans(2, block_rows=10, seed=0, max_iter=2).fit(x)
+        assert m.peak_panel_bytes_ == 4 * 10 * 100
+
+    def test_panel_clamped_to_n(self, rng):
+        x = rng.standard_normal((50, 3)).astype(np.float32)
+        m = OnTheFlyKernelKMeans(2, block_rows=10**6, seed=0, max_iter=2).fit(x)
+        assert m.peak_panel_bytes_ == 4 * 50 * 50
+
+
+class TestCostProfile:
+    def test_kernel_matrix_recomputed_every_iteration(self, rng):
+        """The trade-off: kernel-matrix launches scale with iterations."""
+        x = rng.standard_normal((80, 5)).astype(np.float32)
+        m = OnTheFlyKernelKMeans(
+            3, block_rows=20, seed=0, max_iter=5, check_convergence=False
+        ).fit(x)
+        panels = 4  # 80 / 20
+        assert m.profiler_.count_of("cublas.gemm_panel") == 5 * panels
+
+    def test_model_totals_positive_and_phased(self):
+        m = model_onthefly(50000, 780, 100)
+        assert m["total_s"] > 0
+        assert m["kernel_matrix_s"] > m["distances_s"]  # recompute dominates
+
+    def test_model_memory_unlock(self):
+        """n = 150k: full K exceeds 80 GB, panels do not."""
+        m = model_onthefly(150000, 780, 100)
+        assert m["popcorn_peak_bytes"] > 80e9
+        assert m["peak_bytes"] < 80e9
+
+    def test_model_slower_than_popcorn_when_k_fits(self):
+        """Recompute costs O(n^2 d) per iteration: strictly worse when the
+        kernel matrix fits — the model must show that honestly."""
+        from repro.modeling import model_popcorn
+
+        n, d, k = 50000, 780, 100
+        otf = model_onthefly(n, d, k)["total_s"]
+        pop = model_popcorn(n, d, k, include_transfer=False).total_s
+        assert otf > pop
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigError):
+            model_onthefly(0, 10, 2)
+
+
+class TestValidation:
+    def test_non_gram_kernel_rejected(self):
+        with pytest.raises(ShapeError):
+            OnTheFlyKernelKMeans(2, kernel=LaplacianKernel())
+
+    def test_bad_block_rows(self):
+        with pytest.raises(ConfigError):
+            OnTheFlyKernelKMeans(2, block_rows=0)
+
+    def test_k_exceeds_n(self, rng):
+        x = rng.standard_normal((5, 2)).astype(np.float32)
+        with pytest.raises(ConfigError):
+            OnTheFlyKernelKMeans(9).fit(x)

@@ -1,0 +1,248 @@
+"""Tests for the PopcornKernelKMeans estimator (Alg. 2 end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LloydKMeans, random_labels
+from repro.core import PopcornKernelKMeans
+from repro.errors import ConfigError, ShapeError
+from repro.eval import adjusted_rand_index, assert_monotone
+from repro.gpu import A100_80GB, Device, DeviceSpec
+from repro.kernels import GaussianKernel, LaplacianKernel, LinearKernel, PolynomialKernel
+
+
+class TestFitBasics:
+    def test_labels_shape_and_range(self, blobs):
+        x, _, k = blobs
+        m = PopcornKernelKMeans(k, seed=0).fit(x)
+        assert m.labels_.shape == (x.shape[0],)
+        assert m.labels_.min() >= 0 and m.labels_.max() < k
+
+    def test_objective_monotone_float64(self, blobs):
+        x, _, k = blobs
+        m = PopcornKernelKMeans(k, seed=0, dtype=np.float64, max_iter=25).fit(x)
+        assert_monotone(m.objective_history_)
+
+    def test_objective_monotone_float32(self, blobs):
+        x, _, k = blobs
+        m = PopcornKernelKMeans(k, seed=0, dtype=np.float32, max_iter=25).fit(x)
+        assert_monotone(m.objective_history_, rel_tol=1e-4)
+
+    def test_convergence_flag(self, blobs):
+        x, _, k = blobs
+        m = PopcornKernelKMeans(k, seed=0, max_iter=100).fit(x)
+        assert m.converged_
+        assert m.n_iter_ < 100
+
+    def test_fixed_iterations_mode(self, blobs):
+        """Artifact -c 0: run exactly max_iter iterations."""
+        x, _, k = blobs
+        m = PopcornKernelKMeans(k, seed=0, max_iter=7, check_convergence=False).fit(x)
+        assert m.n_iter_ == 7
+        assert not m.converged_
+
+    def test_deterministic_given_seed(self, blobs):
+        x, _, k = blobs
+        a = PopcornKernelKMeans(k, seed=3).fit(x).labels_
+        b = PopcornKernelKMeans(k, seed=3).fit(x).labels_
+        assert np.array_equal(a, b)
+
+    def test_init_labels_respected(self, blobs, rng):
+        x, _, k = blobs
+        init = random_labels(x.shape[0], k, rng)
+        m = PopcornKernelKMeans(k, max_iter=1, check_convergence=False).fit(x, init_labels=init)
+        # after one iteration, labels are the argmin under the init's centroids
+        from repro.core import distance_matrix_reference
+        from repro.kernels import kernel_matrix
+
+        k_mat = kernel_matrix(x.astype(np.float64), PolynomialKernel())
+        want = np.argmin(distance_matrix_reference(k_mat, init, k), axis=1)
+        assert np.array_equal(m.labels_, want)
+
+    def test_fit_predict(self, blobs):
+        x, _, k = blobs
+        m = PopcornKernelKMeans(k, seed=0)
+        assert np.array_equal(m.fit_predict(x), m.labels_)
+
+    def test_timings_phases_present(self, blobs):
+        x, _, k = blobs
+        m = PopcornKernelKMeans(k, seed=0).fit(x)
+        for phase in ("kernel_matrix", "distances", "argmin_update", "transfer", "init"):
+            assert phase in m.timings_ or phase == "init", m.timings_
+        assert m.timings_["distances"] > 0
+
+    def test_device_memory_released(self, blobs):
+        x, _, k = blobs
+        dev = Device(A100_80GB)
+        PopcornKernelKMeans(k, device=dev, seed=0).fit(x)
+        assert dev.allocated_bytes == 0
+
+
+class TestKernelChoices:
+    def test_string_kernel(self, blobs):
+        x, _, k = blobs
+        m = PopcornKernelKMeans(k, kernel="gaussian", seed=0).fit(x)
+        assert isinstance(m.kernel, GaussianKernel)
+
+    def test_linear_kernel_matches_lloyd_one_step(self, rng):
+        """With the linear kernel, one Popcorn step == one Lloyd step."""
+        x, _, k = (rng.standard_normal((40, 3)).astype(np.float64), None, 4)
+        init = random_labels(40, k, rng)
+        pop = PopcornKernelKMeans(
+            k, kernel=LinearKernel(), dtype=np.float64, max_iter=1, check_convergence=False
+        ).fit(x, init_labels=init)
+        # Lloyd step: centroids from init, then assign
+        centroids = np.zeros((k, 3))
+        counts = np.bincount(init, minlength=k)
+        np.add.at(centroids, init, x)
+        centroids /= np.maximum(counts, 1)[:, None]
+        d = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assert np.array_equal(pop.labels_, np.argmin(d, axis=1))
+
+    def test_precomputed_kernel_matrix(self, rng):
+        n, k = 30, 3
+        x = rng.standard_normal((n, 4))
+        kern = PolynomialKernel()
+        km = kern.pairwise(x.astype(np.float64))
+        init = random_labels(n, k, rng)
+        via_x = PopcornKernelKMeans(k, kernel=kern, dtype=np.float64).fit(x, init_labels=init)
+        via_k = PopcornKernelKMeans(k, dtype=np.float64).fit(
+            kernel_matrix=km, init_labels=init
+        )
+        assert np.array_equal(via_x.labels_, via_k.labels_)
+        assert via_k.gram_method_ == "precomputed"
+
+    def test_laplacian_via_precomputed(self, rng):
+        n, k = 25, 3
+        x = rng.standard_normal((n, 3))
+        km = LaplacianKernel(gamma=0.5).pairwise(x.astype(np.float64))
+        m = PopcornKernelKMeans(k, seed=0).fit(kernel_matrix=km)
+        assert m.labels_.shape == (n,)
+
+    def test_laplacian_direct_raises(self, rng):
+        x = rng.standard_normal((10, 3)).astype(np.float32)
+        with pytest.raises(ShapeError, match="Gram-expressible"):
+            PopcornKernelKMeans(2, kernel=LaplacianKernel()).fit(x)
+
+
+class TestGramDispatch:
+    def test_auto_records_method(self, rng):
+        x = rng.standard_normal((300, 2)).astype(np.float32)
+        m = PopcornKernelKMeans(3, seed=0, max_iter=2).fit(x)
+        assert m.gram_method_ == "gemm"  # ratio 150 > 100
+
+    def test_forced_methods_agree(self, blobs, rng):
+        x, _, k = blobs
+        init = random_labels(x.shape[0], k, rng)
+        a = PopcornKernelKMeans(k, gram_method="gemm", dtype=np.float64).fit(x, init_labels=init)
+        b = PopcornKernelKMeans(k, gram_method="syrk", dtype=np.float64).fit(x, init_labels=init)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_threshold_override(self, blobs):
+        x, _, k = blobs  # n=90, d=5, ratio 18
+        m = PopcornKernelKMeans(k, gram_threshold=10.0, seed=0, max_iter=2).fit(x)
+        assert m.gram_method_ == "gemm"
+
+
+class TestInitStrategies:
+    def test_kmeanspp_init_runs(self, circles):
+        x, y, k = circles
+        m = PopcornKernelKMeans(
+            k, kernel=GaussianKernel(gamma=5.0), init="k-means++", seed=1, max_iter=60
+        ).fit(x)
+        assert adjusted_rand_index(m.labels_, y) > 0.9
+
+    def test_empty_cluster_reseed(self, rng):
+        """With k close to n, 'reseed' keeps all clusters populated."""
+        x = rng.standard_normal((12, 2)).astype(np.float32)
+        m = PopcornKernelKMeans(
+            6, empty_cluster_policy="reseed", seed=0, max_iter=10
+        ).fit(x)
+        counts = np.bincount(m.labels_, minlength=6)
+        assert (counts > 0).all()
+
+
+class TestPredict:
+    def test_predict_training_points_match_labels(self, blobs):
+        x, _, k = blobs
+        m = PopcornKernelKMeans(k, seed=0, dtype=np.float64).fit(x)
+        assert np.array_equal(m.predict(x), m.labels_)
+
+    def test_predict_with_cross_kernel(self, blobs):
+        x, _, k = blobs
+        kern = PolynomialKernel()
+        m = PopcornKernelKMeans(k, kernel=kern, seed=0, dtype=np.float64).fit(x)
+        kc = kern.pairwise(x[:10].astype(np.float64), x.astype(np.float64))
+        assert np.array_equal(m.predict(cross_kernel=kc), m.labels_[:10])
+
+    def test_predict_unfitted_raises(self):
+        with pytest.raises(ConfigError, match="not fitted"):
+            PopcornKernelKMeans(3).predict(np.zeros((2, 2)))
+
+    def test_predict_precomputed_needs_cross_kernel(self, rng):
+        x = rng.standard_normal((15, 3))
+        km = PolynomialKernel().pairwise(x.astype(np.float64))
+        m = PopcornKernelKMeans(3, seed=0).fit(kernel_matrix=km)
+        with pytest.raises(ShapeError, match="cross_kernel"):
+            m.predict(x)
+
+
+class TestValidation:
+    def test_bad_n_clusters(self):
+        with pytest.raises(ConfigError):
+            PopcornKernelKMeans(0)
+
+    def test_k_exceeds_n(self, rng):
+        x = rng.standard_normal((5, 2)).astype(np.float32)
+        with pytest.raises(ConfigError, match="exceeds"):
+            PopcornKernelKMeans(10).fit(x)
+
+    def test_bad_gram_method(self):
+        with pytest.raises(ConfigError):
+            PopcornKernelKMeans(2, gram_method="blas")
+
+    def test_bad_init(self):
+        with pytest.raises(ConfigError):
+            PopcornKernelKMeans(2, init="magic")
+
+    def test_bad_empty_policy(self):
+        with pytest.raises(ConfigError):
+            PopcornKernelKMeans(2, empty_cluster_policy="explode")
+
+    def test_no_input_raises(self):
+        with pytest.raises(ShapeError):
+            PopcornKernelKMeans(2).fit()
+
+    def test_nonsquare_kernel_matrix(self, rng):
+        with pytest.raises(ShapeError):
+            PopcornKernelKMeans(2).fit(kernel_matrix=rng.standard_normal((4, 5)))
+
+    def test_bad_device_type(self, rng):
+        x = rng.standard_normal((10, 2)).astype(np.float32)
+        with pytest.raises(ConfigError, match="device"):
+            PopcornKernelKMeans(2, device="a100").fit(x)
+
+    def test_device_spec_accepted(self, blobs):
+        x, _, k = blobs
+        m = PopcornKernelKMeans(k, device=A100_80GB, seed=0, max_iter=2).fit(x)
+        assert m.device_.spec is A100_80GB
+
+
+class TestQuality:
+    def test_rbf_solves_circles(self, circles):
+        """The paper's motivation: non-linearly separable clusters."""
+        x, y, k = circles
+        m = PopcornKernelKMeans(
+            k, kernel=GaussianKernel(gamma=5.0), seed=0, max_iter=100
+        ).fit(x)
+        assert adjusted_rand_index(m.labels_, y) == pytest.approx(1.0)
+
+    def test_lloyd_fails_circles(self, circles):
+        x, y, _ = circles
+        lab = LloydKMeans(2, seed=0).fit(x).labels_
+        assert adjusted_rand_index(lab, y) < 0.3
+
+    def test_blobs_recovered(self, blobs):
+        x, y, k = blobs
+        m = PopcornKernelKMeans(k, kernel=LinearKernel(), init="k-means++", seed=2, max_iter=50).fit(x)
+        assert adjusted_rand_index(m.labels_, y) > 0.9

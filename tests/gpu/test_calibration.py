@@ -1,0 +1,97 @@
+"""Tests pinning the calibrated efficiency curves' shapes.
+
+These are the model's load-bearing monotonicity properties: if a curve's
+trend flips, the paper's figure shapes flip with it, so each trend gets an
+explicit test tied to the figure it drives.
+"""
+
+import pytest
+
+from repro.gpu import calibration as cal
+
+
+class TestRanges:
+    @pytest.mark.parametrize("k", [1, 10, 50, 100, 1000])
+    @pytest.mark.parametrize("n", [100, 6400, 50000, 1000000])
+    def test_spmm_efficiency_in_unit_interval(self, k, n):
+        e = cal.spmm_mem_efficiency(k, n)
+        assert 0.0 < e <= 1.0
+
+    @pytest.mark.parametrize("n", [10, 1000, 100000])
+    def test_spmv_efficiency_bounds(self, n):
+        assert 0.0 < cal.spmv_mem_efficiency(n) <= 1.0
+
+    @pytest.mark.parametrize("n,d", [(100, 10), (50000, 100), (10000, 100000)])
+    def test_blas_efficiencies_bounded(self, n, d):
+        assert 0.0 < cal.gemm_compute_efficiency(n, d) <= 1.0
+        assert 0.0 < cal.syrk_compute_efficiency(n, d) <= 1.0
+
+    def test_fixed_efficiencies(self):
+        assert 0 < cal.transform_mem_efficiency() <= 1
+        assert 0 < cal.argmin_mem_efficiency() <= 1
+        assert 0 < cal.copy_mem_efficiency() <= 1
+
+
+class TestTrends:
+    def test_spmm_efficiency_rises_with_k(self):
+        """Fig. 5: Popcorn throughput increases with k."""
+        n = 50000
+        effs = [cal.spmm_mem_efficiency(k, n) for k in (10, 50, 100)]
+        assert effs[0] < effs[1] < effs[2]
+
+    def test_spmm_efficiency_drops_for_small_n(self):
+        """Fig. 4: the SCOTUS (n=6400) speedup anomaly."""
+        assert cal.spmm_mem_efficiency(50, 6400) < cal.spmm_mem_efficiency(50, 50000)
+
+    def test_baseline_serialization_falls_with_k(self):
+        """Fig. 5: baseline throughput *decreases* with k, while its
+        time-per-iteration improves (fewer shared-bin conflicts)."""
+        s = [cal.baseline_reduction_serialization(k) for k in (10, 50, 100)]
+        assert s[0] > s[1] > s[2]
+        assert all(x >= 1.0 for x in s)
+
+    def test_baseline_redundancy_falls_with_k(self):
+        r = [cal.baseline_counted_redundancy(k) for k in (10, 50, 100)]
+        assert r[0] > r[1] > r[2]
+        assert all(x >= 1.0 for x in r)
+
+    def test_gemm_efficiency_grows_with_depth(self):
+        assert cal.gemm_compute_efficiency(20000, 10) < cal.gemm_compute_efficiency(20000, 1000)
+
+    def test_syrk_skinny_penalty(self):
+        """Fig. 2: SYRK efficiency collapses when d << n."""
+        skinny = cal.syrk_compute_efficiency(50000, 100)
+        square = cal.syrk_compute_efficiency(50000, 50000)
+        assert skinny < square / 3
+
+    def test_small_problem_utilization_saturates(self):
+        assert cal.small_problem_utilization(100000) > 0.99
+        assert cal.small_problem_utilization(6400) < 0.7
+        assert cal.small_problem_utilization(1) > 0.0
+
+
+class TestCalibrationAnchors:
+    """Throughput anchors from Fig. 5 (A100, 1935 GB/s)."""
+
+    def _spmm_tput(self, k, n):
+        from repro.gpu import A100_80GB, cost
+
+        l = cost.spmm_cost(A100_80GB, n, k)
+        return l.achieved_gflops
+
+    def test_popcorn_spmm_band_at_scale(self):
+        """Paper: 370-729 GFLOP/s over k in {10,50,100} on large datasets."""
+        lo = self._spmm_tput(10, 50000)
+        hi = self._spmm_tput(100, 78823)
+        assert 330 <= lo <= 450
+        assert 600 <= hi <= 760
+
+    def test_baseline_band_at_scale(self):
+        """Paper: 304-409 GFLOP/s, decreasing in k."""
+        from repro.gpu import A100_80GB, cost
+
+        t10 = cost.baseline_k1_cost(A100_80GB, 50000, 10).achieved_gflops
+        t100 = cost.baseline_k1_cost(A100_80GB, 50000, 100).achieved_gflops
+        assert 370 <= t10 <= 450
+        assert 280 <= t100 <= 340
+        assert t100 < t10

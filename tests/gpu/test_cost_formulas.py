@@ -1,0 +1,131 @@
+"""Explicit FLOP/byte accounting tests for the cost model.
+
+The paper's Sec. 4.4 fixes the traffic accounting (FP32 values, 32-bit
+indices); these tests pin each cost function's arithmetic so an
+accidental change to a formula — which would silently shift every figure
+— fails loudly.
+"""
+
+import pytest
+
+from repro.gpu import A100_80GB, cost
+from repro.gpu.calibration import SPMM_TRAFFIC_FACTOR
+
+
+class TestKernelMatrixPhaseAccounting:
+    def test_gemm_bytes(self):
+        n, d = 1000, 50
+        l = cost.gemm_cost(A100_80GB, n, d)
+        assert l.bytes == 4 * (2 * n * d + n * n)
+
+    def test_syrk_bytes_half_output(self):
+        n, d = 1000, 50
+        l = cost.syrk_cost(A100_80GB, n, d)
+        assert l.bytes == 4 * (n * d + 0.5 * n * n)
+
+    def test_mirror_copy_is_one_full_matrix_of_traffic(self):
+        n = 2000
+        l = cost.triangular_copy_cost(A100_80GB, n)
+        assert l.bytes == 4.0 * n * n  # half read + half written
+        assert l.flops == 0.0
+
+    def test_transform_reads_and_writes_k(self):
+        n = 500
+        l = cost.kernel_transform_cost(A100_80GB, n, 4.0)
+        assert l.bytes == 4 * 2 * n * n
+        assert l.flops == 4.0 * n * n
+
+
+class TestDistancePhaseAccounting:
+    def test_spmm_traffic_includes_inflation(self):
+        n, k = 10000, 50
+        l = cost.spmm_cost(A100_80GB, n, k)
+        expected = 4 * (SPMM_TRAFFIC_FACTOR * n * n + n * k + n) + 4 * (2 * n + k + 1)
+        assert l.bytes == pytest.approx(expected)
+
+    def test_spmm_useful_flops(self):
+        n, k = 10000, 50
+        assert cost.spmm_cost(A100_80GB, n, k).flops == 2.0 * n * n
+
+    def test_spmv_linear_traffic(self):
+        n, k = 10000, 50
+        l = cost.spmv_cost(A100_80GB, n, k)
+        assert l.flops == 2.0 * n
+        assert l.bytes == 4 * (2 * n + k) + 4 * (2 * n + k + 1)
+
+    def test_dadd_traffic(self):
+        n, k = 10000, 50
+        l = cost.dadd_cost(A100_80GB, n, k)
+        assert l.bytes == 4 * (2 * n * k + n + k)
+        assert l.flops == 2.0 * n * k
+
+    def test_argmin_traffic(self):
+        n, k = 10000, 50
+        l = cost.argmin_cost(A100_80GB, n, k)
+        assert l.bytes == 4 * (n * k + n)
+
+    def test_zgather_uncoalesced_sectors(self):
+        n, k = 10000, 50
+        l = cost.zgather_cost(A100_80GB, n, k)
+        assert l.bytes == 32.0 * n + 4 * 2.0 * n
+
+
+class TestBaselineAccounting:
+    def test_k1_same_useful_flops_as_spmm(self):
+        n, k = 10000, 50
+        assert (
+            cost.baseline_k1_cost(A100_80GB, n, k).flops
+            == cost.spmm_cost(A100_80GB, n, k).flops
+        )
+
+    def test_k1_counted_flops_redundancy(self):
+        from repro.gpu.calibration import baseline_counted_redundancy
+
+        n, k = 10000, 50
+        l = cost.baseline_k1_cost(A100_80GB, n, k)
+        assert l.counted_flops == pytest.approx(
+            2.0 * n * n * baseline_counted_redundancy(k)
+        )
+
+    def test_k3_matches_dadd_structure(self):
+        n, k = 10000, 50
+        k3 = cost.baseline_k3_cost(A100_80GB, n, k)
+        dadd = cost.dadd_cost(A100_80GB, n, k)
+        assert k3.bytes == dadd.bytes
+        assert k3.flops == dadd.flops
+
+
+class TestTransferAccounting:
+    def test_h2d_linear_in_bytes(self):
+        l1 = cost.h2d_cost(A100_80GB, 1e6)
+        l2 = cost.h2d_cost(A100_80GB, 2e6)
+        fixed = 1.0e-5
+        assert (l2.time_s - fixed) == pytest.approx(2 * (l1.time_s - fixed))
+
+    def test_d2h_equals_h2d(self):
+        assert cost.d2h_cost(A100_80GB, 5e6).time_s == pytest.approx(
+            cost.h2d_cost(A100_80GB, 5e6).time_s
+        )
+
+
+class TestCpuAccounting:
+    def test_gram_flops(self):
+        from repro.gpu import EPYC_7763
+
+        n, d = 5000, 100
+        l = cost.cpu_gram_cost(EPYC_7763, n, d)
+        assert l.flops == 2.0 * n * n * d
+
+    def test_iteration_k_linear_overhead(self):
+        from repro.gpu import EPYC_7763
+
+        n = 5000
+        t10 = cost.cpu_iteration_cost(EPYC_7763, n, 10).time_s
+        t110 = cost.cpu_iteration_cost(EPYC_7763, n, 110).time_s
+        # the difference is dominated by the per-cluster overhead term
+        diff = t110 - t10
+        assert diff == pytest.approx(
+            100 * EPYC_7763.per_cluster_overhead_s
+            + (4.0 * n * 100) / (EPYC_7763.scalar_gflops * 1e9),
+            rel=1e-6,
+        )

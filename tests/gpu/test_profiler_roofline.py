@@ -1,0 +1,141 @@
+"""Tests for the profiler and the roofline model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import A100_80GB, Profiler, attainable_gflops, op_point, points_from, roofline_series
+from repro.gpu.launch import Launch
+
+
+def mk(name, flops=100.0, bytes_=50.0, t=1e-3, counted=None, phase=""):
+    return Launch(name, flops, bytes_, t, counted_flops=counted or 0.0, phase=phase)
+
+
+class TestProfiler:
+    def test_record_and_total(self):
+        p = Profiler()
+        p.record(mk("a", t=1.0))
+        p.record(mk("b", t=2.0))
+        assert p.total_time() == pytest.approx(3.0)
+
+    def test_phase_tagging(self):
+        p = Profiler()
+        with p.phase("alpha"):
+            p.record(mk("a", t=1.0))
+            with p.phase("beta"):
+                p.record(mk("b", t=2.0))
+        p.record(mk("c", t=4.0))
+        times = p.phase_times()
+        assert times["alpha"] == pytest.approx(1.0)
+        assert times["beta"] == pytest.approx(2.0)
+        assert times["(untagged)"] == pytest.approx(4.0)
+
+    def test_explicit_phase_preserved(self):
+        p = Profiler()
+        with p.phase("outer"):
+            p.record(mk("a", t=1.0, phase="custom"))
+        assert p.phase_times() == {"custom": 1.0}
+
+    def test_time_and_count_of(self):
+        p = Profiler()
+        p.record(mk("x", t=1.0))
+        p.record(mk("x", t=2.0))
+        p.record(mk("y", t=5.0))
+        assert p.time_of("x") == pytest.approx(3.0)
+        assert p.count_of("x") == 2
+        assert len(p.launches_of("y")) == 1
+
+    def test_achieved_gflops_aggregates(self):
+        p = Profiler()
+        p.record(mk("x", flops=1e9, t=1.0))
+        p.record(mk("x", flops=3e9, t=1.0))
+        assert p.achieved_gflops("x") == pytest.approx(2.0)
+
+    def test_achieved_uses_counted_flops(self):
+        p = Profiler()
+        p.record(mk("x", flops=1e9, t=1.0, counted=2e9))
+        assert p.achieved_gflops("x") == pytest.approx(2.0)
+
+    def test_arithmetic_intensity(self):
+        p = Profiler()
+        p.record(mk("x", flops=100, bytes_=50, t=1.0))
+        assert p.arithmetic_intensity("x") == pytest.approx(2.0)
+
+    def test_missing_name_zeroes(self):
+        p = Profiler()
+        assert p.achieved_gflops("nope") == 0.0
+        assert p.arithmetic_intensity("nope") == 0.0
+        assert p.time_of("nope") == 0.0
+
+    def test_reset(self):
+        p = Profiler()
+        p.record(mk("x"))
+        p.reset()
+        assert p.total_time() == 0.0
+        assert p.launches == []
+
+    def test_summary_order_and_fields(self):
+        p = Profiler()
+        p.record(mk("b", t=1.0))
+        p.record(mk("a", t=2.0))
+        p.record(mk("b", t=3.0))
+        s = p.summary()
+        assert [row["name"] for row in s] == ["b", "a"]
+        assert s[0]["count"] == 2
+        assert s[0]["time_s"] == pytest.approx(4.0)
+
+
+class TestRoofline:
+    def test_attainable_memory_side(self):
+        # below the ridge: bandwidth-limited
+        ai = 1.0
+        assert attainable_gflops(A100_80GB, ai) == pytest.approx(1935.0)
+
+    def test_attainable_compute_side(self):
+        assert attainable_gflops(A100_80GB, 1000.0) == pytest.approx(19500.0)
+
+    def test_ridge_continuity(self):
+        r = A100_80GB.ridge_ai
+        assert attainable_gflops(A100_80GB, r) == pytest.approx(19500.0, rel=1e-6)
+
+    def test_negative_ai_rejected(self):
+        with pytest.raises(ValueError):
+            attainable_gflops(A100_80GB, -1.0)
+
+    def test_series_monotone_nondecreasing(self):
+        series = roofline_series(A100_80GB)
+        vals = [v for _, v in series]
+        assert all(vals[i] <= vals[i + 1] + 1e-9 for i in range(len(vals) - 1))
+        assert vals[-1] == pytest.approx(19500.0)
+
+    def test_op_point_fraction(self):
+        p = Profiler()
+        # AI = 0.5 -> attainable 967.5; achieved 500 GF/s
+        p.record(mk("x", flops=5e11, bytes_=1e12, t=1.0))
+        pt = op_point(A100_80GB, p, "x")
+        assert pt.arithmetic_intensity == pytest.approx(0.5)
+        assert pt.attainable_gflops == pytest.approx(967.5)
+        assert pt.fraction_of_roof == pytest.approx(500 / 967.5)
+
+    def test_points_below_roof_for_modeled_ops(self):
+        """Physical sanity: modeled ops never beat the roofline...
+
+        ...except hand-written kernels whose *counted* redundant FLOPs can
+        exceed the useful-work roofline (the baseline reduction in Fig. 6
+        plots with Nsight-counted FLOPs).  Library ops must respect it.
+        """
+        from repro.gpu import cost
+
+        for l in [
+            cost.spmm_cost(A100_80GB, 30000, 100),
+            cost.gemm_cost(A100_80GB, 20000, 500),
+            cost.dadd_cost(A100_80GB, 30000, 100),
+            cost.argmin_cost(A100_80GB, 30000, 100),
+        ]:
+            roof = attainable_gflops(A100_80GB, l.arithmetic_intensity)
+            assert l.achieved_gflops <= roof * 1.001, l.name
+
+    def test_points_from(self):
+        pts = points_from(A100_80GB, [mk("a", flops=100, bytes_=50, t=1.0)])
+        assert len(pts) == 1
+        assert pts[0].name == "a"

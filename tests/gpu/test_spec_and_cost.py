@@ -1,0 +1,190 @@
+"""Tests for device specs and the analytical cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import A100_80GB, EPYC_7763, H100_80GB, V100_32GB, named_device
+from repro.gpu import cost
+from repro.gpu.spec import CPUSpec, DeviceSpec
+
+
+class TestSpecs:
+    def test_named_lookup(self):
+        assert named_device("a100-80gb") is A100_80GB
+        assert named_device("A100-80GB") is A100_80GB
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigError, match="unknown device"):
+            named_device("tpu-v9")
+
+    def test_ridge_point(self):
+        assert A100_80GB.ridge_ai == pytest.approx(19500 / 1935)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec("bad", peak_fp32_gflops=-1, mem_bw_gbps=100, mem_capacity_gb=1)
+
+    def test_invalid_cpu_spec(self):
+        with pytest.raises(ConfigError):
+            CPUSpec("bad", dense_gflops=0, scalar_gflops=1, mem_bw_gbps=1)
+
+
+class TestRooflineTime:
+    def test_compute_bound(self):
+        # huge flops, no bytes -> compute-limited
+        t = cost.roofline_time(A100_80GB, 1e12, 0.0, launches=0)
+        assert t == pytest.approx(1e12 / (19500e9))
+
+    def test_memory_bound(self):
+        t = cost.roofline_time(A100_80GB, 0.0, 1e9, launches=0)
+        assert t == pytest.approx(1e9 / (1935e9))
+
+    def test_max_of_both(self):
+        flops, bytes_ = 1e12, 1e9
+        t = cost.roofline_time(A100_80GB, flops, bytes_, launches=0)
+        assert t == pytest.approx(max(flops / 19500e9, bytes_ / 1935e9))
+
+    def test_launch_overhead_floor(self):
+        t = cost.roofline_time(A100_80GB, 1.0, 1.0, launches=1)
+        assert t >= A100_80GB.launch_overhead_s
+
+    def test_lib_call_overhead(self):
+        base = cost.roofline_time(A100_80GB, 1e9, 1e6)
+        lib = cost.roofline_time(A100_80GB, 1e9, 1e6, lib_call=True)
+        assert lib == pytest.approx(base + A100_80GB.lib_call_overhead_s)
+
+    def test_efficiency_slows_down(self):
+        fast = cost.roofline_time(A100_80GB, 1e12, 0, eff_compute=1.0, launches=0)
+        slow = cost.roofline_time(A100_80GB, 1e12, 0, eff_compute=0.5, launches=0)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_serialization_multiplier(self):
+        base = cost.roofline_time(A100_80GB, 0, 1e9, launches=0)
+        ser = cost.roofline_time(A100_80GB, 0, 1e9, serialization=2.0, launches=0)
+        assert ser == pytest.approx(2 * base)
+
+
+class TestOpCosts:
+    def test_gemm_flops_formula(self):
+        l = cost.gemm_cost(A100_80GB, 1000, 50)
+        assert l.flops == 2.0 * 1000 * 1000 * 50
+
+    def test_syrk_half_flops(self):
+        g = cost.gemm_cost(A100_80GB, 1000, 50)
+        s = cost.syrk_cost(A100_80GB, 1000, 50)
+        assert s.flops == pytest.approx(g.flops / 2)
+
+    def test_spmm_flops_are_2n2(self):
+        l = cost.spmm_cost(A100_80GB, 5000, 10)
+        assert l.flops == 2.0 * 5000 * 5000
+
+    def test_spmv_linear_work(self):
+        """Sec. 3.3: the SpMV route is O(n)."""
+        l1 = cost.spmv_cost(A100_80GB, 1000, 10)
+        l2 = cost.spmv_cost(A100_80GB, 2000, 10)
+        assert l2.flops == pytest.approx(2 * l1.flops)
+
+    def test_all_costs_positive(self):
+        n, d, k = 4000, 64, 16
+        launches = [
+            cost.gemm_cost(A100_80GB, n, d),
+            cost.syrk_cost(A100_80GB, n, d),
+            cost.triangular_copy_cost(A100_80GB, n),
+            cost.kernel_transform_cost(A100_80GB, n),
+            cost.diag_extract_cost(A100_80GB, n),
+            cost.spmm_cost(A100_80GB, n, k),
+            cost.spmv_cost(A100_80GB, n, k),
+            cost.spgemm_cost(A100_80GB, n, k, 1e6),
+            cost.zgather_cost(A100_80GB, n, k),
+            cost.dadd_cost(A100_80GB, n, k),
+            cost.argmin_cost(A100_80GB, n, k),
+            cost.vbuild_cost(A100_80GB, n, k),
+            cost.h2d_cost(A100_80GB, 1e6),
+            cost.d2h_cost(A100_80GB, 1e6),
+            cost.baseline_k1_cost(A100_80GB, n, k),
+            cost.baseline_k2_cost(A100_80GB, n, k),
+            cost.baseline_k3_cost(A100_80GB, n, k),
+        ]
+        for l in launches:
+            assert l.time_s > 0, l.name
+            assert l.bytes >= 0, l.name
+            assert l.counted_flops >= l.flops or l.flops == 0, l.name
+
+    def test_times_respect_roofline_lower_bound(self):
+        """No op can beat peak compute or peak bandwidth."""
+        spec = A100_80GB
+        for l in [
+            cost.gemm_cost(spec, 8000, 256),
+            cost.spmm_cost(spec, 8000, 64),
+            cost.baseline_k1_cost(spec, 8000, 64),
+            cost.dadd_cost(spec, 8000, 64),
+        ]:
+            lower = max(l.flops / (spec.peak_fp32_gflops * 1e9), l.bytes / (spec.mem_bw_gbps * 1e9))
+            assert l.time_s >= lower * 0.999, l.name
+
+    def test_spmm_time_scales_quadratically(self):
+        t1 = cost.spmm_cost(A100_80GB, 20000, 50).time_s
+        t2 = cost.spmm_cost(A100_80GB, 40000, 50).time_s
+        assert 3.5 < t2 / t1 < 4.5
+
+    def test_baseline_counted_flops_exceed_useful(self):
+        l = cost.baseline_k1_cost(A100_80GB, 5000, 10)
+        assert l.counted_flops > l.flops
+
+    def test_h2d_bandwidth(self):
+        l = cost.h2d_cost(A100_80GB, 24e9)
+        assert l.time_s == pytest.approx(1.0, rel=0.01)
+
+
+class TestCPUCosts:
+    def test_gram_compute_bound(self):
+        l = cost.cpu_gram_cost(EPYC_7763, 10000, 1000)
+        assert l.time_s >= l.flops / (EPYC_7763.dense_gflops * 1e9) * 0.999
+
+    def test_iteration_grows_with_k(self):
+        """Fig. 3 driver: CPU iteration cost increases with k."""
+        t10 = cost.cpu_iteration_cost(EPYC_7763, 5000, 10).time_s
+        t100 = cost.cpu_iteration_cost(EPYC_7763, 5000, 100).time_s
+        assert t100 > t10
+
+    def test_cpu_much_slower_than_gpu(self):
+        n, d = 20000, 100
+        cpu_t = cost.cpu_gram_cost(EPYC_7763, n, d).time_s
+        gpu_t = cost.gemm_cost(A100_80GB, n, d).time_s
+        assert cpu_t / gpu_t > 5
+
+
+class TestLaunchRecord:
+    def test_counted_defaults_to_flops(self):
+        l = cost.Launch("x", 100.0, 50.0, 1.0)
+        assert l.counted_flops == 100.0
+
+    def test_arithmetic_intensity(self):
+        l = cost.Launch("x", 100.0, 50.0, 1.0)
+        assert l.arithmetic_intensity == 2.0
+
+    def test_achieved_gflops(self):
+        l = cost.Launch("x", 2e9, 1.0, 1.0)
+        assert l.achieved_gflops == pytest.approx(2.0)
+
+    def test_with_phase(self):
+        l = cost.Launch("x", 1.0, 1.0, 1.0).with_phase("p")
+        assert l.phase == "p"
+
+    def test_zero_guards(self):
+        l = cost.Launch("x", 0.0, 0.0, 0.0)
+        assert l.arithmetic_intensity == 0.0
+        assert l.achieved_gflops == 0.0
+
+
+class TestDeviceComparisons:
+    def test_h100_faster_than_a100(self):
+        a = cost.spmm_cost(A100_80GB, 30000, 50).time_s
+        h = cost.spmm_cost(H100_80GB, 30000, 50).time_s
+        assert h < a
+
+    def test_v100_slower_than_a100(self):
+        a = cost.gemm_cost(A100_80GB, 20000, 500).time_s
+        v = cost.gemm_cost(V100_32GB, 20000, 500).time_s
+        assert v > a

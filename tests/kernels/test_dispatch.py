@@ -1,0 +1,82 @@
+"""Tests for the GEMM/SYRK dispatch rule and its model-driven tuner."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import A100_80GB, V100_32GB
+from repro.kernels import choose_gram_method, model_gram_times, tune_threshold
+
+
+class TestChooseMethod:
+    def test_default_threshold_is_100(self):
+        assert choose_gram_method(10100, 100) == "gemm"  # ratio 101
+        assert choose_gram_method(9900, 100) == "syrk"  # ratio 99
+
+    def test_exact_ratio_uses_syrk(self):
+        # rule is strictly greater-than (paper: "exceeds a threshold")
+        assert choose_gram_method(10000, 100) == "syrk"
+
+    def test_custom_threshold(self):
+        assert choose_gram_method(50, 10, threshold=2.0) == "gemm"
+        assert choose_gram_method(15, 10, threshold=2.0) == "syrk"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            choose_gram_method(0, 5)
+        with pytest.raises(ConfigError):
+            choose_gram_method(5, 0)
+        with pytest.raises(ConfigError):
+            choose_gram_method(5, 5, threshold=-1)
+
+
+class TestModelGramTimes:
+    def test_both_strategies_positive(self):
+        t = model_gram_times(A100_80GB, 20000, 500)
+        assert t["gemm"] > 0 and t["syrk"] > 0
+
+    def test_gemm_wins_at_large_ratio(self):
+        """Fig. 2: GEMM faster when n/d >> 100."""
+        t = model_gram_times(A100_80GB, 50000, 100)
+        assert t["gemm"] < t["syrk"]
+        # paper reports ~3.2x at this exact shape; accept 2.5-4x
+        assert 2.5 < t["syrk"] / t["gemm"] < 4.0
+
+    def test_syrk_wins_at_small_ratio(self):
+        """Fig. 2: SYRK faster when d ~ n or larger."""
+        t = model_gram_times(A100_80GB, 10000, 10000)
+        assert t["syrk"] < t["gemm"]
+        # paper reports up to ~2.4x
+        assert 1.8 < t["gemm"] / t["syrk"] < 2.8
+
+    def test_syrk_asymptote_large_d(self):
+        t = model_gram_times(A100_80GB, 10000, 100000)
+        assert 2.0 < t["gemm"] / t["syrk"] < 2.6
+
+    def test_crossover_in_expected_band(self):
+        """Winner flips somewhere between n/d = 10 and n/d = 300."""
+        n = 30000
+        winners = []
+        for ratio in (10, 30, 100, 300):
+            d = n // ratio
+            t = model_gram_times(A100_80GB, n, d)
+            winners.append("gemm" if t["gemm"] < t["syrk"] else "syrk")
+        assert winners[0] == "syrk"
+        assert winners[-1] == "gemm"
+
+    def test_scales_with_device(self):
+        a = model_gram_times(A100_80GB, 20000, 1000)
+        v = model_gram_times(V100_32GB, 20000, 1000)
+        assert v["gemm"] > a["gemm"]  # V100 is slower
+
+
+class TestTuneThreshold:
+    def test_returns_candidate(self):
+        ratios = (1, 10, 100, 1000)
+        t = tune_threshold(A100_80GB, ratios=ratios)
+        assert t in [float(r) for r in ratios]
+
+    def test_tuned_threshold_is_interior(self):
+        """The model's optimum is neither 'always GEMM' nor 'always SYRK'."""
+        ratios = (1, 3, 10, 30, 100, 300, 1000)
+        t = tune_threshold(A100_80GB, ratios=ratios)
+        assert ratios[0] < t < ratios[-1]

@@ -1,0 +1,209 @@
+"""Unit tests for the kernel functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.kernels import (
+    GaussianKernel,
+    LaplacianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+    kernel_by_name,
+)
+
+
+class TestLinear:
+    def test_pairwise_is_gram(self, rng):
+        x = rng.standard_normal((10, 4))
+        assert np.allclose(LinearKernel().pairwise(x), x @ x.T)
+
+    def test_cross(self, rng):
+        x, y = rng.standard_normal((6, 3)), rng.standard_normal((4, 3))
+        assert np.allclose(LinearKernel().pairwise(x, y), x @ y.T)
+
+    def test_scalar_call(self):
+        assert LinearKernel()([1.0, 2.0], [3.0, 4.0]) == pytest.approx(11.0)
+
+
+class TestPolynomial:
+    def test_matches_definition(self, rng):
+        x = rng.standard_normal((8, 3))
+        kern = PolynomialKernel(gamma=0.5, coef0=2.0, degree=3)
+        got = kern.pairwise(x)
+        want = (0.5 * (x @ x.T) + 2.0) ** 3
+        assert np.allclose(got, want)
+
+    def test_paper_defaults(self, rng):
+        x = rng.standard_normal((5, 2))
+        got = PolynomialKernel().pairwise(x)
+        want = (x @ x.T + 1.0) ** 2
+        assert np.allclose(got, want)
+
+    def test_from_gram_in_place(self, rng):
+        x = rng.standard_normal((6, 2))
+        b = x @ x.T
+        kern = PolynomialKernel()
+        out = kern.from_gram(b)
+        assert out is b  # in place
+
+    def test_explicit_feature_map_realises_kernel(self, rng):
+        """The kernel-trick identity: phi(x).phi(y) == kappa(x, y)."""
+        x = rng.standard_normal((7, 3))
+        kern = PolynomialKernel(gamma=1.3, coef0=0.7, degree=2)
+        phi = kern.explicit_feature_map(x)
+        assert np.allclose(phi @ phi.T, kern.pairwise(x.astype(np.float64)), atol=1e-9)
+
+    def test_explicit_feature_map_degree3(self, rng):
+        x = rng.standard_normal((5, 2))
+        kern = PolynomialKernel(gamma=0.9, coef0=1.5, degree=3)
+        phi = kern.explicit_feature_map(x)
+        assert np.allclose(phi @ phi.T, kern.pairwise(x.astype(np.float64)), atol=1e-9)
+
+    def test_zero_coef0(self, rng):
+        x = rng.standard_normal((5, 2))
+        kern = PolynomialKernel(gamma=1.0, coef0=0.0, degree=2)
+        phi = kern.explicit_feature_map(x)
+        assert np.allclose(phi @ phi.T, kern.pairwise(x.astype(np.float64)), atol=1e-9)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            PolynomialKernel(degree=0)
+        with pytest.raises(ConfigError):
+            PolynomialKernel(gamma=-1.0)
+
+
+class TestGaussian:
+    def test_matches_definition(self, rng):
+        x = rng.standard_normal((9, 4))
+        kern = GaussianKernel(gamma=0.8, sigma2=2.0)
+        got = kern.pairwise(x)
+        sq = ((x[:, None, :] - x[None, :, :]) ** 2).sum(axis=2)
+        want = np.exp(-0.8 * sq / 2.0)
+        assert np.allclose(got, want, atol=1e-6)
+
+    def test_diagonal_is_one(self, rng):
+        x = rng.standard_normal((6, 3))
+        k = GaussianKernel(gamma=1.0).pairwise(x)
+        assert np.allclose(np.diagonal(k), 1.0, atol=1e-6)
+
+    def test_from_gram_with_external_diag(self, rng):
+        x = rng.standard_normal((6, 3))
+        b = x @ x.T
+        diag = np.ascontiguousarray(np.diagonal(b)).copy()
+        kern = GaussianKernel(gamma=0.5)
+        got = kern.from_gram(b.copy(), diag)
+        assert np.allclose(got, kern.pairwise(x), atol=1e-6)
+
+    def test_from_gram_without_diag_snapshots_it(self, rng):
+        x = rng.standard_normal((6, 3))
+        b = x @ x.T
+        kern = GaussianKernel(gamma=0.5)
+        assert np.allclose(kern.from_gram(b.copy()), kern.pairwise(x), atol=1e-6)
+
+    def test_cross_kernel(self, rng):
+        x, y = rng.standard_normal((5, 3)), rng.standard_normal((7, 3))
+        kern = GaussianKernel(gamma=1.2)
+        got = kern.pairwise(x, y)
+        sq = ((x[:, None, :] - y[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(got, np.exp(-1.2 * sq), atol=1e-6)
+
+    def test_bounded(self, rng):
+        x = rng.standard_normal((10, 3)) * 5
+        k = GaussianKernel(gamma=2.0).pairwise(x)
+        assert np.all(k <= 1.0 + 1e-6)
+        assert np.all(k >= 0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            GaussianKernel(gamma=0.0)
+        with pytest.raises(ConfigError):
+            GaussianKernel(sigma2=-1.0)
+
+    def test_needs_diag(self):
+        assert GaussianKernel().needs_diag()
+        assert not PolynomialKernel().needs_diag()
+
+
+class TestSigmoid:
+    def test_matches_definition(self, rng):
+        x = rng.standard_normal((8, 3))
+        kern = SigmoidKernel(gamma=0.3, coef0=-0.5)
+        assert np.allclose(kern.pairwise(x), np.tanh(0.3 * (x @ x.T) - 0.5))
+
+    def test_bounded(self, rng):
+        x = rng.standard_normal((8, 3)) * 10
+        k = SigmoidKernel().pairwise(x)
+        assert np.all(np.abs(k) <= 1.0)
+
+
+class TestLaplacian:
+    def test_matches_definition(self, rng):
+        x = rng.standard_normal((7, 4))
+        kern = LaplacianKernel(gamma=0.7)
+        l1 = np.abs(x[:, None, :] - x[None, :, :]).sum(axis=2)
+        assert np.allclose(kern.pairwise(x), np.exp(-0.7 * l1), atol=1e-6)
+
+    def test_not_gram_expressible(self):
+        assert not LaplacianKernel().gram_expressible
+        with pytest.raises(ShapeError, match="Gram"):
+            LaplacianKernel().from_gram(np.eye(3))
+
+    def test_cross(self, rng):
+        x, y = rng.standard_normal((4, 3)), rng.standard_normal((6, 3))
+        kern = LaplacianKernel(gamma=0.5)
+        l1 = np.abs(x[:, None, :] - y[None, :, :]).sum(axis=2)
+        assert np.allclose(kern.pairwise(x, y), np.exp(-0.5 * l1), atol=1e-6)
+
+
+class TestCommon:
+    @pytest.mark.parametrize(
+        "kern",
+        [LinearKernel(), PolynomialKernel(), GaussianKernel(), SigmoidKernel()],
+        ids=["linear", "poly", "gauss", "sigmoid"],
+    )
+    def test_symmetry(self, rng, kern):
+        x = rng.standard_normal((8, 3))
+        k = kern.pairwise(x)
+        assert np.allclose(k, k.T, atol=1e-6)
+
+    @pytest.mark.parametrize(
+        "kern",
+        [LinearKernel(), PolynomialKernel(), GaussianKernel()],
+        ids=["linear", "poly", "gauss"],
+    )
+    def test_psd(self, rng, kern):
+        """PSD kernels: minimum eigenvalue >= -tolerance."""
+        x = rng.standard_normal((12, 3))
+        k = kern.pairwise(x.astype(np.float64))
+        eigs = np.linalg.eigvalsh(k)
+        assert eigs.min() > -1e-8 * max(1.0, eigs.max())
+
+    def test_feature_dim_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            LinearKernel().pairwise(rng.standard_normal((3, 2)), rng.standard_normal((3, 4)))
+
+
+class TestKernelByName:
+    @pytest.mark.parametrize("name,cls", [
+        ("linear", LinearKernel),
+        ("polynomial", PolynomialKernel),
+        ("gaussian", GaussianKernel),
+        ("rbf", GaussianKernel),
+        ("sigmoid", SigmoidKernel),
+        ("laplacian", LaplacianKernel),
+    ])
+    def test_lookup(self, name, cls):
+        assert isinstance(kernel_by_name(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(kernel_by_name("GAUSSIAN"), GaussianKernel)
+
+    def test_params_forwarded(self):
+        k = kernel_by_name("polynomial", degree=4)
+        assert k.degree == 4
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernel_by_name("quantum")

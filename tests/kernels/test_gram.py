@@ -1,0 +1,86 @@
+"""Tests for the Gram/kernel-matrix pipeline (Sec. 3.2 / 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.gpu import Device
+from repro.kernels import (
+    GaussianKernel,
+    LaplacianKernel,
+    PolynomialKernel,
+    device_kernel_matrix,
+    gram_matrix,
+    kernel_matrix,
+)
+
+
+class TestHostPath:
+    def test_gram_matrix(self, rng):
+        x = rng.standard_normal((8, 3))
+        assert np.allclose(gram_matrix(x), x @ x.T)
+
+    def test_kernel_matrix_poly(self, rng, poly_kernel):
+        x = rng.standard_normal((8, 3))
+        assert np.allclose(kernel_matrix(x, poly_kernel), (x @ x.T + 1) ** 2, rtol=1e-5)
+
+
+class TestDevicePath:
+    @pytest.mark.parametrize("method", ["gemm", "syrk"])
+    def test_matches_host(self, device, rng, poly_kernel, method):
+        x = rng.standard_normal((20, 4)).astype(np.float64)
+        p = device.h2d(x)
+        k_buf, diag, used = device_kernel_matrix(device, p, poly_kernel, method=method)
+        assert used == method
+        assert np.allclose(k_buf.a, kernel_matrix(x, poly_kernel), rtol=1e-6)
+        assert np.allclose(diag.a, np.diagonal(k_buf.a))
+
+    def test_gemm_equals_syrk(self, rng, poly_kernel):
+        """Sec. 4.2: both routines produce correct (identical) output."""
+        from repro.gpu import A100_80GB
+
+        x = rng.standard_normal((15, 6)).astype(np.float64)
+        d1, d2 = Device(A100_80GB), Device(A100_80GB)
+        k1, _, _ = device_kernel_matrix(d1, d1.h2d(x), poly_kernel, method="gemm")
+        k2, _, _ = device_kernel_matrix(d2, d2.h2d(x), poly_kernel, method="syrk")
+        assert np.allclose(k1.a, k2.a, rtol=1e-10)
+
+    def test_gaussian_needs_diag_snapshot(self, device, rng):
+        """The Gaussian path must not corrupt the diag it reads in place."""
+        kern = GaussianKernel(gamma=0.7)
+        x = rng.standard_normal((12, 3)).astype(np.float64)
+        p = device.h2d(x)
+        k_buf, diag, _ = device_kernel_matrix(device, p, kern)
+        assert np.allclose(k_buf.a, kern.pairwise(x), atol=1e-8)
+        assert np.allclose(diag.a, 1.0, atol=1e-8)
+
+    def test_auto_dispatch_large_ratio_uses_gemm(self, device, rng, poly_kernel):
+        x = rng.standard_normal((300, 2)).astype(np.float32)  # n/d = 150 > 100
+        _, _, used = device_kernel_matrix(device, device.h2d(x), poly_kernel, method="auto")
+        assert used == "gemm"
+
+    def test_auto_dispatch_small_ratio_uses_syrk(self, device, rng, poly_kernel):
+        x = rng.standard_normal((50, 10)).astype(np.float32)  # n/d = 5 < 100
+        _, _, used = device_kernel_matrix(device, device.h2d(x), poly_kernel, method="auto")
+        assert used == "syrk"
+
+    def test_custom_threshold(self, device, rng, poly_kernel):
+        x = rng.standard_normal((50, 10)).astype(np.float32)  # ratio 5
+        _, _, used = device_kernel_matrix(
+            device, device.h2d(x), poly_kernel, method="auto", threshold=2.0
+        )
+        assert used == "gemm"
+
+    def test_non_gram_kernel_rejected(self, device, rng):
+        x = rng.standard_normal((10, 3)).astype(np.float32)
+        with pytest.raises(ShapeError, match="Gram-expressible"):
+            device_kernel_matrix(device, device.h2d(x), LaplacianKernel())
+
+    def test_launches_recorded(self, device, rng, poly_kernel):
+        x = rng.standard_normal((10, 3)).astype(np.float32)
+        device_kernel_matrix(device, device.h2d(x), poly_kernel, method="syrk")
+        names = [l.name for l in device.profiler.launches]
+        assert "cublas.syrk" in names
+        assert "custom.triangular_mirror" in names
+        assert "thrust.transform" in names
+        assert "custom.diag_extract" in names

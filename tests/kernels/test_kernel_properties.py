@@ -1,0 +1,100 @@
+"""Property-based tests on kernel functions under random parameters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    GaussianKernel,
+    LaplacianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+)
+
+pos = st.floats(min_value=0.05, max_value=5.0, allow_nan=False)
+coef = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+seeds = st.integers(0, 10**6)
+
+
+def _points(seed, n=10, d=3):
+    return np.random.default_rng(seed).standard_normal((n, d))
+
+
+@given(pos, coef, st.integers(1, 3), seeds)
+@settings(max_examples=40, deadline=None)
+def test_polynomial_symmetry_and_gram_consistency(gamma, c, r, seed):
+    x = _points(seed)
+    kern = PolynomialKernel(gamma=gamma, coef0=c, degree=r)
+    k = kern.pairwise(x)
+    assert np.allclose(k, k.T, atol=1e-8)
+    # from_gram on B reproduces pairwise
+    b = x @ x.T
+    assert np.allclose(kern.from_gram(b.copy()), k, atol=1e-8)
+
+
+@given(pos, pos, seeds)
+@settings(max_examples=40, deadline=None)
+def test_gaussian_properties(gamma, sigma2, seed):
+    x = _points(seed)
+    kern = GaussianKernel(gamma=gamma, sigma2=sigma2)
+    k = kern.pairwise(x)
+    assert np.allclose(np.diagonal(k), 1.0, atol=1e-8)
+    # very peaked kernels underflow to exactly 0 for distant pairs
+    assert np.all(k >= 0)
+    assert np.all(k <= 1.0 + 1e-10)
+    assert np.allclose(k, k.T, atol=1e-10)
+    # PSD (Gaussian kernels always are)
+    assert np.linalg.eigvalsh(k).min() > -1e-9
+
+
+@given(pos, seeds)
+@settings(max_examples=30, deadline=None)
+def test_gaussian_monotone_in_distance(gamma, seed):
+    """kappa decreases as points move apart."""
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal(3)
+    direction = rng.standard_normal(3)
+    direction /= np.linalg.norm(direction)
+    kern = GaussianKernel(gamma=gamma)
+    vals = [kern(base, base + t * direction) for t in (0.0, 0.5, 1.0, 2.0)]
+    assert vals[0] >= vals[1] >= vals[2] >= vals[3]
+    assert vals[0] == pytest.approx(1.0, abs=1e-12)
+
+
+@given(pos, seeds)
+@settings(max_examples=30, deadline=None)
+def test_laplacian_properties(gamma, seed):
+    x = _points(seed)
+    kern = LaplacianKernel(gamma=gamma)
+    k = kern.pairwise(x)
+    assert np.allclose(np.diagonal(k), 1.0, atol=1e-6)
+    assert np.all((0 < k) & (k <= 1.0 + 1e-6))
+    assert np.allclose(k, k.T, atol=1e-6)
+
+
+@given(pos, coef, seeds)
+@settings(max_examples=30, deadline=None)
+def test_sigmoid_bounded(gamma, c, seed):
+    x = _points(seed)
+    k = SigmoidKernel(gamma=gamma, coef0=c).pairwise(x)
+    assert np.all(np.abs(k) <= 1.0)
+    assert np.allclose(k, k.T, atol=1e-8)
+
+
+@given(seeds)
+@settings(max_examples=30, deadline=None)
+def test_linear_kernel_is_inner_product(seed):
+    x = _points(seed)
+    assert np.allclose(LinearKernel().pairwise(x), x @ x.T)
+
+
+@given(pos, st.integers(1, 2), seeds)
+@settings(max_examples=20, deadline=None)
+def test_polynomial_feature_map_identity_random_params(gamma, degree, seed):
+    """phi(x).phi(y) == kappa(x, y) for random gamma/degree (the kernel trick)."""
+    x = _points(seed, n=6, d=2)
+    kern = PolynomialKernel(gamma=gamma, coef0=1.0, degree=degree)
+    phi = kern.explicit_feature_map(x)
+    assert np.allclose(phi @ phi.T, kern.pairwise(x), rtol=1e-7, atol=1e-8)

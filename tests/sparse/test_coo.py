@@ -1,0 +1,102 @@
+"""Unit tests for the COO assembly container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse import random_csr
+from repro.sparse.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = COOMatrix([0, 1], [1, 0], [2.0, 3.0], (2, 2))
+        assert m.nnz == 2
+        assert np.allclose(m.to_dense(), [[0, 2], [3, 0]])
+
+    def test_empty(self):
+        m = COOMatrix.empty((3, 4))
+        assert m.nnz == 0
+        assert m.to_dense().shape == (3, 4)
+
+    def test_out_of_bounds(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix([5], [0], [1.0], (2, 2))
+        with pytest.raises(SparseFormatError):
+            COOMatrix([0], [9], [1.0], (2, 2))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            COOMatrix([0, 1], [0], [1.0], (2, 2))
+
+    def test_from_dense_round_trip(self, rng):
+        d = rng.standard_normal((5, 7))
+        d[np.abs(d) < 0.6] = 0
+        m = COOMatrix.from_dense(d)
+        assert np.allclose(m.to_dense(), d)
+
+
+class TestCsrInterop:
+    def test_csr_round_trip(self, rng):
+        a = random_csr(8, 6, 0.4, rng=rng, dtype=np.float64)
+        m = COOMatrix.from_csr(a)
+        back = m.to_csr()
+        assert back == a
+
+    def test_duplicates_sum_on_conversion(self):
+        m = COOMatrix([0, 0], [1, 1], [2.0, 3.0], (1, 2))
+        csr = m.to_csr()
+        assert csr.nnz == 1
+        assert csr[0, 1] == 5.0
+
+    def test_duplicates_sum_in_dense(self):
+        m = COOMatrix([0, 0], [0, 0], [1.0, 2.0], (1, 1))
+        assert m.to_dense()[0, 0] == 3.0
+
+
+class TestAssembly:
+    def test_append(self):
+        m = COOMatrix.empty((2, 2))
+        m2 = m.append(0, 1, 5.0).append(1, 0, 7.0)
+        assert m.nnz == 0  # immutable
+        assert m2.nnz == 2
+        assert m2.to_dense()[0, 1] == 5.0
+
+    def test_append_bounds(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix.empty((2, 2)).append(5, 0, 1.0)
+
+    def test_concat(self):
+        a = COOMatrix([0], [0], [1.0], (2, 2))
+        b = COOMatrix([1], [1], [2.0], (2, 2))
+        c = COOMatrix.concat([a, b])
+        assert np.allclose(c.to_dense(), [[1, 0], [0, 2]])
+
+    def test_concat_overlapping_sums(self):
+        a = COOMatrix([0], [0], [1.0], (1, 1))
+        b = COOMatrix([0], [0], [2.0], (1, 1))
+        assert COOMatrix.concat([a, b]).to_csr()[0, 0] == 3.0
+
+    def test_concat_shape_mismatch(self):
+        a = COOMatrix.empty((2, 2))
+        b = COOMatrix.empty((2, 3))
+        with pytest.raises(ShapeError):
+            COOMatrix.concat([a, b])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ShapeError):
+            COOMatrix.concat([])
+
+
+class TestTranspose:
+    def test_transpose_matches_dense(self, rng):
+        a = random_csr(6, 9, 0.3, rng=rng, dtype=np.float64)
+        m = COOMatrix.from_csr(a)
+        t = m.transpose()
+        assert t.shape == (9, 6)
+        assert np.allclose(t.to_dense(), a.to_dense().T)
+
+    def test_double_transpose(self, rng):
+        a = random_csr(4, 5, 0.5, rng=rng, dtype=np.float64)
+        m = COOMatrix.from_csr(a)
+        assert np.allclose(m.transpose().transpose().to_dense(), m.to_dense())

@@ -1,0 +1,216 @@
+"""Unit tests for the CSR container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, SparseFormatError
+from repro.sparse import CSRMatrix, from_dense, random_csr
+
+
+def make_simple():
+    # [[1, 0, 2],
+    #  [0, 0, 0],
+    #  [0, 3, 0]]
+    return CSRMatrix(
+        np.array([1.0, 2.0, 3.0], dtype=np.float32),
+        np.array([0, 2, 1], dtype=np.int32),
+        np.array([0, 2, 2, 3], dtype=np.int64),
+        (3, 3),
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        a = make_simple()
+        assert a.shape == (3, 3)
+        assert a.nnz == 3
+        assert a.nrows == 3
+        assert a.ncols == 3
+        assert a.dtype == np.float32
+
+    def test_density(self):
+        a = make_simple()
+        assert a.density == pytest.approx(3 / 9)
+
+    def test_zero_size_matrix(self):
+        a = CSRMatrix(
+            np.empty(0, dtype=np.float32),
+            np.empty(0, dtype=np.int32),
+            np.zeros(1, dtype=np.int64),
+            (0, 5),
+        )
+        assert a.nnz == 0
+        assert a.to_dense().shape == (0, 5)
+
+    def test_empty_rows_and_cols(self):
+        a = CSRMatrix(
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int32),
+            np.zeros(4, dtype=np.int64),
+            (3, 3),
+        )
+        assert np.allclose(a.to_dense(), 0)
+
+    def test_row_nnz(self):
+        a = make_simple()
+        assert np.array_equal(a.row_nnz(), [2, 0, 1])
+
+    def test_row_indices(self):
+        a = make_simple()
+        assert np.array_equal(a.row_indices(), [0, 0, 2])
+
+
+class TestValidation:
+    def test_rowptr_length_mismatch(self):
+        with pytest.raises(SparseFormatError, match="rowptrs"):
+            CSRMatrix(
+                np.array([1.0]), np.array([0], dtype=np.int32),
+                np.array([0, 1, 1], dtype=np.int64), (1, 1),
+            )
+
+    def test_rowptr_must_start_at_zero(self):
+        with pytest.raises(SparseFormatError, match="rowptrs\\[0\\]"):
+            CSRMatrix(
+                np.array([1.0]), np.array([0], dtype=np.int32),
+                np.array([1, 1], dtype=np.int64), (1, 1),
+            )
+
+    def test_rowptr_must_end_at_nnz(self):
+        with pytest.raises(SparseFormatError, match="nnz"):
+            CSRMatrix(
+                np.array([1.0]), np.array([0], dtype=np.int32),
+                np.array([0, 0], dtype=np.int64), (1, 1),
+            )
+
+    def test_rowptr_monotone(self):
+        with pytest.raises(SparseFormatError, match="non-decreasing"):
+            CSRMatrix(
+                np.array([1.0, 2.0]), np.array([0, 0], dtype=np.int32),
+                np.array([0, 2, 1, 2], dtype=np.int64), (3, 1),
+            )
+
+    def test_column_out_of_bounds(self):
+        with pytest.raises(SparseFormatError, match="out of bounds"):
+            CSRMatrix(
+                np.array([1.0]), np.array([5], dtype=np.int32),
+                np.array([0, 1], dtype=np.int64), (1, 3),
+            )
+
+    def test_negative_column(self):
+        with pytest.raises(SparseFormatError, match="out of bounds"):
+            CSRMatrix(
+                np.array([1.0]), np.array([-1], dtype=np.int32),
+                np.array([0, 1], dtype=np.int64), (1, 3),
+            )
+
+    def test_duplicate_column_in_row(self):
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            CSRMatrix(
+                np.array([1.0, 2.0]), np.array([1, 1], dtype=np.int32),
+                np.array([0, 2], dtype=np.int64), (1, 3),
+            )
+
+    def test_unsorted_columns_in_row(self):
+        with pytest.raises(SparseFormatError, match="strictly increasing"):
+            CSRMatrix(
+                np.array([1.0, 2.0]), np.array([2, 0], dtype=np.int32),
+                np.array([0, 2], dtype=np.int64), (1, 3),
+            )
+
+    def test_values_colinds_length_mismatch(self):
+        with pytest.raises(SparseFormatError, match="disagree"):
+            CSRMatrix(
+                np.array([1.0, 2.0]), np.array([0], dtype=np.int32),
+                np.array([0, 2], dtype=np.int64), (1, 3),
+            )
+
+    def test_integer_values_rejected(self):
+        with pytest.raises(SparseFormatError, match="float32/float64"):
+            CSRMatrix(
+                np.array([1], dtype=np.int64), np.array([0], dtype=np.int32),
+                np.array([0, 1], dtype=np.int64), (1, 1),
+            )
+
+    def test_boundary_decreasing_columns_across_rows_allowed(self):
+        # column decreases at a row boundary — legal
+        a = CSRMatrix(
+            np.array([1.0, 2.0], dtype=np.float64),
+            np.array([2, 0], dtype=np.int32),
+            np.array([0, 1, 2], dtype=np.int64),
+            (2, 3),
+        )
+        assert a[0, 2] == 1.0
+        assert a[1, 0] == 2.0
+
+
+class TestConversions:
+    def test_to_dense_round_trip(self, rng):
+        dense = rng.standard_normal((7, 5))
+        dense[dense < 0.3] = 0
+        a = from_dense(dense)
+        assert np.allclose(a.to_dense(), dense)
+
+    def test_to_scipy_matches_dense(self, rng):
+        a = random_csr(8, 6, 0.4, rng=rng)
+        assert np.allclose(a.to_scipy().toarray(), a.to_dense())
+
+    def test_astype(self):
+        a = make_simple()
+        b = a.astype(np.float64)
+        assert b.dtype == np.float64
+        assert np.allclose(b.to_dense(), a.to_dense())
+        # original untouched
+        assert a.dtype == np.float32
+
+    def test_copy_is_deep(self):
+        a = make_simple()
+        b = a.copy()
+        b.values[0] = 99.0
+        assert a.values[0] == 1.0
+
+
+class TestElementAccess:
+    def test_getitem_stored_and_zero(self):
+        a = make_simple()
+        assert a[0, 0] == 1.0
+        assert a[0, 2] == 2.0
+        assert a[0, 1] == 0.0
+        assert a[1, 1] == 0.0
+        assert a[2, 1] == 3.0
+
+    def test_getitem_out_of_bounds(self):
+        a = make_simple()
+        with pytest.raises(ShapeError):
+            a[3, 0]
+        with pytest.raises(ShapeError):
+            a[0, -4]
+
+    def test_getitem_requires_pair(self):
+        a = make_simple()
+        with pytest.raises(ShapeError):
+            a[0]
+
+
+class TestEquality:
+    def test_equal_matrices(self):
+        assert make_simple() == make_simple()
+
+    def test_different_values(self):
+        a, b = make_simple(), make_simple()
+        b.values[0] = 7.0
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(make_simple())
+
+    def test_allclose(self):
+        a, b = make_simple(), make_simple()
+        b.values[0] += 1e-3
+        assert a.allclose(b, atol=1e-2)
+        assert not a.allclose(b, rtol=0, atol=1e-5)
+
+    def test_allclose_shape_mismatch(self, rng):
+        a = random_csr(3, 3, 0.5, rng=rng)
+        b = random_csr(3, 4, 0.5, rng=rng)
+        assert not a.allclose(b)

@@ -1,0 +1,133 @@
+"""Unit tests for CSR structural/elementwise operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    add,
+    col_sums,
+    diagonal,
+    from_dense,
+    prune_explicit_zeros,
+    random_csr,
+    row_scale,
+    row_sums,
+    scale,
+    transpose,
+)
+
+
+class TestTranspose:
+    def test_matches_dense(self, rng):
+        a = random_csr(7, 11, 0.3, rng=rng, dtype=np.float64)
+        t = transpose(a)
+        t.validate()
+        assert t.shape == (11, 7)
+        assert np.allclose(t.to_dense(), a.to_dense().T)
+
+    def test_involution(self, rng):
+        a = random_csr(6, 9, 0.4, rng=rng, dtype=np.float64)
+        assert transpose(transpose(a)) == a
+
+    def test_empty(self):
+        a = from_dense(np.zeros((3, 5)))
+        t = transpose(a)
+        assert t.shape == (5, 3)
+        assert t.nnz == 0
+
+
+class TestDiagonal:
+    def test_square(self, rng):
+        a = random_csr(6, 6, 0.5, rng=rng, dtype=np.float64)
+        assert np.allclose(diagonal(a), np.diag(a.to_dense()))
+
+    def test_rectangular_wide(self, rng):
+        a = random_csr(3, 7, 0.6, rng=rng, dtype=np.float64)
+        assert np.allclose(diagonal(a), np.diag(a.to_dense()))
+
+    def test_rectangular_tall(self, rng):
+        a = random_csr(7, 3, 0.6, rng=rng, dtype=np.float64)
+        assert np.allclose(diagonal(a), np.diag(a.to_dense()))
+
+    def test_empty_diag(self):
+        a = from_dense(np.array([[0.0, 1.0], [2.0, 0.0]]))
+        assert np.allclose(diagonal(a), [0.0, 0.0])
+
+
+class TestScaleAdd:
+    def test_scale(self, rng):
+        a = random_csr(5, 5, 0.5, rng=rng, dtype=np.float64)
+        assert np.allclose(scale(a, -2.0).to_dense(), -2.0 * a.to_dense())
+
+    def test_scale_preserves_pattern(self, rng):
+        a = random_csr(5, 5, 0.5, rng=rng)
+        b = scale(a, 3.0)
+        assert np.array_equal(a.colinds, b.colinds)
+        assert np.array_equal(a.rowptrs, b.rowptrs)
+
+    def test_add_disjoint_patterns(self):
+        a = from_dense(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        b = from_dense(np.array([[0.0, 2.0], [0.0, 3.0]]))
+        s = add(a, b)
+        assert np.allclose(s.to_dense(), [[1, 2], [0, 3]])
+
+    def test_add_overlapping(self, rng):
+        a = random_csr(6, 6, 0.5, rng=rng, dtype=np.float64)
+        b = random_csr(6, 6, 0.5, rng=rng, dtype=np.float64)
+        assert np.allclose(add(a, b).to_dense(), a.to_dense() + b.to_dense())
+
+    def test_add_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            add(random_csr(3, 3, 0.5, rng=rng), random_csr(3, 4, 0.5, rng=rng))
+
+    def test_add_dtype_promotion(self, rng):
+        a = random_csr(3, 3, 0.5, rng=rng, dtype=np.float32)
+        b = random_csr(3, 3, 0.5, rng=rng, dtype=np.float64)
+        assert add(a, b).dtype == np.float64
+
+
+class TestReductions:
+    def test_row_sums(self, rng):
+        a = random_csr(8, 5, 0.4, rng=rng, dtype=np.float64)
+        assert np.allclose(row_sums(a), a.to_dense().sum(axis=1))
+
+    def test_col_sums(self, rng):
+        a = random_csr(8, 5, 0.4, rng=rng, dtype=np.float64)
+        assert np.allclose(col_sums(a), a.to_dense().sum(axis=0))
+
+    def test_row_sums_with_empty_rows(self):
+        dense = np.zeros((4, 3))
+        dense[2] = [1, 2, 3]
+        assert np.allclose(row_sums(from_dense(dense)), [0, 0, 6, 0])
+
+    def test_empty_matrix_reductions(self):
+        a = from_dense(np.zeros((3, 4)))
+        assert np.allclose(row_sums(a), 0)
+        assert np.allclose(col_sums(a), 0)
+
+
+class TestRowScale:
+    def test_matches_dense(self, rng):
+        a = random_csr(6, 4, 0.5, rng=rng, dtype=np.float64)
+        d = rng.standard_normal(6)
+        assert np.allclose(row_scale(a, d).to_dense(), np.diag(d) @ a.to_dense())
+
+    def test_wrong_length(self, rng):
+        a = random_csr(6, 4, 0.5, rng=rng)
+        with pytest.raises(ShapeError):
+            row_scale(a, np.ones(5))
+
+
+class TestPrune:
+    def test_drops_explicit_zeros(self):
+        a = from_dense(np.array([[1.0, 0.0], [2.0, 3.0]]))
+        a.values[0] = 0.0  # introduce explicit zero
+        p = prune_explicit_zeros(a)
+        assert p.nnz == 2
+        assert np.allclose(p.to_dense(), [[0, 0], [2, 3]])
+
+    def test_noop_when_clean(self, rng):
+        a = random_csr(5, 5, 0.5, rng=rng)
+        p = prune_explicit_zeros(a)
+        assert p == a

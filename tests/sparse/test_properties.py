@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the sparse substrate.
+
+These pin the algebraic laws the Popcorn pipeline silently relies on:
+agreement with scipy on arbitrary inputs, linearity of SpMM/SpMV,
+transpose involution, and the structural invariants of selection
+matrices for arbitrary label vectors.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.selection import verify_selection_invariants
+from repro.sparse import (
+    add,
+    from_coo,
+    from_dense,
+    scale,
+    selection_matrix,
+    spgemm,
+    spmm,
+    spmv,
+    transpose,
+)
+
+# bounded float strategy that avoids inf/nan and extreme magnitudes
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def dense_matrix(draw, max_side=12):
+    m = draw(st.integers(1, max_side))
+    n = draw(st.integers(1, max_side))
+    a = draw(arrays(np.float64, (m, n), elements=finite))
+    # sparsify deterministically so patterns vary
+    mask = draw(arrays(np.bool_, (m, n)))
+    return np.where(mask, a, 0.0)
+
+
+@given(dense_matrix())
+@settings(max_examples=60, deadline=None)
+def test_from_dense_round_trip(d):
+    a = from_dense(d)
+    a.validate()
+    assert np.array_equal(a.to_dense(), d)
+
+
+@given(dense_matrix())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(d):
+    a = from_dense(d)
+    assert np.array_equal(transpose(transpose(a)).to_dense(), d.T.T)
+
+
+@given(dense_matrix(), st.integers(1, 6))
+@settings(max_examples=50, deadline=None)
+def test_spmm_matches_dense(d, p):
+    a = from_dense(d)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((d.shape[1], p))
+    assert np.allclose(spmm(a, b), d @ b, atol=1e-9)
+
+
+@given(dense_matrix())
+@settings(max_examples=50, deadline=None)
+def test_spmv_matches_dense(d):
+    a = from_dense(d)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(d.shape[1])
+    assert np.allclose(spmv(a, x), d @ x, atol=1e-9)
+
+
+@given(dense_matrix())
+@settings(max_examples=40, deadline=None)
+def test_spmm_linearity_in_alpha(d):
+    a = from_dense(d)
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal((d.shape[1], 3))
+    assert np.allclose(spmm(a, b, alpha=-2.0), -2.0 * spmm(a, b), atol=1e-9)
+
+
+@given(dense_matrix(), dense_matrix())
+@settings(max_examples=40, deadline=None)
+def test_add_commutes(d1, d2):
+    if d1.shape != d2.shape:
+        d2 = np.zeros_like(d1)
+    a, b = from_dense(d1), from_dense(d2)
+    assert np.allclose(add(a, b).to_dense(), add(b, a).to_dense())
+
+
+@given(dense_matrix(), st.floats(min_value=-10, max_value=10, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_scale_distributes(d, alpha):
+    a = from_dense(d)
+    assert np.allclose(scale(a, alpha).to_dense(), alpha * d, atol=1e-9)
+
+
+@st.composite
+def compatible_pair(draw):
+    m = draw(st.integers(1, 8))
+    n = draw(st.integers(1, 8))
+    p = draw(st.integers(1, 8))
+    d1 = draw(arrays(np.float64, (m, n), elements=finite))
+    d2 = draw(arrays(np.float64, (n, p), elements=finite))
+    mask1 = draw(arrays(np.bool_, (m, n)))
+    mask2 = draw(arrays(np.bool_, (n, p)))
+    return np.where(mask1, d1, 0.0), np.where(mask2, d2, 0.0)
+
+
+@given(compatible_pair())
+@settings(max_examples=50, deadline=None)
+def test_spgemm_matches_dense(pair):
+    d1, d2 = pair
+    got = spgemm(from_dense(d1), from_dense(d2)).to_dense()
+    assert np.allclose(got, d1 @ d2, atol=1e-8)
+
+
+@given(compatible_pair())
+@settings(max_examples=40, deadline=None)
+def test_spgemm_transpose_law(pair):
+    """(A B)^T == B^T A^T."""
+    d1, d2 = pair
+    a, b = from_dense(d1), from_dense(d2)
+    lhs = transpose(spgemm(a, b)).to_dense()
+    rhs = spgemm(transpose(b), transpose(a)).to_dense()
+    assert np.allclose(lhs, rhs, atol=1e-8)
+
+
+@given(
+    st.integers(1, 6).flatmap(
+        lambda k: st.tuples(
+            st.just(k),
+            st.lists(st.integers(0, k - 1), min_size=k, max_size=60),
+        )
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_selection_matrix_invariants(args):
+    k, label_list = args
+    labels = np.asarray(label_list, dtype=np.int32)
+    v = selection_matrix(labels, k)
+    v.validate()
+    verify_selection_invariants(v, labels)
+
+
+@given(
+    st.lists(st.integers(0, 3), min_size=4, max_size=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_selection_row_sums_are_indicator_of_nonempty(label_list):
+    labels = np.asarray(label_list, dtype=np.int32)
+    v = selection_matrix(labels, 4, dtype=np.float64)
+    sums = v.to_dense().sum(axis=1)
+    counts = np.bincount(labels, minlength=4)
+    assert np.allclose(sums, (counts > 0).astype(float), atol=1e-6)
+
+
+@given(dense_matrix())
+@settings(max_examples=40, deadline=None)
+def test_from_coo_agrees_with_from_dense(d):
+    rows, cols = np.nonzero(d)
+    a = from_coo(rows, cols, d[rows, cols], d.shape)
+    assert np.array_equal(a.to_dense(), d)

@@ -1,0 +1,98 @@
+"""Unit tests for SpGEMM (sparse-sparse multiply)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import (
+    from_dense,
+    identity,
+    random_csr,
+    selection_matrix,
+    spgemm,
+    spgemm_flops,
+    transpose,
+)
+
+
+class TestSpGEMMCorrectness:
+    @pytest.mark.parametrize("da,db", [(0.1, 0.1), (0.4, 0.4), (1.0, 0.2), (0.0, 0.5)])
+    def test_matches_scipy(self, rng, da, db):
+        a = random_csr(9, 12, da, rng=rng, dtype=np.float64)
+        b = random_csr(12, 7, db, rng=rng, dtype=np.float64)
+        got = spgemm(a, b)
+        got.validate()
+        want = (a.to_scipy() @ b.to_scipy()).toarray()
+        assert np.allclose(got.to_dense(), want, atol=1e-12)
+
+    def test_identity_left(self, rng):
+        a = random_csr(6, 6, 0.5, rng=rng, dtype=np.float64)
+        assert np.allclose(spgemm(identity(6, dtype=np.float64), a).to_dense(), a.to_dense())
+
+    def test_identity_right(self, rng):
+        a = random_csr(6, 6, 0.5, rng=rng, dtype=np.float64)
+        assert np.allclose(spgemm(a, identity(6, dtype=np.float64)).to_dense(), a.to_dense())
+
+    def test_empty_operand(self, rng):
+        a = from_dense(np.zeros((4, 5)))
+        b = random_csr(5, 3, 0.5, rng=rng)
+        out = spgemm(a, b)
+        assert out.nnz == 0
+        assert out.shape == (4, 3)
+
+    def test_vkvt_diagonal_use_case(self, rng):
+        """diag(V K V^T) — the unoptimised centroid-norm path of Sec. 3.3."""
+        n, k = 20, 4
+        x = rng.standard_normal((n, 3))
+        k_dense = x @ x.T
+        labels = rng.integers(0, k, n)
+        v = selection_matrix(labels, k, dtype=np.float64)
+        kc = from_dense(k_dense)
+        vk = spgemm(v, kc)
+        vkvt = spgemm(vk, transpose(v))
+        want = v.to_dense() @ k_dense @ v.to_dense().T
+        assert np.allclose(vkvt.to_dense(), want, atol=1e-10)
+
+    def test_dtype_promotion(self, rng):
+        a = random_csr(4, 4, 0.5, rng=rng, dtype=np.float32)
+        b = random_csr(4, 4, 0.5, rng=rng, dtype=np.float64)
+        assert spgemm(a, b).dtype == np.float64
+
+    def test_cancellation_keeps_explicit_zero(self):
+        # a row where products cancel exactly: structural nonzero retained
+        a = from_dense(np.array([[1.0, 1.0]]))
+        b = from_dense(np.array([[1.0], [-1.0]]))
+        out = spgemm(a, b)
+        assert out.nnz == 1
+        assert out[0, 0] == 0.0
+
+
+class TestSpGEMMFlops:
+    def test_flops_counts_expansion(self, rng):
+        a = random_csr(6, 8, 0.4, rng=rng)
+        b = random_csr(8, 5, 0.4, rng=rng)
+        mults = spgemm_flops(a, b)
+        # brute force: sum over a-nonzeros of b-row sizes
+        brute = 0
+        rows = a.row_indices()
+        b_nnz = np.diff(b.rowptrs)
+        for c in a.colinds:
+            brute += int(b_nnz[c])
+        assert mults == brute
+
+    def test_flops_empty(self):
+        a = from_dense(np.zeros((3, 3)))
+        assert spgemm_flops(a, a) == 0
+
+    def test_flops_shape_mismatch(self, rng):
+        a = random_csr(3, 4, 0.5, rng=rng)
+        with pytest.raises(ShapeError):
+            spgemm_flops(a, random_csr(5, 2, 0.5, rng=rng))
+
+
+class TestSpGEMMInterface:
+    def test_shape_mismatch(self, rng):
+        a = random_csr(3, 4, 0.5, rng=rng)
+        b = random_csr(5, 2, 0.5, rng=rng)
+        with pytest.raises(ShapeError, match="mismatch"):
+            spgemm(a, b)

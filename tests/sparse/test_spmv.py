@@ -1,0 +1,64 @@
+"""Unit tests for SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import from_dense, random_csr, selection_matrix, spmv
+
+
+class TestSpMVCorrectness:
+    @pytest.mark.parametrize("density", [0.0, 0.2, 0.7, 1.0])
+    def test_matches_scipy(self, rng, density):
+        a = random_csr(15, 11, density, rng=rng, dtype=np.float64)
+        x = rng.standard_normal(11)
+        assert np.allclose(spmv(a, x), a.to_scipy() @ x, atol=1e-12)
+
+    def test_empty_rows(self, rng):
+        dense = np.zeros((4, 3))
+        dense[1] = [1, -1, 2]
+        a = from_dense(dense)
+        x = rng.standard_normal(3)
+        out = spmv(a, x)
+        assert out[0] == 0 and out[2] == 0 and out[3] == 0
+        assert out[1] == pytest.approx(dense[1] @ x, rel=1e-5)
+
+    def test_alpha(self, rng):
+        a = random_csr(6, 6, 0.5, rng=rng, dtype=np.float64)
+        x = rng.standard_normal(6)
+        assert np.allclose(spmv(a, x, alpha=-0.5), -0.5 * (a.to_scipy() @ x))
+
+    def test_centroid_norm_use_case(self, rng):
+        """The Eq. 15 pattern: V z with one nonzero per column."""
+        n, k = 30, 5
+        labels = rng.integers(0, k, n)
+        v = selection_matrix(labels, k, dtype=np.float64)
+        z = rng.standard_normal(n)
+        got = spmv(v, z)
+        expect = v.to_dense() @ z
+        assert np.allclose(got, expect)
+
+    def test_out_parameter(self, rng):
+        a = random_csr(5, 4, 0.6, rng=rng, dtype=np.float64)
+        x = rng.standard_normal(4)
+        out = np.ones(5, dtype=np.float64)  # pre-filled, must be overwritten
+        res = spmv(a, x, out=out)
+        assert res is out
+        assert np.allclose(out, a.to_scipy() @ x)
+
+
+class TestSpMVInterface:
+    def test_dimension_mismatch(self, rng):
+        a = random_csr(3, 4, 0.5, rng=rng)
+        with pytest.raises(ShapeError, match="mismatch"):
+            spmv(a, np.ones(5, dtype=np.float32))
+
+    def test_x_must_be_1d(self, rng):
+        a = random_csr(3, 4, 0.5, rng=rng)
+        with pytest.raises(ShapeError):
+            spmv(a, np.ones((4, 1), dtype=np.float32))
+
+    def test_out_wrong_length(self, rng):
+        a = random_csr(3, 4, 0.5, rng=rng, dtype=np.float64)
+        with pytest.raises(ShapeError, match="out"):
+            spmv(a, np.ones(4), out=np.empty(7))

@@ -1,0 +1,88 @@
+"""Tests for the Nyström approximate Kernel K-means extension."""
+
+import numpy as np
+import pytest
+
+from repro.approx import NystromKernelKMeans, nystrom_embedding
+from repro.data import make_blobs, make_circles
+from repro.errors import ConfigError
+from repro.eval import adjusted_rand_index
+from repro.kernels import GaussianKernel, LinearKernel, PolynomialKernel
+
+
+class TestEmbedding:
+    def test_full_landmarks_reconstruct_kernel(self, rng):
+        """With m = n the Nyström approximation is exact."""
+        x = rng.standard_normal((40, 3))
+        kern = GaussianKernel(gamma=0.8)
+        phi, _ = nystrom_embedding(x, kern, 40, rng=rng)
+        assert np.allclose(phi @ phi.T, kern.pairwise(x.astype(np.float64)), atol=1e-6)
+
+    def test_error_decreases_with_landmarks(self, rng):
+        x = rng.standard_normal((120, 4))
+        kern = GaussianKernel(gamma=0.5)
+        k_true = kern.pairwise(x.astype(np.float64))
+        errs = []
+        for m in (10, 40, 120):
+            phi, _ = nystrom_embedding(x, kern, m, rng=np.random.default_rng(0))
+            errs.append(np.linalg.norm(phi @ phi.T - k_true) / np.linalg.norm(k_true))
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] < 1e-6
+
+    def test_embedding_dim_bounded_by_rank(self, rng):
+        """Linear kernel over d-dim points has rank <= d."""
+        x = rng.standard_normal((50, 3))
+        phi, _ = nystrom_embedding(x, LinearKernel(), 30, rng=rng)
+        assert phi.shape[1] <= 4  # rank <= d (+ round-off slack)
+
+    def test_landmarks_are_valid_indices(self, rng):
+        x = rng.standard_normal((30, 2))
+        _, lm = nystrom_embedding(x, PolynomialKernel(), 10, rng=rng)
+        assert len(lm) == 10
+        assert lm.min() >= 0 and lm.max() < 30
+        assert len(np.unique(lm)) == 10
+
+    def test_invalid_m(self, rng):
+        x = rng.standard_normal((10, 2))
+        with pytest.raises(ConfigError):
+            nystrom_embedding(x, LinearKernel(), 0)
+        with pytest.raises(ConfigError):
+            nystrom_embedding(x, LinearKernel(), 11)
+
+
+class TestNystromEstimator:
+    def test_circles_solved(self):
+        x, y = make_circles(400, rng=7)
+        m = NystromKernelKMeans(
+            2, n_landmarks=100, kernel=GaussianKernel(gamma=5.0), seed=0
+        ).fit(x)
+        assert adjusted_rand_index(m.labels_, y) > 0.95
+
+    def test_blobs(self):
+        x, y = make_blobs(150, 4, 3, rng=3)
+        m = NystromKernelKMeans(3, n_landmarks=50, seed=0).fit(x)
+        assert adjusted_rand_index(m.labels_, y) > 0.9
+
+    def test_attributes(self, rng):
+        x = rng.standard_normal((60, 3)).astype(np.float32)
+        m = NystromKernelKMeans(4, n_landmarks=20, seed=1).fit(x)
+        assert m.labels_.shape == (60,)
+        assert m.embedding_.shape[0] == 60
+        assert m.landmarks_.shape == (20,)
+        assert m.inertia_ >= 0
+
+    def test_landmarks_clamped_to_n(self, rng):
+        x = rng.standard_normal((15, 2)).astype(np.float32)
+        m = NystromKernelKMeans(3, n_landmarks=1000, seed=0).fit(x)
+        assert m.landmarks_.shape == (15,)
+
+    def test_fit_predict(self, rng):
+        x = rng.standard_normal((40, 3)).astype(np.float32)
+        m = NystromKernelKMeans(3, n_landmarks=15, seed=0)
+        assert np.array_equal(m.fit_predict(x), m.labels_)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NystromKernelKMeans(0)
+        with pytest.raises(ConfigError):
+            NystromKernelKMeans(2, n_landmarks=0)

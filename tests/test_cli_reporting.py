@@ -1,0 +1,127 @@
+"""Tests for the artifact-style CLI and the reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import write_csv, write_libsvm
+from repro.reporting import fmt_seconds, fmt_speedup, format_table, write_csv_rows
+
+
+class TestParser:
+    def test_defaults_match_artifact(self):
+        args = build_parser().parse_args([])
+        assert args.k == 10
+        assert args.max_iter == 30
+        assert args.kernel == "polynomial"
+        assert args.impl == 2
+        assert args.check_convergence == 0
+
+    def test_artifact_flags(self):
+        args = build_parser().parse_args(
+            ["-n", "500", "-d", "20", "-k", "5", "-m", "10", "-t", "0.01",
+             "-c", "1", "-f", "linear", "-s", "7", "-l", "0"]
+        )
+        assert args.n == 500 and args.d == 20 and args.k == 5
+        assert args.max_iter == 10 and args.tol == 0.01
+        assert args.check_convergence == 1
+        assert args.kernel == "linear"
+        assert args.seed == 7 and args.impl == 0
+
+    def test_invalid_impl(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["-l", "1"])
+
+    def test_invalid_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["-f", "quantum"])
+
+
+class TestMain:
+    def test_popcorn_random_data(self, capsys):
+        rc = main(["-n", "120", "-d", "6", "-k", "3", "-m", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Popcorn" in out
+        assert "gram method" in out
+
+    def test_baseline_impl(self, capsys):
+        rc = main(["-n", "80", "-d", "4", "-k", "2", "-m", "2", "-l", "0"])
+        assert rc == 0
+        assert "baseline CUDA" in capsys.readouterr().out
+
+    def test_multiple_runs(self, capsys):
+        rc = main(["-n", "60", "-d", "4", "-k", "2", "-m", "2", "--runs", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("\n0 ") + out.count("\n1 ") + out.count("\n2 ") >= 3
+
+    def test_output_file(self, tmp_path, capsys):
+        out_file = str(tmp_path / "labels.txt")
+        rc = main(["-n", "50", "-d", "3", "-k", "2", "-m", "2", "-o", out_file])
+        assert rc == 0
+        labels = np.loadtxt(out_file)
+        assert labels.shape == (50,)
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+
+    def test_input_csv(self, tmp_path, capsys, rng):
+        path = str(tmp_path / "in.csv")
+        write_csv(path, rng.standard_normal((40, 4)))
+        rc = main(["-i", path, "-k", "2", "-m", "2"])
+        assert rc == 0
+        assert "n=40 d=4" in capsys.readouterr().out
+
+    def test_input_libsvm(self, tmp_path, capsys, rng):
+        x = rng.standard_normal((30, 3)).astype(np.float32)
+        path = str(tmp_path / "in.libsvm")
+        write_libsvm(path, x)
+        rc = main(["-i", path, "-k", "2", "-m", "2"])
+        assert rc == 0
+
+    def test_breakdown_output(self, capsys):
+        rc = main(["-n", "60", "-d", "4", "-k", "2", "-m", "2", "--breakdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cusparse.spmm" in out
+
+    def test_gaussian_kernel_flag(self, capsys):
+        rc = main(["-n", "60", "-d", "4", "-k", "2", "-m", "2", "-f", "gaussian"])
+        assert rc == 0
+
+    def test_convergence_mode(self, capsys):
+        rc = main(["-n", "100", "-d", "4", "-k", "2", "-m", "50", "-c", "1"])
+        assert rc == 0
+
+    def test_trace_export(self, tmp_path, capsys):
+        import json
+
+        trace = str(tmp_path / "run.trace.json")
+        rc = main(["-n", "60", "-d", "4", "-k", "2", "-m", "2", "--trace", trace])
+        assert rc == 0
+        events = json.load(open(trace))
+        assert any(e.get("name") == "cusparse.spmm" for e in events)
+
+
+class TestReporting:
+    def test_fmt_seconds_scales(self):
+        assert fmt_seconds(5e-7) == "0.5us"
+        assert fmt_seconds(2.5e-3) == "2.50ms"
+        assert fmt_seconds(3.0) == "3.000s"
+
+    def test_fmt_speedup(self):
+        assert fmt_speedup(2.345) == "2.35x"
+        assert fmt_speedup(123.8) == "123.8x"
+
+    def test_format_table_alignment(self):
+        t = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = t.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+
+    def test_write_csv_rows(self, tmp_path):
+        path = str(tmp_path / "sub" / "rows.csv")
+        write_csv_rows(path, ["x", "y"], [[1, 2], [3, 4]])
+        content = open(path).read().splitlines()
+        assert content[0] == "x,y"
+        assert content[2] == "3,4"

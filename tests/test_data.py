@@ -1,0 +1,235 @@
+"""Tests for dataset generators, the Table 2 suite, and file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    TABLE2,
+    dataset_names,
+    generate,
+    load_dataset,
+    make_anisotropic,
+    make_blobs,
+    make_circles,
+    make_moons,
+    make_random,
+    read_csv,
+    read_libsvm,
+    table2_rows,
+    write_csv,
+    write_libsvm,
+)
+from repro.errors import DatasetError
+
+
+class TestGenerators:
+    def test_blobs_shapes_and_dtypes(self):
+        x, y = make_blobs(100, 6, 4, rng=0)
+        assert x.shape == (100, 6) and x.dtype == np.float32
+        assert y.shape == (100,) and y.dtype == np.int32
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+
+    def test_blobs_uneven_split(self):
+        x, y = make_blobs(10, 2, 3, rng=0)
+        counts = np.bincount(y)
+        assert counts.sum() == 10
+        assert max(counts) - min(counts) <= 1
+
+    def test_blobs_deterministic(self):
+        x1, y1 = make_blobs(50, 3, 2, rng=9)
+        x2, y2 = make_blobs(50, 3, 2, rng=9)
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+
+    def test_blobs_invalid(self):
+        with pytest.raises(DatasetError):
+            make_blobs(2, 2, 5)
+
+    def test_circles_two_radii(self):
+        x, y = make_circles(300, noise=0.0, rng=1)
+        r = np.linalg.norm(x, axis=1)
+        assert r[y == 0].mean() == pytest.approx(1.0, abs=0.05)
+        assert r[y == 1].mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_circles_factor_validation(self):
+        with pytest.raises(DatasetError):
+            make_circles(100, factor=1.5)
+
+    def test_moons_shapes(self):
+        x, y = make_moons(101, rng=2)
+        assert x.shape == (101, 2)
+        assert np.bincount(y).tolist() in ([51, 50], [50, 51])
+
+    def test_anisotropic(self):
+        x, y = make_anisotropic(90, 3, 3, rng=4)
+        assert x.shape == (90, 3)
+
+    def test_random_uniform(self):
+        x, y = make_random(200, 5, rng=3)
+        assert x.min() >= 0 and x.max() < 1
+        assert np.all(y == 0)
+
+    def test_random_invalid(self):
+        with pytest.raises(DatasetError):
+            make_random(0, 5)
+
+
+class TestTable2Suite:
+    def test_exact_paper_dimensions(self):
+        """Table 2, verbatim."""
+        expect = {
+            "acoustic": (78823, 50),
+            "cifar10": (50000, 3072),
+            "ledgar": (70000, 19996),
+            "letter": (10500, 26),
+            "mnist": (60000, 780),
+            "scotus": (6400, 126405),
+        }
+        for name, (n, d) in expect.items():
+            assert TABLE2[name].n == n
+            assert TABLE2[name].d == d
+
+    def test_names_order(self):
+        assert dataset_names() == ["acoustic", "cifar10", "ledgar", "letter", "mnist", "scotus"]
+
+    def test_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 6
+        assert rows[0][0] == "acoustic"
+
+    def test_generate_scaled(self):
+        x, y = generate("letter", scale=0.01, rng=0)
+        assert x.shape == (105, 2)  # 10500*0.01, max(2, 26*0.01)
+
+    def test_generate_unknown(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            generate("imagenet")
+
+    def test_scale_validation(self):
+        with pytest.raises(DatasetError):
+            TABLE2["letter"].scaled(0.0)
+        with pytest.raises(DatasetError):
+            TABLE2["letter"].scaled(2.0)
+
+
+class TestLibsvmIO:
+    def test_round_trip(self, tmp_path, rng):
+        x = rng.standard_normal((8, 5)).astype(np.float32)
+        x[np.abs(x) < 0.4] = 0
+        y = rng.integers(0, 3, 8).astype(np.int32)
+        path = str(tmp_path / "data.libsvm")
+        write_libsvm(path, x, y)
+        x2, y2 = read_libsvm(path, n_features=5)
+        assert np.allclose(x2, x, atol=1e-5)
+        assert np.array_equal(y2, y)
+
+    def test_feature_count_inferred(self, tmp_path):
+        path = str(tmp_path / "f.libsvm")
+        with open(path, "w") as fh:
+            fh.write("1 1:0.5 3:0.25\n0 2:1.0\n")
+        x, y = read_libsvm(path)
+        assert x.shape == (2, 3)
+        assert x[0, 0] == pytest.approx(0.5)
+        assert x[0, 2] == pytest.approx(0.25)
+        assert x[1, 1] == pytest.approx(1.0)
+        assert np.array_equal(y, [1, 0])
+
+    def test_empty_rows_allowed(self, tmp_path):
+        path = str(tmp_path / "e.libsvm")
+        with open(path, "w") as fh:
+            fh.write("1\n0 1:2.0\n")
+        x, y = read_libsvm(path)
+        assert x.shape == (2, 1)
+        assert x[0, 0] == 0.0
+
+    def test_unsorted_indices_handled(self, tmp_path):
+        path = str(tmp_path / "u.libsvm")
+        with open(path, "w") as fh:
+            fh.write("1 3:3.0 1:1.0\n")
+        x, _ = read_libsvm(path)
+        assert x[0, 0] == 1.0 and x[0, 2] == 3.0
+
+    def test_bad_label(self, tmp_path):
+        path = str(tmp_path / "b.libsvm")
+        with open(path, "w") as fh:
+            fh.write("abc 1:1.0\n")
+        with pytest.raises(DatasetError, match="bad label"):
+            read_libsvm(path)
+
+    def test_bad_token(self, tmp_path):
+        path = str(tmp_path / "b2.libsvm")
+        with open(path, "w") as fh:
+            fh.write("1 1:one\n")
+        with pytest.raises(DatasetError, match="bad feature token"):
+            read_libsvm(path)
+
+    def test_zero_based_index_rejected(self, tmp_path):
+        path = str(tmp_path / "z.libsvm")
+        with open(path, "w") as fh:
+            fh.write("1 0:1.0\n")
+        with pytest.raises(DatasetError, match="1-based"):
+            read_libsvm(path)
+
+    def test_index_exceeds_forced_features(self, tmp_path):
+        path = str(tmp_path / "x.libsvm")
+        with open(path, "w") as fh:
+            fh.write("1 9:1.0\n")
+        with pytest.raises(DatasetError, match="exceeds"):
+            read_libsvm(path, n_features=5)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = str(tmp_path / "c.libsvm")
+        with open(path, "w") as fh:
+            fh.write("# header\n\n1 1:1.0\n")
+        x, y = read_libsvm(path)
+        assert x.shape == (1, 1)
+
+
+class TestCsvIO:
+    def test_round_trip_with_labels(self, tmp_path, rng):
+        x = rng.standard_normal((6, 3))
+        y = rng.integers(0, 2, 6).astype(np.int32)
+        path = str(tmp_path / "d.csv")
+        write_csv(path, x, y)
+        x2, y2 = read_csv(path, label_column=-1)
+        assert np.allclose(x2, x, atol=1e-5)
+        assert np.array_equal(y2, y)
+
+    def test_no_labels(self, tmp_path, rng):
+        x = rng.standard_normal((4, 2))
+        path = str(tmp_path / "n.csv")
+        write_csv(path, x)
+        x2, y2 = read_csv(path)
+        assert y2 is None
+        assert np.allclose(x2, x, atol=1e-5)
+
+    def test_label_column_out_of_range(self, tmp_path, rng):
+        path = str(tmp_path / "o.csv")
+        write_csv(path, rng.standard_normal((3, 2)))
+        with pytest.raises(DatasetError, match="out of range"):
+            read_csv(path, label_column=5)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.csv")
+        with open(path, "w") as fh:
+            fh.write("a,b,c\n1,2,3\n")
+        with pytest.raises(DatasetError, match="numeric"):
+            read_csv(path)
+
+
+class TestLoadDispatch:
+    def test_csv_extension(self, tmp_path, rng):
+        path = str(tmp_path / "d.csv")
+        write_csv(path, rng.standard_normal((3, 2)))
+        x, y = load_dataset(path)
+        assert x.shape == (3, 2)
+
+    def test_libsvm_default(self, tmp_path, rng):
+        x = rng.standard_normal((3, 2)).astype(np.float32)
+        path = str(tmp_path / "d.libsvm")
+        write_libsvm(path, x)
+        x2, _ = load_dataset(path)
+        assert x2.shape[0] == 3
+
+    def test_missing_file(self):
+        with pytest.raises(DatasetError, match="no such"):
+            load_dataset("/nonexistent/file.csv")

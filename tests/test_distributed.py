@@ -1,0 +1,153 @@
+"""Tests for the distributed Kernel K-means extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import random_labels
+from repro.core import PopcornKernelKMeans
+from repro.distributed import (
+    DistributedPopcornKernelKMeans,
+    INFINIBAND,
+    NVLINK,
+    allgather_cost,
+    allreduce_cost,
+    block_of,
+    model_distributed_popcorn,
+    row_blocks,
+)
+from repro.errors import ConfigError
+from repro.kernels import GaussianKernel, PolynomialKernel
+
+
+class TestPartition:
+    def test_blocks_cover_exactly(self):
+        blocks = row_blocks(10, 3)
+        assert blocks == [(0, 4), (4, 7), (7, 10)]
+
+    def test_even_split(self):
+        assert row_blocks(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_single_device(self):
+        assert row_blocks(7, 1) == [(0, 7)]
+
+    def test_sizes_differ_by_at_most_one(self):
+        for n, g in [(100, 7), (13, 5), (6, 6)]:
+            sizes = [hi - lo for lo, hi in row_blocks(n, g)]
+            assert max(sizes) - min(sizes) <= 1
+            assert sum(sizes) == n
+
+    def test_more_devices_than_rows(self):
+        with pytest.raises(ConfigError):
+            row_blocks(3, 5)
+
+    def test_block_of(self):
+        assert block_of(10, 3, 0) == 0
+        assert block_of(10, 3, 4) == 1
+        assert block_of(10, 3, 9) == 2
+
+    def test_block_of_out_of_range(self):
+        with pytest.raises(ConfigError):
+            block_of(10, 3, 10)
+
+
+class TestCommCosts:
+    def test_single_rank_free(self):
+        assert allgather_cost(NVLINK, 1, 1e9).time_s == 0.0
+        assert allreduce_cost(NVLINK, 1, 1e9).time_s == 0.0
+
+    def test_allgather_scales_with_bytes(self):
+        t1 = allgather_cost(NVLINK, 4, 1e6).time_s
+        t2 = allgather_cost(NVLINK, 4, 1e9).time_s
+        assert t2 > t1
+
+    def test_allreduce_about_twice_allgather(self):
+        b = 1e9
+        ag = allgather_cost(NVLINK, 8, b).time_s
+        ar = allreduce_cost(NVLINK, 8, b).time_s
+        assert 1.5 < ar / ag < 2.5
+
+    def test_infiniband_slower_than_nvlink(self):
+        assert allgather_cost(INFINIBAND, 4, 1e9).time_s > allgather_cost(NVLINK, 4, 1e9).time_s
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ConfigError):
+            allgather_cost(NVLINK, 0, 100)
+
+
+class TestDistributedEquivalence:
+    @pytest.mark.parametrize("g", [1, 2, 3, 5])
+    def test_matches_single_device(self, rng, g):
+        """SPMD run == single-device Popcorn, any device count."""
+        n, d, k = 60, 5, 4
+        x = rng.standard_normal((n, d)).astype(np.float64)
+        init = random_labels(n, k, rng)
+        single = PopcornKernelKMeans(
+            k, dtype=np.float64, max_iter=10, check_convergence=False
+        ).fit(x, init_labels=init)
+        dist = DistributedPopcornKernelKMeans(
+            k, n_devices=g, dtype=np.float64, max_iter=10, check_convergence=False
+        ).fit(x, init_labels=init)
+        assert np.array_equal(single.labels_, dist.labels_)
+        assert np.allclose(single.objective_history_, dist.objective_history_, rtol=1e-8)
+
+    def test_gaussian_kernel_distributed(self, rng):
+        n, k = 45, 3
+        x = rng.standard_normal((n, 4)).astype(np.float64)
+        init = random_labels(n, k, rng)
+        kern = GaussianKernel(gamma=0.6)
+        single = PopcornKernelKMeans(k, kernel=kern, dtype=np.float64, max_iter=8).fit(
+            x, init_labels=init
+        )
+        dist = DistributedPopcornKernelKMeans(
+            k, n_devices=4, kernel=kern, dtype=np.float64, max_iter=8
+        ).fit(x, init_labels=init)
+        assert np.array_equal(single.labels_, dist.labels_)
+
+    def test_profilers_and_makespan(self, rng):
+        x = rng.standard_normal((40, 4)).astype(np.float32)
+        m = DistributedPopcornKernelKMeans(3, n_devices=2, max_iter=4, seed=0).fit(x)
+        assert len(m.device_profilers_) == 2
+        assert m.makespan_s_ > 0
+        assert 0 < m.parallel_efficiency_ <= 1.0
+        assert m.comm_profiler_.count_of("comm.allreduce") == m.n_iter_
+
+    def test_validation(self, rng):
+        x = rng.standard_normal((10, 2)).astype(np.float32)
+        with pytest.raises(ConfigError):
+            DistributedPopcornKernelKMeans(20).fit(x)  # k > n
+        with pytest.raises(ConfigError):
+            DistributedPopcornKernelKMeans(2, n_devices=0)
+
+
+class TestDistributedModel:
+    def test_strong_scaling_reduces_makespan(self):
+        n, d, k = 200000, 780, 100
+        t1 = model_distributed_popcorn(n, d, k, 1)["makespan_s"]
+        t4 = model_distributed_popcorn(n, d, k, 4)["makespan_s"]
+        t8 = model_distributed_popcorn(n, d, k, 8)["makespan_s"]
+        assert t4 < t1
+        assert t8 < t4
+
+    def test_efficiency_degrades_with_devices(self):
+        n, d, k = 100000, 100, 50
+        e2 = model_distributed_popcorn(n, d, k, 2)["efficiency"]
+        e16 = model_distributed_popcorn(n, d, k, 16)["efficiency"]
+        assert e16 < e2 <= 1.1
+
+    def test_comm_grows_with_devices_over_ib(self):
+        n, d, k = 100000, 100, 50
+        c2 = model_distributed_popcorn(n, d, k, 2, comm=INFINIBAND)["comm_s"]
+        c8 = model_distributed_popcorn(n, d, k, 8, comm=INFINIBAND)["comm_s"]
+        assert c8 > c2
+
+    def test_memory_motivation(self):
+        """The future-work motivation: 8 GPUs partition a K that cannot
+        fit on one (n=200k -> 160 GB in FP32 > 80 GB)."""
+        n = 200000
+        full_k_gb = 4.0 * n * n / 1e9
+        assert full_k_gb > 80.0
+        assert full_k_gb / 8 < 80.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            model_distributed_popcorn(0, 10, 2, 2)

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example carries its own internal assertions (quality thresholds),
+so a zero exit status is a meaningful end-to-end check of the public API.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "nonlinear_clustering.py",
+    "image_change_detection.py",
+    "performance_study.py",
+    "distributed_clustering.py",
+    "graph_communities.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_example_list_is_complete():
+    """Every .py in examples/ is covered by the smoke test."""
+    found = sorted(
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    )
+    assert found == sorted(EXAMPLES)

@@ -1,0 +1,188 @@
+"""Tests for spectral clustering via weighted Kernel K-means."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.data import make_circles, make_moons
+from repro.errors import ConfigError, ShapeError
+from repro.eval import adjusted_rand_index
+from repro.graph import (
+    SpectralKernelKMeans,
+    cluster_graph,
+    knn_graph,
+    ncut_kernel,
+    power_iteration_embedding,
+)
+
+
+class TestKnnGraph:
+    def test_symmetric_and_node_count(self, rng):
+        x = rng.standard_normal((50, 3))
+        g = knn_graph(x, 5)
+        assert g.number_of_nodes() == 50
+        assert not g.is_directed()
+
+    def test_min_degree_at_least_k(self, rng):
+        x = rng.standard_normal((40, 2))
+        g = knn_graph(x, 6)
+        assert min(dict(g.degree()).values()) >= 6
+
+    def test_connectivity_mode_unit_weights(self, rng):
+        x = rng.standard_normal((20, 2))
+        g = knn_graph(x, 3, mode="connectivity")
+        assert all(d["weight"] == 1.0 for _, _, d in g.edges(data=True))
+
+    def test_distance_mode_weights_in_unit_interval(self, rng):
+        x = rng.standard_normal((20, 2))
+        g = knn_graph(x, 3, mode="distance")
+        ws = [d["weight"] for _, _, d in g.edges(data=True)]
+        assert all(0 < w <= 1.0 for w in ws)
+
+    def test_invalid_params(self, rng):
+        x = rng.standard_normal((10, 2))
+        with pytest.raises(ConfigError):
+            knn_graph(x, 0)
+        with pytest.raises(ConfigError):
+            knn_graph(x, 10)
+        with pytest.raises(ConfigError):
+            knn_graph(x, 3, mode="magic")
+
+
+class TestNcutKernel:
+    def test_psd_at_sigma_one(self, rng):
+        a = np.abs(rng.standard_normal((15, 15)))
+        a = 0.5 * (a + a.T)
+        np.fill_diagonal(a, 0)
+        k, w = ncut_kernel(a, sigma=1.0)
+        eigs = np.linalg.eigvalsh(k)
+        assert eigs.min() > -1e-10
+
+    def test_weights_are_degrees(self, rng):
+        a = np.ones((4, 4)) - np.eye(4)
+        _, w = ncut_kernel(a)
+        assert np.allclose(w, 3.0)
+
+    def test_isolated_vertex_handled(self):
+        a = np.zeros((3, 3))
+        a[0, 1] = a[1, 0] = 1.0
+        k, w = ncut_kernel(a)
+        assert np.isfinite(k).all()
+        assert w[2] == 1.0  # unit self-degree fallback
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigError):
+            ncut_kernel(-np.ones((3, 3)))
+        asym = np.zeros((3, 3))
+        asym[0, 1] = 1.0
+        with pytest.raises(ConfigError):
+            ncut_kernel(asym)
+        with pytest.raises(ConfigError):
+            ncut_kernel(np.zeros((3, 3)), sigma=0.5)
+        with pytest.raises(ShapeError):
+            ncut_kernel(np.zeros((3, 4)))
+
+
+class TestPowerIterationEmbedding:
+    def test_matches_dense_eigenvectors(self, rng):
+        """The embedding spans the top eigenspace of D^-1/2 A D^-1/2."""
+        a = np.abs(rng.standard_normal((30, 30)))
+        a = 0.5 * (a + a.T)
+        np.fill_diagonal(a, 0)
+        emb = power_iteration_embedding(a, 3, seed=0)
+        d = a.sum(axis=1)
+        s = a / np.sqrt(np.outer(d, d))
+        vals, vecs = np.linalg.eigh(s)
+        top = vecs[:, np.argsort(vals)[::-1][:3]]
+        want = top / np.sqrt(d)[:, None]
+        want /= np.linalg.norm(want, axis=1, keepdims=True)
+        # compare subspaces via principal angles of the row spaces
+        q1, _ = np.linalg.qr(emb)
+        q2, _ = np.linalg.qr(want)
+        svals = np.linalg.svd(q1.T @ q2, compute_uv=False)
+        assert svals.min() > 0.99
+
+    def test_disconnected_components_separate(self):
+        """Two components -> rows cluster into two distinct directions."""
+        a = np.zeros((8, 8))
+        for i, j in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7), (0, 2), (4, 6)]:
+            a[i, j] = a[j, i] = 1.0
+        emb = power_iteration_embedding(a, 2, seed=1)
+        from repro.baselines import LloydKMeans
+
+        lab = LloydKMeans(2, seed=0).fit(emb).labels_
+        assert len(set(lab[:4])) == 1
+        assert len(set(lab[4:])) == 1
+        assert lab[0] != lab[4]
+
+    def test_validation(self, rng):
+        a = np.ones((5, 5))
+        with pytest.raises(ConfigError):
+            power_iteration_embedding(a, 0)
+        with pytest.raises(ConfigError):
+            power_iteration_embedding(a, 6)
+        with pytest.raises(ConfigError):
+            power_iteration_embedding(a, 2, iters=0)
+
+
+class TestSpectralEstimator:
+    def test_moons_solved(self):
+        """The geometry where plain kernel k-means struggles."""
+        x, y = make_moons(400, rng=3)
+        m = SpectralKernelKMeans(2, seed=0).fit(x)
+        assert adjusted_rand_index(m.labels_, y) > 0.95
+
+    def test_circles_solved(self):
+        x, y = make_circles(400, rng=3)
+        m = SpectralKernelKMeans(2, seed=0).fit(x)
+        assert adjusted_rand_index(m.labels_, y) > 0.95
+
+    @pytest.mark.parametrize("seed", [1, 2, 5])
+    def test_moons_robust_across_data_draws(self, seed):
+        x, y = make_moons(300, rng=seed)
+        m = SpectralKernelKMeans(2, seed=0).fit(x)
+        assert adjusted_rand_index(m.labels_, y) > 0.9
+
+    def test_attributes(self):
+        x, y = make_moons(150, rng=1)
+        m = SpectralKernelKMeans(2, seed=0).fit(x)
+        assert m.labels_.shape == (150,)
+        assert isinstance(m.graph_, nx.Graph)
+        assert m.objective_ > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SpectralKernelKMeans(0)
+        with pytest.raises(ConfigError):
+            SpectralKernelKMeans(2, n_init=0)
+
+
+class TestClusterGraph:
+    def test_two_cliques(self):
+        g = nx.disjoint_union(nx.complete_graph(10), nx.complete_graph(12))
+        g.add_edge(0, 15)
+        labels = cluster_graph(g, 2, seed=0)
+        truth = np.array([0] * 10 + [1] * 12)
+        assert adjusted_rand_index(labels, truth) == 1.0
+
+    def test_caveman_communities(self):
+        g = nx.connected_caveman_graph(3, 8)
+        labels = cluster_graph(g, 3, seed=0)
+        assert adjusted_rand_index(labels, np.repeat([0, 1, 2], 8)) == 1.0
+
+    def test_weighted_barbell(self):
+        """Two dense lobes joined by a path: min ncut cuts the path."""
+        g = nx.barbell_graph(8, 2)
+        labels = cluster_graph(g, 2, seed=0)
+        assert labels[0] == labels[7]  # first lobe together
+        assert labels[10] == labels[17]  # second lobe together
+        assert labels[0] != labels[17]
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ConfigError):
+            cluster_graph(nx.complete_graph(3), 5)
+
+    def test_arbitrary_node_labels(self):
+        g = nx.relabel_nodes(nx.complete_graph(4), {0: "a", 1: "b", 2: "c", 3: "d"})
+        labels = cluster_graph(g, 2, seed=0)
+        assert labels.shape == (4,)

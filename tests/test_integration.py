@@ -1,0 +1,108 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineCUDAKernelKMeans,
+    DistributedPopcornKernelKMeans,
+    LloydKMeans,
+    NystromKernelKMeans,
+    PopcornKernelKMeans,
+    PRMLTKernelKMeans,
+)
+from repro.baselines import random_labels
+from repro.data import generate, make_blobs, make_circles, make_moons
+from repro.eval import adjusted_rand_index, assert_monotone, normalized_mutual_info
+from repro.gpu import A100_80GB, Device
+from repro.kernels import GaussianKernel, PolynomialKernel
+
+
+class TestNonlinearShowcase:
+    """The paper's core motivation, end to end."""
+
+    def test_kernel_kmeans_beats_lloyd_on_circles(self):
+        x, y = make_circles(500, rng=1)
+        kk = PopcornKernelKMeans(
+            2, kernel=GaussianKernel(gamma=5.0), seed=0, max_iter=100
+        ).fit(x)
+        ll = LloydKMeans(2, seed=0).fit(x)
+        kk_ari = adjusted_rand_index(kk.labels_, y)
+        ll_ari = adjusted_rand_index(ll.labels_, y)
+        assert kk_ari > 0.95
+        assert ll_ari < 0.3
+        assert kk_ari > ll_ari + 0.5
+
+    def test_all_engines_agree_on_circles(self):
+        x, y = make_circles(200, rng=4)
+        kern = GaussianKernel(gamma=5.0)
+        init = random_labels(200, 2, np.random.default_rng(0))
+        kwargs = dict(kernel=kern, max_iter=40, check_convergence=False)
+        pop = PopcornKernelKMeans(2, dtype=np.float64, **kwargs).fit(x, init_labels=init)
+        cuda = BaselineCUDAKernelKMeans(2, dtype=np.float64, **kwargs).fit(x, init_labels=init)
+        cpu = PRMLTKernelKMeans(2, kernel=kern, max_iter=40, check_convergence=False).fit(
+            x, init_labels=init
+        )
+        dist = DistributedPopcornKernelKMeans(
+            2, n_devices=3, dtype=np.float64, **kwargs
+        ).fit(x, init_labels=init)
+        assert np.array_equal(pop.labels_, cuda.labels_)
+        assert np.array_equal(pop.labels_, cpu.labels_)
+        assert np.array_equal(pop.labels_, dist.labels_)
+
+    def test_nystrom_approximates_exact(self):
+        x, y = make_circles(500, rng=1)
+        exact = PopcornKernelKMeans(
+            2, kernel=GaussianKernel(gamma=5.0), seed=0, max_iter=100
+        ).fit(x)
+        approx = NystromKernelKMeans(
+            2, n_landmarks=120, kernel=GaussianKernel(gamma=5.0), seed=0
+        ).fit(x)
+        assert adjusted_rand_index(exact.labels_, y) > 0.95
+        assert adjusted_rand_index(approx.labels_, y) > 0.95
+        assert normalized_mutual_info(exact.labels_, approx.labels_) > 0.9
+
+
+class TestFullPipelineHealth:
+    def test_table2_standin_clusters(self):
+        """A scaled Table 2 stand-in flows through the full pipeline."""
+        x, y = generate("mnist", scale=0.005, rng=0, k=5)  # 300 x 4
+        m = PopcornKernelKMeans(5, seed=0, init="k-means++", max_iter=40).fit(x)
+        assert adjusted_rand_index(m.labels_, y) > 0.5
+
+    def test_objective_monotone_on_moons(self):
+        x, _ = make_moons(300, rng=3)
+        m = PopcornKernelKMeans(
+            2, kernel=GaussianKernel(gamma=10.0), seed=0, max_iter=50, dtype=np.float64
+        ).fit(x)
+        assert_monotone(m.objective_history_)
+
+    def test_no_device_memory_leak_across_fits(self):
+        dev = Device(A100_80GB)
+        x, _, = make_blobs(80, 4, 3, rng=2)
+        for seed in range(3):
+            PopcornKernelKMeans(3, device=dev, seed=seed, max_iter=5).fit(x)
+        assert dev.allocated_bytes == 0
+
+    def test_profiler_accumulates_across_fits_on_shared_device(self):
+        dev = Device(A100_80GB)
+        x, _ = make_blobs(60, 3, 2, rng=1)
+        PopcornKernelKMeans(2, device=dev, seed=0, max_iter=2, check_convergence=False).fit(x)
+        count1 = dev.profiler.count_of("cusparse.spmm")
+        PopcornKernelKMeans(2, device=dev, seed=1, max_iter=2, check_convergence=False).fit(x)
+        assert dev.profiler.count_of("cusparse.spmm") == 2 * count1
+
+    def test_spmm_count_equals_iterations(self):
+        x, _ = make_blobs(70, 4, 3, rng=5)
+        m = PopcornKernelKMeans(3, seed=0, max_iter=30).fit(x)
+        assert m.device_.profiler.count_of("cusparse.spmm") == m.n_iter_
+
+    def test_paper_default_run_shape(self):
+        """The paper's protocol: 30 fixed iterations, polynomial kernel."""
+        x, _ = make_blobs(100, 6, 10, rng=8)
+        m = PopcornKernelKMeans(
+            10, kernel=PolynomialKernel(gamma=1.0, coef0=1.0, degree=2),
+            max_iter=30, check_convergence=False, seed=0,
+        ).fit(x)
+        assert m.n_iter_ == 30
+        assert len(m.objective_history_) == 30

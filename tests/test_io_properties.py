@@ -1,0 +1,56 @@
+"""Property-based round-trip tests for dataset I/O."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data import read_csv, read_libsvm, write_csv, write_libsvm
+
+finite32 = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+@st.composite
+def dataset(draw):
+    n = draw(st.integers(1, 12))
+    d = draw(st.integers(1, 8))
+    x = draw(arrays(np.float32, (n, d), elements=finite32))
+    y = draw(arrays(np.int32, (n,), elements=st.integers(0, 9)))
+    return x, y
+
+
+@given(dataset())
+@settings(max_examples=40, deadline=None)
+def test_libsvm_round_trip(tmp_path_factory, data):
+    x, y = data
+    path = str(tmp_path_factory.mktemp("io") / "d.libsvm")
+    write_libsvm(path, x, y)
+    x2, y2 = read_libsvm(path, n_features=x.shape[1])
+    assert np.allclose(x2, x, rtol=1e-5, atol=1e-4)
+    assert np.array_equal(np.asarray(y2), y)
+
+
+@given(dataset())
+@settings(max_examples=40, deadline=None)
+def test_csv_round_trip(tmp_path_factory, data):
+    x, y = data
+    path = str(tmp_path_factory.mktemp("io") / "d.csv")
+    write_csv(path, x, y)
+    x2, y2 = read_csv(path, label_column=-1)
+    assert np.allclose(x2, x, rtol=1e-5, atol=1e-4)
+    assert np.array_equal(y2, y)
+
+
+@given(dataset())
+@settings(max_examples=30, deadline=None)
+def test_libsvm_sparsity_preserved(tmp_path_factory, data):
+    """Zeros are omitted from the file and restored as exact zeros."""
+    x, y = data
+    x = x.copy()
+    x[np.abs(x) < 1.0] = 0.0
+    path = str(tmp_path_factory.mktemp("io") / "s.libsvm")
+    write_libsvm(path, x, y)
+    x2, _ = read_libsvm(path, n_features=x.shape[1])
+    assert np.array_equal(x2 == 0, x == 0)

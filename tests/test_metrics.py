@@ -1,0 +1,148 @@
+"""Tests for the clustering metrics (from-scratch implementations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.eval import (
+    adjusted_rand_index,
+    assert_monotone,
+    cluster_sizes_ok,
+    clustering_accuracy,
+    contingency_table,
+    normalized_mutual_info,
+    purity,
+    relative_decrease,
+)
+from repro.errors import ConvergenceError
+
+
+class TestContingency:
+    def test_counts(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 1])
+        c = contingency_table(a, b)
+        assert c.tolist() == [[0, 2], [1, 1]]
+
+    def test_sparse_label_ids(self):
+        a = np.array([5, 5, 100])
+        b = np.array([0, 0, 1])
+        c = contingency_table(a, b)
+        assert c.shape == (2, 2)
+        assert c.sum() == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            contingency_table(np.array([0]), np.array([0, 1]))
+
+    def test_empty(self):
+        with pytest.raises(ShapeError):
+            contingency_table(np.array([], dtype=int), np.array([], dtype=int))
+
+
+class TestARI:
+    def test_identical_partitions(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_one(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # classic example: ARI of [0,0,1,1] vs [0,1,0,1] is negative-ish/zero
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(-0.5)
+
+    def test_single_cluster_each(self):
+        a = np.zeros(5, dtype=int)
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 3, 30)
+        b = rng.integers(0, 4, 30)
+        assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a))
+
+    @given(st.lists(st.integers(0, 3), min_size=4, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded(self, labels):
+        a = np.asarray(labels)
+        rng = np.random.default_rng(0)
+        b = rng.integers(0, 3, len(labels))
+        v = adjusted_rand_index(a, b)
+        assert -1.0 <= v <= 1.0
+
+
+class TestNMI:
+    def test_identical(self):
+        a = np.array([0, 0, 1, 1, 2])
+        assert normalized_mutual_info(a, a) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self, rng):
+        a = rng.integers(0, 2, 5000)
+        b = rng.integers(0, 2, 5000)
+        assert normalized_mutual_info(a, b) < 0.01
+
+    def test_single_cluster_degenerate(self):
+        a = np.zeros(5, dtype=int)
+        assert normalized_mutual_info(a, a) == 1.0
+
+    def test_bounded(self, rng):
+        a = rng.integers(0, 4, 100)
+        b = rng.integers(0, 3, 100)
+        assert 0.0 <= normalized_mutual_info(a, b) <= 1.0
+
+    def test_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert normalized_mutual_info(a, b) == pytest.approx(1.0)
+
+
+class TestPurityAccuracy:
+    def test_purity_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        assert purity(a, a) == 1.0
+
+    def test_purity_majority(self):
+        pred = np.array([0, 0, 0, 1])
+        truth = np.array([0, 0, 1, 1])
+        assert purity(pred, truth) == pytest.approx(0.75)
+
+    def test_accuracy_with_permutation(self):
+        pred = np.array([1, 1, 0, 0])
+        truth = np.array([0, 0, 1, 1])
+        assert clustering_accuracy(pred, truth) == 1.0
+
+    def test_accuracy_unequal_cluster_counts(self):
+        pred = np.array([0, 1, 2, 2])
+        truth = np.array([0, 0, 1, 1])
+        assert clustering_accuracy(pred, truth) == pytest.approx(0.75)
+
+    def test_accuracy_at_least_purity_when_square(self, rng):
+        pred = rng.integers(0, 3, 60)
+        truth = rng.integers(0, 3, 60)
+        assert clustering_accuracy(pred, truth) <= purity(pred, truth) + 1e-12
+
+
+class TestValidationHelpers:
+    def test_assert_monotone_ok(self):
+        assert_monotone([10.0, 9.0, 9.0, 8.5])
+
+    def test_assert_monotone_tolerates_roundoff(self):
+        assert_monotone([10.0, 10.0 + 1e-7], rel_tol=1e-5)
+
+    def test_assert_monotone_raises(self):
+        with pytest.raises(ConvergenceError):
+            assert_monotone([10.0, 11.0])
+
+    def test_relative_decrease(self):
+        assert relative_decrease([10.0, 5.0]) == pytest.approx(0.5)
+        assert relative_decrease([10.0]) == 0.0
+
+    def test_cluster_sizes_ok(self):
+        assert cluster_sizes_ok(np.array([0, 1, 1]), 2, min_size=1)
+        assert not cluster_sizes_ok(np.array([0, 0]), 2, min_size=1)

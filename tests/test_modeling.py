@@ -1,0 +1,194 @@
+"""Tests for the paper-scale analytical models.
+
+The key contract: for sizes small enough to execute, the analytical model
+and the executing estimator produce the **same launch log** — same names,
+same FLOPs, same bytes, same modeled time, launch for launch.  That's
+what lets the figure benches run at paper scale without materialising
+50000 x 50000 matrices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineCUDAKernelKMeans, random_labels
+from repro.core import PopcornKernelKMeans
+from repro.errors import ConfigError
+from repro.gpu import A100_80GB
+from repro.modeling import model_baseline, model_cpu, model_gram, model_popcorn
+
+
+def _exec_launches(prof, skip=("cuda.memcpy_h2d", "cuda.memcpy_d2h")):
+    return [l for l in prof.launches if l.name not in skip]
+
+
+class TestModelMatchesExecution:
+    def test_popcorn_launch_for_launch(self, rng):
+        n, d, k, iters = 48, 6, 3, 4
+        x = rng.standard_normal((n, d)).astype(np.float32)
+        init = random_labels(n, k, rng)
+        est = PopcornKernelKMeans(
+            k, max_iter=iters, check_convergence=False, gram_method="auto"
+        ).fit(x, init_labels=init)
+        modeled = model_popcorn(n, d, k, iters=iters, include_transfer=False)
+        got = _exec_launches(est.device_.profiler)
+        want = _exec_launches(modeled.profiler)
+        assert [l.name for l in got] == [l.name for l in want]
+        for a, b in zip(got, want):
+            assert a.flops == pytest.approx(b.flops), a.name
+            assert a.bytes == pytest.approx(b.bytes), a.name
+            assert a.time_s == pytest.approx(b.time_s), a.name
+
+    def test_baseline_launch_for_launch(self, rng):
+        n, d, k, iters = 40, 5, 4, 3
+        x = rng.standard_normal((n, d)).astype(np.float32)
+        init = random_labels(n, k, rng)
+        est = BaselineCUDAKernelKMeans(k, max_iter=iters, check_convergence=False).fit(
+            x, init_labels=init
+        )
+        modeled = model_baseline(n, d, k, iters=iters, include_transfer=False)
+        got = _exec_launches(est.device_.profiler)
+        want = _exec_launches(modeled.profiler)
+        assert [l.name for l in got] == [l.name for l in want]
+        for a, b in zip(got, want):
+            assert a.time_s == pytest.approx(b.time_s), a.name
+
+    def test_phase_times_match(self, rng):
+        n, d, k, iters = 36, 4, 3, 3
+        x = rng.standard_normal((n, d)).astype(np.float32)
+        est = PopcornKernelKMeans(k, max_iter=iters, check_convergence=False).fit(
+            x, init_labels=random_labels(n, k, rng)
+        )
+        modeled = model_popcorn(n, d, k, iters=iters, include_transfer=False)
+        for phase in ("kernel_matrix", "distances", "argmin_update"):
+            assert est.timings_[phase] == pytest.approx(modeled.phase_s(phase)), phase
+
+
+class TestModelShapes:
+    """The paper's headline bands, asserted at paper scale."""
+
+    DATASETS = {
+        "acoustic": (78823, 50),
+        "cifar10": (50000, 3072),
+        "ledgar": (70000, 19996),
+        "letter": (10500, 26),
+        "mnist": (60000, 780),
+        "scotus": (6400, 126405),
+    }
+
+    def test_fig3_band(self):
+        """Baseline CUDA over CPU: 10x-80x, increasing with k."""
+        for name, (n, d) in self.DATASETS.items():
+            speedups = []
+            for k in (10, 50, 100):
+                s = model_cpu(n, d, k).total_s / model_baseline(n, d, k).total_s
+                assert 10 <= s <= 80, (name, k, s)
+                speedups.append(s)
+            assert speedups[0] < speedups[2], name
+
+    def test_fig3_letter_is_max(self):
+        best = {
+            name: max(
+                model_cpu(n, d, k).total_s / model_baseline(n, d, k).total_s
+                for k in (10, 50, 100)
+            )
+            for name, (n, d) in self.DATASETS.items()
+        }
+        assert max(best, key=best.get) == "letter"
+        assert 55 <= best["letter"] <= 80  # paper: 72.8x
+
+    def test_fig4_band(self):
+        """Popcorn distance phase over baseline: 1.5-2.6x on large sets,
+        collapsing for SCOTUS (n = 6400)."""
+        for name, (n, d) in self.DATASETS.items():
+            for k in (10, 50, 100):
+                s = (
+                    model_baseline(n, d, k).phase_s("distances")
+                    / model_popcorn(n, d, k).phase_s("distances")
+                )
+                if name == "scotus":
+                    assert s < 1.5, (name, k, s)
+                else:
+                    assert 1.4 <= s <= 2.7, (name, k, s)
+
+    def test_fig5_throughput_bands_and_trends(self):
+        n, d = 50000, 3072
+        pop, base = [], []
+        for k in (10, 50, 100):
+            pop.append(model_popcorn(n, d, k).profiler.achieved_gflops("cusparse.spmm"))
+            base.append(
+                model_baseline(n, d, k).profiler.achieved_gflops("baseline.k1_cluster_reduce")
+            )
+        assert pop[0] < pop[1] < pop[2]  # rises with k
+        assert base[0] > base[1] > base[2]  # falls with k
+        assert 330 <= pop[0] and pop[2] <= 760  # paper: 370-729
+        assert 280 <= base[2] and base[0] <= 450  # paper: 304-409
+
+    def test_fig7_band(self):
+        """End-to-end Popcorn over baseline: 1.4-2.7x everywhere."""
+        for name, (n, d) in self.DATASETS.items():
+            for k in (10, 50, 100):
+                s = model_baseline(n, d, k).total_s / model_popcorn(n, d, k).total_s
+                assert 1.4 <= s <= 2.7, (name, k, s)
+
+    def test_fig8_breakdown_shapes(self):
+        """Large d => kernel matrix dominates; large n small d => distances."""
+        for name in ("ledgar", "scotus"):
+            n, d = self.DATASETS[name]
+            m = model_popcorn(n, d, 100)
+            assert m.phase_s("kernel_matrix") > m.phase_s("distances"), name
+        for name in ("acoustic", "letter"):
+            n, d = self.DATASETS[name]
+            m = model_popcorn(n, d, 100)
+            assert m.phase_s("distances") > m.phase_s("kernel_matrix"), name
+
+    def test_fig8_argmin_trivial(self):
+        """'the cost of updating cluster assignments is trivial' (Sec. 5.7)."""
+        for name, (n, d) in self.DATASETS.items():
+            m = model_popcorn(n, d, 100)
+            assert m.phase_s("argmin_update") < 0.12 * m.total_s, name
+
+    def test_fig2_winner_flip(self):
+        from repro.kernels import model_gram_times
+
+        t_large_ratio = model_gram_times(A100_80GB, 50000, 100)
+        t_small_ratio = model_gram_times(A100_80GB, 10000, 10000)
+        assert t_large_ratio["gemm"] < t_large_ratio["syrk"]
+        assert t_small_ratio["syrk"] < t_small_ratio["gemm"]
+
+
+class TestModelInterface:
+    def test_model_gram_methods(self):
+        g = model_gram(A100_80GB, 1000, 100, "gemm")
+        assert g.count_of("cublas.gemm") == 1
+        s = model_gram(A100_80GB, 1000, 100, "syrk")
+        assert s.count_of("cublas.syrk") == 1
+        assert s.count_of("custom.triangular_mirror") == 1
+
+    def test_model_gram_bad_method(self):
+        with pytest.raises(ConfigError):
+            model_gram(A100_80GB, 100, 10, "magic")
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            model_popcorn(0, 5, 2)
+        with pytest.raises(ConfigError):
+            model_popcorn(10, 5, 20)  # k > n
+        with pytest.raises(ConfigError):
+            model_baseline(10, 0, 2)
+
+    def test_runmodel_accessors(self):
+        m = model_popcorn(1000, 50, 10, iters=5)
+        assert m.total_s > 0
+        assert m.phase_s("distances") > 0
+        assert m.phase_s("nonexistent") == 0.0
+        assert m.n == 1000 and m.iters == 5
+
+    def test_transfer_toggle(self):
+        with_t = model_popcorn(1000, 50, 10, include_transfer=True)
+        without = model_popcorn(1000, 50, 10, include_transfer=False)
+        assert with_t.total_s > without.total_s
+
+    def test_iterations_scale_distance_phase(self):
+        m1 = model_popcorn(5000, 50, 10, iters=10)
+        m2 = model_popcorn(5000, 50, 10, iters=20)
+        assert m2.phase_s("distances") == pytest.approx(2 * m1.phase_s("distances"))

@@ -1,0 +1,78 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.plotting import bar_chart, grouped_bar_chart, scatter_plot
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], unit="x")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert "2x" in lines[1]
+
+    def test_longest_bar_is_widest(self):
+        out = bar_chart(["a", "b"], [1.0, 4.0], width=40)
+        a, b = out.splitlines()
+        assert b.count("#") > a.count("#")
+        assert b.count("#") == 40
+
+    def test_zero_value_no_bar(self):
+        out = bar_chart(["z", "p"], [0.0, 1.0])
+        assert out.splitlines()[0].count("#") == 0
+
+    def test_title(self):
+        out = bar_chart(["a"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            bar_chart([], [])
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        out = grouped_bar_chart(
+            ["g1", "g2"], {"s1": [1.0, 2.0], "s2": [3.0, 4.0]}
+        )
+        lines = out.splitlines()
+        assert lines[0] == "g1:"
+        assert sum(1 for l in lines if l.endswith(":")) == 2
+        assert sum(1 for l in lines if "#" in l) == 4
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            grouped_bar_chart(["g1"], {"s": [1.0, 2.0]})
+
+
+class TestScatter:
+    def test_renders_grid(self):
+        out = scatter_plot([(1, 1), (2, 2), (3, 1)], rows=5, cols=20)
+        lines = out.splitlines()
+        assert len(lines) == 5 + 3  # grid + axis line + 2 range lines
+        assert out.count("*") == 3
+
+    def test_log_axes(self):
+        out = scatter_plot([(0.1, 10), (10, 1000)], logx=True, logy=True)
+        assert "(log)" in out
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ConfigError):
+            scatter_plot([(0.0, 1.0)], logx=True)
+
+    def test_custom_markers(self):
+        out = scatter_plot([(1, 1, "P"), (2, 2, "B")], rows=8, cols=30)
+        assert "P" in out and "B" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            scatter_plot([])
+
+    def test_single_point(self):
+        out = scatter_plot([(5.0, 7.0)])
+        assert "*" in out

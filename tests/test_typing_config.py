@@ -1,0 +1,128 @@
+"""Tests for validation helpers, configuration, and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import Config, DEFAULT_CONFIG
+from repro._typing import (
+    as_float_dtype,
+    as_index_vector,
+    as_matrix,
+    as_vector,
+    check_labels,
+    check_square,
+)
+from repro.errors import (
+    AllocationError,
+    ConfigError,
+    ConvergenceError,
+    DatasetError,
+    DeviceError,
+    DTypeError,
+    ReproError,
+    ShapeError,
+    SparseFormatError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ShapeError, DTypeError, SparseFormatError, DeviceError,
+        AllocationError, ConvergenceError, ConfigError, DatasetError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_dual_inheritance(self):
+        assert issubclass(ShapeError, ValueError)
+        assert issubclass(DTypeError, TypeError)
+        assert issubclass(DeviceError, RuntimeError)
+        assert issubclass(AllocationError, DeviceError)
+
+
+class TestTypingHelpers:
+    def test_as_float_dtype_accepts(self):
+        assert as_float_dtype(np.float32) == np.dtype(np.float32)
+        assert as_float_dtype("float64") == np.dtype(np.float64)
+
+    def test_as_float_dtype_rejects(self):
+        with pytest.raises(DTypeError):
+            as_float_dtype(np.int32)
+        with pytest.raises(DTypeError):
+            as_float_dtype(np.float16)
+
+    def test_as_matrix_contiguous(self):
+        a = np.asfortranarray(np.ones((3, 4)))
+        m = as_matrix(a)
+        assert m.flags.c_contiguous
+
+    def test_as_matrix_keeps_float32(self):
+        assert as_matrix(np.ones((2, 2), dtype=np.float32)).dtype == np.float32
+
+    def test_as_matrix_promotes_ints(self):
+        assert as_matrix(np.ones((2, 2), dtype=np.int64)).dtype == np.float64
+
+    def test_as_matrix_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            as_matrix(np.ones(3))
+
+    def test_as_vector(self):
+        v = as_vector([1.0, 2.0])
+        assert v.shape == (2,)
+        with pytest.raises(ShapeError):
+            as_vector(np.ones((2, 2)))
+
+    def test_as_index_vector_integral_floats(self):
+        v = as_index_vector(np.array([0.0, 2.0]))
+        assert v.dtype == np.int32
+
+    def test_as_index_vector_rejects_fractional(self):
+        with pytest.raises(DTypeError):
+            as_index_vector(np.array([0.5, 1.0]))
+
+    def test_check_square(self):
+        check_square(np.ones((3, 3)))
+        with pytest.raises(ShapeError):
+            check_square(np.ones((3, 4)))
+
+    def test_check_labels(self):
+        lab = check_labels(np.array([0, 1, 2]), 3, 3)
+        assert lab.dtype == np.int32
+        with pytest.raises(ShapeError):
+            check_labels(np.array([0, 1]), 3, 3)  # wrong length
+        with pytest.raises(ShapeError):
+            check_labels(np.array([0, 1, 5]), 3, 3)  # out of range
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_CONFIG.dtype == np.dtype(np.float32)
+        assert DEFAULT_CONFIG.gemm_syrk_threshold == 100.0
+        assert DEFAULT_CONFIG.max_iter == 30
+
+    def test_with_replaces(self):
+        c = DEFAULT_CONFIG.with_(max_iter=5)
+        assert c.max_iter == 5
+        assert DEFAULT_CONFIG.max_iter == 30
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Config(gemm_syrk_threshold=0)
+        with pytest.raises(ConfigError):
+            Config(max_iter=0)
+        with pytest.raises(ConfigError):
+            Config(tol=-1)
+        with pytest.raises(DTypeError):
+            Config(dtype=np.int8)
+
+    def test_rng(self):
+        a = DEFAULT_CONFIG.rng(5).integers(0, 100, 10)
+        b = DEFAULT_CONFIG.rng(5).integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+    def test_package_exports(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+        assert hasattr(repro, "PopcornKernelKMeans")
+        assert hasattr(repro, "DistributedPopcornKernelKMeans")
