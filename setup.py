@@ -1,7 +1,56 @@
-"""Setup shim: enables legacy editable installs (`pip install -e .`) in
-offline environments where the `wheel` package is unavailable and PEP 517
-builds cannot run.  All metadata lives in pyproject.toml."""
+"""Package metadata and entry points for the Popcorn reproduction.
 
-from setuptools import setup
+Kept as a plain ``setup.py`` (no PEP 517 build isolation) so editable
+installs work in offline environments where the ``wheel`` package is
+unavailable.
+"""
 
-setup()
+import os
+
+from setuptools import find_packages, setup
+
+_here = os.path.dirname(os.path.abspath(__file__))
+_paper = os.path.join(_here, "PAPER.md")
+if os.path.exists(_paper):
+    with open(_paper, encoding="utf-8") as fh:
+        _long = fh.read()
+else:
+    _long = ""
+
+setup(
+    name="popcorn-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Popcorn: Accelerating Kernel K-means on GPUs "
+        "through Sparse Linear Algebra' (PPoPP 2025) on a simulated GPU"
+    ),
+    long_description=_long,
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+        "networkx>=2.6",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        "plot": ["matplotlib"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "gpukmeans=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+    ],
+)

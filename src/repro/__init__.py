@@ -3,9 +3,20 @@ K-means on GPUs through Sparse Linear Algebra* (PPoPP 2025).
 
 Layout
 ------
+``repro.engine``
+    The shared execution layer every estimator runs on:
+    :class:`~repro.engine.BaseKernelKMeans` (the fit scaffolding — device
+    plumbing, the init -> distances -> argmin -> convergence loop,
+    empty-cluster policy, fitted attributes), pluggable
+    :class:`~repro.engine.Backend` substrates (``backend="host"`` for
+    NumPy/CSR, ``backend="device"`` for the simulated GPU — identical
+    numerics, selectable on every estimator), and the row-tiled distance
+    pipeline (``tile_rows=``) that streams kernel matrices larger than
+    device memory tile-by-tile instead of raising.
 ``repro.core``
     The paper's contribution: :class:`PopcornKernelKMeans` and the
-    SpMM/SpMV distance pipeline.
+    SpMM/SpMV distance pipeline (each estimator is a distance-step
+    strategy on the engine).
 ``repro.sparse``
     From-scratch CSR substrate (SpMM, SpMV, SpGEMM, selection matrices).
 ``repro.gpu``
@@ -43,6 +54,7 @@ from .baselines import (
 )
 from .distributed import DistributedPopcornKernelKMeans
 from .approx import NystromKernelKMeans
+from .engine import BaseKernelKMeans, available_backends
 from .graph import SpectralKernelKMeans
 from .harness import ExperimentResult, TrialStats, run_trials
 from .gpu import A100_80GB, Device, DeviceSpec
@@ -71,6 +83,8 @@ __all__ = [
     "DistributedPopcornKernelKMeans",
     "NystromKernelKMeans",
     "SpectralKernelKMeans",
+    "BaseKernelKMeans",
+    "available_backends",
     "run_trials",
     "TrialStats",
     "ExperimentResult",

@@ -23,9 +23,9 @@ from scipy.linalg import eigh
 
 from .._typing import as_matrix
 from ..baselines.lloyd import LloydKMeans
-from ..config import DEFAULT_CONFIG
+from ..engine.base import BaseKernelKMeans
 from ..errors import ConfigError
-from ..kernels import Kernel, PolynomialKernel, kernel_by_name
+from ..kernels import Kernel
 
 __all__ = ["NystromKernelKMeans", "nystrom_embedding"]
 
@@ -63,13 +63,20 @@ def nystrom_embedding(
     return np.ascontiguousarray(phi), landmarks
 
 
-class NystromKernelKMeans:
+class NystromKernelKMeans(BaseKernelKMeans):
     """Approximate Kernel K-means: Nyström embedding + Lloyd.
 
     Parameters mirror :class:`~repro.core.PopcornKernelKMeans` plus
     ``n_landmarks``.  Quality approaches exact Kernel K-means as
     ``n_landmarks`` grows (tested on the circles dataset).
+
+    The embedding + Lloyd pipeline is host-side linear algebra — this is
+    the *approximation that avoids the kernel matrix entirely*, so only
+    ``backend="host"`` (the ``"auto"`` default) applies.
     """
+
+    _default_backend = "host"
+    _supported_backends = ("host",)
 
     def __init__(
         self,
@@ -77,28 +84,27 @@ class NystromKernelKMeans:
         *,
         n_landmarks: int = 128,
         kernel: Kernel | str = None,
+        backend: str = "auto",
         max_iter: int = 100,
         tol: float = 1e-6,
         n_init: int = 5,
         seed: int | None = None,
     ) -> None:
-        if n_clusters < 1:
-            raise ConfigError("n_clusters must be >= 1")
+        super().__init__(
+            n_clusters,
+            backend=backend,
+            max_iter=max_iter,
+            tol=tol,
+            seed=seed,
+            dtype=np.float64,
+        )
         if n_landmarks < 1:
             raise ConfigError("n_landmarks must be >= 1")
         if n_init < 1:
             raise ConfigError("n_init must be >= 1")
-        self.n_clusters = int(n_clusters)
         self.n_landmarks = int(n_landmarks)
-        if kernel is None:
-            kernel = PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
-        elif isinstance(kernel, str):
-            kernel = kernel_by_name(kernel)
-        self.kernel = kernel
-        self.max_iter = int(max_iter)
-        self.tol = float(tol)
+        self.kernel = self._resolve_kernel(kernel)
         self.n_init = int(n_init)
-        self.seed = seed
 
     def fit(self, x: np.ndarray) -> "NystromKernelKMeans":
         """Embed with Nyström landmarks, then run Lloyd on the embedding.
@@ -108,7 +114,7 @@ class NystromKernelKMeans:
         embedded space (O(n m k) per iteration vs O(n^2) exact).
         """
         xm = as_matrix(x, dtype=np.float64, name="x")
-        rng = np.random.default_rng(DEFAULT_CONFIG.seed if self.seed is None else self.seed)
+        rng = self._rng()
         m = min(self.n_landmarks, xm.shape[0])
         phi, landmarks = nystrom_embedding(xm, self.kernel, m, rng=rng)
         inner = None
@@ -124,9 +130,6 @@ class NystromKernelKMeans:
         self.landmarks_ = landmarks
         self.inertia_ = inner.inertia_
         self.n_iter_ = inner.n_iter_
+        self.backend_ = "host"
         self._inner = inner
         return self
-
-    def fit_predict(self, x: np.ndarray) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(x).labels_

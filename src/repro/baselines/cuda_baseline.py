@@ -12,7 +12,11 @@ instead of SpMM/SpMV:
 
 Numerics are exact (identical assignments to Popcorn from the same init);
 only the modeled launch costs differ, which is precisely the paper's
-experimental contrast.
+experimental contrast.  The estimator runs on the shared engine
+(:mod:`repro.engine`): only the distance-step strategy differs from
+:class:`~repro.core.PopcornKernelKMeans` — the fit scaffolding, backend
+selection (``backend="host"`` runs the same three kernels on NumPy
+arrays) and convergence logic are inherited.
 """
 
 from __future__ import annotations
@@ -21,25 +25,26 @@ from typing import Optional
 
 import numpy as np
 
-from .._typing import as_matrix, check_labels
+from .._typing import as_matrix
 from ..config import DEFAULT_CONFIG
-from ..core.assignment import ConvergenceTracker, objective_value
+from ..engine.backends import DistanceStep, EngineState
+from ..engine.base import BaseKernelKMeans
 from ..errors import ConfigError, ShapeError
-from ..gpu import custom, raft, thrust
-from ..gpu.blas import gemm_gram
 from ..gpu.device import Device
-from ..gpu.spec import A100_80GB, DeviceSpec
-from ..kernels import Kernel, PolynomialKernel, kernel_by_name
-from .init import random_labels
+from ..gpu.spec import DeviceSpec
+from ..kernels import Kernel
 
 __all__ = ["BaselineCUDAKernelKMeans"]
 
 
-class BaselineCUDAKernelKMeans:
+class BaselineCUDAKernelKMeans(BaseKernelKMeans):
     """Hand-written-kernel GPU Kernel K-means (the paper's CUDA baseline).
 
     The constructor mirrors :class:`~repro.core.PopcornKernelKMeans` minus
-    the Gram dispatch options (the baseline always uses GEMM, Sec. 5.3).
+    the Gram dispatch options (the baseline always uses GEMM, Sec. 5.3)
+    and the row-tiling mode (the shared-memory reduction kernel needs K
+    resident).  Unlike Popcorn there is no capacity pre-check: the
+    baseline fails mid-run on allocation, as the real implementation does.
     """
 
     def __init__(
@@ -48,26 +53,28 @@ class BaselineCUDAKernelKMeans:
         *,
         kernel: Kernel | str = None,
         device: Device | DeviceSpec | None = None,
+        backend: str = "auto",
         max_iter: int = DEFAULT_CONFIG.max_iter,
         tol: float = DEFAULT_CONFIG.tol,
         check_convergence: bool = True,
         seed: int | None = None,
         dtype=np.float32,
     ) -> None:
-        if n_clusters < 1:
-            raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
-        self.n_clusters = int(n_clusters)
-        if kernel is None:
-            kernel = PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
-        elif isinstance(kernel, str):
-            kernel = kernel_by_name(kernel)
-        self.kernel = kernel
+        super().__init__(
+            n_clusters,
+            backend=backend,
+            max_iter=max_iter,
+            tol=tol,
+            check_convergence=check_convergence,
+            seed=seed,
+            dtype=dtype,
+        )
+        self.kernel = self._resolve_kernel(kernel)
         self._device_arg = device
-        self.max_iter = int(max_iter)
-        self.tol = float(tol)
-        self.check_convergence = bool(check_convergence)
-        self.seed = seed
-        self.dtype = np.dtype(dtype)
+
+    def _distance_step(self, state: EngineState, labels, weights=None) -> DistanceStep:
+        """The baseline's strategy: the three Sec. 5.3 kernels."""
+        return state.backend.baseline_step(state, labels)
 
     def fit(
         self,
@@ -79,103 +86,29 @@ class BaselineCUDAKernelKMeans:
         """Run the baseline pipeline; see class docstring for the kernels."""
         if x is None and kernel_matrix is None:
             raise ShapeError("fit needs either points x or a precomputed kernel_matrix")
-        device = self._make_device()
-        self.device_ = device
-        prof = device.profiler
-        rng = np.random.default_rng(DEFAULT_CONFIG.seed if self.seed is None else self.seed)
+
+        state = self._begin_state()
+        self.device_ = state.device
+        rng = self._rng()
 
         # ---- kernel matrix: always GEMM + elementwise transform --------
         if kernel_matrix is not None:
             km = as_matrix(kernel_matrix, dtype=self.dtype, name="kernel_matrix")
             if km.shape[0] != km.shape[1]:
                 raise ShapeError("kernel_matrix must be square")
-            n = km.shape[0]
-            k_buf = device.h2d(km)
-            with prof.phase("kernel_matrix"):
-                k_diag = custom.diag_extract(device, k_buf)
+            state.backend.load_kernel_matrix(state, km)
         else:
             xm = as_matrix(x, dtype=self.dtype, name="x")
-            n = xm.shape[0]
-            if not self.kernel.gram_expressible:
-                raise ShapeError(
-                    f"{type(self.kernel).__name__} needs a precomputed kernel matrix"
-                )
-            p_buf = device.h2d(xm)
-            with prof.phase("kernel_matrix"):
-                b = gemm_gram(device, p_buf)
-                if self.kernel.needs_diag():
-                    gdiag_buf = custom.diag_extract(device, b)
-                    gdiag = gdiag_buf.a.copy()
-                    gdiag_buf.free()
-                    k_buf = thrust.transform(
-                        device,
-                        b,
-                        lambda arr: self.kernel.from_gram(arr, gdiag),
-                        flops_per_entry=self.kernel.flops_per_entry,
-                    )
-                else:
-                    k_buf = thrust.transform(
-                        device,
-                        b,
-                        self.kernel.from_gram,
-                        flops_per_entry=self.kernel.flops_per_entry,
-                    )
-                k_diag = custom.diag_extract(device, k_buf)
-            p_buf.free()
+            state.backend.compute_kernel_matrix(state, xm, self.kernel, method="gemm")
 
+        n = state.n
         k = self.n_clusters
         if k > n:
             raise ConfigError(f"n_clusters={k} exceeds number of points n={n}")
 
-        with prof.phase("init"):
-            if init_labels is not None:
-                labels = check_labels(init_labels, n, k).copy()
-            else:
-                labels = random_labels(n, k, rng)
+        labels = self._init_labels(state, init_labels, rng)
+        labels, n_iter, tracker = self._fit_loop(state, labels)
 
-        tracker = ConvergenceTracker(tol=self.tol, check=self.check_convergence)
-        n_iter = 0
-
-        for _ in range(self.max_iter):
-            with prof.phase("argmin_update"):
-                counts = thrust.bincount(device, labels, k)
-            with prof.phase("distances"):
-                r = custom.baseline_cluster_reduce(device, k_buf, labels, k)
-                c_norms = custom.baseline_centroid_norms(device, r, labels, counts)
-                d = custom.baseline_distance_assemble(device, r, k_diag, c_norms, counts)
-                r.free()
-                c_norms.free()
-            with prof.phase("argmin_update"):
-                new_labels = raft.coalesced_reduction_argmin(device, d)
-            objective = objective_value(d.a, new_labels)
-            d.free()
-            n_iter += 1
-            labels = new_labels
-            if tracker.update(labels, objective):
-                break
-
-        k_buf.free()
-        k_diag.free()
-
-        self.labels_ = labels
-        self.n_iter_ = n_iter
-        self.objective_history_ = list(tracker.objectives)
-        self.objective_ = tracker.objectives[-1]
-        self.converged_ = tracker.converged
-        self.convergence_reason_ = tracker.reason
-        self.timings_ = prof.phase_times()
+        state.backend.finish(state)
+        self._set_fit_results(state, labels, n_iter, tracker)
         return self
-
-    def fit_predict(self, x: Optional[np.ndarray] = None, **kwargs) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(x, **kwargs).labels_
-
-    def _make_device(self) -> Device:
-        dev = self._device_arg
-        if dev is None:
-            return Device(A100_80GB)
-        if isinstance(dev, DeviceSpec):
-            return Device(dev)
-        if isinstance(dev, Device):
-            return dev
-        raise ConfigError(f"device must be a Device or DeviceSpec, got {type(dev).__name__}")

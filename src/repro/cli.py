@@ -16,8 +16,9 @@ Mirrors the flag set documented in the paper's Appendix A.4::
     -l {0|2}    implementation: 0 = naive baseline, 2 = Popcorn
     -o STR      write clustering results to a file
 
-plus reproduction-specific extras (``--device``, ``--gram-method``,
-``--breakdown``).  Prints modeled timings, since the GPU is simulated.
+plus reproduction-specific extras (``--device``, ``--backend``,
+``--tile-rows``, ``--gram-method``, ``--breakdown``).  Prints modeled
+timings, since the GPU is simulated.
 """
 
 from __future__ import annotations
@@ -81,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", dest="output", default=None, help="write labels to this file")
     p.add_argument("--device", default="a100-80gb", help="simulated device name")
     p.add_argument(
+        "--backend",
+        default="auto",
+        choices=("auto", "host", "device"),
+        help="execution backend: simulated GPU (device) or NumPy/CSR (host)",
+    )
+    p.add_argument(
+        "--tile-rows",
+        dest="tile_rows",
+        type=int,
+        default=None,
+        metavar="R",
+        help="stream the kernel matrix in row tiles of R (out-of-core mode; "
+        "Popcorn only)",
+    )
+    p.add_argument(
         "--gram-method",
         default="auto",
         choices=("auto", "gemm", "syrk"),
@@ -117,14 +133,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rows = []
     labels = None
     last = None
+    on_device = args.backend in ("auto", "device")
+    if args.tile_rows is not None and args.impl != 2:
+        print("note: --tile-rows only applies to the Popcorn implementation (-l 2)",
+              file=sys.stderr)
     for run in range(args.runs):
-        device = Device(spec)
+        device = Device(spec) if on_device else None
         seed = args.seed + run
         if args.impl == 2:
             algo = PopcornKernelKMeans(
                 args.k,
                 kernel=kern,
                 device=device,
+                backend=args.backend,
+                tile_rows=args.tile_rows,
                 gram_method=args.gram_method,
                 max_iter=args.max_iter,
                 tol=args.tol,
@@ -140,6 +162,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.k,
                 kernel=kern,
                 device=device,
+                backend=args.backend,
                 max_iter=args.max_iter,
                 tol=args.tol,
                 check_convergence=bool(args.check_convergence),
@@ -162,8 +185,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     impl = "Popcorn" if args.impl == 2 else "baseline CUDA"
+    where = f"device={spec.name}" if on_device else "backend=host"
     print(f"{impl} kernel k-means | n={n} d={d} k={args.k} kernel={args.kernel} "
-          f"device={spec.name}")
+          f"{where}")
     if args.impl == 2:
         print(f"gram method: {last.gram_method_}")
     print(
@@ -173,8 +197,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     )
     if args.breakdown:
-        print("\nper-operation summary (modeled):")
-        summary = last.device_.profiler.summary()
+        kind = "modeled" if on_device else "measured wall-clock"
+        print(f"\nper-operation summary ({kind}):")
+        summary = last.profiler_.summary()
         print(
             format_table(
                 ["op", "count", "time", "GFLOP/s", "AI"],
@@ -188,7 +213,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.trace:
         from .gpu.trace import write_chrome_trace
 
-        write_chrome_trace(last.device_.profiler, args.trace)
+        write_chrome_trace(last.profiler_, args.trace)
         print(f"\nchrome trace written to {args.trace}")
     if args.output:
         np.savetxt(args.output, labels, fmt="%d")

@@ -88,6 +88,8 @@ def popcorn_distance_step(
     p_norms: DeviceArray,
     labels: np.ndarray,
     k: int,
+    *,
+    weights: np.ndarray | None = None,
 ) -> Tuple[DeviceArray, cusparse.DeviceCSR]:
     """One full device-side distance computation (Alg. 2 lines 7-10).
 
@@ -99,16 +101,25 @@ def popcorn_distance_step(
     4. ``cusparse.spmv`` — ``C~ = -0.5 V z`` (the -0.5 cancels the -2);
     5. ``d_add``       — ``D = E + P~ + C~`` in place on E.
 
+    Launches are tagged with the Fig. 8 phases (``v_build`` under
+    ``argmin_update``, the rest under ``distances``), matching the
+    analytical model.  With ``weights``, the weighted selection matrix
+    ``V_w`` drives the same pipeline (the z-gather SpMV trick survives
+    weighting — ``V_w`` keeps one nonzero per column).
+
     Returns the distances buffer and the V matrix (caller frees both).
     """
     device.check_resident(k_mat, p_norms)
     n = k_mat.shape[0]
     lab = check_labels(labels, n, k)
-    v = custom.v_build(device, lab, k, dtype=k_mat.dtype)
-    e = cusparse.spmm_kvt(device, k_mat, v, alpha=-2.0)
-    z = custom.z_gather(device, e, lab)
-    c_norms = cusparse.spmv(device, v, z, alpha=-0.5)
-    z.free()
-    d = custom.d_add(device, e, p_norms, c_norms)
-    c_norms.free()
+    prof = device.profiler
+    with prof.phase("argmin_update"):
+        v = custom.v_build(device, lab, k, dtype=k_mat.dtype, weights=weights)
+    with prof.phase("distances"):
+        e = cusparse.spmm_kvt(device, k_mat, v, alpha=-2.0)
+        z = custom.z_gather(device, e, lab)
+        c_norms = cusparse.spmv(device, v, z, alpha=-0.5)
+        z.free()
+        d = custom.d_add(device, e, p_norms, c_norms)
+        c_norms.free()
     return d, v

@@ -2,16 +2,20 @@
 
 ``PopcornKernelKMeans`` is the public entry point of the reproduction: a
 scikit-learn-style estimator that runs the matrix-centric Kernel K-means
-pipeline on the simulated GPU —
+pipeline on the shared engine (:mod:`repro.engine`) —
 
 1. kernel matrix ``K = kappa(P P^T)`` via GEMM/SYRK dispatch (Sec. 4.2);
 2. per-iteration distances ``D = -2 K V^T + P~ + C~`` via SpMM + SpMV
    (Sec. 4.3);
 3. assignment via a row argmin and a CSR rebuild of V (Sec. 4.1).
 
-Every launch is charged to the device's profiler, so after ``fit`` the
-object exposes both the clustering result *and* the modeled performance
-profile (phase breakdown for Fig. 8, SpMM throughput for Fig. 5, ...).
+On the default ``device`` backend every launch is charged to the device's
+profiler, so after ``fit`` the object exposes both the clustering result
+*and* the modeled performance profile (phase breakdown for Fig. 8, SpMM
+throughput for Fig. 5, ...).  The ``host`` backend runs the identical
+numerics on plain NumPy/CSR arrays, and ``tile_rows`` streams the kernel
+matrix in row tiles so datasets whose K exceeds device capacity still
+fit (the out-of-core mode of Sec. 7's memory-wall discussion).
 """
 
 from __future__ import annotations
@@ -20,20 +24,18 @@ from typing import Optional
 
 import numpy as np
 
-from .._typing import as_matrix, check_labels
+from .._typing import as_matrix
 from ..config import DEFAULT_CONFIG
+from ..engine.base import BaseKernelKMeans
 from ..errors import ConfigError, ShapeError
-from ..gpu import custom, cusparse, raft
+from ..kernels import Kernel
 from ..gpu.device import Device
-from ..gpu.spec import A100_80GB, DeviceSpec
-from ..kernels import Kernel, PolynomialKernel, device_kernel_matrix, kernel_by_name
-from ..baselines.init import kernel_kmeans_pp_labels, random_labels
-from .assignment import ConvergenceTracker, objective_value
+from ..gpu.spec import DeviceSpec
 
 __all__ = ["PopcornKernelKMeans"]
 
 
-class PopcornKernelKMeans:
+class PopcornKernelKMeans(BaseKernelKMeans):
     """GPU Kernel K-means via sparse linear algebra (Popcorn, PPoPP'25).
 
     Parameters
@@ -46,7 +48,15 @@ class PopcornKernelKMeans:
         polynomial kernel with gamma = c = 1, degree 2).
     device:
         A :class:`~repro.gpu.Device`, a :class:`~repro.gpu.DeviceSpec`,
-        or None for a fresh A100-80GB.
+        or None for a fresh A100-80GB (device backend only).
+    backend:
+        ``"auto"`` (= device), ``"device"`` (simulated GPU, modeled
+        timings) or ``"host"`` (NumPy/CSR, identical numerics).
+    tile_rows:
+        Row-tile height for the streamed distance pipeline.  None keeps
+        K resident (monolithic); an int streams K in ``tile_rows x n``
+        panels so kernel matrices beyond device capacity still fit.
+        Labels are identical to the monolithic run for any valid value.
     gram_method:
         ``"auto"`` (the n/d dispatch of Sec. 4.2), ``"gemm"`` or ``"syrk"``.
     gram_threshold:
@@ -76,9 +86,14 @@ class PopcornKernelKMeans:
     objective_history_ : per-iteration objective values.
     converged_, convergence_reason_ : stopping diagnostics.
     gram_method_ : Gram routine actually used ("gemm"/"syrk"/"precomputed").
-    timings_ : modeled seconds per phase (kernel_matrix / distances /
-        argmin_update / transfer / init).
-    device_ : the simulated device (profiler holds the full launch log).
+    backend_ : backend the fit executed on ("host"/"device").
+    timings_ : seconds per phase **for this fit** (kernel_matrix /
+        distances / argmin_update / transfer / init) — modeled on the
+        device backend, measured wall-clock on the host backend.
+    device_ : the simulated device (None on the host backend); its
+        profiler holds the full launch log, accumulating across fits
+        when the device is shared.
+    profiler_ : the launch log of the backend that ran this fit.
     """
 
     def __init__(
@@ -87,6 +102,8 @@ class PopcornKernelKMeans:
         *,
         kernel: Kernel | str = None,
         device: Device | DeviceSpec | None = None,
+        backend: str = "auto",
+        tile_rows: int | None = None,
         gram_method: str = "auto",
         gram_threshold: float | None = None,
         max_iter: int = DEFAULT_CONFIG.max_iter,
@@ -97,34 +114,24 @@ class PopcornKernelKMeans:
         seed: int | None = None,
         dtype=np.float32,
     ) -> None:
-        if n_clusters < 1:
-            raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
+        super().__init__(
+            n_clusters,
+            backend=backend,
+            tile_rows=tile_rows,
+            max_iter=max_iter,
+            tol=tol,
+            check_convergence=check_convergence,
+            init=init,
+            empty_cluster_policy=empty_cluster_policy,
+            seed=seed,
+            dtype=dtype,
+        )
         if gram_method not in ("auto", "gemm", "syrk"):
             raise ConfigError(f"gram_method must be auto/gemm/syrk, got {gram_method!r}")
-        if init not in ("random", "k-means++"):
-            raise ConfigError(f"init must be 'random' or 'k-means++', got {init!r}")
-        if empty_cluster_policy not in ("keep", "reseed"):
-            raise ConfigError(
-                f"empty_cluster_policy must be 'keep' or 'reseed', got {empty_cluster_policy!r}"
-            )
-        if max_iter < 1:
-            raise ConfigError("max_iter must be >= 1")
-        self.n_clusters = int(n_clusters)
-        if kernel is None:
-            kernel = PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
-        elif isinstance(kernel, str):
-            kernel = kernel_by_name(kernel)
-        self.kernel = kernel
+        self.kernel = self._resolve_kernel(kernel)
         self._device_arg = device
         self.gram_method = gram_method
         self.gram_threshold = gram_threshold
-        self.max_iter = int(max_iter)
-        self.tol = float(tol)
-        self.check_convergence = bool(check_convergence)
-        self.init = init
-        self.empty_cluster_policy = empty_cluster_policy
-        self.seed = seed
-        self.dtype = np.dtype(dtype)
 
     # ------------------------------------------------------------------
     # fitting
@@ -145,85 +152,40 @@ class PopcornKernelKMeans:
         if x is None and kernel_matrix is None:
             raise ShapeError("fit needs either points x or a precomputed kernel_matrix")
 
-        device = self._make_device()
-        self.device_ = device
-        prof = device.profiler
-        rng = np.random.default_rng(
-            DEFAULT_CONFIG.seed if self.seed is None else self.seed
-        )
+        state = self._begin_state()
+        self.device_ = state.device
+        rng = self._rng()
 
-        n_points = (
+        n = (
             np.asarray(kernel_matrix).shape[0]
             if kernel_matrix is not None
             else np.asarray(x).shape[0]
         )
-        self._check_capacity(device, n_points)
+        state.backend.check_capacity(state, n)
 
         # ---- kernel matrix (Alg. 2 lines 1-2) -------------------------
         if kernel_matrix is not None:
             km = as_matrix(kernel_matrix, dtype=self.dtype, name="kernel_matrix")
             if km.shape[0] != km.shape[1]:
                 raise ShapeError("kernel_matrix must be square")
-            n = km.shape[0]
-            k_buf = device.h2d(km)
-            with prof.phase("kernel_matrix"):
-                p_norms = custom.diag_extract(device, k_buf)
+            state.backend.load_kernel_matrix(state, km)
             self.gram_method_ = "precomputed"
             self._train_x = None
         else:
             xm = as_matrix(x, dtype=self.dtype, name="x")
-            n = xm.shape[0]
-            p_buf = device.h2d(xm)
-            with prof.phase("kernel_matrix"):
-                k_buf, p_norms, used = device_kernel_matrix(
-                    device,
-                    p_buf,
-                    self.kernel,
-                    method=self.gram_method,
-                    threshold=self.gram_threshold,
-                )
-            self.gram_method_ = used
+            state.backend.compute_kernel_matrix(
+                state, xm, self.kernel, method=self.gram_method, threshold=self.gram_threshold
+            )
+            self.gram_method_ = state.gram_method
             self._train_x = xm
-            p_buf.free()
 
         k = self.n_clusters
         if k > n:
             raise ConfigError(f"n_clusters={k} exceeds number of points n={n}")
 
-        # ---- initial assignment (Alg. 2 lines 3-4) ---------------------
-        with prof.phase("init"):
-            if init_labels is not None:
-                labels = check_labels(init_labels, n, k).copy()
-            elif self.init == "k-means++":
-                labels = kernel_kmeans_pp_labels(k_buf.a, k, rng)
-            else:
-                labels = random_labels(n, k, rng)
-
-        tracker = ConvergenceTracker(tol=self.tol, check=self.check_convergence)
-        n_iter = 0
-
-        # ---- main loop (Alg. 2 lines 6-16) -----------------------------
-        for _ in range(self.max_iter):
-            with prof.phase("argmin_update"):
-                v = custom.v_build(device, labels, k, dtype=self.dtype)
-            with prof.phase("distances"):
-                e = cusparse.spmm_kvt(device, k_buf, v, alpha=-2.0)
-                z = custom.z_gather(device, e, labels)
-                c_norms = cusparse.spmv(device, v, z, alpha=-0.5)
-                z.free()
-                d = custom.d_add(device, e, p_norms, c_norms)
-            with prof.phase("argmin_update"):
-                new_labels = raft.coalesced_reduction_argmin(device, d)
-                if self.empty_cluster_policy == "reseed":
-                    new_labels = self._reseed_empty(d.a, new_labels, k)
-            objective = objective_value(d.a, new_labels)
-            c_norms.free()
-            d.free()
-            v.free()
-            n_iter += 1
-            labels = new_labels
-            if tracker.update(labels, objective):
-                break
+        # ---- init + main loop (Alg. 2 lines 3-16) ----------------------
+        labels = self._init_labels(state, init_labels, rng)
+        labels, n_iter, tracker = self._fit_loop(state, labels)
 
         # centroid norms consistent with the *final* labels (predict needs
         # them; the loop's own c_norms correspond to the pre-update V)
@@ -231,24 +193,12 @@ class PopcornKernelKMeans:
         from .selection import build_selection as _build_sel
 
         self._c_norms = centroid_norms_spgemm(
-            k_buf.a.astype(np.float64), _build_sel(labels, k, dtype=np.float64)
+            state.kernel_host().astype(np.float64), _build_sel(labels, k, dtype=np.float64)
         )
 
-        k_buf.free()
-        p_norms.free()
-
-        self.labels_ = labels
-        self.n_iter_ = n_iter
-        self.objective_history_ = list(tracker.objectives)
-        self.objective_ = tracker.objectives[-1]
-        self.converged_ = tracker.converged
-        self.convergence_reason_ = tracker.reason
-        self.timings_ = prof.phase_times()
+        state.backend.finish(state)
+        self._set_fit_results(state, labels, n_iter, tracker)
         return self
-
-    def fit_predict(self, x: Optional[np.ndarray] = None, **kwargs) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(x, **kwargs).labels_
 
     # ------------------------------------------------------------------
     # out-of-sample prediction (extension beyond the artifact CLI)
@@ -289,55 +239,3 @@ class PopcornKernelKMeans:
         kvt = spmm(v, np.ascontiguousarray(kc.T)).T  # (m, k)
         d = -2.0 * kvt + self._c_norms[None, :].astype(np.float64)
         return np.argmin(d, axis=1).astype(np.int32)
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _make_device(self) -> Device:
-        dev = self._device_arg
-        if dev is None:
-            return Device(A100_80GB)
-        if isinstance(dev, DeviceSpec):
-            return Device(dev)
-        if isinstance(dev, Device):
-            return dev
-        raise ConfigError(f"device must be a Device or DeviceSpec, got {type(dev).__name__}")
-
-    def _check_capacity(self, device: Device, n: int) -> None:
-        """Fail fast when the kernel matrix cannot fit in device memory.
-
-        The run's footprint is dominated by the dense n x n kernel matrix
-        plus the n x k distance buffer; exceeding capacity would fail
-        mid-run anyway, but this check raises up front with a pointer at
-        the distributed implementation (the paper's Sec. 7 remedy).
-        """
-        from ..errors import AllocationError
-
-        itemsize = self.dtype.itemsize
-        required = itemsize * (n * n + 2.0 * n * self.n_clusters + 4.0 * n)
-        if required > device.capacity_bytes:
-            raise AllocationError(
-                f"kernel k-means on n={n} points needs ~{required / 1e9:.1f} GB "
-                f"but {device.spec.name} has {device.spec.mem_capacity_gb:g} GB; "
-                "partition the kernel matrix with "
-                "repro.distributed.DistributedPopcornKernelKMeans or reduce n "
-                "(e.g. repro.approx.NystromKernelKMeans)"
-            )
-
-    def _require_fitted(self) -> None:
-        if not hasattr(self, "labels_"):
-            raise ConfigError("estimator is not fitted; call fit() first")
-
-    def _reseed_empty(self, d_mat: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
-        """Move the farthest-from-centroid points into empty clusters."""
-        counts = np.bincount(labels, minlength=k)
-        empty = np.flatnonzero(counts == 0)
-        if empty.size == 0:
-            return labels
-        labels = labels.copy()
-        assigned_d = d_mat[np.arange(labels.shape[0]), labels].copy()
-        for j in empty:
-            i = int(np.argmax(assigned_d))
-            labels[i] = j
-            assigned_d[i] = -np.inf  # don't steal the same point twice
-        return labels

@@ -16,9 +16,14 @@ replacing the selection matrix's values ``1/|L_j|`` with ``w_i / s_j``:
   nonzero per column, so ``diag(V_w K V_w^T) = V_w z`` with
   ``z_i = (K V_w^T)_{i, cluster(i)}`` — the O(n) route survives weighting.
 
-This module provides the weighted selection matrix, the weighted distance
-pipeline (host form), and :class:`WeightedPopcornKernelKMeans`, which the
-spectral-clustering extension (:mod:`repro.graph`) builds on.
+The weighted selection matrix construction lives in
+:func:`repro.sparse.weighted_selection_matrix` (re-exported here); this
+module provides the weighted distance pipeline (host form) and
+:class:`WeightedPopcornKernelKMeans`, which runs on the shared engine —
+so it accepts ``backend=`` (``"host"`` by default; ``"device"`` drives
+the same ``V_w`` pipeline through the simulated-GPU shims with modeled
+timings) and ``tile_rows`` (the row-tiled streaming mode).  The spectral
+extension (:mod:`repro.graph`) builds on it.
 """
 
 from __future__ import annotations
@@ -27,43 +32,18 @@ from typing import Optional
 
 import numpy as np
 
-from .._typing import INDEX_DTYPE, as_float_dtype, as_matrix, as_vector, check_labels
-from ..config import DEFAULT_CONFIG
+from .._typing import as_matrix, as_vector, check_labels
+from ..engine.base import BaseKernelKMeans
 from ..errors import ConfigError, ShapeError
-from ..sparse import CSRMatrix, spmm, spmv
-from ..baselines.init import random_labels
-from .assignment import ConvergenceTracker
+from ..gpu.device import Device
+from ..gpu.spec import DeviceSpec
+from ..sparse import spmm, spmv, weighted_selection_matrix
 
 __all__ = [
     "weighted_selection_matrix",
     "weighted_distances_host",
     "WeightedPopcornKernelKMeans",
 ]
-
-
-def weighted_selection_matrix(
-    labels: np.ndarray, k: int, weights: np.ndarray, *, dtype=np.float64
-) -> CSRMatrix:
-    """Build ``V_w`` with ``V_w[j, i] = w_i / s_j`` (one nonzero per column).
-
-    Empty clusters produce empty rows; clusters whose total weight is zero
-    (possible with zero-weight points) also produce zero rows.
-    """
-    lab = check_labels(labels, np.asarray(labels).shape[0], k)
-    n = lab.shape[0]
-    w = as_vector(weights, dtype=np.float64, name="weights")
-    if w.shape[0] != n:
-        raise ShapeError(f"weights must have length {n}, got {w.shape[0]}")
-    if np.any(w < 0):
-        raise ConfigError("weights must be non-negative")
-    s = np.bincount(lab, weights=w, minlength=k)
-    order = np.argsort(lab, kind="stable").astype(INDEX_DTYPE)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        inv_s = np.where(s > 0, 1.0 / np.where(s > 0, s, 1.0), 0.0)
-    values = (w[order] * inv_s[lab[order]]).astype(as_float_dtype(dtype))
-    rowptrs = np.zeros(k + 1, dtype=np.int64)
-    np.cumsum(np.bincount(lab, minlength=k), out=rowptrs[1:])
-    return CSRMatrix(values, order, rowptrs, (k, n), check=False)
 
 
 def weighted_distances_host(
@@ -89,8 +69,8 @@ def weighted_distances_host(
     return d
 
 
-class WeightedPopcornKernelKMeans:
-    """Weighted Kernel K-means with the SpMM/SpMV pipeline (host arrays).
+class WeightedPopcornKernelKMeans(BaseKernelKMeans):
+    """Weighted Kernel K-means with the SpMM/SpMV pipeline.
 
     Operates on a precomputed kernel matrix (the spectral use case always
     has one).  The per-point assignment step minimises
@@ -98,26 +78,39 @@ class WeightedPopcornKernelKMeans:
     uniformly, the argmin is unchanged and the unweighted row argmin is
     used, matching Dhillon et al.
 
+    Runs on the engine's ``host`` backend by default; ``backend="device"``
+    executes the same pipeline through the simulated-GPU shims (V_w build,
+    SpMM, z-gather, SpMV, fused add) with modeled per-phase timings.
+
     Attributes after ``fit``: ``labels_``, ``n_iter_``, ``objective_``,
-    ``objective_history_``, ``converged_``.
+    ``objective_history_``, ``converged_``, ``timings_``, ``backend_``.
     """
+
+    _default_backend = "host"
 
     def __init__(
         self,
         n_clusters: int,
         *,
+        backend: str = "auto",
+        tile_rows: int | None = None,
+        device: Device | DeviceSpec | None = None,
         max_iter: int = 100,
         tol: float = 1e-6,
         check_convergence: bool = True,
         seed: int | None = None,
     ) -> None:
-        if n_clusters < 1:
-            raise ConfigError("n_clusters must be >= 1")
-        self.n_clusters = int(n_clusters)
-        self.max_iter = int(max_iter)
-        self.tol = float(tol)
-        self.check_convergence = bool(check_convergence)
-        self.seed = seed
+        super().__init__(
+            n_clusters,
+            backend=backend,
+            tile_rows=tile_rows,
+            max_iter=max_iter,
+            tol=tol,
+            check_convergence=check_convergence,
+            seed=seed,
+            dtype=np.float64,
+        )
+        self._device_arg = device
 
     def fit(
         self,
@@ -141,28 +134,15 @@ class WeightedPopcornKernelKMeans:
         )
         if w.shape[0] != n:
             raise ShapeError(f"weights must have length {n}")
-        rng = np.random.default_rng(DEFAULT_CONFIG.seed if self.seed is None else self.seed)
-        labels = (
-            check_labels(init_labels, n, k).copy()
-            if init_labels is not None
-            else random_labels(n, k, rng)
-        )
-        tracker = ConvergenceTracker(tol=self.tol, check=self.check_convergence)
-        n_iter = 0
-        for _ in range(self.max_iter):
-            d = weighted_distances_host(km, labels, k, w)
-            labels = np.argmin(d, axis=1).astype(np.int32)
-            objective = float((w * d[np.arange(n), labels]).sum())
-            n_iter += 1
-            if tracker.update(labels, objective):
-                break
-        self.labels_ = labels
-        self.n_iter_ = n_iter
-        self.objective_history_ = list(tracker.objectives)
-        self.objective_ = tracker.objectives[-1]
-        self.converged_ = tracker.converged
-        return self
 
-    def fit_predict(self, kernel_matrix: np.ndarray, **kwargs) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(kernel_matrix, **kwargs).labels_
+        state = self._begin_state()
+        self.device_ = state.device
+        state.backend.check_capacity(state, n)
+        state.backend.load_kernel_matrix(state, km)
+
+        labels = self._init_labels(state, init_labels, self._rng())
+        labels, n_iter, tracker = self._fit_loop(state, labels, weights=w)
+
+        state.backend.finish(state)
+        self._set_fit_results(state, labels, n_iter, tracker)
+        return self

@@ -29,11 +29,12 @@ import numpy as np
 from .._typing import as_matrix, check_labels
 from ..config import DEFAULT_CONFIG
 from ..core.assignment import ConvergenceTracker
+from ..engine.base import BaseKernelKMeans
 from ..errors import ConfigError, ShapeError
 from ..gpu import cost
 from ..gpu.profiler import Profiler
 from ..gpu.spec import A100_80GB, DeviceSpec
-from ..kernels import Kernel, PolynomialKernel, kernel_by_name
+from ..kernels import Kernel
 from ..sparse import spmm, spmv
 from ..core.selection import build_selection
 from ..baselines.init import random_labels
@@ -43,8 +44,15 @@ from .partition import row_blocks
 __all__ = ["DistributedPopcornKernelKMeans", "model_distributed_popcorn"]
 
 
-class DistributedPopcornKernelKMeans:
+class DistributedPopcornKernelKMeans(BaseKernelKMeans):
     """Multi-GPU Popcorn with exact numerics and modeled makespan.
+
+    An SPMD specialisation of the engine's estimator family: the fit
+    scaffolding comes from :class:`~repro.engine.BaseKernelKMeans`, but
+    the loop runs over ``g`` per-device row blocks with its own modeled
+    profilers, so only the ``host`` execution substrate applies
+    (``backend="device"`` is rejected — the SPMD path models its devices
+    itself).
 
     Attributes (after ``fit``)
     --------------------------
@@ -54,7 +62,14 @@ class DistributedPopcornKernelKMeans:
     device_profilers_ : one launch log per simulated device.
     comm_profiler_ : the collective-communication log.
     parallel_efficiency_ : single-device modeled time / (g * makespan).
+    timings_ : per-phase *aggregate device-seconds summed over all g
+        devices* — unlike the single-device estimators, this is total
+        device work, not wall-clock; compare against ``makespan_s_`` for
+        elapsed time.
     """
+
+    _default_backend = "host"
+    _supported_backends = ("host",)
 
     def __init__(
         self,
@@ -62,6 +77,7 @@ class DistributedPopcornKernelKMeans:
         *,
         n_devices: int = 4,
         kernel: Kernel | str = None,
+        backend: str = "auto",
         spec: DeviceSpec = A100_80GB,
         comm: CommSpec = NVLINK,
         max_iter: int = DEFAULT_CONFIG.max_iter,
@@ -70,24 +86,21 @@ class DistributedPopcornKernelKMeans:
         seed: int | None = None,
         dtype=np.float32,
     ) -> None:
-        if n_clusters < 1:
-            raise ConfigError("n_clusters must be >= 1")
+        super().__init__(
+            n_clusters,
+            backend=backend,
+            max_iter=max_iter,
+            tol=tol,
+            check_convergence=check_convergence,
+            seed=seed,
+            dtype=dtype,
+        )
         if n_devices < 1:
             raise ConfigError("n_devices must be >= 1")
-        self.n_clusters = int(n_clusters)
         self.n_devices = int(n_devices)
-        if kernel is None:
-            kernel = PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
-        elif isinstance(kernel, str):
-            kernel = kernel_by_name(kernel)
-        self.kernel = kernel
+        self.kernel = self._resolve_kernel(kernel)
         self.spec = spec
         self.comm = comm
-        self.max_iter = int(max_iter)
-        self.tol = float(tol)
-        self.check_convergence = bool(check_convergence)
-        self.seed = seed
-        self.dtype = np.dtype(dtype)
 
     def fit(
         self, x: np.ndarray, *, init_labels: Optional[np.ndarray] = None
@@ -104,7 +117,7 @@ class DistributedPopcornKernelKMeans:
         if not self.kernel.gram_expressible:
             raise ShapeError("distributed path needs a Gram-expressible kernel")
 
-        rng = np.random.default_rng(DEFAULT_CONFIG.seed if self.seed is None else self.seed)
+        rng = self._rng()
         blocks = row_blocks(n, g)
         profs: List[Profiler] = [Profiler() for _ in range(g)]
         comm_prof = Profiler()
@@ -202,16 +215,19 @@ class DistributedPopcornKernelKMeans:
         self.objective_history_ = list(tracker.objectives)
         self.objective_ = tracker.objectives[-1]
         self.converged_ = tracker.converged
+        self.convergence_reason_ = tracker.reason
+        self.backend_ = "host"
         self.device_profilers_ = profs
         self.comm_profiler_ = comm_prof
+        # aggregate device-seconds over all g profilers (see class docstring)
+        self.timings_ = {}
+        for pr in profs:
+            for phase, t in pr.phase_times().items():
+                self.timings_[phase] = self.timings_.get(phase, 0.0) + t
         self.makespan_s_ = max(pr.total_time() for pr in profs) + comm_prof.total_time()
         single = sum(pr.total_time() for pr in profs)
         self.parallel_efficiency_ = single / (g * self.makespan_s_) if self.makespan_s_ else 1.0
         return self
-
-    def fit_predict(self, x: np.ndarray, **kwargs) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(x, **kwargs).labels_
 
 
 # ----------------------------------------------------------------------

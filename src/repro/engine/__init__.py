@@ -1,0 +1,47 @@
+"""The shared kernel-k-means execution engine.
+
+Every estimator in the library — exact Popcorn, the CUDA baseline, the
+weighted variant, and the distributed/approximate/spectral extensions —
+runs on this subsystem:
+
+* :class:`~repro.engine.base.BaseKernelKMeans` owns the fit scaffolding
+  (validation, device plumbing, the init -> distances -> argmin ->
+  convergence loop, empty-cluster policy, fitted attributes);
+* :class:`~repro.engine.backends.Backend` is the pluggable execution
+  substrate — ``host`` (NumPy/CSR) and ``device`` (simulated GPU) ship
+  registered, selected via ``backend=`` on every estimator;
+* :mod:`~repro.engine.tiling` is the row-tiled distance pipeline
+  (``tile_rows=``): ``E = -2 K V^T`` in streamed row blocks, bit-for-bit
+  equal to the monolithic SpMM, so kernel matrices larger than device
+  capacity flow through tile-by-tile instead of raising.
+"""
+
+from .backends import (
+    Backend,
+    DeviceBackend,
+    DistanceStep,
+    EngineState,
+    HostBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from .base import BaseKernelKMeans
+from .tiling import row_tiles, tiled_popcorn_distances_host, validate_tile_rows
+
+__all__ = [
+    "Backend",
+    "HostBackend",
+    "DeviceBackend",
+    "EngineState",
+    "DistanceStep",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+    "BaseKernelKMeans",
+    "row_tiles",
+    "tiled_popcorn_distances_host",
+    "validate_tile_rows",
+]

@@ -1,0 +1,561 @@
+"""Pluggable execution backends for the shared kernel-k-means engine.
+
+A :class:`Backend` is the substrate the estimator fit loop runs on.  Two
+implementations are registered:
+
+``host``
+    Plain NumPy/CSR arrays — the from-scratch sparse kernels with no
+    device bookkeeping.  Launches are recorded with *measured* wall-clock
+    seconds (names prefixed ``host.``), so ``timings_`` stays populated.
+``device``
+    The simulated-GPU path: buffers live against the device allocator and
+    every launch charges modeled time, exactly as the pre-engine
+    estimators did (the launch log is pinned against
+    :mod:`repro.modeling` launch for launch).
+
+Both backends run the **same numerics**: the host pipeline and the device
+shims share the CSR kernels, and scalings are powers of two, so
+``backend="host"`` and ``backend="device"`` produce identical labels from
+identical seeds (tested).  Both honour ``tile_rows`` — the row-tiled
+pipeline of :mod:`repro.engine.tiling` — which on the device backend
+streams kernel-matrix panels from host memory instead of requiring K to
+be resident, converting the device memory wall into a transfer cost.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import AllocationError, ConfigError, ShapeError
+from ..gpu import blas, cost, custom, cusparse, raft, thrust
+from ..gpu.device import Device
+from ..gpu.launch import Launch
+from ..gpu.memory import DeviceArray
+from ..gpu.profiler import Profiler
+from ..gpu.spec import DeviceSpec
+from ..kernels.base import Kernel
+from ..kernels.dispatch import choose_gram_method
+from ..kernels.gram import device_kernel_matrix
+from .tiling import row_tiles, tiled_popcorn_distances_host, validate_tile_rows
+
+__all__ = [
+    "Backend",
+    "HostBackend",
+    "DeviceBackend",
+    "EngineState",
+    "DistanceStep",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+@dataclass
+class EngineState:
+    """Per-``fit`` execution state owned by a backend.
+
+    The estimator treats this as an opaque handle; backends stash the
+    kernel-matrix operand in whichever representation they execute on
+    (``k_op`` resident on the device, ``k_host`` in host memory for the
+    host backend and for device streaming mode).
+    """
+
+    backend: "Backend"
+    n_clusters: int
+    dtype: np.dtype
+    tile_rows: Optional[int]
+    profiler: Profiler
+    device: Optional[Device] = None
+    spec: Optional[DeviceSpec] = None
+    n: int = 0
+    launch_mark: int = 0
+    k_op: Optional[DeviceArray] = None
+    k_host: Optional[np.ndarray] = None
+    p_norms: Optional[DeviceArray] = None
+    p_norms_host: Optional[np.ndarray] = None
+    gram_method: str = ""
+
+    def kernel_host(self) -> np.ndarray:
+        """Host view of the kernel matrix (whichever backend holds it)."""
+        if self.k_host is not None:
+            return self.k_host
+        if self.k_op is None:
+            raise ConfigError("kernel matrix not loaded; run the kernel stage first")
+        return self.k_op.a
+
+
+class DistanceStep:
+    """Result of one distance computation: ``D`` plus owned buffers.
+
+    ``d`` is always a host ndarray view (the objective and the
+    empty-cluster policy read it); ``d_buf`` is the device-resident
+    buffer when one exists (the device argmin consumes it).  ``free()``
+    releases every buffer the step allocated.
+    """
+
+    __slots__ = ("_d", "d_buf", "_frees")
+
+    def __init__(self, d: Optional[np.ndarray] = None, *, d_buf=None, frees: Tuple = ()) -> None:
+        self._d = d
+        self.d_buf = d_buf
+        self._frees = tuple(frees)
+
+    @property
+    def d(self) -> np.ndarray:
+        return self._d if self._d is not None else self.d_buf.a
+
+    def free(self) -> None:
+        for buf in self._frees:
+            buf.free()
+
+
+class Backend(ABC):
+    """Execution substrate for the kernel-k-means fit scaffolding.
+
+    Subclasses implement the kernel-matrix stage, the two distance-step
+    strategies (Popcorn's SpMM/SpMV pipeline and the Sec. 5.3 baseline
+    kernels), and the row argmin; :class:`~repro.engine.base.BaseKernelKMeans`
+    drives them through the init -> distances -> argmin -> convergence loop.
+    """
+
+    name: str = ""
+    #: whether :meth:`begin` must be handed a :class:`~repro.gpu.Device`
+    #: (the base estimator creates one when set)
+    needs_device: bool = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def begin(
+        self,
+        *,
+        n_clusters: int,
+        dtype,
+        tile_rows: Optional[int] = None,
+        device: Optional[Device] = None,
+    ) -> EngineState:
+        """Open a fit: allocate the profiler/device state."""
+
+    @abstractmethod
+    def finish(self, state: EngineState) -> None:
+        """Close a fit: release kernel-stage buffers."""
+
+    def timings(self, state: EngineState) -> Dict[str, float]:
+        """Per-phase seconds for *this fit only* (profiler snapshot).
+
+        A shared device accumulates launches across fits; the snapshot
+        taken in :meth:`begin` scopes the aggregation to one run.
+        """
+        return state.profiler.phase_times(since=state.launch_mark)
+
+    def check_capacity(self, state: EngineState, n: int) -> None:
+        """Fail fast when the run cannot fit; no-op off-device."""
+
+    # ------------------------------------------------------------------
+    # kernel-matrix stage (Alg. 2 lines 1-2)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def load_kernel_matrix(self, state: EngineState, km: np.ndarray) -> None:
+        """Adopt a precomputed kernel matrix; extract ``P~ = diag(K)``."""
+
+    @abstractmethod
+    def compute_kernel_matrix(
+        self,
+        state: EngineState,
+        x: np.ndarray,
+        kernel: Kernel,
+        *,
+        method: str = "auto",
+        threshold: Optional[float] = None,
+    ) -> None:
+        """Gram + elementwise kernel + diagonal; sets ``state.gram_method``."""
+
+    # ------------------------------------------------------------------
+    # distance-step strategies
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def popcorn_step(
+        self, state: EngineState, labels: np.ndarray, weights: Optional[np.ndarray] = None
+    ) -> DistanceStep:
+        """Popcorn's pipeline: SpMM, z-gather, SpMV, fused add (tiled-aware)."""
+
+    @abstractmethod
+    def baseline_step(self, state: EngineState, labels: np.ndarray) -> DistanceStep:
+        """The baseline CUDA implementation's three hand-written kernels."""
+
+    @abstractmethod
+    def argmin(self, state: EngineState, step: DistanceStep) -> np.ndarray:
+        """Row argmin of the distances; returns int32 labels."""
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_BACKENDS: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Register a backend instance under its ``name`` (last wins)."""
+    if not backend.name:
+        raise ConfigError("backend must define a non-empty name")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (no-op for unknown names).
+
+    Mainly for tests and plugins that register temporary backends; the
+    built-in ``host``/``device`` backends can be re-registered via
+    :func:`register_backend` if removed.
+    """
+    _BACKENDS.pop(name, None)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a registered backend by name."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown backend {name!r}; registered backends: {', '.join(sorted(_BACKENDS))}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+# ----------------------------------------------------------------------
+# host backend
+# ----------------------------------------------------------------------
+
+def _check_gram_expressible(kernel: Kernel) -> None:
+    if not kernel.gram_expressible:
+        raise ShapeError(
+            f"{type(kernel).__name__} is not Gram-expressible; "
+            "pass a precomputed kernel matrix instead"
+        )
+
+
+def _resolve_gram_method(
+    method: str, threshold: Optional[float], n: int, d: int, tiled: bool
+) -> str:
+    """The tiled-mode gram policy, shared by both backends.
+
+    Streaming builds K in rectangular row panels, so SYRK's
+    triangular trick does not apply: tiled runs force GEMM and reject an
+    explicit ``"syrk"`` — identically on every backend.
+    """
+    if tiled:
+        if method == "syrk":
+            raise ConfigError(
+                "tile_rows streams rectangular GEMM panels; gram_method='syrk' "
+                "is only available in monolithic mode"
+            )
+        return "gemm"
+    used = choose_gram_method(n, d, threshold) if method == "auto" else method
+    if used not in ("gemm", "syrk"):
+        raise ConfigError(f"unknown gram method {used!r}; expected 'gemm' or 'syrk'")
+    return used
+
+
+def _host_kernel_matrix(x: np.ndarray, kernel: Kernel, used: str):
+    """Host-side Gram + kernel + diagonal, bitwise equal to the device path.
+
+    The GEMM is the same ``x @ x.T`` the device shim performs; ``"syrk"``
+    replicates the SYRK + triangular-mirror numerics.  Returns
+    ``(K, diag(K))`` as contiguous arrays.
+    """
+    b = x @ x.T
+    if used == "syrk":
+        b = blas.syrk_mirror(b)
+    if kernel.needs_diag():
+        gram_diag = np.ascontiguousarray(np.diagonal(b)).copy()
+        km = kernel.from_gram(b, gram_diag)
+    else:
+        km = kernel.from_gram(b)
+    km = np.ascontiguousarray(km)
+    return km, np.ascontiguousarray(np.diagonal(km))
+
+
+class HostBackend(Backend):
+    """NumPy/CSR execution: the sparse pipeline with no device bookkeeping.
+
+    Numerics are identical to the device backend (shared CSR kernels);
+    recorded launches carry measured wall-clock seconds under ``host.*``
+    names so ``timings_`` and ``profiler_`` stay meaningful.
+    """
+
+    name = "host"
+
+    def begin(self, *, n_clusters, dtype, tile_rows=None, device=None) -> EngineState:
+        if device is not None:
+            raise ConfigError("backend='host' does not run on a device; drop the device argument")
+        return EngineState(
+            backend=self,
+            n_clusters=int(n_clusters),
+            dtype=np.dtype(dtype),
+            tile_rows=validate_tile_rows(tile_rows),
+            profiler=Profiler(),
+        )
+
+    def finish(self, state: EngineState) -> None:
+        state.k_host = None
+        state.p_norms_host = None
+
+    def _record(self, state: EngineState, phase: str, name: str, t0: float) -> None:
+        with state.profiler.phase(phase):
+            state.profiler.record(Launch("host." + name, 0.0, 0.0, time.perf_counter() - t0))
+
+    def load_kernel_matrix(self, state: EngineState, km: np.ndarray) -> None:
+        t0 = time.perf_counter()
+        state.k_host = km
+        state.p_norms_host = np.ascontiguousarray(np.diagonal(km))
+        state.n = km.shape[0]
+        self._record(state, "kernel_matrix", "diag_extract", t0)
+
+    def compute_kernel_matrix(self, state, x, kernel, *, method="auto", threshold=None) -> None:
+        _check_gram_expressible(kernel)
+        t0 = time.perf_counter()
+        n, d = x.shape
+        used = _resolve_gram_method(method, threshold, n, d, state.tile_rows is not None)
+        state.k_host, state.p_norms_host = _host_kernel_matrix(x, kernel, used)
+        state.n = n
+        state.gram_method = used
+        self._record(state, "kernel_matrix", "kernel_matrix", t0)
+
+    def popcorn_step(self, state, labels, weights=None) -> DistanceStep:
+        t0 = time.perf_counter()
+        d, _ = tiled_popcorn_distances_host(
+            state.k_host,
+            labels,
+            state.n_clusters,
+            tile_rows=state.tile_rows,
+            weights=weights,
+            dtype=state.dtype,
+        )
+        self._record(state, "distances", "popcorn_distances", t0)
+        return DistanceStep(d)
+
+    def baseline_step(self, state, labels) -> DistanceStep:
+        # the three Sec. 5.3 kernels — same *_numerics helpers the device
+        # shims in repro.gpu.custom execute, so the backends cannot drift
+        t0 = time.perf_counter()
+        k = state.n_clusters
+        lab = np.asarray(labels)
+        counts = np.bincount(lab, minlength=k).astype(np.int64)
+        r = custom.baseline_reduce_numerics(state.k_host, lab, k)
+        c_norms = custom.baseline_norms_numerics(r, lab, counts)
+        d = custom.baseline_assemble_numerics(r, state.p_norms_host, c_norms, counts)
+        self._record(state, "distances", "baseline_distances", t0)
+        return DistanceStep(d)
+
+    def argmin(self, state, step) -> np.ndarray:
+        t0 = time.perf_counter()
+        labels = np.argmin(step.d, axis=1).astype(np.int32)
+        self._record(state, "argmin_update", "argmin", t0)
+        return labels
+
+
+# ----------------------------------------------------------------------
+# device backend
+# ----------------------------------------------------------------------
+
+class DeviceBackend(Backend):
+    """The simulated-GPU launch path (Popcorn's execution model).
+
+    Monolithic mode keeps K resident and reproduces the pre-engine launch
+    sequence exactly.  With ``tile_rows``, K lives in host memory and the
+    per-iteration SpMM streams one ``n x tile_rows`` panel at a time over
+    PCIe — peak device memory drops from O(n^2) to O(tile_rows * n), so
+    kernel matrices beyond capacity fit (the cost model charges the
+    transfers, turning the memory wall into a bandwidth price).
+    """
+
+    name = "device"
+    needs_device = True
+
+    def begin(self, *, n_clusters, dtype, tile_rows=None, device=None) -> EngineState:
+        if device is None:
+            raise ConfigError("the device backend needs a Device")
+        return EngineState(
+            backend=self,
+            n_clusters=int(n_clusters),
+            dtype=np.dtype(dtype),
+            tile_rows=validate_tile_rows(tile_rows),
+            profiler=device.profiler,
+            device=device,
+            spec=device.spec,
+            launch_mark=device.profiler.mark(),
+        )
+
+    def finish(self, state: EngineState) -> None:
+        for buf in (state.k_op, state.p_norms):
+            if buf is not None and buf.alive:
+                buf.free()
+        state.k_op = None
+        state.p_norms = None
+        state.k_host = None
+        state.p_norms_host = None
+
+    def check_capacity(self, state: EngineState, n: int) -> None:
+        """Fail fast when the run cannot fit in device memory.
+
+        Monolithic mode is dominated by the dense ``n x n`` kernel matrix
+        plus the ``n x k`` distance buffer; tiled mode replaces the n^2
+        term with one streamed ``tile_rows x n`` panel.
+        """
+        device = state.device
+        itemsize = state.dtype.itemsize
+        k = state.n_clusters
+        if state.tile_rows is None:
+            required = itemsize * (n * n + 2.0 * n * k + 4.0 * n)
+            if required > device.capacity_bytes:
+                raise AllocationError(
+                    f"kernel k-means on n={n} points needs ~{required / 1e9:.1f} GB "
+                    f"but {device.spec.name} has {device.spec.mem_capacity_gb:g} GB; "
+                    "stream the kernel matrix with tile_rows=, partition it with "
+                    "repro.distributed.DistributedPopcornKernelKMeans or reduce n "
+                    "(e.g. repro.approx.NystromKernelKMeans)"
+                )
+        else:
+            tile = min(state.tile_rows, n)
+            required = itemsize * (tile * n + 2.0 * n * k + 6.0 * n)
+            if required > device.capacity_bytes:
+                raise AllocationError(
+                    f"tiled kernel k-means on n={n} points still needs "
+                    f"~{required / 1e9:.1f} GB for one tile_rows={tile} panel plus the "
+                    f"n x k distance buffer, but {device.spec.name} has "
+                    f"{device.spec.mem_capacity_gb:g} GB; reduce tile_rows (or use "
+                    "repro.distributed.DistributedPopcornKernelKMeans)"
+                )
+
+    # ------------------------------------------------------------------
+    # kernel-matrix stage
+    # ------------------------------------------------------------------
+    def load_kernel_matrix(self, state: EngineState, km: np.ndarray) -> None:
+        device = state.device
+        state.n = km.shape[0]
+        if state.tile_rows is None:
+            state.k_op = device.h2d(km)
+            with state.profiler.phase("kernel_matrix"):
+                state.p_norms = custom.diag_extract(device, state.k_op)
+        else:
+            # streaming mode: K stays in host memory; only P~ is resident
+            state.k_host = km
+            state.p_norms_host = np.ascontiguousarray(np.diagonal(km))
+            with state.profiler.phase("kernel_matrix"):
+                device.record(cost.diag_extract_cost(device.spec, state.n))
+            state.p_norms = device.h2d(state.p_norms_host)
+
+    def compute_kernel_matrix(self, state, x, kernel, *, method="auto", threshold=None) -> None:
+        _check_gram_expressible(kernel)
+        device = state.device
+        n, d = x.shape
+        state.n = n
+        if state.tile_rows is None:
+            p_buf = device.h2d(x)
+            with state.profiler.phase("kernel_matrix"):
+                state.k_op, state.p_norms, used = device_kernel_matrix(
+                    device, p_buf, kernel, method=method, threshold=threshold
+                )
+            state.gram_method = used
+            p_buf.free()
+            return
+        used = _resolve_gram_method(method, threshold, n, d, tiled=True)
+        # Streaming mode: K is built in row panels on the device and written
+        # back to host memory (it never fits resident).  The numerics use one
+        # host GEMM + transform — bitwise identical to the monolithic device
+        # path — while the cost model charges the panel pipeline: per tile a
+        # rectangular GEMM, the elementwise kernel, and the D2H writeback.
+        p_buf = device.h2d(x)
+        state.k_host, state.p_norms_host = _host_kernel_matrix(x, kernel, used)
+        itemsize = state.dtype.itemsize
+        with state.profiler.phase("kernel_matrix"):
+            for lo, hi in row_tiles(n, state.tile_rows):
+                device.record(cost.gemm_tile_cost(device.spec, hi - lo, n, d))
+                device.record(
+                    cost.transform_tile_cost(device.spec, hi - lo, n, kernel.flops_per_entry)
+                )
+            device.record(cost.diag_extract_cost(device.spec, n))
+        with state.profiler.phase("transfer"):
+            for lo, hi in row_tiles(n, state.tile_rows):
+                device.record(cost.d2h_cost(device.spec, itemsize * (hi - lo) * n))
+        p_buf.free()
+        state.p_norms = device.h2d(state.p_norms_host)
+        state.gram_method = used
+
+    # ------------------------------------------------------------------
+    # distance steps
+    # ------------------------------------------------------------------
+    def popcorn_step(self, state, labels, weights=None) -> DistanceStep:
+        from ..core.distances import popcorn_distance_step
+
+        device = state.device
+        if state.tile_rows is None:
+            d, v = popcorn_distance_step(
+                device, state.k_op, state.p_norms, labels, state.n_clusters, weights=weights
+            )
+            return DistanceStep(d_buf=d, frees=(d, v))
+
+        # streamed pipeline: one panel of K resident at a time
+        n = state.n
+        k = state.n_clusters
+        lab = np.asarray(labels)
+        prof = state.profiler
+        with prof.phase("argmin_update"):
+            v = custom.v_build(device, lab, k, dtype=state.dtype, weights=weights)
+        e = device.empty((n, k), dtype=state.dtype)
+        z = device.empty((n,), dtype=state.dtype)
+        for lo, hi in row_tiles(n, state.tile_rows):
+            panel = np.ascontiguousarray(state.k_host[:, lo:hi])
+            t_buf = device.h2d(panel)
+            with prof.phase("distances"):
+                e_tile = cusparse.spmm_kvt_tile(device, t_buf, v, alpha=-2.0)
+                e.a[lo:hi] = e_tile.a
+                z_tile = custom.z_gather(device, e_tile, lab[lo:hi])
+                z.a[lo:hi] = z_tile.a
+                z_tile.free()
+                e_tile.free()
+            t_buf.free()
+        with prof.phase("distances"):
+            c_norms = cusparse.spmv(device, v, z, alpha=-0.5)
+            z.free()
+            d = custom.d_add(device, e, state.p_norms, c_norms)
+            c_norms.free()
+        return DistanceStep(d_buf=d, frees=(d, v))
+
+    def baseline_step(self, state, labels) -> DistanceStep:
+        if state.tile_rows is not None:
+            raise ConfigError("the baseline distance step does not support tile_rows")
+        device = state.device
+        k = state.n_clusters
+        lab = np.asarray(labels)
+        prof = state.profiler
+        with prof.phase("argmin_update"):
+            counts = thrust.bincount(device, lab, k)
+        with prof.phase("distances"):
+            r = custom.baseline_cluster_reduce(device, state.k_op, lab, k)
+            c_norms = custom.baseline_centroid_norms(device, r, lab, counts)
+            d = custom.baseline_distance_assemble(device, r, state.p_norms, c_norms, counts)
+            r.free()
+            c_norms.free()
+        return DistanceStep(d_buf=d, frees=(d,))
+
+    def argmin(self, state, step) -> np.ndarray:
+        with state.profiler.phase("argmin_update"):
+            return raft.coalesced_reduction_argmin(state.device, step.d_buf)
+
+
+register_backend(HostBackend())
+register_backend(DeviceBackend())

@@ -1,0 +1,247 @@
+"""The shared estimator base class for every kernel-k-means variant.
+
+Before the engine existed, each estimator hand-rolled the same fit
+scaffolding — parameter validation, device plumbing, the
+init -> distances -> argmin -> convergence loop, the empty-cluster policy
+and the fitted-attribute assignment.  :class:`BaseKernelKMeans` owns all
+of that once; a concrete estimator shrinks to its *distance-step
+strategy* (:meth:`BaseKernelKMeans._distance_step`) plus whatever input
+handling its ``fit`` needs.
+
+Backends are selected with ``backend="auto" | "host" | "device"`` on
+every estimator; ``"auto"`` resolves to the estimator's natural substrate
+(``_default_backend``).  Estimators whose algorithm has no device
+execution (e.g. the Nyström embedding path) declare a restricted
+``_supported_backends`` and reject the rest at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG
+from .._typing import check_labels
+from ..errors import ConfigError
+from ..gpu.device import Device
+from ..gpu.spec import A100_80GB, DeviceSpec
+from .backends import Backend, DistanceStep, EngineState, get_backend
+from .tiling import validate_tile_rows
+
+__all__ = ["BaseKernelKMeans"]
+
+
+class BaseKernelKMeans:
+    """Common scaffolding for the kernel-k-means estimator family.
+
+    Parameters owned here (subclasses add their own on top):
+
+    n_clusters:
+        Number of clusters ``k``.
+    backend:
+        ``"auto"`` (the estimator's natural substrate), ``"host"``
+        (NumPy/CSR) or ``"device"`` (simulated GPU).
+    tile_rows:
+        Row-tile height for the streamed distance pipeline; None runs the
+        monolithic pipeline.  Only estimators that expose it accept it.
+    max_iter, tol, check_convergence:
+        Loop control (artifact ``-m`` / ``-t`` / ``-c``).
+    init:
+        ``"random"`` or ``"k-means++"`` (kernel-space seeding).
+    empty_cluster_policy:
+        ``"keep"`` or ``"reseed"``.
+    seed:
+        RNG seed for initialisation.
+    dtype:
+        Floating dtype of the pipeline.
+    """
+
+    #: backend "auto" resolves to this
+    _default_backend = "device"
+    #: backends this estimator can execute on; None accepts any registered
+    #: backend (the extension point for :func:`repro.engine.register_backend`),
+    #: a tuple restricts to the named ones (e.g. host-only estimators)
+    _supported_backends = None
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        backend: str = "auto",
+        tile_rows: Optional[int] = None,
+        max_iter: int = DEFAULT_CONFIG.max_iter,
+        tol: float = DEFAULT_CONFIG.tol,
+        check_convergence: bool = True,
+        init: str = "random",
+        empty_cluster_policy: str = "keep",
+        seed: Optional[int] = None,
+        dtype=np.float32,
+    ) -> None:
+        if n_clusters < 1:
+            raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
+        if max_iter < 1:
+            raise ConfigError("max_iter must be >= 1")
+        if init not in ("random", "k-means++"):
+            raise ConfigError(f"init must be 'random' or 'k-means++', got {init!r}")
+        if empty_cluster_policy not in ("keep", "reseed"):
+            raise ConfigError(
+                f"empty_cluster_policy must be 'keep' or 'reseed', got {empty_cluster_policy!r}"
+            )
+        if backend != "auto":
+            if self._supported_backends is not None and backend not in self._supported_backends:
+                raise ConfigError(
+                    f"backend must be one of {('auto',) + tuple(self._supported_backends)} "
+                    f"for {type(self).__name__}, got {backend!r}"
+                )
+            get_backend(backend)  # unknown names fail fast at construction
+        self.n_clusters = int(n_clusters)
+        self.backend = backend
+        self.tile_rows = validate_tile_rows(tile_rows)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.check_convergence = bool(check_convergence)
+        self.init = init
+        self.empty_cluster_policy = empty_cluster_policy
+        self.seed = seed
+        self.dtype = np.dtype(dtype)
+        self._device_arg = None
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_kernel(kernel):
+        """None -> the paper's polynomial kernel; str -> registry lookup."""
+        from ..kernels import PolynomialKernel, kernel_by_name
+
+        if kernel is None:
+            return PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
+        if isinstance(kernel, str):
+            return kernel_by_name(kernel)
+        return kernel
+
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(DEFAULT_CONFIG.seed if self.seed is None else self.seed)
+
+    def _resolve_backend(self) -> Backend:
+        name = self._default_backend if self.backend == "auto" else self.backend
+        return get_backend(name)
+
+    def _make_device(self) -> Device:
+        dev = self._device_arg
+        if dev is None:
+            return Device(A100_80GB)
+        if isinstance(dev, DeviceSpec):
+            return Device(dev)
+        if isinstance(dev, Device):
+            return dev
+        raise ConfigError(f"device must be a Device or DeviceSpec, got {type(dev).__name__}")
+
+    def _begin_state(self) -> EngineState:
+        """Open the backend for one fit (creating the device if needed)."""
+        be = self._resolve_backend()
+        device = self._make_device() if be.needs_device else None
+        if device is None and self._device_arg is not None:
+            raise ConfigError(
+                f"backend={be.name!r} does not run on a device; drop the device argument"
+            )
+        return be.begin(
+            n_clusters=self.n_clusters,
+            dtype=self.dtype,
+            tile_rows=self.tile_rows,
+            device=device,
+        )
+
+    # ------------------------------------------------------------------
+    # the init -> distances -> argmin -> convergence loop
+    # ------------------------------------------------------------------
+    def _init_labels(
+        self, state: EngineState, init_labels: Optional[np.ndarray], rng: np.random.Generator
+    ) -> np.ndarray:
+        # lazy: repro.baselines imports estimators built on this module
+        from ..baselines.init import kernel_kmeans_pp_labels, random_labels
+
+        with state.profiler.phase("init"):
+            if init_labels is not None:
+                return check_labels(init_labels, state.n, self.n_clusters).copy()
+            if self.init == "k-means++":
+                return kernel_kmeans_pp_labels(state.kernel_host(), self.n_clusters, rng)
+            return random_labels(state.n, self.n_clusters, rng)
+
+    def _distance_step(
+        self, state: EngineState, labels: np.ndarray, weights: Optional[np.ndarray] = None
+    ) -> DistanceStep:
+        """The estimator's strategy; default is Popcorn's SpMM/SpMV pipeline."""
+        return state.backend.popcorn_step(state, labels, weights=weights)
+
+    def _objective(
+        self, step: DistanceStep, labels: np.ndarray, weights: Optional[np.ndarray]
+    ) -> float:
+        from ..core.assignment import objective_value
+
+        if weights is None:
+            return objective_value(step.d, labels)
+        n = labels.shape[0]
+        return float((weights * step.d[np.arange(n), labels]).sum())
+
+    def _fit_loop(
+        self,
+        state: EngineState,
+        labels: np.ndarray,
+        *,
+        weights: Optional[np.ndarray] = None,
+    ):
+        """Iterate distances -> argmin -> policy -> objective -> convergence."""
+        from ..core.assignment import ConvergenceTracker
+
+        tracker = ConvergenceTracker(tol=self.tol, check=self.check_convergence)
+        n_iter = 0
+        for _ in range(self.max_iter):
+            step = self._distance_step(state, labels, weights)
+            new_labels = state.backend.argmin(state, step)
+            if self.empty_cluster_policy == "reseed":
+                new_labels = self._reseed_empty(step.d, new_labels, self.n_clusters)
+            objective = self._objective(step, new_labels, weights)
+            step.free()
+            labels = new_labels
+            n_iter += 1
+            if tracker.update(labels, objective):
+                break
+        return labels, n_iter, tracker
+
+    def _reseed_empty(self, d_mat: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
+        """Move the farthest-from-centroid points into empty clusters."""
+        counts = np.bincount(labels, minlength=k)
+        empty = np.flatnonzero(counts == 0)
+        if empty.size == 0:
+            return labels
+        labels = labels.copy()
+        assigned_d = d_mat[np.arange(labels.shape[0]), labels].copy()
+        for j in empty:
+            i = int(np.argmax(assigned_d))
+            labels[i] = j
+            assigned_d[i] = -np.inf  # don't steal the same point twice
+        return labels
+
+    # ------------------------------------------------------------------
+    # fitted attributes
+    # ------------------------------------------------------------------
+    def _set_fit_results(self, state: EngineState, labels, n_iter, tracker) -> None:
+        self.labels_ = labels
+        self.n_iter_ = n_iter
+        self.objective_history_ = list(tracker.objectives)
+        self.objective_ = tracker.objectives[-1]
+        self.converged_ = tracker.converged
+        self.convergence_reason_ = tracker.reason
+        self.timings_ = state.backend.timings(state)
+        self.profiler_ = state.profiler
+        self.backend_ = state.backend.name
+
+    def fit_predict(self, *args, **kwargs) -> np.ndarray:
+        """Fit and return the final labels."""
+        return self.fit(*args, **kwargs).labels_
+
+    def _require_fitted(self) -> None:
+        if not hasattr(self, "labels_"):
+            raise ConfigError("estimator is not fitted; call fit() first")

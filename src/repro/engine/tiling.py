@@ -1,0 +1,100 @@
+"""Row-tiled distance pipeline (the engine's out-of-core mode).
+
+Popcorn's per-iteration SpMM ``E = -2 K V^T`` touches every entry of the
+``n x n`` kernel matrix once, so nothing forces K to be resident: the
+product decomposes into independent row tiles
+
+    E[lo:hi, :] = -2 K[lo:hi, :] V^T,
+
+and because the CSR SpMM computes every output column independently, the
+tiled result is **bit-for-bit identical** to the monolithic product — in
+any dtype, for any tiling (tested property).  The z-gather and the SpMV
+centroid-norm trick (Eqs. 14-15) operate on the assembled ``n x k`` E and
+length-``n`` z, both tiny next to K, so the only resident state a device
+needs is one ``tile_rows x n`` panel plus O(n k) vectors: kernel matrices
+far beyond device capacity stream through tile-by-tile instead of
+raising ``AllocationError`` (the memory wall of the paper's Sec. 7).
+
+This module holds the backend-independent pieces: tile-range iteration,
+``tile_rows`` validation, and the host-array reference pipeline the
+property tests pin the streamed device path against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._typing import check_labels
+from ..errors import ConfigError, ShapeError
+from ..sparse import selection_matrix, spmm, spmv, weighted_selection_matrix
+
+__all__ = ["validate_tile_rows", "row_tiles", "tiled_popcorn_distances_host"]
+
+
+def validate_tile_rows(tile_rows) -> Optional[int]:
+    """Normalise a ``tile_rows`` parameter: None (monolithic) or a positive int."""
+    if tile_rows is None:
+        return None
+    r = int(tile_rows)
+    if r < 1:
+        raise ConfigError(f"tile_rows must be >= 1 (or None for monolithic), got {tile_rows}")
+    return r
+
+
+def row_tiles(n: int, tile_rows: Optional[int]) -> List[Tuple[int, int]]:
+    """Half-open row ranges ``[(lo, hi), ...]`` covering ``[0, n)``.
+
+    ``tile_rows=None`` (or any value >= n) yields the single monolithic
+    tile; the last tile is short when ``tile_rows`` does not divide ``n``.
+    """
+    if n < 1:
+        raise ShapeError(f"n must be >= 1, got {n}")
+    r = validate_tile_rows(tile_rows)
+    if r is None or r >= n:
+        return [(0, n)]
+    return [(lo, min(lo + r, n)) for lo in range(0, n, r)]
+
+
+def tiled_popcorn_distances_host(
+    k_mat: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    *,
+    tile_rows: Optional[int] = None,
+    weights: Optional[np.ndarray] = None,
+    dtype=None,
+):
+    """The SpMM/SpMV pipeline on host arrays, in row tiles of E.
+
+    Computes ``D = -2 K V^T + P~ + C~`` exactly as
+    :func:`repro.core.distances.popcorn_distances_host` does, but the SpMM
+    runs over column panels ``K[:, lo:hi]`` (by symmetry, the row tiles of
+    K) so the working set is one panel at a time.  Bit-for-bit equal to
+    the monolithic pipeline for every valid ``tile_rows``.
+
+    Returns ``(D, V)``; with ``weights`` the selection matrix is the
+    weighted ``V_w``.
+    """
+    n = k_mat.shape[0]
+    if k_mat.shape != (n, n):
+        raise ShapeError("kernel matrix must be square")
+    lab = check_labels(labels, n, k)
+    dt = np.dtype(dtype) if dtype is not None else k_mat.dtype
+    km = k_mat.astype(dt, copy=False)
+    if weights is None:
+        v = selection_matrix(lab, k, dtype=dt)
+    else:
+        v = weighted_selection_matrix(lab, k, weights, dtype=dt)
+    e = np.empty((n, k), dtype=dt)
+    for lo, hi in row_tiles(n, tile_rows):
+        panel = np.ascontiguousarray(km[:, lo:hi])
+        e[lo:hi] = spmm(v, panel, alpha=-2.0).T
+    # centroid norms via the z-gather SpMV; the -0.5 cancels the -2
+    z = np.ascontiguousarray(e[np.arange(n), lab])
+    c_norms = spmv(v, z, alpha=-0.5)
+    d = e
+    d += np.diagonal(km)[:, None]
+    d += c_norms[None, :]
+    return d, v

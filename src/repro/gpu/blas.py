@@ -16,7 +16,19 @@ from . import cost
 from .device import Device
 from .memory import DeviceArray
 
-__all__ = ["gemm_gram", "syrk_gram", "gram"]
+__all__ = ["gemm_gram", "syrk_gram", "syrk_mirror", "gram"]
+
+
+def syrk_mirror(full: np.ndarray) -> np.ndarray:
+    """The SYRK + triangular-mirror numerics on a full Gram matrix.
+
+    SYRK writes only the lower triangle; the hand-written mirror kernel
+    (Sec. 4.2) reflects the strictly-lower part above the diagonal.  Both
+    the device shim and the host backend use this one definition, so the
+    convention cannot drift between backends.
+    """
+    lower = np.tril(full)  # what the SYRK writes
+    return lower + np.tril(full, -1).T
 
 
 def gemm_gram(device: Device, p: DeviceArray) -> DeviceArray:
@@ -41,11 +53,8 @@ def syrk_gram(device: Device, p: DeviceArray) -> DeviceArray:
         raise ShapeError("syrk_gram expects a 2-D points buffer")
     n, d = p.shape
     full = p.a @ p.a.T
-    lower = np.tril(full)  # what the SYRK writes
     device.record(cost.syrk_cost(device.spec, n, d))
-    # mirror copy: strictly-lower triangle reflected above the diagonal
-    mirrored = lower + np.tril(full, -1).T
-    out = device.wrap(mirrored)
+    out = device.wrap(syrk_mirror(full))
     device.record(cost.triangular_copy_cost(device.spec, n))
     return out
 

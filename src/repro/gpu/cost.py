@@ -37,6 +37,9 @@ __all__ = [
     "kernel_transform_cost",
     "diag_extract_cost",
     "spmm_cost",
+    "gemm_tile_cost",
+    "transform_tile_cost",
+    "spmm_tile_cost",
     "spmv_cost",
     "spgemm_cost",
     "zgather_cost",
@@ -236,6 +239,52 @@ def vbuild_cost(spec: DeviceSpec, n: int, k: int) -> Launch:
     bytes_ = FP32 * n + IDX32 * (3.0 * n + 2.0 * (k + 1))
     t = roofline_time(spec, float(n), bytes_, eff_memory=0.4, launches=2)
     return Launch("custom.v_build", float(n), bytes_, t, meta={"n": n, "k": k})
+
+
+# ----------------------------------------------------------------------
+# row-tiled (out-of-core) pipeline — repro.engine streaming mode
+# ----------------------------------------------------------------------
+
+def gemm_tile_cost(spec: DeviceSpec, rows: int, n: int, d: int) -> Launch:
+    """Rectangular GEMM for one row panel ``B[lo:hi] = P[lo:hi] @ P^T``.
+
+    The streamed kernel stage builds K in row panels of the tile height
+    instead of one square GEMM, so the panel never exceeds tile memory.
+    """
+    flops = 2.0 * rows * n * d
+    bytes_ = FP32 * (rows * d + n * d + rows * n)
+    t = roofline_time(
+        spec, flops, bytes_, eff_compute=cal.gemm_compute_efficiency(n, d),
+        eff_memory=0.85, lib_call=True,
+    )
+    return Launch("cublas.gemm_tile", flops, bytes_, t, meta={"rows": rows, "n": n, "d": d})
+
+
+def transform_tile_cost(spec: DeviceSpec, rows: int, n: int, flops_per_entry: float = 4.0) -> Launch:
+    """Elementwise kernel application over one ``rows x n`` Gram panel."""
+    flops = flops_per_entry * rows * n
+    bytes_ = FP32 * 2.0 * rows * n
+    t = roofline_time(spec, flops, bytes_, eff_compute=0.5, eff_memory=0.85)
+    return Launch("thrust.transform_tile", flops, bytes_, t, meta={"rows": rows, "n": n})
+
+
+def spmm_tile_cost(spec: DeviceSpec, rows: int, n: int, k: int) -> Launch:
+    """cuSPARSE SpMM over one streamed panel of K: rows ``[lo, hi)`` of E.
+
+    Same traffic law as :func:`spmm_cost` restricted to the panel, plus
+    V's CSR arrays re-read per tile (the panels stream; V stays resident).
+    """
+    flops = 2.0 * rows * n
+    bytes_ = (
+        FP32 * (cal.SPMM_TRAFFIC_FACTOR * rows * n + rows * k + n)
+        + IDX32 * (2.0 * n + k + 1)
+    )
+    t = roofline_time(
+        spec, flops, bytes_,
+        eff_memory=cal.spmm_mem_efficiency(k, max(rows, 1)),
+        lib_call=True,
+    )
+    return Launch("cusparse.spmm_tile", flops, bytes_, t, meta={"rows": rows, "n": n, "k": k})
 
 
 # ----------------------------------------------------------------------

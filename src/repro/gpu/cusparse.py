@@ -17,7 +17,7 @@ from . import cost
 from .device import Device
 from .memory import DeviceArray
 
-__all__ = ["DeviceCSR", "spmm_kvt", "spmv", "spgemm"]
+__all__ = ["DeviceCSR", "spmm_kvt", "spmm_kvt_tile", "spmv", "spgemm"]
 
 
 class DeviceCSR:
@@ -84,6 +84,30 @@ def spmm_kvt(device: Device, k_mat: DeviceArray, v: DeviceCSR, *, alpha: float =
     prod = _spmm(v.m, k_mat.a, alpha=alpha)  # (k, n)
     out = device.wrap(np.ascontiguousarray(prod.T))  # (n, k)
     device.record(cost.spmm_cost(device.spec, n, kk))
+    return out
+
+
+def spmm_kvt_tile(
+    device: Device, k_panel: DeviceArray, v: DeviceCSR, *, alpha: float = -2.0
+) -> DeviceArray:
+    """cuSPARSE SpMM over one streamed panel of K: a row tile of E.
+
+    ``k_panel`` is the ``n x r`` column panel ``K[:, lo:hi]`` — for the
+    symmetric kernel matrix this equals the row tile ``K[lo:hi, :]``
+    transposed, so ``alpha * (V K[:, lo:hi])^T`` is exactly rows
+    ``[lo, hi)`` of ``E = alpha * K V^T``.  The CSR SpMM computes every
+    output column independently, so the tiled result is bit-for-bit
+    identical to the monolithic :func:`spmm_kvt`, whatever the tiling.
+    """
+    device.check_resident(k_panel)
+    v._check(device)
+    kk, n = v.shape
+    if k_panel.a.ndim != 2 or k_panel.shape[0] != n:
+        raise ShapeError(f"K panel must have {n} rows, got {k_panel.shape}")
+    rows = k_panel.shape[1]
+    prod = _spmm(v.m, k_panel.a, alpha=alpha)  # (k, rows)
+    out = device.wrap(np.ascontiguousarray(prod.T))  # (rows, k)
+    device.record(cost.spmm_tile_cost(device.spec, rows, n, kk))
     return out
 
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from .._typing import check_labels
 from ..errors import ShapeError
-from ..sparse import CSRMatrix, selection_matrix
+from ..sparse import CSRMatrix, selection_matrix, weighted_selection_matrix
 from . import cost
 from .cusparse import DeviceCSR
 from .device import Device
@@ -29,6 +29,9 @@ __all__ = [
     "z_gather",
     "d_add",
     "diag_extract",
+    "baseline_reduce_numerics",
+    "baseline_norms_numerics",
+    "baseline_assemble_numerics",
     "baseline_cluster_reduce",
     "baseline_centroid_norms",
     "baseline_distance_assemble",
@@ -39,14 +42,27 @@ __all__ = [
 # Popcorn's kernels
 # ----------------------------------------------------------------------
 
-def v_build(device: Device, labels: np.ndarray, k: int, *, dtype=np.float32) -> DeviceCSR:
+def v_build(
+    device: Device,
+    labels: np.ndarray,
+    k: int,
+    *,
+    dtype=np.float32,
+    weights: np.ndarray | None = None,
+) -> DeviceCSR:
     """Build the selection matrix V on the device (Sec. 4.1).
 
     A reduction computes cluster cardinalities and a scatter kernel fills
-    the CSR arrays; the cost model charges both launches.
+    the CSR arrays; the cost model charges both launches.  With
+    ``weights``, the weighted variant ``V_w`` (values ``w_i / s_j``) is
+    built instead — same structure, same cost.
     """
     lab = check_labels(labels, labels.shape[0], k)
-    v = DeviceCSR(device, selection_matrix(lab, k, dtype=dtype))
+    if weights is None:
+        csr = selection_matrix(lab, k, dtype=dtype)
+    else:
+        csr = weighted_selection_matrix(lab, k, weights, dtype=dtype)
+    v = DeviceCSR(device, csr)
     device.record(cost.vbuild_cost(device.spec, lab.shape[0], k))
     return v
 
@@ -99,7 +115,37 @@ def diag_extract(device: Device, k_mat: DeviceArray) -> DeviceArray:
 
 # ----------------------------------------------------------------------
 # the baseline CUDA implementation's kernels (Sec. 5.3)
+#
+# The pure-ndarray numerics live in the *_numerics helpers so the host
+# backend and the device shims are guaranteed bit-identical; the shims
+# below add residency checks and modeled launch costs on top.
 # ----------------------------------------------------------------------
+
+def baseline_reduce_numerics(k_mat: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
+    """``R[i, j] = sum_{l in L_j} K[i, l]`` as a dense matmul."""
+    n = k_mat.shape[0]
+    onehot = np.zeros((n, k), dtype=k_mat.dtype)
+    onehot[np.arange(n), labels] = 1
+    return k_mat @ onehot
+
+
+def baseline_norms_numerics(r_mat: np.ndarray, labels: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """``||c_j||^2 = (1 / |L_j|^2) * sum_{i in L_j} R[i, j]`` (float64 accumulate)."""
+    n = r_mat.shape[0]
+    k = r_mat.shape[1]
+    own = r_mat[np.arange(n), labels].astype(np.float64)
+    sums = np.bincount(labels, weights=own, minlength=k)
+    denom = np.maximum(counts.astype(np.float64), 1) ** 2
+    return (sums / denom).astype(r_mat.dtype)
+
+
+def baseline_assemble_numerics(
+    r_mat: np.ndarray, k_diag: np.ndarray, c_norms: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """``D[i, j] = K[i, i] - 2 R[i, j] / |L_j| + ||c_j||^2``."""
+    inv = (1.0 / np.maximum(counts, 1)).astype(r_mat.dtype)
+    return k_diag[:, None] - 2.0 * r_mat * inv[None, :] + c_norms[None, :]
+
 
 def baseline_cluster_reduce(device: Device, k_mat: DeviceArray, labels: np.ndarray, k: int) -> DeviceArray:
     """Baseline kernel 1: reduce each row of K by cluster membership.
@@ -112,9 +158,7 @@ def baseline_cluster_reduce(device: Device, k_mat: DeviceArray, labels: np.ndarr
     device.check_resident(k_mat)
     n = k_mat.shape[0]
     lab = check_labels(labels, n, k)
-    onehot = np.zeros((n, k), dtype=k_mat.dtype)
-    onehot[np.arange(n), lab] = 1
-    out = device.wrap(k_mat.a @ onehot)
+    out = device.wrap(baseline_reduce_numerics(k_mat.a, lab, k))
     device.record(cost.baseline_k1_cost(device.spec, n, k))
     return out
 
@@ -130,11 +174,7 @@ def baseline_centroid_norms(
     device.check_resident(r_mat)
     n, k = r_mat.shape
     lab = check_labels(labels, n, k)
-    own = r_mat.a[np.arange(n), lab].astype(np.float64)
-    sums = np.bincount(lab, weights=own, minlength=k)
-    denom = np.maximum(counts.astype(np.float64), 1) ** 2
-    norms = (sums / denom).astype(r_mat.dtype)
-    out = device.wrap(norms)
+    out = device.wrap(baseline_norms_numerics(r_mat.a, lab, counts))
     device.record(cost.baseline_k2_cost(device.spec, n, k))
     return out
 
@@ -154,8 +194,7 @@ def baseline_distance_assemble(
     n, k = r_mat.shape
     if k_diag.shape != (n,) or c_norms.shape != (k,):
         raise ShapeError("k_diag / c_norms shape mismatch")
-    inv = (1.0 / np.maximum(counts, 1)).astype(r_mat.dtype)
-    d = k_diag.a[:, None] - 2.0 * r_mat.a * inv[None, :] + c_norms.a[None, :]
+    d = baseline_assemble_numerics(r_mat.a, k_diag.a, c_norms.a, counts)
     out = device.wrap(np.ascontiguousarray(d))
     device.record(cost.baseline_k3_cost(device.spec, n, k))
     return out

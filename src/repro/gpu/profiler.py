@@ -58,17 +58,27 @@ class Profiler:
         """Discard all recorded launches (keeps the phase stack)."""
         self.launches.clear()
 
+    def mark(self) -> int:
+        """Snapshot the current launch count.
+
+        Pass the returned index to :meth:`phase_times` / :meth:`total_time`
+        to aggregate only launches recorded after the mark — this is how
+        estimators report per-``fit`` timings on a shared (accumulating)
+        device profiler.
+        """
+        return len(self.launches)
+
     # ------------------------------------------------------------------
     # aggregate queries
     # ------------------------------------------------------------------
-    def total_time(self) -> float:
+    def total_time(self, *, since: int = 0) -> float:
         """Sum of modeled execution time over all launches (seconds)."""
-        return sum(l.time_s for l in self.launches)
+        return sum(l.time_s for l in self.launches[since:])
 
-    def phase_times(self) -> Dict[str, float]:
-        """Modeled time per phase label."""
+    def phase_times(self, *, since: int = 0) -> Dict[str, float]:
+        """Modeled time per phase label (optionally since a :meth:`mark`)."""
         out: Dict[str, float] = defaultdict(float)
-        for l in self.launches:
+        for l in self.launches[since:]:
             out[l.phase or "(untagged)"] += l.time_s
         return dict(out)
 

@@ -40,6 +40,7 @@ from .._typing import as_matrix
 from ..baselines.lloyd import LloydKMeans
 from ..config import DEFAULT_CONFIG
 from ..core.weighted import WeightedPopcornKernelKMeans
+from ..engine.base import BaseKernelKMeans
 from ..errors import ConfigError, ShapeError
 from ..sparse import from_dense, spmm
 
@@ -194,6 +195,7 @@ def _cluster_adjacency(
     max_iter: int,
     power_iters: int,
     seed: int | None,
+    backend: str = "auto",
 ):
     """Shared engine: power-iteration init + weighted KKM refinement."""
     rng = np.random.default_rng(DEFAULT_CONFIG.seed if seed is None else seed)
@@ -206,14 +208,15 @@ def _cluster_adjacency(
             n_clusters, init="k-means++", seed=int(rng.integers(2**31))
         ).fit(emb).labels_
         cand = WeightedPopcornKernelKMeans(
-            n_clusters, max_iter=max_iter, seed=int(rng.integers(2**31))
+            n_clusters, max_iter=max_iter, seed=int(rng.integers(2**31)),
+            backend=backend,
         ).fit(k_mat, weights=w, init_labels=init)
         if best is None or cand.objective_ < best.objective_:
             best = cand
     return best
 
 
-class SpectralKernelKMeans:
+class SpectralKernelKMeans(BaseKernelKMeans):
     """Normalized-cut spectral clustering without dense eigendecomposition.
 
     Pipeline: point cloud -> kNN affinity graph -> power-iteration
@@ -221,7 +224,14 @@ class SpectralKernelKMeans:
     best normalized-cut objective wins).  Solves geometries where plain
     kernel k-means struggles (interleaved moons) because the kNN graph
     encodes connectivity rather than radial similarity.
+
+    The refinement runs on the shared engine through
+    :class:`~repro.core.WeightedPopcornKernelKMeans`; ``backend=`` is
+    forwarded, so ``backend="device"`` executes every refinement on the
+    simulated GPU with modeled timings.
     """
+
+    _default_backend = "host"
 
     def __init__(
         self,
@@ -230,23 +240,27 @@ class SpectralKernelKMeans:
         n_neighbors: int = 10,
         mode: str = "distance",
         sigma: float = 1.0,
+        backend: str = "auto",
         n_init: int = 4,
         max_iter: int = 100,
         power_iters: int = 2000,
         seed: int | None = None,
     ) -> None:
-        if n_clusters < 1:
-            raise ConfigError("n_clusters must be >= 1")
+        super().__init__(
+            n_clusters,
+            backend=backend,
+            max_iter=max_iter,
+            tol=1e-6,
+            seed=seed,
+            dtype=np.float64,
+        )
         if n_init < 1:
             raise ConfigError("n_init must be >= 1")
-        self.n_clusters = int(n_clusters)
         self.n_neighbors = int(n_neighbors)
         self.mode = mode
         self.sigma = float(sigma)
         self.n_init = int(n_init)
-        self.max_iter = int(max_iter)
         self.power_iters = int(power_iters)
-        self.seed = seed
 
     def fit(self, x: np.ndarray) -> "SpectralKernelKMeans":
         """Cluster a point cloud through its kNN graph."""
@@ -257,15 +271,13 @@ class SpectralKernelKMeans:
         best = _cluster_adjacency(
             a, self.n_clusters, sigma=self.sigma, n_init=self.n_init,
             max_iter=self.max_iter, power_iters=self.power_iters, seed=self.seed,
+            backend=self.backend,
         )
         self.labels_ = best.labels_
         self.objective_ = best.objective_
         self.n_iter_ = best.n_iter_
+        self.backend_ = best.backend_
         return self
-
-    def fit_predict(self, x: np.ndarray) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(x).labels_
 
 
 def cluster_graph(
@@ -273,6 +285,7 @@ def cluster_graph(
     n_clusters: int,
     *,
     sigma: float = 1.0,
+    backend: str = "auto",
     n_init: int = 4,
     max_iter: int = 100,
     power_iters: int = 2000,
@@ -289,6 +302,6 @@ def cluster_graph(
     a = nx.to_numpy_array(g, nodelist=nodes, weight="weight")
     best = _cluster_adjacency(
         a, n_clusters, sigma=sigma, n_init=n_init,
-        max_iter=max_iter, power_iters=power_iters, seed=seed,
+        max_iter=max_iter, power_iters=power_iters, seed=seed, backend=backend,
     )
     return best.labels_

@@ -26,6 +26,7 @@ from .kernels.dispatch import choose_gram_method
 __all__ = [
     "RunModel",
     "model_popcorn",
+    "model_popcorn_tiled",
     "model_baseline",
     "model_cpu",
     "model_gram",
@@ -124,6 +125,60 @@ def model_popcorn(
         with prof.phase("distances"):
             prof.record(cost.spmm_cost(spec, n, k))
             prof.record(cost.zgather_cost(spec, n, k))
+            prof.record(cost.spmv_cost(spec, n, k))
+            prof.record(cost.dadd_cost(spec, n, k))
+        with prof.phase("argmin_update"):
+            prof.record(cost.argmin_cost(spec, n, k))
+    return RunModel(prof, n, d, k, iters)
+
+
+def model_popcorn_tiled(
+    n: int,
+    d: int,
+    k: int,
+    *,
+    tile_rows: int,
+    iters: int = 30,
+    spec: DeviceSpec = A100_80GB,
+    kernel_flops_per_entry: float = 4.0,
+    include_transfer: bool = True,
+) -> RunModel:
+    """Analytical launch log of a row-tiled (out-of-core) Popcorn run.
+
+    Mirrors the engine's streaming mode launch for launch: the kernel
+    matrix is built in ``tile_rows x n`` GEMM panels and written back to
+    host memory, then every iteration re-streams the panels over PCIe for
+    the tiled SpMM.  K is never resident, so the device footprint is
+    O(tile_rows * n) — the run is feasible at any ``n`` — and the price is
+    the per-iteration H2D traffic this model charges.
+    """
+    _check(n, d, k, iters)
+    from .engine.tiling import row_tiles
+
+    tiles = row_tiles(n, tile_rows)
+    prof = Profiler()
+    if include_transfer:
+        with prof.phase("transfer"):
+            prof.record(cost.h2d_cost(spec, FP32 * n * d))
+    with prof.phase("kernel_matrix"):
+        for lo, hi in tiles:
+            prof.record(cost.gemm_tile_cost(spec, hi - lo, n, d))
+            prof.record(cost.transform_tile_cost(spec, hi - lo, n, kernel_flops_per_entry))
+        prof.record(cost.diag_extract_cost(spec, n))
+    with prof.phase("transfer"):
+        for lo, hi in tiles:
+            prof.record(cost.d2h_cost(spec, FP32 * (hi - lo) * n))
+        prof.record(cost.h2d_cost(spec, FP32 * n))  # P~ upload
+    for _ in range(iters):
+        with prof.phase("argmin_update"):
+            prof.record(cost.vbuild_cost(spec, n, k))
+        for lo, hi in tiles:
+            with prof.phase("transfer"):
+                prof.record(cost.h2d_cost(spec, FP32 * (hi - lo) * n))
+            with prof.phase("distances"):
+                prof.record(cost.spmm_tile_cost(spec, hi - lo, n, k))
+                prof.record(cost.zgather_cost(spec, hi - lo, k))
+        with prof.phase("distances"):
             prof.record(cost.spmv_cost(spec, n, k))
             prof.record(cost.dadd_cost(spec, n, k))
         with prof.phase("argmin_update"):

@@ -17,6 +17,7 @@ from .construct import (
     identity,
     random_csr,
     selection_matrix,
+    weighted_selection_matrix,
 )
 from .ops import (
     add,
@@ -41,6 +42,7 @@ __all__ = [
     "identity",
     "random_csr",
     "selection_matrix",
+    "weighted_selection_matrix",
     "binary_selection_matrix",
     "cluster_counts",
     "transpose",

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._typing import INDEX_DTYPE, as_float_dtype, as_index_vector, as_matrix
-from ..errors import ShapeError, SparseFormatError
+from ..errors import ConfigError, ShapeError, SparseFormatError
 from .csr import CSRMatrix
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "identity",
     "random_csr",
     "selection_matrix",
+    "weighted_selection_matrix",
     "binary_selection_matrix",
     "cluster_counts",
 ]
@@ -173,6 +174,38 @@ def selection_matrix(labels: np.ndarray, k: int, *, dtype=np.float32) -> CSRMatr
     values = inv[lab[order]].astype(dt)
     rowptrs = np.zeros(k + 1, dtype=np.int64)
     np.cumsum(counts, out=rowptrs[1:])
+    return CSRMatrix(values, order, rowptrs, (k, n), check=False)
+
+
+def weighted_selection_matrix(
+    labels: np.ndarray, k: int, weights: np.ndarray, *, dtype=np.float64
+) -> CSRMatrix:
+    """Build ``V_w`` with ``V_w[j, i] = w_i / s_j`` (one nonzero per column).
+
+    The weighted generalisation of :func:`selection_matrix` (Dhillon, Guan
+    & Kulis, KDD 2004): ``s_j`` is the total weight of cluster ``j``, so
+    ``C = V_w P`` gives the weighted centroids.  Empty clusters produce
+    empty rows; clusters whose total weight is zero (possible with
+    zero-weight points) also produce zero rows.
+    """
+    lab = as_index_vector(labels, name="labels")
+    n = lab.shape[0]
+    if lab.size and (lab.min() < 0 or lab.max() >= k):
+        raise ShapeError(f"labels must lie in [0, {k})")
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1:
+        raise ShapeError("weights must be 1-D")
+    if w.shape[0] != n:
+        raise ShapeError(f"weights must have length {n}, got {w.shape[0]}")
+    if np.any(w < 0):
+        raise ConfigError("weights must be non-negative")
+    s = np.bincount(lab, weights=w, minlength=k)
+    order = np.argsort(lab, kind="stable").astype(INDEX_DTYPE)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv_s = np.where(s > 0, 1.0 / np.where(s > 0, s, 1.0), 0.0)
+    values = (w[order] * inv_s[lab[order]]).astype(as_float_dtype(dtype))
+    rowptrs = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(np.bincount(lab, minlength=k), out=rowptrs[1:])
     return CSRMatrix(values, order, rowptrs, (k, n), check=False)
 
 

@@ -1,0 +1,97 @@
+"""Every estimator in the family rides the shared engine base class."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineCUDAKernelKMeans,
+    DistributedPopcornKernelKMeans,
+    NystromKernelKMeans,
+    PopcornKernelKMeans,
+    SpectralKernelKMeans,
+    WeightedPopcornKernelKMeans,
+)
+from repro.data import make_moons
+from repro.engine import BaseKernelKMeans
+from repro.errors import ConfigError
+
+ALL_SIX = (
+    PopcornKernelKMeans,
+    WeightedPopcornKernelKMeans,
+    BaselineCUDAKernelKMeans,
+    DistributedPopcornKernelKMeans,
+    NystromKernelKMeans,
+    SpectralKernelKMeans,
+)
+
+
+class TestFamilyContract:
+    @pytest.mark.parametrize("cls", ALL_SIX)
+    def test_inherits_base(self, cls):
+        assert issubclass(cls, BaseKernelKMeans)
+
+    @pytest.mark.parametrize("cls", ALL_SIX)
+    def test_accepts_backend_parameter(self, cls):
+        est = cls(2, backend="auto")
+        assert est.backend == "auto"
+        assert cls(2, backend="host").backend == "host"
+
+    @pytest.mark.parametrize("cls", ALL_SIX)
+    def test_rejects_bogus_backend(self, cls):
+        with pytest.raises(ConfigError, match="backend"):
+            cls(2, backend="fpga")
+
+    @pytest.mark.parametrize("cls", ALL_SIX)
+    def test_shared_validation(self, cls):
+        with pytest.raises(ConfigError):
+            cls(0)
+
+    @pytest.mark.parametrize(
+        "cls", (DistributedPopcornKernelKMeans, NystromKernelKMeans)
+    )
+    def test_host_only_estimators_reject_device_backend(self, cls):
+        with pytest.raises(ConfigError, match="backend"):
+            cls(2, backend="device")
+
+
+class TestInheritedBehaviour:
+    def test_fit_predict_inherited(self, blobs):
+        x, _, k = blobs
+        for cls in (PopcornKernelKMeans, BaselineCUDAKernelKMeans):
+            m = cls(k, seed=0, max_iter=5)
+            assert np.array_equal(m.fit_predict(x), m.labels_)
+
+    def test_backend_attribute_after_fit(self, blobs):
+        x, _, k = blobs
+        assert PopcornKernelKMeans(k, seed=0, max_iter=3).fit(x).backend_ == "device"
+        assert NystromKernelKMeans(k, seed=0).fit(x).backend_ == "host"
+        assert (
+            DistributedPopcornKernelKMeans(k, n_devices=2, seed=0, max_iter=3)
+            .fit(x)
+            .backend_
+            == "host"
+        )
+
+    def test_distributed_reports_timings(self, blobs):
+        x, _, k = blobs
+        m = DistributedPopcornKernelKMeans(
+            k, n_devices=3, seed=0, max_iter=3, check_convergence=False
+        ).fit(x)
+        assert m.timings_["distances"] > 0
+        assert m.timings_["kernel_matrix"] > 0
+
+    def test_weighted_reports_engine_attributes(self, small_kernel_matrix):
+        km, labels, k = small_kernel_matrix
+        m = WeightedPopcornKernelKMeans(k, seed=0).fit(km)
+        assert m.backend_ == "host"
+        assert m.convergence_reason_ in (
+            "", "assignments stable", "objective improvement below tol"
+        )
+        assert "distances" in m.timings_
+
+    def test_spectral_forwards_backend(self):
+        x, y = make_moons(160, rng=5)
+        host = SpectralKernelKMeans(2, seed=0, backend="host", power_iters=300).fit(x)
+        dev = SpectralKernelKMeans(2, seed=0, backend="device", power_iters=300).fit(x)
+        assert np.array_equal(host.labels_, dev.labels_)
+        assert dev.backend_ == "device"
