@@ -1,50 +1,20 @@
-"""Ablation — what sparsity buys: SpMM(V, K) vs a dense one-hot GEMM.
+"""Ablation — what sparsity buys: SpMM(V, K) vs a dense one-hot GEMM (shim).
 
 V is k x n with n nonzeros; treating it as a dense matrix (the natural
 formulation without the paper's insight) turns the O(n^2) SpMM into an
-O(n^2 k) GEMM.  This bench measures the real wall-clock of both on the
-same operands and the modeled gap at paper scale.
+O(n^2 k) GEMM.  The registry entry models the gap at paper scale; the
+shim measures the real wall-clock of both on the same operands.
 """
 
 import numpy as np
 
-from paperfig import emit
+from paperfig import run_registered
 from repro.core import selection_dense
-from repro.gpu import A100_80GB, cost
 from repro.sparse import selection_matrix, spmm
 
 
-def _dense_gemm_cost(spec, n, k):
-    """Modeled dense (k x n) @ (n x n) GEMM, the sparsity-free alternative."""
-    flops = 2.0 * k * n * n
-    bytes_ = 4.0 * (k * n + n * n + k * n)
-    from repro.gpu.calibration import gemm_compute_efficiency
-
-    t = cost.roofline_time(
-        spec, flops, bytes_, eff_compute=gemm_compute_efficiency(n, n),
-        eff_memory=0.85, lib_call=True,
-    )
-    return t
-
-
 def test_ablation_dense_vs_sparse(benchmark):
-    rows = []
-    for n in (10000, 50000):
-        for k in (10, 50, 100):
-            sp = cost.spmm_cost(A100_80GB, n, k).time_s
-            de = _dense_gemm_cost(A100_80GB, n, k)
-            rows.append((n, k, f"{sp * 1e3:.3f}", f"{de * 1e3:.3f}", f"{de / sp:.1f}x"))
-    emit(
-        "ablation_dense_vs_sparse",
-        ["n", "k", "spmm_ms", "dense_gemm_ms", "sparse_advantage"],
-        rows,
-        "V as sparse CSR vs dense one-hot GEMM (modeled)",
-    )
-
-    # the sparse advantage grows linearly-ish with k
-    adv_k10 = float(rows[3][4][:-1])
-    adv_k100 = float(rows[5][4][:-1])
-    assert adv_k100 > adv_k10 * 3
+    run_registered("ablation_dense_vs_sparse")
 
     # real wall-clock on the same operands
     rng = np.random.default_rng(0)

@@ -1,47 +1,19 @@
-"""Ablation — the GEMM/SYRK dispatch threshold t (Sec. 4.2).
+"""Ablation — the GEMM/SYRK dispatch threshold t (Sec. 4.2) (shim).
 
 The paper leaves t architecture-dependent and calibrates t = 100 on
-their A100.  This bench sweeps t over the model and reports the total
-Gram time the dispatch would accumulate over a representative (n, d)
-grid, per device generation.
+their A100.  The registry entry sweeps t over the model and reports the
+total Gram time the dispatch would accumulate over a representative
+(n, d) grid, per device generation; the shim times the tuner itself.
 """
 
-from paperfig import emit
-from repro.gpu import A100_80GB, H100_80GB, V100_32GB
-from repro.kernels import model_gram_times, tune_threshold
-
-GRID_N = (10000, 20000, 50000)
-RATIOS = (1, 3, 10, 30, 100, 300, 1000)
-
-
-def _total_time_for_threshold(spec, t):
-    total = 0.0
-    for n in GRID_N:
-        for r in RATIOS:
-            d = max(1, int(round(n / r)))
-            times = model_gram_times(spec, n, d)
-            total += times["gemm"] if n / d > t else times["syrk"]
-    return total
+from paperfig import run_registered
+from repro.bench.experiments.ablations import THRESHOLD_GRID_N, THRESHOLD_RATIOS
+from repro.gpu import A100_80GB
+from repro.kernels import tune_threshold
 
 
 def test_ablation_dispatch_threshold(benchmark):
-    rows = []
-    for spec in (V100_32GB, A100_80GB, H100_80GB):
-        for t in RATIOS:
-            rows.append((spec.name, t, f"{_total_time_for_threshold(spec, t):.3f}"))
-        best = tune_threshold(spec, n_values=GRID_N, ratios=RATIOS)
-        rows.append((spec.name, "tuned", f"{_total_time_for_threshold(spec, best):.3f} (t*={best:g})"))
-    emit(
-        "ablation_threshold",
-        ["device", "threshold_t", "total_gram_time_s"],
-        rows,
-        "dispatch-threshold sweep (modeled; paper leaves t tunable)",
-    )
+    run_registered("ablation_threshold")
 
-    # degenerate thresholds must not beat the tuned one on the A100
-    best = tune_threshold(A100_80GB, n_values=GRID_N, ratios=RATIOS)
-    t_best = _total_time_for_threshold(A100_80GB, best)
-    assert t_best <= _total_time_for_threshold(A100_80GB, 0.5)  # always-GEMM
-    assert t_best <= _total_time_for_threshold(A100_80GB, 10**9)  # always-SYRK
-
-    benchmark(lambda: tune_threshold(A100_80GB, n_values=GRID_N, ratios=RATIOS))
+    benchmark(lambda: tune_threshold(A100_80GB, n_values=THRESHOLD_GRID_N,
+                                     ratios=THRESHOLD_RATIOS))

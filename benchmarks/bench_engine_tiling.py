@@ -1,15 +1,11 @@
-"""Extension — the modeled cost of the engine's row-tiled pipeline.
+"""Extension — the modeled cost of the engine's row-tiled pipeline (shim).
 
 The row-tiled distance pipeline (``tile_rows=``) streams the kernel
 matrix over PCIe instead of keeping it resident, so memory drops from
 O(n^2) to O(tile_rows * n) while the per-iteration SpMM stays bit-exact.
-This bench sweeps ``tile_rows`` at fixed n and charts the throughput
-price of streaming against monolithic Popcorn:
-
-* the H2D re-streaming of K dominates once tiles shrink (PCIe bandwidth
-  versus HBM bandwidth — a ~80x gap on the A100 testbed);
-* larger tiles amortise per-launch overheads, so the overhead ratio
-  falls monotonically toward the streaming floor.
+The registry entry sweeps ``tile_rows`` at fixed n and charts the
+throughput price of streaming against monolithic Popcorn; the shim
+executes tiled-vs-monolithic at small scale and verifies label equality.
 
 The practitioner's decision rule: use the largest ``tile_rows`` that
 fits, and expect the modeled slowdown printed here.
@@ -17,46 +13,13 @@ fits, and expect the modeled slowdown printed here.
 
 import numpy as np
 
-from paperfig import ITERS, emit
+from paperfig import run_registered
 from repro.baselines import random_labels
 from repro.core import PopcornKernelKMeans
-from repro.modeling import model_popcorn, model_popcorn_tiled
-
-N, D, K = 50000, 780, 100
 
 
 def test_engine_tiling_sweep(benchmark):
-    mono = model_popcorn(N, D, K, iters=ITERS, include_transfer=False)
-    rows = []
-    ratios = []
-    for tile in (1024, 4096, 16384, 50000):
-        tiled = model_popcorn_tiled(
-            N, D, K, tile_rows=tile, iters=ITERS, include_transfer=False
-        )
-        ratio = tiled.total_s / mono.total_s
-        ratios.append(ratio)
-        peak_gb = 4.0 * tile * N / 1e9
-        rows.append(
-            (tile, f"{peak_gb:.2f}", f"{tiled.total_s:.2f}",
-             f"{tiled.phase_s('transfer'):.2f}", f"{ratio:.2f}")
-        )
-    rows.append(("resident", f"{4.0 * N * N / 1e9:.2f}", f"{mono.total_s:.2f}",
-                 f"{mono.phase_s('transfer'):.2f}", "1.00"))
-    emit(
-        "ext_engine_tiling",
-        ["tile_rows", "peak_K_GB", "total_s", "transfer_s", "vs_monolithic"],
-        rows,
-        f"row-tiled vs monolithic Popcorn (modeled, n={N}, d={D}, k={K})",
-    )
-
-    # structure: streaming always costs something, and the overhead falls
-    # monotonically as tiles grow (fixed overheads amortise)
-    assert all(r > 1.0 for r in ratios)
-    assert ratios == sorted(ratios, reverse=True)
-    # the streaming floor is the PCIe/HBM bandwidth gap (~80x on the A100
-    # testbed): re-reading K over PCIe each iteration cannot cost more
-    # than that relative to the resident SpMM
-    assert ratios[-1] < 80.0
+    run_registered("ext_engine_tiling")
 
     # executing equivalence, timed: tiling must not change the labels
     rng = np.random.default_rng(0)

@@ -1,46 +1,20 @@
-"""Extension — performance portability across GPU generations (Sec. 4.5).
+"""Extension — performance portability across GPU generations (shim).
 
 The paper argues that offloading to cuSPARSE/cuBLAS makes Popcorn's
 performance portable: "future improvements to cuSPARSE and cuBLAS will
-automatically lead to performance improvements in Popcorn."  This bench
-sweeps the device model over V100 / A100 / H100 for an MNIST-shaped
-workload and checks the generational ordering of every figure-7-style
-quantity.
+automatically lead to performance improvements in Popcorn."  The
+registry entry sweeps the device model over V100 / A100 / H100 for an
+MNIST-shaped workload; the shim times the model evaluation itself.
 """
 
-from paperfig import ITERS, emit
-from repro.gpu import A100_80GB, H100_80GB, V100_32GB
-from repro.modeling import model_baseline, model_popcorn
-
-SPECS = (V100_32GB, A100_80GB, H100_80GB)
-WORKLOAD = (60000, 780, 100)  # mnist at k=100
+from paperfig import ITERS, run_registered
+from repro.bench.experiments.extensions import DEVICE_SWEEP_WORKLOAD
+from repro.gpu import H100_80GB
+from repro.modeling import model_popcorn
 
 
 def test_ext_device_sweep(benchmark):
-    n, d, k = WORKLOAD
-    rows = []
-    totals = []
-    speedups = []
-    for spec in SPECS:
-        pop = model_popcorn(n, d, k, iters=ITERS, spec=spec)
-        base = model_baseline(n, d, k, iters=ITERS, spec=spec)
-        s = base.total_s / pop.total_s
-        totals.append(pop.total_s)
-        speedups.append(s)
-        rows.append(
-            (spec.name, f"{pop.total_s:.3f}", f"{base.total_s:.3f}", f"{s:.2f}x",
-             f"{pop.profiler.achieved_gflops('cusparse.spmm'):.0f}")
-        )
-    emit(
-        "ext_device_sweep",
-        ["device", "popcorn_s", "baseline_s", "speedup", "spmm_gflops"],
-        rows,
-        "performance portability: same code across GPU generations (modeled)",
-    )
+    run_registered("ext_device_sweep")
 
-    # newer generation -> faster Popcorn, with no code change
-    assert totals[0] > totals[1] > totals[2]
-    # the SpMM-vs-handwritten advantage survives every generation
-    assert all(s > 1.3 for s in speedups)
-
+    n, d, k = DEVICE_SWEEP_WORKLOAD
     benchmark(lambda: model_popcorn(n, d, k, iters=ITERS, spec=H100_80GB).total_s)

@@ -1,52 +1,22 @@
-"""Extension — distributed Kernel K-means scaling (paper Sec. 7).
+"""Extension — distributed Kernel K-means scaling (paper Sec. 7) (shim).
 
 The paper's future work: partition the kernel matrix across GPUs so
 datasets whose K exceeds one device's memory become clusterable.  The
-bench models strong scaling on an 8-GPU NVLink node and an IB cluster,
-and executes the SPMD implementation at small scale to verify it matches
-single-device Popcorn bit for bit.
+registry entry models strong scaling on an 8-GPU NVLink node and an IB
+cluster; the shim executes the SPMD implementation at small scale to
+verify it matches single-device Popcorn bit for bit.
 """
 
 import numpy as np
 
-from paperfig import emit
+from paperfig import run_registered
 from repro.baselines import random_labels
 from repro.core import PopcornKernelKMeans
-from repro.distributed import (
-    DistributedPopcornKernelKMeans,
-    INFINIBAND,
-    NVLINK,
-    model_distributed_popcorn,
-)
+from repro.distributed import DistributedPopcornKernelKMeans
 
 
 def test_ext_distributed_scaling(benchmark):
-    n, d, k = 200000, 780, 100  # K = 160 GB in FP32: needs >= 2 A100-80GB
-    rows = []
-    for comm, comm_name in ((NVLINK, "NVLink"), (INFINIBAND, "InfiniBand")):
-        for g in (1, 2, 4, 8, 16):
-            m = model_distributed_popcorn(n, d, k, g, comm=comm)
-            rows.append(
-                (comm_name, g, f"{m['makespan_s']:.3f}", f"{m['compute_s']:.3f}",
-                 f"{m['comm_s']:.4f}", f"{m['speedup_vs_1gpu']:.2f}x",
-                 f"{m['efficiency'] * 100:.0f}%")
-            )
-    emit(
-        "ext_distributed",
-        ["interconnect", "gpus", "makespan_s", "compute_s", "comm_s",
-         "speedup", "efficiency"],
-        rows,
-        "distributed Popcorn strong scaling (modeled, n=200k)",
-    )
-
-    # strong scaling holds through 8 GPUs on NVLink
-    nv = [r for r in rows if r[0] == "NVLink"]
-    makespans = [float(r[2]) for r in nv]
-    assert makespans[3] < makespans[1] < makespans[0]  # 8 < 2 < 1 GPUs
-    # InfiniBand pays more communication than NVLink
-    ib8 = [r for r in rows if r[0] == "InfiniBand" and r[1] == 8][0]
-    nv8 = [r for r in nv if r[1] == 8][0]
-    assert float(ib8[4]) > float(nv8[4])
+    run_registered("ext_distributed")
 
     # executing equivalence, timed
     rng = np.random.default_rng(4)

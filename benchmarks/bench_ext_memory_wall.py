@@ -1,91 +1,22 @@
-"""Extension — four ways past the kernel-matrix memory wall.
+"""Extension — four ways past the kernel-matrix memory wall (shim).
 
 Standard Popcorn stores the full n x n kernel matrix (80 GB caps a single
-A100 at n ~ 141k points in FP32).  This bench charts the modeled cost of
-the strategies this library implements for larger n:
-
-1. **Popcorn** (baseline; infeasible once 4 n^2 exceeds capacity),
-2. **row-tiled engine** (single GPU, K streamed from host memory —
-   ``PopcornKernelKMeans(tile_rows=...)``; pays PCIe traffic; the only
-   exact single-GPU option for precomputed / non-Gram kernels),
-3. **on-the-fly panels** (single GPU, recomputes K — O(n^2 d)/iteration),
-4. **distributed** (g GPUs, partitions K — pays communication).
-
-What used to be a failure demo (``AllocationError`` beyond n ~ 141k) is
-now a scaling curve: the tiled engine column keeps producing numbers at
-every n.  The crossover structure — recompute wins at moderate d,
-streaming wins at high d or when K cannot be recomputed — is the
-decision guide a practitioner needs.
+A100 at n ~ 141k points in FP32).  The registry entry charts the modeled
+cost of the strategies this library implements for larger n (resident
+Popcorn, the row-tiled engine, on-the-fly panels, distributed) and
+asserts the crossover structure; the shim executes the blocked paths at
+small scale and verifies they agree bit for bit.
 """
 
 import numpy as np
 
-from paperfig import emit
-from repro.core import OnTheFlyKernelKMeans, PopcornKernelKMeans, model_onthefly
+from paperfig import run_registered
 from repro.baselines import random_labels
-from repro.distributed import model_distributed_popcorn
-from repro.gpu import A100_80GB
-from repro.modeling import model_popcorn, model_popcorn_tiled
-
-CAPACITY = A100_80GB.mem_capacity_gb * 1e9
-TILE = 8192
+from repro.core import OnTheFlyKernelKMeans, PopcornKernelKMeans
 
 
 def test_ext_memory_wall(benchmark):
-    d, k = 780, 100
-    rows = []
-    for n in (50000, 100000, 141000, 200000, 400000):
-        k_bytes = 4.0 * n * n
-        fits = k_bytes <= CAPACITY * 0.9
-        pop = model_popcorn(n, d, k, include_transfer=False).total_s if fits else None
-        tiled = model_popcorn_tiled(
-            n, d, k, tile_rows=TILE, include_transfer=False
-        ).total_s
-        otf = model_onthefly(n, d, k)
-        dist4 = model_distributed_popcorn(n, d, k, 4)
-        rows.append(
-            (n, f"{k_bytes / 1e9:.0f}", "yes" if fits else "NO",
-             f"{pop:.2f}" if pop else "-",
-             f"{tiled:.2f}",
-             f"{otf['total_s']:.2f}", f"{otf['peak_bytes'] / 1e9:.2f}",
-             f"{dist4['makespan_s']:.2f}")
-        )
-    emit(
-        "ext_memory_wall",
-        ["n", "K_GB", "K_fits_1gpu", "popcorn_s", "tiled_s", "onthefly_s",
-         "onthefly_peak_GB", "distributed4_s"],
-        rows,
-        "past the kernel-matrix memory wall (modeled, d=780, k=100)",
-    )
-
-    # structure: when K fits, popcorn beats recompute; when it doesn't,
-    # the fallbacks still run, and 4-GPU distribution beats recompute
-    pop_small = model_popcorn(50000, d, k, include_transfer=False).total_s
-    otf_small = model_onthefly(50000, d, k)["total_s"]
-    assert pop_small < otf_small
-    big = 200000
-    assert 4.0 * big * big > CAPACITY  # popcorn infeasible
-    tiled_big = model_popcorn_tiled(big, d, k, tile_rows=TILE, include_transfer=False)
-    otf_big = model_onthefly(big, d, k)
-    dist_big = model_distributed_popcorn(big, d, k, 4)
-    assert 4.0 * TILE * big < CAPACITY  # the tile footprint fits at any n
-    assert np.isfinite(tiled_big.total_s)
-    assert otf_big["peak_bytes"] < CAPACITY
-    assert dist_big["makespan_s"] < otf_big["total_s"]
-    # streaming is not free: tiled pays over resident popcorn where both run
-    assert model_popcorn_tiled(50000, d, k, tile_rows=TILE,
-                               include_transfer=False).total_s > pop_small
-    # tiled-vs-recompute crossover is set by d: re-streaming K over PCIe
-    # costs ~4 bytes/entry/iter regardless of d, while recomputing it
-    # costs O(d) FLOPs/entry/iter — so recompute wins at moderate d and
-    # streaming wins for high-dimensional data (and it is the *only*
-    # single-GPU exact option when K is precomputed / not Gram-expressible)
-    assert otf_big["total_s"] < tiled_big.total_s  # d=780: recompute wins
-    hi_d = 4000
-    assert (
-        model_popcorn_tiled(big, hi_d, k, tile_rows=TILE, include_transfer=False).total_s
-        < model_onthefly(big, hi_d, k)["total_s"]
-    )  # d=4000: streaming wins
+    run_registered("ext_memory_wall")
 
     # executing equivalence of the blocked paths, timed
     rng = np.random.default_rng(0)

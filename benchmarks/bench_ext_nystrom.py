@@ -1,45 +1,21 @@
-"""Extension — Nyström approximate Kernel K-means (related-work direction).
+"""Extension — Nyström approximate Kernel K-means (shim).
 
 Sweeps the landmark count and reports clustering quality (ARI against
 ground truth on the circles dataset) plus the kernel-approximation error,
 demonstrating the quality/cost dial the approximation exposes.
 """
 
-import numpy as np
-
-from paperfig import emit
-from repro.approx import NystromKernelKMeans, nystrom_embedding
+from paperfig import run_registered
+from repro.approx import NystromKernelKMeans
 from repro.data import make_circles
-from repro.eval import adjusted_rand_index
 from repro.kernels import GaussianKernel
 
 
 def test_ext_nystrom_quality_sweep(benchmark):
-    x, y = make_circles(600, rng=1)
+    run_registered("ext_nystrom")
+
+    x, _ = make_circles(600, rng=1)
     kern = GaussianKernel(gamma=5.0)
-    k_true = kern.pairwise(x.astype(np.float64))
-    rows = []
-    aris = []
-    for m in (10, 25, 50, 100, 200):
-        phi, _ = nystrom_embedding(x, kern, m, rng=np.random.default_rng(0))
-        err = float(np.linalg.norm(phi @ phi.T - k_true) / np.linalg.norm(k_true))
-        model = NystromKernelKMeans(2, n_landmarks=m, kernel=kern, seed=0).fit(x)
-        ari = adjusted_rand_index(model.labels_, y)
-        aris.append(ari)
-        rows.append((m, f"{err:.4f}", f"{ari:.3f}", phi.shape[1]))
-    emit(
-        "ext_nystrom",
-        ["landmarks", "kernel_rel_error", "ARI", "embedding_dim"],
-        rows,
-        "Nystrom approximate kernel k-means on circles (executed)",
-    )
-
-    # enough landmarks solve the task exactly
-    assert max(aris[-2:]) > 0.95
-    # kernel approximation error decreases monotonically with landmarks
-    errs = [float(r[1]) for r in rows]
-    assert errs[0] > errs[-1]
-
     benchmark(
         lambda: NystromKernelKMeans(2, n_landmarks=50, kernel=kern, seed=0).fit(x).labels_
     )

@@ -1,54 +1,18 @@
-"""Extension — spectral clustering via weighted Kernel K-means.
+"""Extension — spectral clustering via weighted Kernel K-means (shim).
 
 The Sec. 2.2 equivalence (Dhillon et al.) as a measurable pipeline:
 normalized-cut quality on planted-partition graphs across mixing rates,
 plus the moons geometry where the graph view beats the radial kernel.
 """
 
-import networkx as nx
-import numpy as np
-
-from paperfig import emit
-from repro import PopcornKernelKMeans, SpectralKernelKMeans
+from paperfig import run_registered
+from repro import SpectralKernelKMeans
 from repro.data import make_moons
 from repro.eval import adjusted_rand_index
-from repro.graph import cluster_graph
-from repro.kernels import GaussianKernel
 
 
 def test_ext_spectral(benchmark):
-    rows = []
-    aris = {}
-    for p_out in (0.01, 0.05, 0.10, 0.20):
-        g = nx.planted_partition_graph(4, 25, p_in=0.5, p_out=p_out, seed=1)
-        truth = np.repeat(np.arange(4), 25)
-        labels = cluster_graph(g, 4, seed=0)
-        ari = adjusted_rand_index(labels, truth)
-        aris[p_out] = ari
-        rows.append(("planted(4x25)", f"p_out={p_out}", f"{ari:.3f}"))
-
-    x, y = make_moons(300, rng=3)
-    plain = PopcornKernelKMeans(
-        2, kernel=GaussianKernel(gamma=20.0), seed=0, init="k-means++", max_iter=100
-    ).fit(x)
-    spect = SpectralKernelKMeans(2, seed=0).fit(x)
-    plain_ari = adjusted_rand_index(plain.labels_, y)
-    spect_ari = adjusted_rand_index(spect.labels_, y)
-    rows.append(("moons", "plain kernel k-means", f"{plain_ari:.3f}"))
-    rows.append(("moons", "spectral (kNN + weighted KKM)", f"{spect_ari:.3f}"))
-    emit(
-        "ext_spectral",
-        ["task", "setting", "ARI"],
-        rows,
-        "spectral clustering via weighted kernel k-means (executed)",
-    )
-
-    # quality degrades gracefully with community mixing, perfect when clean
-    assert aris[0.01] == 1.0
-    assert aris[0.01] >= aris[0.20]
-    # the graph view dominates the radial view on moons
-    assert spect_ari > plain_ari + 0.5
-    assert spect_ari > 0.95
+    run_registered("ext_spectral")
 
     x2, y2 = make_moons(200, rng=1)
     labels = benchmark(lambda: SpectralKernelKMeans(2, seed=0).fit(x2).labels_)

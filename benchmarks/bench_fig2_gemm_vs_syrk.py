@@ -1,45 +1,22 @@
-"""Figure 2 — GEMM vs SYRK kernel-matrix computation on synthetic data.
+"""Figure 2 — GEMM vs SYRK kernel-matrix computation (registry shim).
 
 The paper sweeps n in {50000, 10000} x d in {100, 1000, 10000, 100000}
 and finds GEMM up to 3.2x faster at large n/d, SYRK up to 2.4x faster at
-small n/d, with the crossover near n/d = 100.  The bench regenerates the
-modeled series at the paper's sizes and *executes* both strategies at a
-laptop scale to verify they produce identical kernel matrices.
+small n/d, with the crossover near n/d = 100.  The registry entry
+regenerates the modeled series at the paper's sizes; the shim *executes*
+both strategies at a laptop scale to verify they produce identical
+kernel matrices.
 """
 
 import numpy as np
-import pytest
 
-from paperfig import emit
+from paperfig import run_registered
 from repro.gpu import A100_80GB, Device
-from repro.kernels import PolynomialKernel, device_kernel_matrix, model_gram_times
-
-N_VALUES = (50000, 10000)
-D_VALUES = (100, 1000, 10000, 100000)
+from repro.kernels import PolynomialKernel, device_kernel_matrix
 
 
 def test_fig2_gemm_vs_syrk(benchmark):
-    rows = []
-    for n in N_VALUES:
-        for d in D_VALUES:
-            t = model_gram_times(A100_80GB, n, d)
-            winner = "GEMM" if t["gemm"] < t["syrk"] else "SYRK"
-            rows.append(
-                (n, d, f"{n / d:.2f}", f"{t['gemm']:.4f}", f"{t['syrk']:.4f}",
-                 winner, f"{max(t.values()) / min(t.values()):.2f}x")
-            )
-    emit(
-        "fig2",
-        ["n", "d", "n/d", "gemm_s", "syrk_s", "winner", "ratio"],
-        rows,
-        "kernel matrix: GEMM vs SYRK (modeled, A100)",
-    )
-
-    # shape assertions (paper Sec. 5.2)
-    t_big = model_gram_times(A100_80GB, 50000, 100)
-    assert t_big["gemm"] < t_big["syrk"]
-    t_small = model_gram_times(A100_80GB, 10000, 10000)
-    assert t_small["syrk"] < t_small["gemm"]
+    run_registered("fig2")
 
     # executing cross-check at laptop scale: identical K from both paths
     rng = np.random.default_rng(0)

@@ -1,42 +1,20 @@
-"""Figure 3 — baseline CUDA implementation speedup over the CPU (PRMLT).
+"""Figure 3 — baseline CUDA speedup over the CPU PRMLT (registry shim).
 
 The paper reports 11-72.8x, largest for the letter dataset and growing
 with k (load imbalance hits the CPU's interpreted per-cluster loop harder
-than the GPU).  The bench regenerates the modeled series at paper scale
-and executes both engines at small scale to confirm identical clustering.
+than the GPU).  The registry entry regenerates the modeled series at
+paper scale; the shim executes both engines at small scale to confirm
+identical clustering.
 """
 
 import numpy as np
 
-from paperfig import DATASETS, ITERS, K_VALUES, emit
+from paperfig import run_registered
 from repro.baselines import BaselineCUDAKernelKMeans, PRMLTKernelKMeans, random_labels
-from repro.modeling import model_baseline, model_cpu
 
 
 def test_fig3_cuda_vs_cpu(benchmark):
-    rows = []
-    speedups = {}
-    for name, (n, d) in DATASETS.items():
-        for k in K_VALUES:
-            cpu_t = model_cpu(n, d, k, iters=ITERS).total_s
-            gpu_t = model_baseline(n, d, k, iters=ITERS).total_s
-            s = cpu_t / gpu_t
-            speedups[(name, k)] = s
-            rows.append((name, k, f"{cpu_t:.2f}", f"{gpu_t:.4f}", f"{s:.1f}x"))
-    emit(
-        "fig3",
-        ["dataset", "k", "cpu_s", "gpu_baseline_s", "speedup"],
-        rows,
-        "baseline CUDA speedup over CPU PRMLT (modeled)",
-    )
-
-    # shape assertions
-    all_s = list(speedups.values())
-    assert min(all_s) >= 10 and max(all_s) <= 80
-    best = max(speedups, key=speedups.get)
-    assert best[0] == "letter"  # paper: letter peaks at 72.8x
-    for name in DATASETS:
-        assert speedups[(name, 100)] > speedups[(name, 10)]  # grows with k
+    run_registered("fig3")
 
     # executing equivalence at small scale
     rng = np.random.default_rng(0)

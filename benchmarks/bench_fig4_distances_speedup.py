@@ -1,46 +1,22 @@
-"""Figure 4 — Popcorn's pairwise-distance speedup over the baseline.
+"""Figure 4 — Popcorn's pairwise-distance speedup (registry shim).
 
 Distance phase only (excludes the kernel matrix, as in the paper).
 Paper band: 1.5-2.6x, except SCOTUS at k = 50 where n = 6400 starves the
-SpMM and the speedup collapses to ~1.1x.  The bench regenerates the
-modeled series and times the real SpMM+SpMV distance step at small scale.
+SpMM and the speedup collapses to ~1.1x.  The registry entry regenerates
+the modeled series; the shim times the real SpMM+SpMV distance step at
+small scale.
 """
 
 import numpy as np
 
-from paperfig import DATASETS, ITERS, K_VALUES, emit
+from paperfig import run_registered
 from repro.baselines import random_labels
 from repro.core import popcorn_distances_host
 from repro.kernels import PolynomialKernel, kernel_matrix
-from repro.modeling import model_baseline, model_popcorn
 
 
 def test_fig4_distances_speedup(benchmark):
-    rows = []
-    speed = {}
-    for name, (n, d) in DATASETS.items():
-        for k in K_VALUES:
-            p = model_popcorn(n, d, k, iters=ITERS).phase_s("distances")
-            b = model_baseline(n, d, k, iters=ITERS).phase_s("distances")
-            s = b / p
-            speed[(name, k)] = s
-            rows.append((name, k, f"{b:.4f}", f"{p:.4f}", f"{s:.2f}x"))
-    emit(
-        "fig4",
-        ["dataset", "k", "baseline_s", "popcorn_s", "speedup"],
-        rows,
-        "pairwise-distance phase: Popcorn over baseline (modeled)",
-    )
-
-    # shape assertions (paper Sec. 5.5)
-    for (name, k), s in speed.items():
-        if name == "scotus":
-            assert s < 1.5, (name, k, s)  # the small-n anomaly
-        else:
-            assert 1.4 <= s <= 2.7, (name, k, s)
-    # speedup grows from k=10 to k=50 on the large datasets
-    for name in ("acoustic", "cifar10", "mnist"):
-        assert speed[(name, 50)] > speed[(name, 10)]
+    run_registered("fig4")
 
     # real distance-step timing at small scale
     rng = np.random.default_rng(1)

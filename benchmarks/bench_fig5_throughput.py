@@ -1,48 +1,19 @@
-"""Figure 5 — SpMM throughput vs the baseline reduction kernel.
+"""Figure 5 — SpMM throughput vs the baseline reduction kernel (shim).
 
 Nsight-style achieved GFLOP/s of the dominant kernel in each engine.
 Paper: Popcorn 370-729 GFLOP/s rising with k; baseline 304-409 GFLOP/s
-falling with k.  The bench regenerates the modeled profiler numbers and
-times the real SpMM at small scale.
+falling with k.  The registry entry regenerates the modeled profiler
+numbers; the shim times the real SpMM at small scale.
 """
 
 import numpy as np
 
-from paperfig import DATASETS, ITERS, K_VALUES, emit
-from repro.modeling import model_baseline, model_popcorn
-from repro.sparse import random_csr, selection_matrix, spmm
+from paperfig import run_registered
+from repro.sparse import selection_matrix, spmm
 
 
 def test_fig5_throughput(benchmark):
-    rows = []
-    pop_series = {}
-    base_series = {}
-    for name, (n, d) in DATASETS.items():
-        for k in K_VALUES:
-            p = model_popcorn(n, d, k, iters=ITERS).profiler.achieved_gflops("cusparse.spmm")
-            b = model_baseline(n, d, k, iters=ITERS).profiler.achieved_gflops(
-                "baseline.k1_cluster_reduce"
-            )
-            pop_series.setdefault(name, []).append(p)
-            base_series.setdefault(name, []).append(b)
-            rows.append((name, k, f"{p:.0f}", f"{b:.0f}"))
-    emit(
-        "fig5",
-        ["dataset", "k", "popcorn_spmm_gflops", "baseline_k1_gflops"],
-        rows,
-        "achieved throughput of the dominant kernel (modeled Nsight)",
-    )
-
-    # trends: Popcorn rises with k, baseline falls with k (every dataset)
-    for name in DATASETS:
-        p = pop_series[name]
-        b = base_series[name]
-        assert p[0] < p[1] < p[2], name
-        assert b[0] > b[1] > b[2], name
-    # bands on the large datasets (paper: 370-729 and 304-409)
-    for name in ("acoustic", "cifar10", "ledgar", "mnist"):
-        assert 330 <= min(pop_series[name]) and max(pop_series[name]) <= 760
-        assert 280 <= min(base_series[name]) and max(base_series[name]) <= 450
+    run_registered("fig5")
 
     # real SpMM wall-clock at moderate scale (the actual kernel of this repo)
     rng = np.random.default_rng(2)

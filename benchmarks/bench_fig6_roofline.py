@@ -1,4 +1,4 @@
-"""Figure 6 — roofline placement of Popcorn's SpMM vs the baseline kernel.
+"""Figure 6 — roofline placement of Popcorn's SpMM vs baseline (shim).
 
 For every dataset and k the paper plots (arithmetic intensity, achieved
 GFLOP/s) against the A100 roofline; Popcorn sits closer to the roof
@@ -8,55 +8,14 @@ baseline's (cuSPARSE SpMM skips shared-memory staging, Sec. 5.5).
 
 import numpy as np
 
-from paperfig import DATASETS, ITERS, K_VALUES, emit
-from repro.core import distances_intensity, kernel_matrix_intensity
-from repro.gpu import A100_80GB, attainable_gflops, op_point
-from repro.modeling import model_baseline, model_popcorn
+from paperfig import run_registered
+from repro.gpu import A100_80GB, attainable_gflops
 
 
 def test_fig6_roofline(benchmark):
-    rows = []
-    fractions = {}
-    for name, (n, d) in DATASETS.items():
-        for k in K_VALUES:
-            pop = model_popcorn(n, d, k, iters=ITERS)
-            base = model_baseline(n, d, k, iters=ITERS)
-            p_pt = op_point(A100_80GB, pop.profiler, "cusparse.spmm")
-            b_pt = op_point(A100_80GB, base.profiler, "baseline.k1_cluster_reduce")
-            fractions[(name, k)] = (p_pt.fraction_of_roof, b_pt.fraction_of_roof)
-            rows.append(
-                (name, k,
-                 f"{p_pt.arithmetic_intensity:.3f}", f"{p_pt.achieved_gflops:.0f}",
-                 f"{p_pt.fraction_of_roof:.2f}",
-                 f"{b_pt.arithmetic_intensity:.3f}", f"{b_pt.achieved_gflops:.0f}",
-                 f"{b_pt.fraction_of_roof:.2f}")
-            )
-    emit(
-        "fig6",
-        ["dataset", "k", "pop_AI", "pop_gflops", "pop_frac_of_roof",
-         "base_AI", "base_gflops", "base_frac_of_roof"],
-        rows,
-        "roofline placement of the dominant kernels (modeled)",
-    )
+    run_registered("fig6")
 
-    # shape assertions (paper Sec. 5.5)
-    for name, (n, d) in DATASETS.items():
-        for k in (50, 100):
-            p_frac, b_frac = fractions[(name, k)]
-            assert p_frac > b_frac, (name, k)  # Popcorn closer to the roof
-            if n > 10000:
-                assert p_frac > 0.55, (name, k)  # "almost hits the roofline"
-    # Popcorn's AI is lower than the baseline's (more off-chip traffic)
-    pop = model_popcorn(60000, 780, 100, iters=ITERS)
-    base = model_baseline(60000, 780, 100, iters=ITERS)
-    assert (
-        pop.profiler.arithmetic_intensity("cusparse.spmm")
-        < base.profiler.arithmetic_intensity("baseline.k1_cluster_reduce")
+    series = benchmark(
+        lambda: [attainable_gflops(A100_80GB, ai) for ai in np.logspace(-2, 3, 512)]
     )
-    # Eq. 16/17 closed forms agree with the model's traffic accounting to ~2x
-    ai_formula = distances_intensity(60000, 100)
-    ai_model = pop.profiler.arithmetic_intensity("cusparse.spmm")
-    assert 0.5 < ai_formula / ai_model < 2.0
-
-    series = benchmark(lambda: [attainable_gflops(A100_80GB, ai) for ai in np.logspace(-2, 3, 512)])
     assert max(series) == A100_80GB.peak_fp32_gflops

@@ -1,4 +1,4 @@
-"""Figure 7 — end-to-end Popcorn speedup over the baseline CUDA engine.
+"""Figure 7 — end-to-end Popcorn speedup over baseline CUDA (shim).
 
 Kernel matrix (with Popcorn's GEMM/SYRK dispatch vs the baseline's
 GEMM-only) plus 30 clustering iterations.  Paper band: 1.6-2.6x across
@@ -7,34 +7,13 @@ all datasets and k.
 
 import numpy as np
 
-from paperfig import DATASETS, ITERS, K_VALUES, emit
+from paperfig import run_registered
 from repro.baselines import BaselineCUDAKernelKMeans, random_labels
 from repro.core import PopcornKernelKMeans
-from repro.modeling import model_baseline, model_popcorn
 
 
 def test_fig7_popcorn_vs_baseline(benchmark):
-    rows = []
-    speed = {}
-    for name, (n, d) in DATASETS.items():
-        for k in K_VALUES:
-            p = model_popcorn(n, d, k, iters=ITERS).total_s
-            b = model_baseline(n, d, k, iters=ITERS).total_s
-            s = b / p
-            speed[(name, k)] = s
-            rows.append((name, k, f"{b:.4f}", f"{p:.4f}", f"{s:.2f}x"))
-    emit(
-        "fig7",
-        ["dataset", "k", "baseline_s", "popcorn_s", "speedup"],
-        rows,
-        "end-to-end Popcorn speedup over baseline CUDA (modeled)",
-    )
-
-    # paper band: 1.6-2.6x (we accept 1.4-2.7 as shape fidelity)
-    for key, s in speed.items():
-        assert 1.4 <= s <= 2.7, (key, s)
-    # Popcorn is never slower end to end
-    assert min(speed.values()) > 1.0
+    run_registered("fig7")
 
     # executing equivalence + speed at small scale
     rng = np.random.default_rng(3)

@@ -1,55 +1,21 @@
-"""Figure 8 — runtime breakdown of Popcorn per dataset and k.
+"""Figure 8 — runtime breakdown of Popcorn per dataset and k (shim).
 
 Phases: kernel-matrix computation, pairwise distances (SpMM + SpMV), and
 argmin + cluster update, summed over 30 iterations.  The paper excludes
-the letter dataset from the plot (its runtimes are tiny) — we include it
-in the CSV but assert the paper's structural claims on the others:
-large-d datasets (ledgar, scotus) are kernel-matrix dominated; large-n
-small-d datasets (acoustic, mnist) are distance dominated; argmin +
-update is trivial everywhere.
+the letter dataset from the plot (its runtimes are tiny) — the registry
+entry includes it in the CSV but asserts the paper's structural claims
+on the others: large-d datasets (ledgar, scotus) are kernel-matrix
+dominated; large-n small-d datasets (acoustic, mnist) are distance
+dominated; argmin + update is trivial everywhere.
 """
 
-from paperfig import DATASETS, ITERS, K_VALUES, emit
+from paperfig import run_registered
 from repro.core import PopcornKernelKMeans
 from repro.data import make_blobs
-from repro.modeling import model_popcorn
 
 
 def test_fig8_breakdown(benchmark):
-    rows = []
-    shares = {}
-    for name, (n, d) in DATASETS.items():
-        for k in K_VALUES:
-            m = model_popcorn(n, d, k, iters=ITERS, include_transfer=False)
-            km = m.phase_s("kernel_matrix")
-            dist = m.phase_s("distances")
-            upd = m.phase_s("argmin_update")
-            tot = km + dist + upd
-            shares[(name, k)] = (km / tot, dist / tot, upd / tot)
-            rows.append(
-                (name, k, f"{km:.4f}", f"{dist:.4f}", f"{upd:.5f}",
-                 f"{km / tot * 100:.1f}%", f"{dist / tot * 100:.1f}%",
-                 f"{upd / tot * 100:.1f}%")
-            )
-    emit(
-        "fig8",
-        ["dataset", "k", "kernel_matrix_s", "distances_s", "argmin_update_s",
-         "K_share", "dist_share", "update_share"],
-        rows,
-        "Popcorn runtime breakdown over 30 iterations (modeled)",
-    )
-
-    # structural claims of Sec. 5.7
-    for name in ("ledgar", "scotus"):
-        for k in K_VALUES:
-            km, dist, _ = shares[(name, k)]
-            assert km > dist, (name, k)
-    for name in ("acoustic", "letter"):
-        for k in K_VALUES:
-            km, dist, _ = shares[(name, k)]
-            assert dist > km, (name, k)
-    for key, (_, _, upd) in shares.items():
-        assert upd < 0.12, key  # "trivial for all datasets"
+    run_registered("fig8")
 
     # real breakdown collection at small scale
     x, _ = make_blobs(200, 8, 5, rng=0)

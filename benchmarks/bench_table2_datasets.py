@@ -1,4 +1,4 @@
-"""Table 2 — the evaluation datasets.
+"""Table 2 — the evaluation datasets (registry shim over ``table2``).
 
 Prints the table verbatim and benchmarks the synthetic stand-in
 generator at a laptop-safe scale (the generator is what every executing
@@ -7,16 +7,12 @@ experiment in this reproduction consumes).
 
 import numpy as np
 
-from paperfig import DATASETS, emit
-from repro.data import TABLE2, generate
+from paperfig import DATASETS, run_registered
+from repro.data import generate
 
 
 def test_table2_datasets(benchmark):
-    rows = [
-        (i.name, i.description, i.n, i.d)
-        for i in TABLE2.values()
-    ]
-    emit("table2", ["Dataset", "Description", "n", "d"], rows, "evaluation datasets")
+    run_registered("table2")
 
     # sanity: stand-ins materialise with the right shapes at small scale
     for name, (n, d) in DATASETS.items():

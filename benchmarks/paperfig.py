@@ -1,11 +1,14 @@
 """Shared helpers for the figure-reproduction benchmarks.
 
 Every bench in this directory regenerates one table or figure of the
-paper's evaluation (Sec. 5): it prints the same rows/series the paper
-plots and writes them to ``benchmarks/results/<exp>.csv``.  Absolute
-numbers come from the calibrated device model (see DESIGN.md Sec. 2);
-the *shape* — who wins, by what factor, where crossovers fall — is the
-reproduction target recorded in EXPERIMENTS.md.
+paper's evaluation (Sec. 5).  Since the registry-driven port, the rows
+themselves come from :mod:`repro.bench.experiments` — each ``bench_*.py``
+is a thin pytest-benchmark shim over its registry entry: it re-runs the
+full-mode experiment, prints/persists the same CSV artifact, re-asserts
+the paper's shape claims via the spec's ``check``, and times the real
+small-scale Python work with pytest-benchmark.  ``repro-bench run``
+drives the same entries without pytest and adds the consolidated
+``BENCH_results.json`` artifact.
 
 The pytest-benchmark timings attached to each bench measure the real
 Python work of this reproduction (model evaluation or small-scale
@@ -15,25 +18,31 @@ execution), which keeps ``pytest benchmarks/ --benchmark-only`` honest.
 from __future__ import annotations
 
 import os
-from typing import Dict, Tuple
 
-from repro.data import TABLE2
+from repro.bench import RunConfig, get_experiment
+from repro.bench.experiments import DATASETS, ITERS, K_VALUES  # noqa: F401  (shim API)
 from repro.reporting import format_table, write_csv_rows
-
-#: (n, d) per dataset, straight from Table 2.
-DATASETS: Dict[str, Tuple[int, int]] = {name: (i.n, i.d) for name, i in TABLE2.items()}
-
-#: Cluster counts the paper sweeps (Sec. 5.1.3).
-K_VALUES = (10, 50, 100)
-
-#: All timed clustering experiments run exactly 30 iterations (Sec. 5.1.3).
-ITERS = 30
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
 
 def emit(exp_id: str, headers, rows, title: str) -> None:
     """Print a figure's series and persist it as CSV."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
     print(f"\n=== {exp_id}: {title} ===")
     print(format_table(headers, rows))
     write_csv_rows(os.path.join(RESULTS_DIR, f"{exp_id}.csv"), headers, rows)
+
+
+def run_registered(exp_id: str):
+    """Run one registry experiment in full mode, emit its CSV, check it.
+
+    The shared path of every ``bench_*.py`` shim: identical rows, CSV
+    artifact, and shape assertions as the pre-registry scripts.
+    """
+    spec = get_experiment(exp_id)
+    result = spec.run(RunConfig())
+    emit(exp_id, result.headers, result.rows, spec.title)
+    if spec.check is not None:
+        spec.check(result)
+    return result

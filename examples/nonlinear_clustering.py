@@ -13,7 +13,7 @@ import numpy as np
 
 from repro import PopcornKernelKMeans
 from repro.data import make_blobs, make_circles, make_moons
-from repro.eval import adjusted_rand_index, purity
+from repro.eval import adjusted_rand_index
 from repro.kernels import GaussianKernel, LinearKernel, PolynomialKernel
 from repro.reporting import format_table
 

@@ -8,7 +8,6 @@ with — and prints cluster quality plus the modeled GPU timing breakdown.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro import LloydKMeans, PopcornKernelKMeans
 from repro.data import make_circles

@@ -44,6 +44,7 @@ setup(
         "console_scripts": [
             "repro=repro.cli:main",
             "gpukmeans=repro.cli:main",
+            "repro-bench=repro.cli:bench_main",
         ],
     },
     classifiers=[

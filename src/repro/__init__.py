@@ -32,6 +32,13 @@ Layout
 ``repro.distributed`` / ``repro.approx``
     Extensions: multi-GPU Popcorn (the paper's future work) and Nyström
     approximate Kernel K-means.
+``repro.bench``
+    The registry-driven benchmark subsystem: every figure/table/ablation
+    of the paper's evaluation is a declarative :class:`~repro.bench.ExperimentSpec`,
+    executed by the ``repro-bench`` console script (``list`` / ``run`` /
+    ``compare``) into per-experiment CSVs plus one schema-versioned
+    ``BENCH_results.json``; ``repro-bench compare old.json new.json
+    --threshold 0.2`` is the perf-regression gate CI runs on every PR.
 
 Quickstart
 ----------

@@ -1,0 +1,172 @@
+"""Schema-versioned JSON benchmark artifact (``BENCH_results.json``).
+
+Schema (version 1)
+------------------
+::
+
+    {
+      "schema_version": 1,
+      "generated_by": "repro.bench",
+      "repro_version": "<package version>",
+      "config": {"quick": bool, "backend": str, "tile_rows": int|null,
+                 "n_trials": int, "base_seed": int},
+      "environment": {"python": str, "implementation": str,
+                      "platform": str, "machine": str,
+                      "numpy": str, "scipy": str},
+      "device_model": {"name": str, "peak_fp32_gflops": float,
+                       "mem_bw_gbps": float, "mem_capacity_gb": float,
+                       "pcie_bw_gbps": float},
+      "total_wall_time_s": float,
+      "experiments": {
+        "<exp_id>": {
+          "title": str, "group": str,
+          "headers": [str, ...], "rows": [[...], ...],
+          "metrics": {"<kind>.<name>": float, ...},
+          "probe": {"n_trials": int,
+                    "total_time": {"mean": float, "std": float,
+                                   "min": float, "max": float},
+                    "objective": {...}, "n_iter": {...},
+                    "phases": {"<phase>": {...}, ...}} | null,
+          "wall_time_s": float
+        }, ...
+      }
+    }
+
+Metric names follow a ``<kind>.<name>`` convention that encodes the
+regression direction:
+
+* ``time.*`` and ``error.*`` — lower is better (a rise is a regression);
+* ``throughput.*`` and ``quality.*`` — higher is better (a drop is a
+  regression).
+
+The executed probe's measured ``total_time.mean`` is additionally
+tracked by the regression gate as ``time.probe_total_mean_s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Dict, Optional
+
+from ..errors import ConfigError
+from ..gpu import DeviceSpec
+from ..harness import ExperimentResult as TrialResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "environment_metadata",
+    "device_metadata",
+    "trial_record",
+    "metric_lower_is_better",
+    "write_artifact",
+    "load_artifact",
+    "tracked_metrics",
+]
+
+SCHEMA_VERSION = 1
+
+#: metric-name prefix -> True when a *rise* of the value is a regression
+_KIND_LOWER_IS_BETTER = {
+    "time": True,
+    "error": True,
+    "throughput": False,
+    "quality": False,
+}
+
+
+def metric_lower_is_better(name: str) -> bool:
+    """Regression direction of a ``<kind>.<name>`` metric."""
+    kind = name.split(".", 1)[0]
+    try:
+        return _KIND_LOWER_IS_BETTER[kind]
+    except KeyError:
+        known = ", ".join(sorted(_KIND_LOWER_IS_BETTER))
+        raise ConfigError(f"metric {name!r} has unknown kind {kind!r}; known: {known}") from None
+
+
+def environment_metadata() -> Dict[str, str]:
+    """Interpreter/platform/library versions, for artifact provenance."""
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+    }
+
+
+def device_metadata(spec: DeviceSpec) -> Dict[str, object]:
+    """The simulated device the modeled numbers were produced on."""
+    return {
+        "name": spec.name,
+        "peak_fp32_gflops": spec.peak_fp32_gflops,
+        "mem_bw_gbps": spec.mem_bw_gbps,
+        "mem_capacity_gb": spec.mem_capacity_gb,
+        "pcie_bw_gbps": spec.pcie_bw_gbps,
+    }
+
+
+def _stats(ts) -> Dict[str, float]:
+    return {"mean": ts.mean, "std": ts.std, "min": ts.min, "max": ts.max}
+
+
+def trial_record(res: TrialResult) -> Dict[str, object]:
+    """Serialise a :func:`repro.harness.run_trials` result for the artifact."""
+    return {
+        "n_trials": res.n_trials,
+        "total_time": _stats(res.total_time),
+        "objective": _stats(res.objective),
+        "n_iter": _stats(res.n_iter),
+        "phases": {name: _stats(ts) for name, ts in sorted(res.phase_times.items())},
+    }
+
+
+def write_artifact(path: str, artifact: Dict[str, object]) -> str:
+    """Write ``artifact`` as indented JSON, creating parent directories."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Dict[str, object]:
+    """Load and validate a benchmark artifact; raises :class:`ConfigError`."""
+    if not os.path.exists(path):
+        raise ConfigError(f"benchmark artifact not found: {path}")
+    with open(path, encoding="utf-8") as fh:
+        try:
+            artifact = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(artifact, dict):
+        raise ConfigError(f"{path}: artifact root must be an object")
+    version = artifact.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigError(
+            f"{path}: unsupported schema_version {version!r} (this build reads {SCHEMA_VERSION})"
+        )
+    experiments = artifact.get("experiments")
+    if not isinstance(experiments, dict):
+        raise ConfigError(f"{path}: missing or malformed 'experiments' section")
+    for exp_id, record in experiments.items():
+        if not isinstance(record, dict) or "metrics" not in record:
+            raise ConfigError(f"{path}: experiment {exp_id!r} is missing its metrics")
+    return artifact
+
+
+def tracked_metrics(record: Dict[str, object]) -> Dict[str, float]:
+    """The gated scalars of one experiment record: declared metrics plus
+    the executed probe's measured mean total time."""
+    metrics = dict(record.get("metrics") or {})
+    probe: Optional[Dict[str, object]] = record.get("probe")
+    if probe:
+        metrics["time.probe_total_mean_s"] = float(probe["total_time"]["mean"])
+    return metrics

@@ -1,0 +1,158 @@
+"""Execute registered experiments and emit CSV + JSON artifacts.
+
+The runner is what ``repro-bench run`` (and the CI bench job) drives:
+it executes any subset of the registry — optionally in parallel across
+processes — writes each experiment's legacy CSV (unchanged format, same
+``benchmarks/results/<exp_id>.csv`` paths), runs the executed probe
+through :func:`repro.harness.run_trials`, validates the paper's shape
+claims in full mode, and consolidates everything into one
+schema-versioned ``BENCH_results.json`` (see :mod:`repro.bench.artifact`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import __version__
+from ..gpu import A100_80GB
+from ..harness import run_trials
+from ..reporting import format_table, write_csv_rows
+from .artifact import (
+    SCHEMA_VERSION,
+    device_metadata,
+    environment_metadata,
+    trial_record,
+    write_artifact,
+)
+from .registry import ExperimentResult, RunConfig, get_experiment
+
+__all__ = ["DEFAULT_RESULTS_DIR", "emit_result", "run_experiment", "run_experiments"]
+
+#: Where the per-experiment CSVs land by default (the legacy location).
+DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
+
+
+def emit_result(exp_id: str, title: str, result: ExperimentResult, results_dir: str) -> str:
+    """Persist one experiment's CSV and return its printable table."""
+    os.makedirs(results_dir, exist_ok=True)
+    write_csv_rows(os.path.join(results_dir, f"{exp_id}.csv"), result.headers, result.rows)
+    table = format_table(result.headers, result.rows)
+    return f"\n=== {exp_id}: {title} ===\n{table}"
+
+
+def run_experiment(
+    exp_id: str,
+    cfg: RunConfig,
+    *,
+    results_dir: str = DEFAULT_RESULTS_DIR,
+    write_csv: bool = True,
+    run_probe: bool = True,
+    run_check: Optional[bool] = None,
+) -> Tuple[Dict[str, object], str]:
+    """Run one experiment end to end; returns (record, printable text).
+
+    ``run_check`` defaults to full-mode only: quick mode subsets the
+    sweeps, so the paper's full-grid shape assertions do not apply.
+    """
+    spec = get_experiment(exp_id)
+    t0 = time.perf_counter()
+    result = spec.run(cfg)
+    do_check = (not cfg.quick) if run_check is None else run_check
+    if do_check and spec.check is not None:
+        spec.check(result)
+    probe = None
+    if run_probe and spec.probe is not None:
+        factory, fit = spec.probe(cfg)
+        probe = trial_record(
+            run_trials(factory, fit, n_trials=cfg.trials(), base_seed=cfg.base_seed)
+        )
+    wall = time.perf_counter() - t0
+    text = ""
+    if write_csv:
+        text = emit_result(exp_id, spec.title, result, results_dir)
+    record: Dict[str, object] = {
+        "title": spec.title,
+        "group": spec.group,
+        "headers": list(result.headers),
+        "rows": [list(r) for r in result.rows],
+        "metrics": dict(result.metrics),
+        "probe": probe,
+        "wall_time_s": wall,
+    }
+    return record, text
+
+
+def _worker(args) -> Tuple[str, Optional[Dict[str, object]], str, Optional[str]]:
+    """Process-pool entry: run one experiment, never raise."""
+    exp_id, cfg, results_dir, write_csv, run_probe = args
+    try:
+        record, text = run_experiment(
+            exp_id, cfg, results_dir=results_dir, write_csv=write_csv, run_probe=run_probe
+        )
+        return exp_id, record, text, None
+    except Exception:
+        return exp_id, None, "", traceback.format_exc()
+
+
+def run_experiments(
+    exp_ids: Sequence[str],
+    cfg: RunConfig,
+    *,
+    out: Optional[str] = None,
+    results_dir: str = DEFAULT_RESULTS_DIR,
+    jobs: int = 1,
+    write_csv: bool = True,
+    run_probes: bool = True,
+    echo=print,
+) -> Tuple[Dict[str, object], Dict[str, str]]:
+    """Run ``exp_ids`` and return ``(artifact, failures)``.
+
+    ``jobs > 1`` fans the experiments out across worker processes (the
+    registry is re-imported per worker; results are reassembled in the
+    requested order).  Failures never abort the sweep — they are reported
+    per experiment so one broken figure doesn't hide the rest.
+    """
+    t0 = time.perf_counter()
+    work = [(exp_id, cfg, results_dir, write_csv, run_probes) for exp_id in exp_ids]
+    outcomes: List[Tuple[str, Optional[Dict[str, object]], str, Optional[str]]] = []
+    if jobs > 1 and len(work) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            outcomes = list(pool.map(_worker, work))
+    else:
+        outcomes = [_worker(w) for w in work]
+
+    experiments: Dict[str, Dict[str, object]] = {}
+    failures: Dict[str, str] = {}
+    for exp_id, record, text, error in outcomes:
+        if error is not None:
+            failures[exp_id] = error
+            echo(f"\n=== {exp_id}: FAILED ===\n{error}")
+            continue
+        experiments[exp_id] = record
+        if text:
+            echo(text)
+
+    artifact: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "repro.bench",
+        "repro_version": __version__,
+        "config": {
+            "quick": cfg.quick,
+            "backend": cfg.backend,
+            "tile_rows": cfg.tile_rows,
+            "n_trials": cfg.trials(),
+            "base_seed": cfg.base_seed,
+        },
+        "environment": environment_metadata(),
+        "device_model": device_metadata(A100_80GB),
+        "total_wall_time_s": time.perf_counter() - t0,
+        "experiments": experiments,
+    }
+    if out:
+        write_artifact(out, artifact)
+        echo(f"\nwrote {len(experiments)} experiment(s) to {out}")
+    return artifact, failures

@@ -19,6 +19,10 @@ Mirrors the flag set documented in the paper's Appendix A.4::
 plus reproduction-specific extras (``--device``, ``--backend``,
 ``--tile-rows``, ``--gram-method``, ``--breakdown``).  Prints modeled
 timings, since the GPU is simulated.
+
+The benchmark subsystem ships its own console script, ``repro-bench``
+(re-exported here as :func:`bench_main` for the setup.py entry point);
+see :mod:`repro.bench.cli`.
 """
 
 from __future__ import annotations
@@ -34,9 +38,10 @@ from .core import PopcornKernelKMeans
 from .data import load_dataset, make_random
 from .gpu import Device, named_device
 from .kernels import kernel_by_name
+from .bench.cli import main as bench_main
 from .reporting import fmt_seconds, format_table
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "bench_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:

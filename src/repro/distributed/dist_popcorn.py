@@ -35,7 +35,7 @@ from ..gpu import cost
 from ..gpu.profiler import Profiler
 from ..gpu.spec import A100_80GB, DeviceSpec
 from ..kernels import Kernel
-from ..sparse import spmm, spmv
+from ..sparse import spmm
 from ..core.selection import build_selection
 from ..baselines.init import random_labels
 from .comm import NVLINK, CommSpec, allgather_cost, allreduce_cost

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import numpy as np
 
 from ..errors import ConfigError
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from .._typing import check_labels
 from ..errors import ShapeError
-from ..sparse import CSRMatrix, selection_matrix, weighted_selection_matrix
+from ..sparse import selection_matrix, weighted_selection_matrix
 from . import cost
 from .cusparse import DeviceCSR
 from .device import Device

@@ -73,26 +73,26 @@ class Profiler:
     # ------------------------------------------------------------------
     def total_time(self, *, since: int = 0) -> float:
         """Sum of modeled execution time over all launches (seconds)."""
-        return sum(l.time_s for l in self.launches[since:])
+        return sum(la.time_s for la in self.launches[since:])
 
     def phase_times(self, *, since: int = 0) -> Dict[str, float]:
         """Modeled time per phase label (optionally since a :meth:`mark`)."""
         out: Dict[str, float] = defaultdict(float)
-        for l in self.launches[since:]:
-            out[l.phase or "(untagged)"] += l.time_s
+        for la in self.launches[since:]:
+            out[la.phase or "(untagged)"] += la.time_s
         return dict(out)
 
     def time_of(self, name: str) -> float:
         """Total modeled time of launches whose name matches ``name``."""
-        return sum(l.time_s for l in self.launches if l.name == name)
+        return sum(la.time_s for la in self.launches if la.name == name)
 
     def launches_of(self, name: str) -> List[Launch]:
         """All launches with the given operation name."""
-        return [l for l in self.launches if l.name == name]
+        return [la for la in self.launches if la.name == name]
 
     def count_of(self, name: str) -> int:
         """Number of launches with the given operation name."""
-        return sum(1 for l in self.launches if l.name == name)
+        return sum(1 for la in self.launches if la.name == name)
 
     def achieved_gflops(self, name: str) -> float:
         """Aggregate profiler-visible throughput of an operation (GFLOP/s).
@@ -101,23 +101,23 @@ class Profiler:
         counted FLOPs divided by accumulated execution time.
         """
         sel = self.launches_of(name)
-        t = sum(l.time_s for l in sel)
-        f = sum(l.counted_flops for l in sel)
+        t = sum(la.time_s for la in sel)
+        f = sum(la.counted_flops for la in sel)
         return f / t / 1e9 if t else 0.0
 
     def arithmetic_intensity(self, name: str) -> float:
         """Aggregate counted-FLOPs-per-byte of an operation (Fig. 6 x-axis)."""
         sel = self.launches_of(name)
-        b = sum(l.bytes for l in sel)
-        f = sum(l.counted_flops for l in sel)
+        b = sum(la.bytes for la in sel)
+        f = sum(la.counted_flops for la in sel)
         return f / b if b else 0.0
 
     def summary(self) -> List[dict]:
         """Per-operation rollup: count, time, throughput, intensity."""
         names = []
-        for l in self.launches:
-            if l.name not in names:
-                names.append(l.name)
+        for la in self.launches:
+            if la.name not in names:
+                names.append(la.name)
         return [
             {
                 "name": nm,

@@ -69,10 +69,10 @@ def points_from(spec: DeviceSpec, launches: Sequence[Launch]) -> List[RooflinePo
     """Roofline placement of each launch individually."""
     return [
         RooflinePoint(
-            l.name,
-            l.arithmetic_intensity,
-            l.achieved_gflops,
-            attainable_gflops(spec, l.arithmetic_intensity),
+            la.name,
+            la.arithmetic_intensity,
+            la.achieved_gflops,
+            attainable_gflops(spec, la.arithmetic_intensity),
         )
-        for l in launches
+        for la in launches
     ]

@@ -11,7 +11,6 @@ from __future__ import annotations
 import json
 from typing import List
 
-from .launch import Launch
 from .profiler import Profiler
 
 __all__ = ["to_chrome_trace", "write_chrome_trace"]

@@ -8,7 +8,7 @@ import pytest
 from repro.baselines import random_labels
 from repro.data import make_blobs, make_circles
 from repro.gpu import A100_80GB, Device
-from repro.kernels import GaussianKernel, LinearKernel, PolynomialKernel, kernel_matrix
+from repro.kernels import PolynomialKernel, kernel_matrix
 
 
 @pytest.fixture

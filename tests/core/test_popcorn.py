@@ -7,7 +7,7 @@ from repro.baselines import LloydKMeans, random_labels
 from repro.core import PopcornKernelKMeans
 from repro.errors import ConfigError, ShapeError
 from repro.eval import adjusted_rand_index, assert_monotone
-from repro.gpu import A100_80GB, Device, DeviceSpec
+from repro.gpu import A100_80GB, Device
 from repro.kernels import GaussianKernel, LaplacianKernel, LinearKernel, PolynomialKernel
 
 

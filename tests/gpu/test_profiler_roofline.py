@@ -1,6 +1,5 @@
 """Tests for the profiler and the roofline model."""
 
-import numpy as np
 import pytest
 
 from repro.gpu import A100_80GB, Profiler, attainable_gflops, op_point, points_from, roofline_series

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ShapeError
-from repro.gpu import Device, A100_80GB, custom, raft, thrust
+from repro.gpu import custom, raft, thrust
 from repro.gpu.blas import gemm_gram, gram, syrk_gram
 from repro.gpu.cusparse import DeviceCSR, spgemm, spmm_kvt, spmv
 from repro.sparse import random_csr, selection_matrix

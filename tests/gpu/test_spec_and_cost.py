@@ -1,6 +1,5 @@
 """Tests for device specs and the analytical cost model."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError

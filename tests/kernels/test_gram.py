@@ -8,7 +8,6 @@ from repro.gpu import Device
 from repro.kernels import (
     GaussianKernel,
     LaplacianKernel,
-    PolynomialKernel,
     device_kernel_matrix,
     gram_matrix,
     kernel_matrix,

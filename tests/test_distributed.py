@@ -16,7 +16,7 @@ from repro.distributed import (
     row_blocks,
 )
 from repro.errors import ConfigError
-from repro.kernels import GaussianKernel, PolynomialKernel
+from repro.kernels import GaussianKernel
 
 
 class TestPartition:
