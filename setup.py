@@ -45,6 +45,7 @@ setup(
             "repro=repro.cli:main",
             "gpukmeans=repro.cli:main",
             "repro-bench=repro.cli:bench_main",
+            "repro-serve=repro.cli:serve_main",
         ],
     },
     classifiers=[

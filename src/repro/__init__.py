@@ -32,6 +32,12 @@ Layout
 ``repro.distributed`` / ``repro.approx``
     Extensions: multi-GPU Popcorn (the paper's future work) and Nyström
     approximate Kernel K-means.
+``repro.serve``
+    The inference half of the system: versioned, schema-checked model
+    artifacts (``save_model`` / ``load_model``, bit-exact round trips)
+    and :class:`~repro.serve.PredictionService` — a micro-batching,
+    LRU-cached, thread-pooled out-of-sample prediction server driven by
+    the ``repro-serve`` console script.
 ``repro.bench``
     The registry-driven benchmark subsystem: every figure/table/ablation
     of the paper's evaluation is a declarative :class:`~repro.bench.ExperimentSpec`,
@@ -74,6 +80,7 @@ from .kernels import (
     SigmoidKernel,
     kernel_by_name,
 )
+from .serve import PredictionService, load_model, save_model
 
 __version__ = "1.0.0"
 
@@ -105,4 +112,7 @@ __all__ = [
     "SigmoidKernel",
     "LaplacianKernel",
     "kernel_by_name",
+    "PredictionService",
+    "save_model",
+    "load_model",
 ]

@@ -1,5 +1,5 @@
 """Approximate Kernel K-means (Nyström) extension."""
 
-from .nystrom import NystromKernelKMeans, nystrom_embedding
+from .nystrom import NystromKernelKMeans, nystrom_embedding, nystrom_operator
 
-__all__ = ["NystromKernelKMeans", "nystrom_embedding"]
+__all__ = ["NystromKernelKMeans", "nystrom_embedding", "nystrom_operator"]

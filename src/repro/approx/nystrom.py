@@ -27,7 +27,24 @@ from ..engine.base import BaseKernelKMeans
 from ..errors import ConfigError
 from ..kernels import Kernel
 
-__all__ = ["NystromKernelKMeans", "nystrom_embedding"]
+__all__ = ["NystromKernelKMeans", "nystrom_embedding", "nystrom_operator"]
+
+
+def nystrom_operator(w: np.ndarray, *, reg: float = 1e-8) -> np.ndarray:
+    """The ``W^{-1/2}`` map of the Nyström embedding (``m x r``).
+
+    Eigenvalues of ``W`` below ``reg * max_eig`` are truncated, so the
+    embedding dimension ``r`` can be less than ``m`` for (numerically)
+    low-rank kernels.  The same map embeds out-of-sample queries:
+    ``phi(q) = kappa(q, landmarks) @ W^{-1/2}``.
+    """
+    w = 0.5 * (w + w.T)  # symmetrise round-off
+    vals, vecs = eigh(w)
+    cutoff = reg * max(vals.max(), 1e-30)
+    keep = vals > cutoff
+    if not np.any(keep):
+        raise ConfigError("kernel matrix of landmarks is numerically zero")
+    return vecs[:, keep] / np.sqrt(vals[keep])[None, :]
 
 
 def nystrom_embedding(
@@ -40,9 +57,8 @@ def nystrom_embedding(
 ) -> tuple:
     """Nyström feature embedding ``Phi`` with ``m`` uniform landmarks.
 
-    Returns ``(Phi, landmark_indices)``.  Eigenvalues of ``W`` below
-    ``reg * max_eig`` are truncated, so the embedding dimension can be
-    less than ``m`` for (numerically) low-rank kernels.
+    Returns ``(Phi, landmark_indices)``; see :func:`nystrom_operator` for
+    the rank truncation.
     """
     xm = as_matrix(x, dtype=np.float64, name="x")
     n = xm.shape[0]
@@ -51,14 +67,7 @@ def nystrom_embedding(
     g = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     landmarks = np.sort(g.choice(n, size=m, replace=False))
     c = kernel.pairwise(xm, xm[landmarks])  # n x m
-    w = c[landmarks]  # m x m (rows of C at the landmarks)
-    w = 0.5 * (w + w.T)  # symmetrise round-off
-    vals, vecs = eigh(w)
-    cutoff = reg * max(vals.max(), 1e-30)
-    keep = vals > cutoff
-    if not np.any(keep):
-        raise ConfigError("kernel matrix of landmarks is numerically zero")
-    inv_sqrt = vecs[:, keep] / np.sqrt(vals[keep])[None, :]
+    inv_sqrt = nystrom_operator(c[landmarks], reg=reg)
     phi = c @ inv_sqrt  # n x r
     return np.ascontiguousarray(phi), landmarks
 
@@ -115,8 +124,14 @@ class NystromKernelKMeans(BaseKernelKMeans):
         """
         xm = as_matrix(x, dtype=np.float64, name="x")
         rng = self._rng()
-        m = min(self.n_landmarks, xm.shape[0])
-        phi, landmarks = nystrom_embedding(xm, self.kernel, m, rng=rng)
+        n = xm.shape[0]
+        m = min(self.n_landmarks, n)
+        # same operation sequence as nystrom_embedding, keeping the pieces
+        # out-of-sample queries need (landmark points + the W^{-1/2} map)
+        landmarks = np.sort(rng.choice(n, size=m, replace=False))
+        c = self.kernel.pairwise(xm, xm[landmarks])  # n x m
+        inv_sqrt = nystrom_operator(c[landmarks])
+        phi = np.ascontiguousarray(c @ inv_sqrt)
         inner = None
         for _ in range(self.n_init):
             cand = LloydKMeans(
@@ -132,4 +147,13 @@ class NystromKernelKMeans(BaseKernelKMeans):
         self.n_iter_ = inner.n_iter_
         self.backend_ = "host"
         self._inner = inner
+        # queries embed through the same landmarks, then compare against
+        # the Lloyd centers in the embedded space (engine predict contract)
+        self._landmark_x = np.ascontiguousarray(xm[landmarks])
+        self._nystrom_map = inv_sqrt
+        self._finalize_centers_support(inner.centers_)
         return self
+
+    def _query_features(self, xm: np.ndarray) -> np.ndarray:
+        """Nyström-embed raw queries: ``kappa(q, landmarks) @ W^{-1/2}``."""
+        return self.kernel.pairwise(xm, self._landmark_x) @ self._nystrom_map

@@ -18,6 +18,7 @@ from .._typing import as_matrix, check_labels
 from ..config import DEFAULT_CONFIG
 from ..core.assignment import ConvergenceTracker, objective_value
 from ..core.distances import distance_matrix_reference
+from ..engine.base import OutOfSamplePredictor
 from ..errors import ConfigError, ShapeError
 from ..gpu.cost import cpu_gram_cost, cpu_iteration_cost, cpu_kernel_transform_cost
 from ..gpu.profiler import Profiler
@@ -27,11 +28,12 @@ from ..kernels import Kernel, PolynomialKernel, kernel_by_name, kernel_matrix
 __all__ = ["PRMLTKernelKMeans"]
 
 
-class PRMLTKernelKMeans:
+class PRMLTKernelKMeans(OutOfSamplePredictor):
     """Single-node CPU Kernel K-means with a modeled-time profiler.
 
     Matches Popcorn's assignments exactly from identical initial labels
     (same alternating minimisation); only the charged time differs.
+    ``predict`` / ``predict_batch`` follow the engine-level contract.
     """
 
     def __init__(
@@ -73,6 +75,7 @@ class PRMLTKernelKMeans:
         self.profiler_ = prof
         rng = np.random.default_rng(DEFAULT_CONFIG.seed if self.seed is None else self.seed)
 
+        xm = None
         if kernel_matrix_precomputed is not None:
             km = as_matrix(kernel_matrix_precomputed, dtype=np.float64, name="kernel matrix")
             n = km.shape[0]
@@ -110,6 +113,7 @@ class PRMLTKernelKMeans:
             if tracker.update(labels, objective):
                 break
 
+        self._finalize_support(km, labels, x=xm)
         self.labels_ = labels
         self.n_iter_ = n_iter
         self.objective_history_ = list(tracker.objectives)

@@ -97,6 +97,7 @@ class BaselineCUDAKernelKMeans(BaseKernelKMeans):
             if km.shape[0] != km.shape[1]:
                 raise ShapeError("kernel_matrix must be square")
             state.backend.load_kernel_matrix(state, km)
+            xm = None
         else:
             xm = as_matrix(x, dtype=self.dtype, name="x")
             state.backend.compute_kernel_matrix(state, xm, self.kernel, method="gemm")
@@ -109,6 +110,7 @@ class BaselineCUDAKernelKMeans(BaseKernelKMeans):
         labels = self._init_labels(state, init_labels, rng)
         labels, n_iter, tracker = self._fit_loop(state, labels)
 
+        self._finalize_support(state.kernel_host(), labels, x=xm)
         state.backend.finish(state)
         self._set_fit_results(state, labels, n_iter, tracker)
         return self

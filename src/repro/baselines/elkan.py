@@ -21,6 +21,7 @@ import numpy as np
 
 from .._typing import as_matrix, check_labels
 from ..config import DEFAULT_CONFIG
+from ..engine.base import OutOfSamplePredictor
 from ..errors import ConfigError
 from .init import kmeans_pp_centers, labels_from_centers, random_labels
 
@@ -36,8 +37,12 @@ def _pairwise_sq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.maximum(d, 0.0)
 
 
-class ElkanKMeans:
+class ElkanKMeans(OutOfSamplePredictor):
     """Exact K-means with triangle-inequality pruning.
+
+    ``predict`` / ``predict_batch`` follow the engine-level contract
+    (:class:`repro.engine.base.OutOfSamplePredictor`), assigning held-out
+    points to the fitted centroids.
 
     Attributes (after ``fit``)
     --------------------------
@@ -144,6 +149,7 @@ class ElkanKMeans:
         self.distance_computations_lloyd_ = int(n * k * (n_iter + 1))
         denom = max(self.distance_computations_lloyd_, 1)
         self.pruned_fraction_ = 1.0 - self.distance_computations_ / denom
+        self._finalize_centers_support(centers)
         return self
 
     def fit_predict(self, x: np.ndarray, **kwargs) -> np.ndarray:

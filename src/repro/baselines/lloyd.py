@@ -18,14 +18,21 @@ import numpy as np
 
 from .._typing import as_matrix, check_labels
 from ..config import DEFAULT_CONFIG
+from ..engine.base import OutOfSamplePredictor
 from ..errors import ConfigError
 from .init import kmeans_pp_centers, labels_from_centers, random_labels
 
 __all__ = ["LloydKMeans"]
 
 
-class LloydKMeans:
+class LloydKMeans(OutOfSamplePredictor):
     """Classical K-means with random or k-means++ initialisation.
+
+    Out-of-sample assignment rides the engine-level contract
+    (:class:`repro.engine.base.OutOfSamplePredictor`): ``predict`` /
+    ``predict_batch`` share one signature with every kernel estimator,
+    replacing the estimator-local ``predict`` of earlier revisions whose
+    signature had drifted from :class:`~repro.core.PopcornKernelKMeans`.
 
     Attributes (after ``fit``)
     --------------------------
@@ -96,21 +103,12 @@ class LloydKMeans:
         self.inertia_ = history[-1]
         self.objective_history_ = history
         self.n_iter_ = n_iter
+        self._finalize_centers_support(centers)
         return self
 
     def fit_predict(self, x: np.ndarray, **kwargs) -> np.ndarray:
         """Fit and return the final labels."""
         return self.fit(x, **kwargs).labels_
-
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        """Assign new points to the fitted centroids."""
-        xm = as_matrix(x, dtype=np.float64, name="x")
-        d = (
-            (xm**2).sum(axis=1)[:, None]
-            - 2.0 * xm @ self.centers_.T
-            + (self.centers_**2).sum(axis=1)[None, :]
-        )
-        return np.argmin(d, axis=1).astype(np.int32)
 
     @staticmethod
     def _centers_from(

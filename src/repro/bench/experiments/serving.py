@@ -1,0 +1,167 @@
+"""Registry entry for the serving-subsystem throughput experiment.
+
+``serve_throughput`` drives the micro-batching
+:class:`repro.serve.PredictionService` over a fitted (and round-tripped
+through :func:`repro.serve.save_model` / ``load_model``) Popcorn model
+and sweeps the batch size, tracking queries/sec so the PR regression
+gate (``repro-bench compare``) watches prediction latency the same way
+it watches fit time.  The query stream repeats a fraction of its rows to
+exercise the LRU kernel-row cache — the heavy-traffic pattern the
+north-star targets.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ...core import PopcornKernelKMeans
+from ...serve import PredictionService
+from ..registry import ExperimentResult, ExperimentSpec, RunConfig, register_experiment
+
+SERVE_WORKLOAD = (500, 8, 5)  # n, d, k of the fitted support
+SERVE_QUERIES = 768
+SERVE_BATCH_SIZES = (1, 16, 64)
+QUICK_QUERIES = 192
+QUICK_BATCH_SIZES = (1, 64)
+REPEAT_FRACTION = 0.25  # of the stream re-issues earlier queries (cache hits)
+
+
+def _fitted_model(cfg: RunConfig, n: int, d: int, k: int) -> PopcornKernelKMeans:
+    x = np.random.default_rng(cfg.base_seed).standard_normal((n, d))
+    return PopcornKernelKMeans(
+        k, dtype=np.float64, backend="host", max_iter=8,
+        check_convergence=False, seed=cfg.base_seed,
+    ).fit(x)
+
+
+def _query_stream(m: int, d: int, seed: int) -> np.ndarray:
+    """m query rows, the trailing REPEAT_FRACTION repeating earlier rows."""
+    rng = np.random.default_rng(seed + 1)
+    fresh = int(round(m * (1.0 - REPEAT_FRACTION)))
+    q = rng.standard_normal((fresh, d))
+    repeats = q[rng.integers(0, fresh, size=m - fresh)]
+    return np.ascontiguousarray(np.concatenate([q, repeats], axis=0))
+
+
+def run_serve_throughput(cfg: RunConfig) -> ExperimentResult:
+    import os
+    import tempfile
+
+    from ...serve import load_model, save_model
+
+    n, d, k = SERVE_WORKLOAD
+    m = QUICK_QUERIES if cfg.quick else SERVE_QUERIES
+    batch_sizes = QUICK_BATCH_SIZES if cfg.quick else SERVE_BATCH_SIZES
+
+    fitted = _fitted_model(cfg, n, d, k)
+    with tempfile.TemporaryDirectory() as tmp:
+        model = load_model(save_model(fitted, os.path.join(tmp, "model.npz")))
+    queries = _query_stream(m, d, cfg.base_seed)
+    reference = fitted.predict(queries)
+
+    rows = []
+    qps_series = []
+    for b in batch_sizes:
+        svc = PredictionService(
+            model, batch_size=b, max_delay_ms=1.0, n_workers=2, cache_size=512,
+        )
+        fresh = int(round(m * (1.0 - REPEAT_FRACTION)))
+        with svc:
+            # two waves: the fresh head, then the repeating tail, so the
+            # LRU cache actually absorbs the re-issued queries
+            t0 = time.perf_counter()
+            head = svc.predict_many(queries[:fresh])
+            tail = svc.predict_many(queries[fresh:])
+            elapsed = time.perf_counter() - t0
+            labels = np.concatenate([head, tail])
+            stats = svc.stats()
+        # served labels must be bit-identical to the fitting estimator's
+        # in-memory predict — the serving acceptance contract
+        assert np.array_equal(labels, reference)
+        qps = m / elapsed
+        qps_series.append(qps)
+        rows.append(
+            (
+                b,
+                m,
+                f"{qps:.0f}",
+                f"{stats['latency_mean_ms']:.3f}",
+                f"{stats['latency_p95_ms']:.3f}",
+                f"{stats['cache_hit_rate'] * 100:.0f}%",
+                stats["batches"],
+            )
+        )
+    return ExperimentResult(
+        headers=(
+            "batch_size",
+            "queries",
+            "qps",
+            "mean_latency_ms",
+            "p95_latency_ms",
+            "cache_hits",
+            "batches",
+        ),
+        rows=tuple(rows),
+        aux={"qps": qps_series, "batch_sizes": list(batch_sizes)},
+        metrics={
+            "throughput.serve_qps": max(qps_series),
+            # wall-clock per query at the largest batch size (ms)
+            "time.serve_batched_latency_ms": 1e3 / qps_series[-1],
+        },
+    )
+
+
+def check_serve_throughput(result: ExperimentResult) -> None:
+    qps = result.aux["qps"]
+    assert all(q > 0 for q in qps)
+    # batching must pay: the largest batch size beats per-request serving
+    assert qps[-1] > qps[0]
+
+
+def probe_serve_throughput(cfg: RunConfig):
+    """Executed probe: one micro-batched predict_many pass per trial."""
+    n, d, k = 200, 6, 4
+    m = 96
+    model = _fitted_model(cfg, n, d, k)
+    queries = _query_stream(m, d, cfg.base_seed)
+
+    class _ServeRun:
+        def __init__(self, seed: int) -> None:
+            self.seed = seed
+
+    def factory(seed: int) -> "_ServeRun":
+        return _ServeRun(seed)
+
+    def fit(run: "_ServeRun") -> "_ServeRun":
+        with PredictionService(
+            model, batch_size=32, max_delay_ms=1.0, n_workers=2, cache_size=256,
+        ) as svc:
+            t0 = time.perf_counter()
+            labels = svc.predict_many(queries)
+            elapsed = time.perf_counter() - t0
+            stats = svc.stats()
+        run.labels_ = labels
+        run.objective_ = float(stats["cache_hit_rate"])
+        run.n_iter_ = int(stats["batches"])
+        run.timings_ = {"serve": elapsed}
+        return run
+
+    return factory, fit
+
+
+register_experiment(
+    ExperimentSpec(
+        exp_id="serve_throughput",
+        title="Extension: micro-batched out-of-sample serving throughput",
+        group="extension",
+        datasets=("synthetic-500x8",),
+        k_values=(5,),
+        backends=("host",),
+        run=run_serve_throughput,
+        probe=probe_serve_throughput,
+        check=check_serve_throughput,
+        tags=("extension", "serve"),
+    )
+)

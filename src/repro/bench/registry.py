@@ -35,6 +35,7 @@ _EXPERIMENT_MODULES = (
     "repro.bench.experiments.paper_figures",
     "repro.bench.experiments.ablations",
     "repro.bench.experiments.extensions",
+    "repro.bench.experiments.serving",
 )
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}

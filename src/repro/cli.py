@@ -20,9 +20,10 @@ plus reproduction-specific extras (``--device``, ``--backend``,
 ``--tile-rows``, ``--gram-method``, ``--breakdown``).  Prints modeled
 timings, since the GPU is simulated.
 
-The benchmark subsystem ships its own console script, ``repro-bench``
-(re-exported here as :func:`bench_main` for the setup.py entry point);
-see :mod:`repro.bench.cli`.
+The benchmark and serving subsystems ship their own console scripts,
+``repro-bench`` and ``repro-serve`` (re-exported here as
+:func:`bench_main` / :func:`serve_main` for the setup.py entry points);
+see :mod:`repro.bench.cli` and :mod:`repro.serve.cli`.
 """
 
 from __future__ import annotations
@@ -39,9 +40,10 @@ from .data import load_dataset, make_random
 from .gpu import Device, named_device
 from .kernels import kernel_by_name
 from .bench.cli import main as bench_main
+from .serve.cli import main as serve_main
 from .reporting import fmt_seconds, format_table
 
-__all__ = ["build_parser", "main", "bench_main"]
+__all__ = ["build_parser", "main", "bench_main", "serve_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:

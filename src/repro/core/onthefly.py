@@ -31,12 +31,13 @@ import numpy as np
 
 from .._typing import as_matrix, check_labels
 from ..config import DEFAULT_CONFIG
+from ..engine.base import OutOfSamplePredictor
 from ..errors import ConfigError, ShapeError
 from ..gpu import cost
 from ..gpu.profiler import Profiler
 from ..gpu.spec import A100_80GB, DeviceSpec
 from ..kernels import Kernel, PolynomialKernel, kernel_by_name
-from ..sparse import spmm
+from ..sparse import spmm, spmv
 from ..baselines.init import random_labels
 from .assignment import ConvergenceTracker
 from .selection import build_selection
@@ -44,7 +45,7 @@ from .selection import build_selection
 __all__ = ["OnTheFlyKernelKMeans", "model_onthefly"]
 
 
-class OnTheFlyKernelKMeans:
+class OnTheFlyKernelKMeans(OutOfSamplePredictor):
     """Blocked Kernel K-means that recomputes kernel panels per iteration.
 
     Parameters mirror :class:`~repro.core.PopcornKernelKMeans` plus
@@ -179,7 +180,29 @@ class OnTheFlyKernelKMeans:
         self.converged_ = tracker.converged
         self.timings_ = prof.phase_times()
         self.peak_panel_bytes_ = 4 * b * n
+        self._finalize_blocked_support(xm, gram_diag, labels, blocks)
         return self
+
+    def _finalize_blocked_support(self, xm, gram_diag, labels, blocks) -> None:
+        """Out-of-sample support via one extra blocked pass (K never forms).
+
+        The final-label centroid norms come from the z-gather SpMV trick
+        (``C~ = -0.5`` cancelled: here ``c_j = (V z)_j`` with
+        ``z_i = (K V^T)_{i, lab_i}``), accumulating z panel by panel.
+        """
+        n = xm.shape[0]
+        k = self.n_clusters
+        v = build_selection(labels, k, dtype=np.float64)
+        z = np.empty(n, dtype=np.float64)
+        for lo, hi in blocks:
+            k_blk = self._transform_panel(xm[lo:hi] @ xm.T, gram_diag, lo, hi)
+            t_blk = spmm(v, np.ascontiguousarray(k_blk.T)).T  # (rows, k) = K_blk V^T
+            z[lo:hi] = t_blk[np.arange(hi - lo), labels[lo:hi]]
+        self._c_norms = spmv(v, np.ascontiguousarray(z))
+        self._support_x = xm
+        self._support_weights = None
+        self._support_centers = None
+        self._support_v = v
 
     def fit_predict(self, x: np.ndarray, **kwargs) -> np.ndarray:
         """Fit and return the final labels."""

@@ -94,6 +94,12 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         profiler holds the full launch log, accumulating across fits
         when the device is shared.
     profiler_ : the launch log of the backend that ran this fit.
+
+    Out-of-sample assignment rides the shared engine contract
+    (``predict`` / ``predict_batch`` from
+    :class:`repro.engine.base.OutOfSamplePredictor`), and the fitted
+    support set persists through :func:`repro.serve.save_model` /
+    ``load_model`` with bit-exact predictions.
     """
 
     def __init__(
@@ -187,55 +193,12 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         labels = self._init_labels(state, init_labels, rng)
         labels, n_iter, tracker = self._fit_loop(state, labels)
 
-        # centroid norms consistent with the *final* labels (predict needs
-        # them; the loop's own c_norms correspond to the pre-update V)
-        from .norms import centroid_norms_spgemm
-        from .selection import build_selection as _build_sel
-
-        self._c_norms = centroid_norms_spgemm(
-            state.kernel_host().astype(np.float64), _build_sel(labels, k, dtype=np.float64)
-        )
+        # out-of-sample support consistent with the *final* labels (the
+        # loop's own c_norms correspond to the pre-update V); the shared
+        # engine predict (repro.engine.base.OutOfSamplePredictor) consumes
+        # it, replacing the estimator-local predict of earlier revisions
+        self._finalize_support(state.kernel_host(), labels, x=self._train_x)
 
         state.backend.finish(state)
         self._set_fit_results(state, labels, n_iter, tracker)
         return self
-
-    # ------------------------------------------------------------------
-    # out-of-sample prediction (extension beyond the artifact CLI)
-    # ------------------------------------------------------------------
-    def predict(
-        self,
-        x: Optional[np.ndarray] = None,
-        *,
-        cross_kernel: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        """Assign new points to the fitted clusters.
-
-        ``||phi(q) - c_j||^2 = kappa(q, q) - 2 (K_c V^T)_qj + ||c_j||^2``
-        where ``K_c[q, i] = kappa(q, p_i)`` is the cross-kernel against the
-        training points.  Supply ``cross_kernel`` (m x n_train) directly
-        when the estimator was fitted on a precomputed kernel matrix.
-        """
-        self._require_fitted()
-        if cross_kernel is not None:
-            kc = as_matrix(cross_kernel, dtype=np.float64, name="cross_kernel")
-            if kc.shape[1] != self.labels_.shape[0]:
-                raise ShapeError(
-                    f"cross_kernel must have {self.labels_.shape[0]} columns"
-                )
-        else:
-            if self._train_x is None:
-                raise ShapeError(
-                    "estimator was fitted on a precomputed kernel; pass cross_kernel"
-                )
-            xm = as_matrix(x, dtype=self.dtype, name="x")
-            kc = self.kernel.pairwise(xm, self._train_x).astype(np.float64)
-        from .selection import build_selection
-        from ..sparse import spmm
-
-        # kappa(q, q) is constant per row and cannot move the argmin, so the
-        # distance used here drops it: d_qj = -2 (K_c V^T)_qj + ||c_j||^2.
-        v = build_selection(self.labels_, self.n_clusters, dtype=np.float64)
-        kvt = spmm(v, np.ascontiguousarray(kc.T)).T  # (m, k)
-        d = -2.0 * kvt + self._c_norms[None, :].astype(np.float64)
-        return np.argmin(d, axis=1).astype(np.int32)

@@ -143,6 +143,9 @@ class WeightedPopcornKernelKMeans(BaseKernelKMeans):
         labels = self._init_labels(state, init_labels, self._rng())
         labels, n_iter, tracker = self._fit_loop(state, labels, weights=w)
 
+        # fitted on a precomputed kernel: out-of-sample queries go through
+        # predict(cross_kernel=...) with the weighted selection matrix
+        self._finalize_support(state.kernel_host(), labels, weights=w)
         state.backend.finish(state)
         self._set_fit_results(state, labels, n_iter, tracker)
         return self

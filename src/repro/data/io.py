@@ -18,6 +18,22 @@ from ..errors import DatasetError
 __all__ = ["read_libsvm", "write_libsvm", "read_csv", "write_csv", "load_dataset"]
 
 
+def _decoded_lines(fh, path: str):
+    """Stream ``(lineno, line)`` pairs, turning decode failures into
+    :class:`DatasetError` instead of a bare ``UnicodeDecodeError``."""
+    lineno = 0
+    it = iter(fh)
+    while True:
+        try:
+            line = next(it)
+        except StopIteration:
+            return
+        except UnicodeDecodeError as exc:
+            raise DatasetError(f"{path}: not a text libsvm file: {exc}") from exc
+        lineno += 1
+        yield lineno, line
+
+
 def read_libsvm(path: str, *, n_features: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
     """Parse a libSVM file into ``(X, y)``.
 
@@ -28,8 +44,15 @@ def read_libsvm(path: str, *, n_features: Optional[int] = None) -> Tuple[np.ndar
     labels = []
     rows = []  # list of (indices array, values array)
     max_idx = 0
-    with open(path, "r") as fh:
-        for lineno, line in enumerate(fh, 1):
+    try:
+        fh = open(path, "r")
+    except OSError as exc:
+        raise DatasetError(f"cannot open dataset file {path}: {exc}") from exc
+    with fh:
+        # binary garbage surfaces while *iterating* (the file is streamed,
+        # never loaded whole); keep the clear error without buffering it
+        lines = _decoded_lines(fh, path)
+        for lineno, line in lines:
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
@@ -97,8 +120,10 @@ def read_csv(
     """
     try:
         data = np.loadtxt(path, delimiter=delimiter, ndmin=2)
-    except ValueError as exc:
+    except (ValueError, UnicodeDecodeError) as exc:
         raise DatasetError(f"{path}: not a numeric CSV: {exc}") from exc
+    except OSError as exc:
+        raise DatasetError(f"cannot open dataset file {path}: {exc}") from exc
     if label_column is None:
         return np.ascontiguousarray(data, dtype=np.float32), None
     ncol = data.shape[1]
@@ -119,9 +144,16 @@ def write_csv(path: str, x: np.ndarray, y: Optional[np.ndarray] = None) -> None:
 
 
 def load_dataset(path: str, **kwargs) -> Tuple[np.ndarray, Optional[np.ndarray]]:
-    """Dispatch on file extension: ``.csv`` -> CSV, anything else -> libSVM."""
+    """Dispatch on file extension: ``.csv`` -> CSV, anything else -> libSVM.
+
+    Missing or unreadable/corrupt files raise :class:`DatasetError` (a
+    :class:`~repro.errors.ConfigError`) with the path and the reason —
+    never a bare traceback from the parser internals.
+    """
     if not os.path.exists(path):
         raise DatasetError(f"no such dataset file: {path}")
+    if os.path.isdir(path):
+        raise DatasetError(f"dataset path is a directory, not a file: {path}")
     if path.endswith(".csv"):
         return read_csv(path, **kwargs)
     return read_libsvm(path, **kwargs)

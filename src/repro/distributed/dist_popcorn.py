@@ -210,6 +210,10 @@ class DistributedPopcornKernelKMeans(BaseKernelKMeans):
             if tracker.update(labels, obj_partial):
                 break
 
+        # out-of-sample support: final-label centroid norms via the
+        # z-gather SpMV over the row blocks — never a concatenated K
+        self._finalize_blocked_support(k_blocks, blocks, labels, xm)
+
         self.labels_ = labels
         self.n_iter_ = n_iter
         self.objective_history_ = list(tracker.objectives)
@@ -228,6 +232,27 @@ class DistributedPopcornKernelKMeans(BaseKernelKMeans):
         single = sum(pr.total_time() for pr in profs)
         self.parallel_efficiency_ = single / (g * self.makespan_s_) if self.makespan_s_ else 1.0
         return self
+
+    def _finalize_blocked_support(self, k_blocks, blocks, labels, xm) -> None:
+        """Per-block out-of-sample support: ``C~ = V z`` with
+        ``z_i = (K_p V^T)_{i, lab_i}`` gathered one row block at a time,
+        so peak memory stays one ``rows x n`` block (the SPMD invariant).
+        """
+        from ..sparse import spmv
+
+        n = labels.shape[0]
+        k = self.n_clusters
+        v = build_selection(labels, k, dtype=np.float64)
+        z = np.empty(n, dtype=np.float64)
+        for p, (lo, hi) in enumerate(blocks):
+            blk = k_blocks[p].astype(np.float64)
+            t_blk = spmm(v, np.ascontiguousarray(blk.T)).T  # (rows, k)
+            z[lo:hi] = t_blk[np.arange(hi - lo), labels[lo:hi]]
+        self._c_norms = spmv(v, np.ascontiguousarray(z))
+        self._support_x = xm
+        self._support_weights = None
+        self._support_centers = None
+        self._support_v = v
 
 
 # ----------------------------------------------------------------------

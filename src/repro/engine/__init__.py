@@ -13,7 +13,11 @@ runs on this subsystem:
 * :mod:`~repro.engine.tiling` is the row-tiled distance pipeline
   (``tile_rows=``): ``E = -2 K V^T`` in streamed row blocks, bit-for-bit
   equal to the monolithic SpMM, so kernel matrices larger than device
-  capacity flow through tile-by-tile instead of raising.
+  capacity flow through tile-by-tile instead of raising;
+* :class:`~repro.engine.base.OutOfSamplePredictor` is the shared
+  out-of-sample contract: one ``predict`` / ``predict_batch``
+  implementation (row-tiled cross-kernel, never the full ``m x n``
+  matrix) every estimator and the :mod:`repro.serve` subsystem consume.
 """
 
 from .backends import (
@@ -27,7 +31,7 @@ from .backends import (
     register_backend,
     unregister_backend,
 )
-from .base import BaseKernelKMeans
+from .base import BaseKernelKMeans, OutOfSamplePredictor
 from .tiling import row_tiles, tiled_popcorn_distances_host, validate_tile_rows
 
 __all__ = [
@@ -41,6 +45,7 @@ __all__ = [
     "get_backend",
     "available_backends",
     "BaseKernelKMeans",
+    "OutOfSamplePredictor",
     "row_tiles",
     "tiled_popcorn_distances_host",
     "validate_tile_rows",

@@ -13,6 +13,16 @@ every estimator; ``"auto"`` resolves to the estimator's natural substrate
 (``_default_backend``).  Estimators whose algorithm has no device
 execution (e.g. the Nyström embedding path) declare a restricted
 ``_supported_backends`` and reject the rest at construction time.
+
+Out-of-sample prediction lives here too: :class:`OutOfSamplePredictor`
+is the single implementation of ``predict`` / ``predict_batch`` every
+estimator in the package shares (the serving subsystem,
+:mod:`repro.serve`, builds on it).  A fitted estimator stashes a
+*support set* — training points (or explicit feature-space centers),
+final labels, optional point weights, and the squared centroid norms —
+and queries are assigned by streaming the cross-kernel against that
+support in row tiles, so the full ``m x n`` cross-kernel matrix is never
+materialised.
 """
 
 from __future__ import annotations
@@ -22,17 +32,214 @@ from typing import Optional
 import numpy as np
 
 from ..config import DEFAULT_CONFIG
-from .._typing import check_labels
-from ..errors import ConfigError
+from .._typing import as_matrix, check_labels
+from ..errors import ConfigError, ShapeError
 from ..gpu.device import Device
 from ..gpu.spec import A100_80GB, DeviceSpec
 from .backends import Backend, DistanceStep, EngineState, get_backend
-from .tiling import validate_tile_rows
+from .tiling import row_tiles, validate_tile_rows
 
-__all__ = ["BaseKernelKMeans"]
+__all__ = ["OutOfSamplePredictor", "BaseKernelKMeans"]
 
 
-class BaseKernelKMeans:
+class OutOfSamplePredictor:
+    """The engine-level out-of-sample prediction contract.
+
+    Every estimator in the family mixes this in (the kernel estimators
+    through :class:`BaseKernelKMeans`; the classical baselines directly)
+    so ``predict`` has one signature and one implementation everywhere::
+
+        predict(x=None, *, cross_kernel=None, tile_rows=None)
+        predict_batch(batches, *, tile_rows=None)
+
+    A fitted estimator provides a *support set*:
+
+    ``_c_norms``
+        Squared feature-space centroid norms ``||c_j||^2`` (float64, k).
+    ``_support_x``
+        The training points, when the estimator was fitted on points —
+        queries are then assigned from ``x`` via the kernel's cross
+        evaluation.  None when fitted on a precomputed kernel matrix
+        (pass ``cross_kernel`` instead).
+    ``_support_weights``
+        Optional per-point weights (the weighted-KKM selection matrix).
+    ``_support_centers``
+        Explicit feature-space centers (``k x r``); when set, queries are
+        compared against the centers directly (Lloyd/Elkan and the
+        Nyström embedding path) instead of through a cross-kernel.
+
+    Assignment drops the per-query constant ``kappa(q, q)``, which cannot
+    move the argmin: ``d_qj = -2 s_qj + ||c_j||^2`` with ``s_qj`` either
+    ``(K_c V^T)_qj`` (kernel support) or ``<phi(q), c_j>`` (centers).
+    ``tile_rows`` streams the queries in row tiles so only one
+    ``tile_rows x n_support`` cross-kernel panel is live at a time; the
+    CSR SpMM computes output columns independently, so any tiling is
+    bit-identical to the monolithic product.
+    """
+
+    #: support-set defaults (fit overwrites what applies)
+    _support_x = None
+    _support_weights = None
+    _support_centers = None
+    _support_v = None
+
+    def _require_fitted(self) -> None:
+        if not hasattr(self, "labels_"):
+            raise ConfigError("estimator is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    # support-set plumbing
+    # ------------------------------------------------------------------
+    def _finalize_support(self, kernel_host, labels, *, x=None, weights=None) -> None:
+        """Stash the kernel-space support set at the end of a fit.
+
+        ``kernel_host`` is the training kernel matrix (host view); the
+        centroid norms are made consistent with the *final* labels — the
+        loop's own norms correspond to the pre-update selection matrix.
+        """
+        from ..core.norms import centroid_norms_spgemm
+        from ..core.selection import build_selection
+        from ..sparse import weighted_selection_matrix
+
+        k = self.n_clusters
+        if weights is None:
+            v = build_selection(labels, k, dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            v = weighted_selection_matrix(labels, k, weights, dtype=np.float64)
+        self._c_norms = centroid_norms_spgemm(
+            np.asarray(kernel_host).astype(np.float64), v
+        )
+        self._support_x = x
+        self._support_weights = weights
+        self._support_centers = None
+        self._support_v = v
+
+    def _finalize_centers_support(self, centers) -> None:
+        """Stash an explicit-centers support set (Lloyd / embedding paths)."""
+        c = np.asarray(centers, dtype=np.float64)
+        self._support_centers = c
+        self._c_norms = np.einsum("ij,ij->i", c, c)
+        self._support_x = None
+        self._support_weights = None
+        self._support_v = None
+
+    def _support_selection(self):
+        """The (possibly weighted) float64 selection matrix of the support."""
+        if self._support_v is None:
+            from ..core.selection import build_selection
+            from ..sparse import weighted_selection_matrix
+
+            if self._support_weights is None:
+                self._support_v = build_selection(
+                    self.labels_, self.n_clusters, dtype=np.float64
+                )
+            else:
+                self._support_v = weighted_selection_matrix(
+                    self.labels_, self.n_clusters, self._support_weights, dtype=np.float64
+                )
+        return self._support_v
+
+    def _query_features(self, xm: np.ndarray) -> np.ndarray:
+        """Hook: map raw queries into the centers' feature space."""
+        return xm
+
+    # ------------------------------------------------------------------
+    # the shared prediction pipeline
+    # ------------------------------------------------------------------
+    def _labels_from_cross(self, kc: np.ndarray) -> np.ndarray:
+        """Row argmin of ``-2 K_c V^T + C~`` for one cross-kernel panel."""
+        from ..sparse import spmm
+
+        v = self._support_selection()
+        kvt = spmm(v, np.ascontiguousarray(kc.T)).T  # (m, k)
+        d = -2.0 * kvt + self._c_norms[None, :]
+        return np.argmin(d, axis=1).astype(np.int32)
+
+    def _labels_from_centers(self, q: np.ndarray) -> np.ndarray:
+        """Row argmin of ``-2 Q C^T + C~`` against explicit centers."""
+        d = -2.0 * (q @ self._support_centers.T) + self._c_norms[None, :]
+        return np.argmin(d, axis=1).astype(np.int32)
+
+    def predict(
+        self,
+        x: Optional[np.ndarray] = None,
+        *,
+        cross_kernel: Optional[np.ndarray] = None,
+        tile_rows: Optional[int] = None,
+    ) -> np.ndarray:
+        """Assign held-out points to the fitted clusters.
+
+        ``||phi(q) - c_j||^2 = kappa(q, q) - 2 s_qj + ||c_j||^2`` where
+        the per-query constant is dropped.  Supply ``cross_kernel``
+        (``m x n_train``, ``K_c[q, i] = kappa(q, p_i)``) when the
+        estimator was fitted on a precomputed kernel matrix.
+        ``tile_rows`` streams the queries in row tiles (labels are
+        bit-identical to the monolithic run for any valid value).
+        """
+        self._require_fitted()
+        tile = validate_tile_rows(tile_rows)
+        if cross_kernel is not None:
+            if x is not None:
+                raise ConfigError("pass query points x or cross_kernel, not both")
+            if self._support_centers is not None:
+                raise ConfigError(
+                    f"{type(self).__name__} predicts from explicit centers; "
+                    "pass query points x instead of cross_kernel"
+                )
+            kc = as_matrix(cross_kernel, dtype=np.float64, name="cross_kernel")
+            n_sup = self.labels_.shape[0]
+            if kc.shape[1] != n_sup:
+                raise ShapeError(f"cross_kernel must have {n_sup} columns")
+            out = np.empty(kc.shape[0], dtype=np.int32)
+            for lo, hi in self._query_tiles(kc.shape[0], tile):
+                out[lo:hi] = self._labels_from_cross(kc[lo:hi])
+            return out
+        if x is None:
+            raise ShapeError("predict needs query points x (or a cross_kernel)")
+        if self._support_centers is not None:
+            xm = as_matrix(x, dtype=np.float64, name="x")
+            out = np.empty(xm.shape[0], dtype=np.int32)
+            for lo, hi in self._query_tiles(xm.shape[0], tile):
+                q = self._query_features(xm[lo:hi])
+                out[lo:hi] = self._labels_from_centers(q)
+            return out
+        if self._support_x is None:
+            raise ShapeError(
+                "estimator was fitted on a precomputed kernel; pass cross_kernel"
+            )
+        xm = as_matrix(x, dtype=getattr(self, "dtype", np.float64), name="x")
+        kernel = getattr(self, "kernel", None)
+        if kernel is None:
+            raise ConfigError(f"{type(self).__name__} has no kernel to evaluate queries with")
+        sup = self._support_x
+        out = np.empty(xm.shape[0], dtype=np.int32)
+        for lo, hi in self._query_tiles(xm.shape[0], tile):
+            kc = kernel.pairwise(xm[lo:hi], sup).astype(np.float64)
+            out[lo:hi] = self._labels_from_cross(kc)
+        return out
+
+    @staticmethod
+    def _query_tiles(m: int, tile: Optional[int]):
+        """Row tiles over the queries; an empty query block is no tiles."""
+        return row_tiles(m, tile) if m else ()
+
+    def predict_batch(self, batches, *, tile_rows: Optional[int] = None) -> np.ndarray:
+        """Predict an iterable of query blocks; returns concatenated labels.
+
+        Each block goes through :meth:`predict` independently, so peak
+        memory is one block's cross-kernel (further bounded by
+        ``tile_rows``) — the entry point the micro-batching
+        :class:`repro.serve.PredictionService` drains its queue through.
+        """
+        self._require_fitted()
+        outs = [self.predict(b, tile_rows=tile_rows) for b in batches]
+        if not outs:
+            return np.empty(0, dtype=np.int32)
+        return np.concatenate(outs)
+
+
+class BaseKernelKMeans(OutOfSamplePredictor):
     """Common scaffolding for the kernel-k-means estimator family.
 
     Parameters owned here (subclasses add their own on top):
@@ -241,7 +448,3 @@ class BaseKernelKMeans:
     def fit_predict(self, *args, **kwargs) -> np.ndarray:
         """Fit and return the final labels."""
         return self.fit(*args, **kwargs).labels_
-
-    def _require_fitted(self) -> None:
-        if not hasattr(self, "labels_"):
-            raise ConfigError("estimator is not fitted; call fit() first")

@@ -52,5 +52,11 @@ class ConfigError(ReproError, ValueError):
     """An invalid configuration value was supplied."""
 
 
-class DatasetError(ReproError, ValueError):
-    """A dataset file or generator specification is invalid."""
+class DatasetError(ConfigError):
+    """A dataset file or generator specification is invalid.
+
+    Subclasses :class:`ConfigError`: a missing or corrupt dataset file is
+    a configuration problem, and callers (the CLIs catch
+    :class:`ReproError`) must see a clear message, never a bare
+    traceback.
+    """

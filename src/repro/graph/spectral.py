@@ -277,6 +277,13 @@ class SpectralKernelKMeans(BaseKernelKMeans):
         self.objective_ = best.objective_
         self.n_iter_ = best.n_iter_
         self.backend_ = best.backend_
+        # out-of-sample support rides the winning weighted-KKM refinement;
+        # queries must supply cross_kernel rows in the normalized-cut
+        # kernel space (extending the kNN graph to unseen points is the
+        # caller's modelling decision)
+        self._c_norms = best._c_norms
+        self._support_weights = best._support_weights
+        self._support_v = best._support_v
         return self
 
 

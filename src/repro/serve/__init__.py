@@ -1,0 +1,82 @@
+"""Model persistence and batched out-of-sample serving (``repro.serve``).
+
+The paper's contribution is fast kernel-k-means *training*; this package
+is the inference half of the system: fitted estimators survive process
+exit as versioned artifacts, and held-out queries are answered by a
+micro-batching prediction service — the subsystem every scaling
+extension (sharding, caching, async) lands in.
+
+Pieces
+------
+:mod:`repro.serve.persist`
+    ``save_model`` / ``load_model`` / ``inspect_model`` — a versioned,
+    schema-checked ``.npz`` artifact (JSON header + raw arrays, no
+    pickling) that round-trips **bit-exactly**: a reloaded model's
+    ``predict`` matches the fitting estimator's in-memory ``predict``
+    bit for bit.
+:mod:`repro.serve.service`
+    :class:`PredictionService` — micro-batching request queue, LRU
+    kernel-row cache, thread-pool workers, profiler-recorded batches.
+:mod:`repro.serve.cli`
+    The ``repro-serve`` console script (``save`` / ``load`` /
+    ``predict`` / ``serve`` subcommands; one-shot files or stdin JSONL).
+
+Artifact format (schema version 1)
+----------------------------------
+One ``.npz`` file; the ``__meta__`` entry is a UTF-8 JSON header, every
+other entry is a raw array of the estimator's support set:
+
+================  =====================================================
+npz key           contents
+================  =====================================================
+``__meta__``      JSON header: format marker, ``schema_version``,
+                  estimator class, ``n_clusters``, dtype, kernel name +
+                  parameters, fit metadata (iterations, objective,
+                  convergence, backend)
+``labels``        final training assignments (int32, n)
+``c_norms``       squared feature-space centroid norms (float64, k)
+``support_x``     training points, when fitted on points
+``support_weights``  per-point weights (weighted / spectral fits)
+``support_centers``  explicit feature-space centers (Lloyd / Elkan /
+                  Nyström embedding path); re-aliased to ``centers_`` on
+                  load for the classical estimators
+``landmark_x``    Nyström landmark points
+``nystrom_map``   the Nyström ``W^{-1/2}`` query-embedding map
+``landmarks``     Nyström landmark indices into the training set
+================  =====================================================
+
+Micro-batching knobs (:class:`PredictionService`)
+-------------------------------------------------
+``batch_size``     max requests fused into one cross-kernel SpMM
+``max_delay_ms``   wait for the batch to fill (latency/throughput knob)
+``n_workers``      worker threads serving batches concurrently
+``cache_size``     LRU entries memoised by query-row digest (0 = off)
+``tile_rows``      row-tile bound on the live cross-kernel panel
+
+Quickstart
+----------
+>>> from repro import PopcornKernelKMeans
+>>> from repro.serve import PredictionService, load_model, save_model
+>>> model = PopcornKernelKMeans(3, seed=0).fit(x)          # doctest: +SKIP
+>>> save_model(model, "model.npz")                          # doctest: +SKIP
+>>> with PredictionService(load_model("model.npz")) as svc: # doctest: +SKIP
+...     label = svc.predict(query)
+"""
+
+from .persist import (
+    MODEL_FORMAT,
+    MODEL_SCHEMA_VERSION,
+    inspect_model,
+    load_model,
+    save_model,
+)
+from .service import PredictionService
+
+__all__ = [
+    "MODEL_FORMAT",
+    "MODEL_SCHEMA_VERSION",
+    "save_model",
+    "load_model",
+    "inspect_model",
+    "PredictionService",
+]

@@ -1,0 +1,272 @@
+"""The ``repro-serve`` command line: save / load / predict / serve.
+
+Usage::
+
+    repro-serve save --model popcorn -k 10 -i data.csv -o model.npz
+    repro-serve save --model nystrom -k 5 -n 2000 -d 16 -f gaussian -o model.npz
+    repro-serve load model.npz
+    repro-serve predict model.npz --input queries.csv [--output labels.txt]
+                                  [--batch-size 64] [--stats]
+    cat queries.jsonl | repro-serve serve model.npz --batch-size 64 \
+                                  --max-delay-ms 2 --workers 2
+
+``save`` fits an estimator and persists it as a versioned artifact;
+``load`` prints an artifact's metadata; ``predict`` answers a one-shot
+query file (CSV/libSVM like the training CLI, or JSONL) through the
+micro-batching service; ``serve`` reads JSONL queries from stdin — one
+``[x, ...]`` array or ``{"id": ..., "x": [...]}`` object per line — and
+writes one ``{"id": ..., "label": ...}`` result per line to stdout,
+printing the serving stats to stderr at EOF.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data import load_dataset, make_random
+from ..errors import ReproError
+from ..reporting import format_table
+from .persist import inspect_model, load_model, save_model
+from .service import PredictionService
+
+__all__ = ["build_parser", "main"]
+
+_SAVE_MODELS = ("popcorn", "baseline", "nystrom", "lloyd", "elkan", "onthefly")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Model persistence + batched prediction serving for the reproduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    save_p = sub.add_parser("save", help="fit an estimator and persist it as an artifact")
+    save_p.add_argument("--model", default="popcorn", choices=_SAVE_MODELS)
+    save_p.add_argument("-k", type=int, default=10, help="number of clusters")
+    save_p.add_argument("-i", dest="input", default=None, help="training file (libsvm or CSV)")
+    save_p.add_argument("-n", type=int, default=1000, help="synthetic points (when no -i)")
+    save_p.add_argument("-d", type=int, default=16, help="synthetic dimensionality")
+    save_p.add_argument("-f", dest="kernel", default="polynomial",
+                        choices=("linear", "polynomial", "sigmoid", "gaussian"))
+    save_p.add_argument("-s", dest="seed", type=int, default=0, help="RNG seed")
+    save_p.add_argument("-m", dest="max_iter", type=int, default=30, help="max iterations")
+    save_p.add_argument("--backend", default="auto", choices=("auto", "host", "device"))
+    save_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    save_p.add_argument("-o", dest="output", required=True, help="artifact path (.npz)")
+
+    load_p = sub.add_parser("load", help="print an artifact's metadata")
+    load_p.add_argument("model", help="artifact path")
+
+    pred_p = sub.add_parser("predict", help="one-shot prediction over a query file")
+    pred_p.add_argument("model", help="artifact path")
+    pred_p.add_argument("--input", required=True,
+                        help="query file (CSV, libsvm, or .jsonl)")
+    pred_p.add_argument("--output", default=None, help="write labels here (default: stdout)")
+    pred_p.add_argument("--batch-size", type=int, default=64)
+    pred_p.add_argument("--max-delay-ms", type=float, default=1.0)
+    pred_p.add_argument("--workers", type=int, default=1)
+    pred_p.add_argument("--cache-size", type=int, default=1024)
+    pred_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    pred_p.add_argument("--stats", action="store_true", help="print serving stats")
+
+    serve_p = sub.add_parser("serve", help="stdin-JSONL serving loop")
+    serve_p.add_argument("model", help="artifact path")
+    serve_p.add_argument("--batch-size", type=int, default=64)
+    serve_p.add_argument("--max-delay-ms", type=float, default=2.0)
+    serve_p.add_argument("--workers", type=int, default=2)
+    serve_p.add_argument("--cache-size", type=int, default=4096)
+    serve_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    return p
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+def _fit_model(args):
+    from ..approx import NystromKernelKMeans
+    from ..baselines import BaselineCUDAKernelKMeans, ElkanKMeans, LloydKMeans
+    from ..core import OnTheFlyKernelKMeans, PopcornKernelKMeans
+
+    if args.input:
+        x, _ = load_dataset(args.input)
+    else:
+        x, _ = make_random(args.n, args.d, rng=args.seed)
+    if args.model == "popcorn":
+        est = PopcornKernelKMeans(
+            args.k, kernel=args.kernel, backend=args.backend,
+            tile_rows=args.tile_rows, max_iter=args.max_iter, seed=args.seed,
+        )
+    elif args.model == "baseline":
+        est = BaselineCUDAKernelKMeans(
+            args.k, kernel=args.kernel, backend=args.backend,
+            max_iter=args.max_iter, seed=args.seed,
+        )
+    elif args.model == "nystrom":
+        est = NystromKernelKMeans(
+            args.k, kernel=args.kernel, max_iter=args.max_iter, seed=args.seed,
+        )
+    elif args.model == "lloyd":
+        est = LloydKMeans(args.k, max_iter=args.max_iter, seed=args.seed)
+    elif args.model == "elkan":
+        est = ElkanKMeans(args.k, max_iter=args.max_iter, seed=args.seed)
+    else:  # onthefly
+        est = OnTheFlyKernelKMeans(
+            args.k, kernel=args.kernel, max_iter=args.max_iter, seed=args.seed,
+        )
+    return est.fit(x), x.shape
+
+
+def _cmd_save(args) -> int:
+    model, (n, d) = _fit_model(args)
+    path = save_model(model, args.output)
+    meta = inspect_model(path)
+    print(
+        f"saved {meta['estimator']} (k={meta['n_clusters']}, trained on "
+        f"n={n} d={d}) to {path} [{meta['file_bytes']} bytes]"
+    )
+    return 0
+
+
+def _cmd_load(args) -> int:
+    meta = inspect_model(args.model)
+    fit = meta.get("fit") or {}
+    kern = meta.get("kernel")
+    rows = [
+        ("estimator", meta["estimator"]),
+        ("schema version", meta["schema_version"]),
+        ("n_clusters", meta["n_clusters"]),
+        ("dtype", meta.get("dtype") or "-"),
+        ("kernel", kern["name"] if kern else "-"),
+        ("kernel params", json.dumps(kern["params"]) if kern else "-"),
+        ("fit iterations", fit.get("n_iter") if fit.get("n_iter") is not None else "-"),
+        ("fit objective", fit.get("objective") if fit.get("objective") is not None else "-"),
+        ("fit backend", fit.get("backend") or "-"),
+        ("file bytes", meta["file_bytes"]),
+    ]
+    rows += [
+        (f"array {key}", f"{info['shape']} {info['dtype']}")
+        for key, info in sorted(meta["array_info"].items())
+    ]
+    print(format_table(["field", "value"], rows))
+    return 0
+
+
+def _read_queries(path: str) -> np.ndarray:
+    if path.endswith(".jsonl"):
+        rows = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    rows.append(_jsonl_query(line)[1])
+        return np.asarray(rows, dtype=np.float64)
+    x, _ = load_dataset(path)
+    return np.asarray(x, dtype=np.float64)
+
+
+def _cmd_predict(args) -> int:
+    model = load_model(args.model)
+    queries = _read_queries(args.input)
+    with PredictionService(
+        model,
+        batch_size=args.batch_size,
+        max_delay_ms=args.max_delay_ms,
+        n_workers=args.workers,
+        cache_size=args.cache_size,
+        tile_rows=args.tile_rows,
+    ) as svc:
+        labels = svc.predict_many(queries)
+        stats = svc.stats()
+    if args.output:
+        np.savetxt(args.output, labels, fmt="%d")
+        print(f"{labels.shape[0]} labels written to {args.output}")
+    else:
+        for lab in labels:
+            print(int(lab))
+    if args.stats:
+        print(
+            format_table(
+                ["stat", "value"],
+                [(k, f"{v:.4g}" if isinstance(v, float) else v)
+                 for k, v in stats.items()],
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _jsonl_query(line: str):
+    """Parse one stdin line: a bare array or {"id": ..., "x": [...]}."""
+    obj = json.loads(line)
+    if isinstance(obj, dict):
+        return obj.get("id"), np.asarray(obj["x"], dtype=np.float64)
+    return None, np.asarray(obj, dtype=np.float64)
+
+
+def _cmd_serve(args, stdin=None, stdout=None) -> int:
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    model = load_model(args.model)
+    with PredictionService(
+        model,
+        batch_size=args.batch_size,
+        max_delay_ms=args.max_delay_ms,
+        n_workers=args.workers,
+        cache_size=args.cache_size,
+        tile_rows=args.tile_rows,
+    ) as svc:
+        pending = []
+        for lineno, line in enumerate(stdin, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                qid, row = _jsonl_query(line)
+            except (ValueError, KeyError, TypeError) as exc:
+                print(json.dumps({"line": lineno, "error": str(exc)}), file=sys.stderr)
+                continue
+            pending.append((qid if qid is not None else lineno, svc.submit(row)))
+            # keep the output stream flowing without blocking the reader
+            while pending and pending[0][1].done():
+                _flush_one(pending.pop(0), stdout)
+        for item in pending:
+            _flush_one(item, stdout)
+        stats = svc.stats()
+    print(json.dumps({"stats": stats}), file=sys.stderr)
+    return 0
+
+
+def _flush_one(item, stdout) -> None:
+    qid, future = item
+    try:
+        stdout.write(json.dumps({"id": qid, "label": int(future.result())}) + "\n")
+    except Exception as exc:  # a failed request must not kill the loop
+        stdout.write(json.dumps({"id": qid, "error": str(exc)}) + "\n")
+    stdout.flush()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "save":
+            return _cmd_save(args)
+        if args.command == "load":
+            return _cmd_load(args)
+        if args.command == "predict":
+            return _cmd_predict(args)
+        return _cmd_serve(args)
+    except ReproError as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,271 @@
+"""Versioned, schema-checked model artifacts (save / load / inspect).
+
+A fitted estimator is persisted as a single ``.npz`` file holding the
+out-of-sample *support set* the engine-level predict contract
+(:class:`repro.engine.base.OutOfSamplePredictor`) consumes, plus a JSON
+metadata header stored as a UTF-8 byte array under the ``__meta__`` key.
+No pickling is involved anywhere (``allow_pickle=False`` on load), so
+artifacts are safe to exchange and the array payloads round-trip
+**bit-exactly**: ``load_model(save_model(est, p)).predict(q)`` is
+bit-identical to ``est.predict(q)`` (tested property).
+
+Header schema (``MODEL_SCHEMA_VERSION`` = 1)::
+
+    {
+      "format": "repro-serve-model",
+      "schema_version": 1,
+      "estimator": "<class name>",          # whitelisted, see _ESTIMATOR_MODULES
+      "n_clusters": int,
+      "dtype": "float32" | "float64" | null,
+      "kernel": {"name": str, "params": {...}} | null,
+      "fit": {"n_iter": int|null, "objective": float|null,
+              "converged": bool|null, "backend": str|null},
+      "arrays": [<npz keys present>, ...]
+    }
+
+Loading rejects non-artifacts, unknown estimator names, and any
+``schema_version`` other than the current one with a clear
+:class:`~repro.errors.ConfigError` — never a bare traceback.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import zipfile
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..kernels import Kernel, kernel_by_name
+
+__all__ = [
+    "MODEL_FORMAT",
+    "MODEL_SCHEMA_VERSION",
+    "save_model",
+    "load_model",
+    "inspect_model",
+]
+
+MODEL_FORMAT = "repro-serve-model"
+MODEL_SCHEMA_VERSION = 1
+
+#: estimator classes an artifact may name, and where they live
+_ESTIMATOR_MODULES: Dict[str, str] = {
+    "PopcornKernelKMeans": "repro.core",
+    "OnTheFlyKernelKMeans": "repro.core",
+    "WeightedPopcornKernelKMeans": "repro.core",
+    "BaselineCUDAKernelKMeans": "repro.baselines",
+    "PRMLTKernelKMeans": "repro.baselines",
+    "LloydKMeans": "repro.baselines",
+    "ElkanKMeans": "repro.baselines",
+    "NystromKernelKMeans": "repro.approx",
+    "DistributedPopcornKernelKMeans": "repro.distributed",
+    "SpectralKernelKMeans": "repro.graph",
+}
+
+#: npz key -> estimator attribute; every key is optional except
+#: ``labels``/``c_norms`` (the engine predict contract's minimum).
+#: ``centers_`` is not stored separately: for the classical estimators it
+#: is the same matrix as ``support_centers`` and is re-aliased on load.
+_ARRAY_ATTRS = (
+    ("labels", "labels_"),
+    ("c_norms", "_c_norms"),
+    ("support_x", "_support_x"),
+    ("support_weights", "_support_weights"),
+    ("support_centers", "_support_centers"),
+    ("landmark_x", "_landmark_x"),
+    ("nystrom_map", "_nystrom_map"),
+    ("landmarks", "landmarks_"),
+)
+
+#: estimators whose public ``centers_`` is the persisted support_centers
+_CENTERS_ALIASED = ("LloydKMeans", "ElkanKMeans")
+
+
+def _canonical_kernel_names() -> Dict[type, str]:
+    """Reverse of the kernel name registry (first, canonical name wins)."""
+    from ..kernels import _BY_NAME
+
+    out: Dict[type, str] = {}
+    for name, cls in _BY_NAME.items():
+        out.setdefault(cls, name)
+    return out
+
+
+def _kernel_config(kernel) -> Optional[dict]:
+    if kernel is None:
+        return None
+    if not isinstance(kernel, Kernel):
+        raise ConfigError(f"cannot persist non-Kernel attribute {type(kernel).__name__}")
+    names = _canonical_kernel_names()
+    name = names.get(type(kernel))
+    if name is None:
+        raise ConfigError(
+            f"cannot persist custom kernel {type(kernel).__name__}; only kernels "
+            "registered in repro.kernels.kernel_by_name are serialisable"
+        )
+    params = {k: v for k, v in vars(kernel).items() if not k.startswith("_")}
+    return {"name": name, "params": params}
+
+
+def _kernel_from_config(cfg: Optional[dict]):
+    if cfg is None:
+        return None
+    try:
+        return kernel_by_name(cfg["name"], **cfg.get("params", {}))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"model artifact names an unloadable kernel: {exc}") from exc
+
+
+def _fit_metadata(model) -> dict:
+    objective = getattr(model, "objective_", None)
+    if objective is None:
+        objective = getattr(model, "inertia_", None)
+    n_iter = getattr(model, "n_iter_", None)
+    converged = getattr(model, "converged_", None)
+    return {
+        "n_iter": None if n_iter is None else int(n_iter),
+        "objective": None if objective is None else float(objective),
+        "converged": None if converged is None else bool(converged),
+        "backend": getattr(model, "backend_", None),
+    }
+
+
+def save_model(model, path: str) -> str:
+    """Persist a fitted estimator as a versioned ``.npz`` artifact.
+
+    Returns the path written.  The estimator must be fitted and
+    predict-capable (the engine contract's support set present); custom
+    estimator or kernel classes outside the whitelist are rejected.
+    """
+    name = type(model).__name__
+    if name not in _ESTIMATOR_MODULES:
+        known = ", ".join(sorted(_ESTIMATOR_MODULES))
+        raise ConfigError(f"cannot persist {name}; serialisable estimators: {known}")
+    if not hasattr(model, "labels_"):
+        raise ConfigError("estimator is not fitted; call fit() before save_model")
+    if getattr(model, "_c_norms", None) is None and getattr(
+        model, "_support_centers", None
+    ) is None:
+        raise ConfigError(
+            f"{name} carries no out-of-sample support set; refit with this "
+            "version of the package before saving"
+        )
+
+    arrays: Dict[str, np.ndarray] = {}
+    for key, attr in _ARRAY_ATTRS:
+        val = getattr(model, attr, None)
+        if val is not None:
+            arrays[key] = np.asarray(val)
+
+    dtype = getattr(model, "dtype", None)
+    meta = {
+        "format": MODEL_FORMAT,
+        "schema_version": MODEL_SCHEMA_VERSION,
+        "estimator": name,
+        "n_clusters": int(model.n_clusters),
+        "dtype": None if dtype is None else np.dtype(dtype).name,
+        "kernel": _kernel_config(getattr(model, "kernel", None)),
+        "fit": _fit_metadata(model),
+        "arrays": sorted(arrays),
+    }
+    header = np.frombuffer(json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8)
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "wb") as fh:
+        np.savez(fh, __meta__=header, **arrays)
+    return path
+
+
+def _read_artifact(path: str):
+    """Open an artifact; returns ``(meta dict, npz file)`` or raises ConfigError."""
+    if not os.path.exists(path):
+        raise ConfigError(f"no such model artifact: {path}")
+    try:
+        npz = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, OSError) as exc:
+        raise ConfigError(f"{path}: not a readable model artifact: {exc}") from exc
+    if "__meta__" not in npz.files:
+        npz.close()
+        raise ConfigError(f"{path}: missing metadata header; not a {MODEL_FORMAT} artifact")
+    try:
+        meta = json.loads(bytes(npz["__meta__"]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        npz.close()
+        raise ConfigError(f"{path}: corrupt metadata header: {exc}") from exc
+    if not isinstance(meta, dict) or meta.get("format") != MODEL_FORMAT:
+        npz.close()
+        raise ConfigError(f"{path}: not a {MODEL_FORMAT} artifact")
+    if meta.get("schema_version") != MODEL_SCHEMA_VERSION:
+        got = meta.get("schema_version")
+        npz.close()
+        raise ConfigError(
+            f"{path}: model schema version {got!r} is not supported by this "
+            f"package (expected {MODEL_SCHEMA_VERSION}); re-save the model"
+        )
+    return meta, npz
+
+
+def load_model(path: str):
+    """Reconstruct a fitted, predict-capable estimator from an artifact.
+
+    The estimator is rebuilt without re-running ``__init__`` (the fit
+    already validated its configuration); all arrays load bit-exactly,
+    so ``predict`` is bit-identical to the estimator that was saved.
+    """
+    meta, npz = _read_artifact(path)
+    try:
+        name = meta["estimator"]
+        module = _ESTIMATOR_MODULES.get(name)
+        if module is None:
+            known = ", ".join(sorted(_ESTIMATOR_MODULES))
+            raise ConfigError(
+                f"{path}: unknown estimator {name!r}; loadable estimators: {known}"
+            )
+        cls = getattr(importlib.import_module(module), name)
+        model = cls.__new__(cls)
+        model.n_clusters = int(meta["n_clusters"])
+        if meta.get("dtype"):
+            model.dtype = np.dtype(meta["dtype"])
+        kernel = _kernel_from_config(meta.get("kernel"))
+        if kernel is not None:
+            model.kernel = kernel
+        fit = meta.get("fit") or {}
+        if fit.get("n_iter") is not None:
+            model.n_iter_ = int(fit["n_iter"])
+        if fit.get("objective") is not None:
+            model.objective_ = float(fit["objective"])
+        if fit.get("converged") is not None:
+            model.converged_ = bool(fit["converged"])
+        if fit.get("backend") is not None:
+            model.backend_ = fit["backend"]
+        for key, attr in _ARRAY_ATTRS:
+            if key in npz.files:
+                setattr(model, attr, npz[key])
+        if name in _CENTERS_ALIASED and getattr(model, "_support_centers", None) is not None:
+            model.centers_ = model._support_centers
+        if not hasattr(model, "labels_"):
+            raise ConfigError(f"{path}: artifact carries no labels array")
+        return model
+    finally:
+        npz.close()
+
+
+def inspect_model(path: str) -> dict:
+    """Artifact metadata plus per-array shapes/dtypes (no estimator built)."""
+    meta, npz = _read_artifact(path)
+    try:
+        meta = dict(meta)
+        meta["array_info"] = {
+            key: {"shape": list(npz[key].shape), "dtype": str(npz[key].dtype)}
+            for key in npz.files
+            if key != "__meta__"
+        }
+        meta["file_bytes"] = os.path.getsize(path)
+        return meta
+    finally:
+        npz.close()

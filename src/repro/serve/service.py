@@ -1,0 +1,305 @@
+"""Batched out-of-sample prediction service (the serving hot path).
+
+:class:`PredictionService` turns a predict-capable estimator (anything
+implementing the engine contract of
+:class:`repro.engine.base.OutOfSamplePredictor`, fitted in-process or
+reloaded via :func:`repro.serve.load_model`) into a concurrent query
+server:
+
+* **micro-batching** — requests land in a queue; worker threads drain it
+  in batches of up to ``batch_size``, waiting at most ``max_delay_ms``
+  after the first queued request, so one cross-kernel SpMM amortises over
+  many queries instead of running per request;
+* **LRU kernel-row cache** — results are memoised by a digest of the
+  query row's exact bytes, so repeated queries (the heavy-traffic case)
+  skip the kernel evaluation entirely;
+* **thread-pool workers** — ``n_workers`` threads serve batches
+  concurrently (the predict pipeline is pure read-only NumPy on the
+  support set, so workers share the model safely);
+* **stats** — per-request latency percentiles, batch-size distribution,
+  cache hit rate and queries/sec via :meth:`stats`, and every served
+  batch is recorded on an Nsight-style :class:`repro.gpu.Profiler`
+  (``serve.predict_batch`` launches under the ``serve`` phase) so the
+  existing profiling tooling reads serving runs too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..gpu.launch import Launch
+from ..gpu.profiler import Profiler
+
+__all__ = ["PredictionService"]
+
+
+class _Request:
+    """One queued query row and the plumbing to answer it."""
+
+    __slots__ = ("row", "key", "future", "t_enqueue")
+
+    def __init__(self, row: np.ndarray, key: Optional[str]) -> None:
+        self.row = row
+        self.key = key
+        self.future: Future = Future()
+        self.t_enqueue = time.perf_counter()
+
+
+class PredictionService:
+    """Micro-batching prediction server over a fitted estimator.
+
+    Parameters
+    ----------
+    model:
+        A fitted estimator exposing the engine ``predict`` contract.
+    batch_size:
+        Maximum requests fused into one ``predict`` call.
+    max_delay_ms:
+        How long a worker waits for the batch to fill after the first
+        request arrives; the latency/throughput knob.
+    n_workers:
+        Worker threads serving batches concurrently.
+    cache_size:
+        LRU entries memoising label-by-query-digest (0 disables).
+    tile_rows:
+        Forwarded to ``predict`` — bounds the live cross-kernel panel
+        when single batches are large.
+    profiler:
+        Optional shared :class:`~repro.gpu.Profiler`; a fresh one is
+        created (and exposed as ``profiler_``) by default.
+
+    The service starts its workers immediately; use it as a context
+    manager (or call :meth:`close`) to drain the queue and join them.
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        batch_size: int = 32,
+        max_delay_ms: float = 2.0,
+        n_workers: int = 1,
+        cache_size: int = 1024,
+        tile_rows: Optional[int] = None,
+        profiler: Optional[Profiler] = None,
+    ) -> None:
+        if not hasattr(model, "predict"):
+            raise ConfigError("model must expose the engine predict contract")
+        if not hasattr(model, "labels_"):
+            raise ConfigError("model is not fitted; fit (or load) it before serving")
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if max_delay_ms < 0:
+            raise ConfigError("max_delay_ms must be >= 0")
+        if n_workers < 1:
+            raise ConfigError("n_workers must be >= 1")
+        if cache_size < 0:
+            raise ConfigError("cache_size must be >= 0")
+        self.model = model
+        self.batch_size = int(batch_size)
+        self.max_delay_s = float(max_delay_ms) / 1e3
+        self.n_workers = int(n_workers)
+        self.cache_size = int(cache_size)
+        self.tile_rows = tile_rows
+        self.profiler_ = profiler if profiler is not None else Profiler()
+
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._queue: deque = deque()
+        self._cache: "OrderedDict[str, int]" = OrderedDict()
+        self._closed = False
+
+        # stats (guarded by self._lock)
+        self._n_requests = 0
+        self._n_cache_hits = 0
+        self._n_batches = 0
+        self._batch_sizes: List[int] = []
+        self._latencies: List[float] = []
+        self._t_first: Optional[float] = None
+        self._t_last: Optional[float] = None
+
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"repro-serve-{i}", daemon=True)
+            for i in range(self.n_workers)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # ------------------------------------------------------------------
+    # request entry points
+    # ------------------------------------------------------------------
+    def submit(self, query) -> Future:
+        """Enqueue one query row; returns a Future resolving to its label."""
+        row = np.ascontiguousarray(np.asarray(query, dtype=np.float64))
+        if row.ndim != 1:
+            raise ConfigError(f"submit takes one 1-D query row, got shape {row.shape}")
+        key = self._digest(row) if self.cache_size else None
+        req = _Request(row, key)
+        with self._lock:
+            if self._closed:
+                raise ConfigError("service is closed")
+            self._n_requests += 1
+            if self._t_first is None:
+                self._t_first = req.t_enqueue
+            if key is not None and key in self._cache:
+                self._cache.move_to_end(key)
+                label = self._cache[key]
+                self._n_cache_hits += 1
+                now = time.perf_counter()
+                self._latencies.append(now - req.t_enqueue)
+                self._t_last = now
+                req.future.set_result(label)
+                return req.future
+            self._queue.append(req)
+            self._not_empty.notify()
+        return req.future
+
+    def predict(self, query) -> int:
+        """Blocking single-query predict through the batching queue."""
+        return int(self.submit(query).result())
+
+    def predict_many(self, queries, *, timeout: Optional[float] = None) -> np.ndarray:
+        """Enqueue a block of query rows and gather labels in order."""
+        q = np.asarray(queries, dtype=np.float64)
+        if q.ndim != 2:
+            raise ConfigError(f"predict_many takes a 2-D query block, got shape {q.shape}")
+        futures = [self.submit(row) for row in q]
+        return np.array([f.result(timeout=timeout) for f in futures], dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    # worker machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _digest(row: np.ndarray) -> str:
+        h = hashlib.sha1()
+        h.update(str(row.shape).encode())
+        h.update(row.tobytes())
+        return h.hexdigest()
+
+    def _next_batch(self) -> Optional[List[_Request]]:
+        """Block until a batch is ready; None means shut down."""
+        with self._not_empty:
+            while not self._queue and not self._closed:
+                self._not_empty.wait(0.05)
+            if not self._queue:
+                return None  # closed and drained
+            batch = [self._queue.popleft()]
+            deadline = batch[0].t_enqueue + self.max_delay_s
+            while len(batch) < self.batch_size:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or self._closed:
+                    break
+                self._not_empty.wait(remaining)
+            return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        t0 = time.perf_counter()
+        try:
+            rows = np.stack([req.row for req in batch])
+            labels = self.model.predict(rows, tile_rows=self.tile_rows)
+        except Exception as exc:
+            # a fused batch can fail on one bad request (e.g. a ragged row);
+            # retry each request alone so the error stays with its sender
+            # instead of poisoning batch-mates — and the worker survives
+            if len(batch) > 1:
+                for req in batch:
+                    self._run_batch([req])
+                return
+            with self._lock:
+                self._t_last = time.perf_counter()
+            batch[0].future.set_exception(exc)
+            return
+        t1 = time.perf_counter()
+        self.profiler_.record(
+            Launch(
+                "serve.predict_batch",
+                flops=0.0,
+                bytes=float(rows.nbytes),
+                time_s=t1 - t0,
+                phase="serve",
+                meta={"batch": len(batch)},
+            )
+        )
+        with self._lock:
+            self._n_batches += 1
+            self._batch_sizes.append(len(batch))
+            for req in batch:
+                self._latencies.append(t1 - req.t_enqueue)
+            self._t_last = t1
+            if self.cache_size:
+                for req, label in zip(batch, labels):
+                    self._cache[req.key] = int(label)
+                    self._cache.move_to_end(req.key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        for req, label in zip(batch, labels):
+            req.future.set_result(int(label))
+
+    # ------------------------------------------------------------------
+    # lifecycle + stats
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain the queue, stop the workers, and join them."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._not_empty.notify_all()
+        for w in self._workers:
+            w.join()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @staticmethod
+    def _percentile(values: Sequence[float], q: float) -> float:
+        return float(np.percentile(np.asarray(values), q)) if values else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Serving counters: latency percentiles, hit rate, queries/sec."""
+        with self._lock:
+            lat = list(self._latencies)
+            n_req = self._n_requests
+            hits = self._n_cache_hits
+            batches = self._n_batches
+            sizes = list(self._batch_sizes)
+            span = (
+                (self._t_last - self._t_first)
+                if (self._t_first is not None and self._t_last is not None)
+                else 0.0
+            )
+        served = len(lat)
+        return {
+            "requests": n_req,
+            "served": served,
+            "cache_hits": hits,
+            "cache_hit_rate": hits / n_req if n_req else 0.0,
+            "batches": batches,
+            "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
+            "latency_mean_ms": float(np.mean(lat)) * 1e3 if lat else 0.0,
+            "latency_p50_ms": self._percentile(lat, 50) * 1e3,
+            "latency_p95_ms": self._percentile(lat, 95) * 1e3,
+            "latency_max_ms": float(np.max(lat)) * 1e3 if lat else 0.0,
+            "queries_per_s": served / span if span > 0 else 0.0,
+        }

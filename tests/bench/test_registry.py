@@ -1,4 +1,4 @@
-"""Registry discoverability + quick-mode runnability of all 17 experiments."""
+"""Registry discoverability + quick-mode runnability of all 18 experiments."""
 
 import pytest
 
@@ -32,13 +32,14 @@ EXPECTED_IDS = {
     "ext_nystrom",
     "ext_spectral",
     "ext_engine_tiling",
+    "serve_throughput",
 }
 
 
 class TestDiscovery:
-    def test_all_17_experiments_registered(self):
+    def test_all_18_experiments_registered(self):
         assert set(experiment_ids()) == EXPECTED_IDS
-        assert len(experiment_ids()) == 17
+        assert len(experiment_ids()) == 18
 
     def test_paper_order(self):
         ids = experiment_ids()

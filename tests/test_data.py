@@ -233,3 +233,29 @@ class TestLoadDispatch:
     def test_missing_file(self):
         with pytest.raises(DatasetError, match="no such"):
             load_dataset("/nonexistent/file.csv")
+
+    def test_dataset_error_is_config_error(self):
+        """Dataset failures surface as ConfigError, never a bare traceback."""
+        from repro.errors import ConfigError
+
+        assert issubclass(DatasetError, ConfigError)
+        with pytest.raises(ConfigError, match="no such"):
+            load_dataset("/nonexistent/file.csv")
+
+    def test_directory_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="directory"):
+            load_dataset(str(tmp_path))
+
+    def test_corrupt_binary_libsvm(self, tmp_path):
+        path = str(tmp_path / "corrupt.libsvm")
+        with open(path, "wb") as fh:
+            fh.write(bytes([0xFF, 0xFE, 0x00, 0x9D]) * 16)
+        with pytest.raises(DatasetError, match="corrupt.libsvm"):
+            load_dataset(path)
+
+    def test_corrupt_binary_csv(self, tmp_path):
+        path = str(tmp_path / "corrupt.csv")
+        with open(path, "wb") as fh:
+            fh.write(bytes([0xFF, 0xFE, 0x00, 0x9D]) * 16)
+        with pytest.raises(DatasetError, match="corrupt.csv"):
+            load_dataset(path)

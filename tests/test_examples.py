@@ -19,6 +19,7 @@ EXAMPLES = [
     "performance_study.py",
     "distributed_clustering.py",
     "graph_communities.py",
+    "serve_quickstart.py",
 ]
 
 
