@@ -1,0 +1,36 @@
+"""Extension — sharded engine backend strong scaling (shim).
+
+The registry entry executes ``backend="sharded:<g>"`` through the shared
+engine for g in {1, 2, 4, 8}, pins bit-identical labels against the host
+backend, and gates the modeled makespan/comm metrics; this shim times one
+sharded fit and re-verifies the bit-exactness contract at small scale.
+"""
+
+import numpy as np
+
+from paperfig import run_registered
+from repro.baselines import random_labels
+from repro.core import PopcornKernelKMeans
+
+
+def test_ext_strong_scaling(benchmark):
+    run_registered("ext_strong_scaling")
+
+    rng = np.random.default_rng(9)
+    x = rng.standard_normal((120, 8)).astype(np.float64)
+    init = random_labels(120, 4, rng)
+
+    def run():
+        return PopcornKernelKMeans(
+            4, backend="sharded:4", dtype=np.float64, max_iter=5,
+            check_convergence=False, seed=0,
+        ).fit(x, init_labels=init)
+
+    sharded = benchmark(run)
+    host = PopcornKernelKMeans(
+        4, backend="host", dtype=np.float64, max_iter=5,
+        check_convergence=False, seed=0,
+    ).fit(x, init_labels=init)
+    assert np.array_equal(sharded.labels_, host.labels_)
+    assert len(sharded.device_profilers_) == 4
+    assert sharded.comm_profiler_.count_of("comm.allreduce") == sharded.n_iter_

@@ -9,10 +9,12 @@ Layout
     plumbing, the init -> distances -> argmin -> convergence loop,
     empty-cluster policy, fitted attributes), pluggable
     :class:`~repro.engine.Backend` substrates (``backend="host"`` for
-    NumPy/CSR, ``backend="device"`` for the simulated GPU — identical
-    numerics, selectable on every estimator), and the row-tiled distance
-    pipeline (``tile_rows=``) that streams kernel matrices larger than
-    device memory tile-by-tile instead of raising.
+    NumPy/CSR, ``backend="device"`` for the simulated GPU,
+    ``backend="sharded:<g>"`` for SPMD over ``g`` simulated devices —
+    identical numerics on all of them, selectable on every estimator),
+    and the row-tiled distance pipeline (``tile_rows=``) that streams
+    kernel matrices larger than device memory tile-by-tile instead of
+    raising.
 ``repro.core``
     The paper's contribution: :class:`PopcornKernelKMeans` and the
     SpMM/SpMV distance pipeline (each estimator is a distance-step

@@ -80,12 +80,14 @@ class NystromKernelKMeans(BaseKernelKMeans):
     ``n_landmarks`` grows (tested on the circles dataset).
 
     The embedding + Lloyd pipeline is host-side linear algebra — this is
-    the *approximation that avoids the kernel matrix entirely*, so only
-    ``backend="host"`` (the ``"auto"`` default) applies.
+    the *approximation that avoids the kernel matrix entirely*, so the
+    simulated-GPU ``"device"`` backend does not apply.  ``"sharded[:<g>]"``
+    row-partitions the embedded Lloyd refinement across ``g`` simulated
+    devices (identical labels; modeled multi-device profile).
     """
 
     _default_backend = "host"
-    _supported_backends = ("host",)
+    _supported_backends = ("host", "sharded")
 
     def __init__(
         self,
@@ -122,9 +124,12 @@ class NystromKernelKMeans(BaseKernelKMeans):
         and the lowest-inertia run wins — restarts are cheap in the
         embedded space (O(n m k) per iteration vs O(n^2) exact).
         """
+        from ..distributed.sharding import check_shard_count
+
         xm = as_matrix(x, dtype=np.float64, name="x")
         rng = self._rng()
         n = xm.shape[0]
+        check_shard_count(n, self._shard_devices())
         m = min(self.n_landmarks, n)
         # same operation sequence as nystrom_embedding, keeping the pieces
         # out-of-sample queries need (landmark points + the W^{-1/2} map)
@@ -145,7 +150,7 @@ class NystromKernelKMeans(BaseKernelKMeans):
         self.landmarks_ = landmarks
         self.inertia_ = inner.inertia_
         self.n_iter_ = inner.n_iter_
-        self.backend_ = "host"
+        self._attach_backend_profile(n, phi.shape[1], inner.n_iter_)
         self._inner = inner
         # queries embed through the same landmarks, then compare against
         # the Lloyd centers in the embedded space (engine predict contract)
@@ -153,6 +158,45 @@ class NystromKernelKMeans(BaseKernelKMeans):
         self._nystrom_map = inv_sqrt
         self._finalize_centers_support(inner.centers_)
         return self
+
+    def _shard_devices(self):
+        """Device count of the configured backend (None = single host).
+
+        Accepts the same forms the base class does: a backend name
+        (``"auto"``/``"host"``/``"sharded[:<g>]"``) or a pre-configured
+        :class:`~repro.engine.backends.Backend` instance.
+        """
+        from ..distributed.sharding import parse_shard_backend
+        from ..engine.backends import Backend
+
+        if isinstance(self.backend, Backend):
+            return getattr(self.backend, "n_devices", None)
+        return parse_shard_backend(self.backend, type(self).__name__)
+
+    def _attach_backend_profile(self, n: int, r: int, n_iter: int) -> None:
+        """Sharded mode: row-partition the embedded Lloyd refinement.
+
+        Labels never change (the Lloyd assignment is row-wise); the
+        modeled profile splits the ``n x r`` dense assignment across the
+        devices with a per-iteration ``k x r`` center allreduce.
+        """
+        from ..distributed.sharding import attach_shard_profile, dense_assign_launch
+
+        g = self._shard_devices()
+        if g is None:
+            self.backend_ = "host"
+            return
+        attach_shard_profile(
+            self,
+            n=n,
+            g=g,
+            launches=[dense_assign_launch(n, self.n_clusters, r, n_iter + 1)],
+            n_iter=n_iter,
+            allreduce_bytes=8.0 * self.n_clusters * r,
+            allgather_bytes=4.0 * n,
+            setup_allgather_bytes=8.0 * n * r,
+        )
+        self.backend_ = f"sharded:{g}"
 
     def _query_features(self, xm: np.ndarray) -> np.ndarray:
         """Nyström-embed raw queries: ``kappa(q, landmarks) @ W^{-1/2}``."""

@@ -42,14 +42,19 @@ class PRMLTKernelKMeans(OutOfSamplePredictor):
         *,
         kernel: Kernel | str = None,
         cpu: CPUSpec = EPYC_7763,
+        backend: str = "auto",
         max_iter: int = DEFAULT_CONFIG.max_iter,
         tol: float = DEFAULT_CONFIG.tol,
         check_convergence: bool = True,
         seed: int | None = None,
     ) -> None:
+        from ..distributed.sharding import parse_shard_backend
+
         if n_clusters < 1:
             raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
         self.n_clusters = int(n_clusters)
+        self.backend = backend
+        self._shard_devices = parse_shard_backend(backend, type(self).__name__)
         if kernel is None:
             kernel = PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
         elif isinstance(kernel, str):
@@ -92,6 +97,9 @@ class PRMLTKernelKMeans(OutOfSamplePredictor):
         k = self.n_clusters
         if k > n:
             raise ConfigError(f"n_clusters={k} exceeds number of points n={n}")
+        from ..distributed.sharding import check_shard_count
+
+        check_shard_count(n, self._shard_devices)
 
         from .init import random_labels
 
@@ -121,6 +129,26 @@ class PRMLTKernelKMeans(OutOfSamplePredictor):
         self.converged_ = tracker.converged
         self.convergence_reason_ = tracker.reason
         self.timings_ = prof.phase_times()
+        if self._shard_devices is None:
+            self.backend_ = "host"
+        else:
+            # sharded mode (a multi-socket PRMLT): identical numerics; the
+            # modeled CPU profile splits row-proportionally across sockets
+            # with per-iteration norm allreduce + label allgather
+            from ..distributed.sharding import attach_shard_profile
+
+            g = self._shard_devices
+            attach_shard_profile(
+                self,
+                n=n,
+                g=g,
+                launches=prof.launches,
+                n_iter=n_iter,
+                allreduce_bytes=8.0 * k,
+                allgather_bytes=4.0 * n,
+                setup_allgather_bytes=8.0 * n * (xm.shape[1] if xm is not None else n),
+            )
+            self.backend_ = f"sharded:{g}"
         return self
 
     def fit_predict(self, x: Optional[np.ndarray] = None, **kwargs) -> np.ndarray:

@@ -48,27 +48,35 @@ class LloydKMeans(OutOfSamplePredictor):
         n_clusters: int,
         *,
         init: str = "k-means++",
+        backend: str = "auto",
         max_iter: int = 300,
         tol: float = 1e-6,
         seed: int | None = None,
     ) -> None:
+        from ..distributed.sharding import parse_shard_backend
+
         if n_clusters < 1:
             raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
         if init not in ("random", "k-means++"):
             raise ConfigError(f"init must be 'random' or 'k-means++', got {init!r}")
         self.n_clusters = int(n_clusters)
         self.init = init
+        self.backend = backend
+        self._shard_devices = parse_shard_backend(backend, type(self).__name__)
         self.max_iter = int(max_iter)
         self.tol = float(tol)
         self.seed = seed
 
     def fit(self, x: np.ndarray, *, init_labels: Optional[np.ndarray] = None) -> "LloydKMeans":
         """Run Lloyd's alternation until the centroid shift drops below tol."""
+        from ..distributed.sharding import check_shard_count
+
         xm = as_matrix(x, dtype=np.float64, name="x")
         n, d = xm.shape
         k = self.n_clusters
         if k > n:
             raise ConfigError(f"n_clusters={k} exceeds number of points n={n}")
+        check_shard_count(n, self._shard_devices)
         rng = np.random.default_rng(DEFAULT_CONFIG.seed if self.seed is None else self.seed)
 
         if init_labels is not None:
@@ -104,7 +112,34 @@ class LloydKMeans(OutOfSamplePredictor):
         self.objective_history_ = history
         self.n_iter_ = n_iter
         self._finalize_centers_support(centers)
+        self._attach_backend_profile(n, d, k, n_iter)
         return self
+
+    def _attach_backend_profile(self, n: int, d: int, k: int, n_iter: int) -> None:
+        """Sharded mode: same labels, plus a modeled g-device profile.
+
+        Data-parallel Lloyd row-partitions the points; each device assigns
+        its block against replicated centroids, and one allreduce of the
+        ``k x d`` partial center sums per iteration (plus the label
+        allgather) completes the update — numerics are untouched.
+        """
+        g = self._shard_devices
+        if g is None:
+            self.backend_ = "host"
+            return
+        from ..distributed.sharding import attach_shard_profile, dense_assign_launch
+
+        attach_shard_profile(
+            self,
+            n=n,
+            g=g,
+            launches=[dense_assign_launch(n, k, d, n_iter + 1)],
+            n_iter=n_iter,
+            allreduce_bytes=8.0 * k * d,
+            allgather_bytes=4.0 * n,
+            setup_allgather_bytes=8.0 * n * d,
+        )
+        self.backend_ = f"sharded:{g}"
 
     def fit_predict(self, x: np.ndarray, **kwargs) -> np.ndarray:
         """Fit and return the final labels."""

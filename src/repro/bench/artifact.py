@@ -35,7 +35,8 @@ Schema (version 1)
 Metric names follow a ``<kind>.<name>`` convention that encodes the
 regression direction:
 
-* ``time.*`` and ``error.*`` — lower is better (a rise is a regression);
+* ``time.*``, ``error.*`` and ``comm.*`` — lower is better (a rise is a
+  regression);
 * ``throughput.*`` and ``quality.*`` — higher is better (a drop is a
   regression).
 
@@ -71,6 +72,7 @@ SCHEMA_VERSION = 1
 _KIND_LOWER_IS_BETTER = {
     "time": True,
     "error": True,
+    "comm": True,
     "throughput": False,
     "quality": False,
 }

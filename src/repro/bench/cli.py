@@ -57,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "host", "device"),
+        choices=("auto", "host", "device", "sharded"),
         help="backend forwarded to the executed probes",
     )
     run_p.add_argument(
@@ -119,6 +119,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--only-changed",
         action="store_true",
         help="print only regressed/improved metrics",
+    )
+    cmp_p.add_argument(
+        "--metrics",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="gate only metrics starting with PREFIX (repeatable; comma lists "
+        "accepted; e.g. --metrics time.,throughput.,comm.)",
+    )
+    cmp_p.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="never gate metrics starting with PREFIX (repeatable; wins over "
+        "--metrics; e.g. --exclude time.probe for machine-dependent probe "
+        "wall-times)",
     )
     return p
 
@@ -188,10 +205,25 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _split_prefixes(chunks) -> Optional[tuple]:
+    if not chunks:
+        return None
+    out = []
+    for chunk in chunks:
+        out.extend(x.strip() for x in chunk.split(",") if x.strip())
+    return tuple(out) or None
+
+
 def _cmd_compare(args) -> int:
     old = load_artifact(args.old)
     new = load_artifact(args.new)
-    cmp = compare_artifacts(old, new, threshold=args.threshold)
+    cmp = compare_artifacts(
+        old,
+        new,
+        threshold=args.threshold,
+        include=_split_prefixes(args.metrics),
+        exclude=_split_prefixes(args.exclude) or (),
+    )
     print(format_comparison(cmp, only_changed=args.only_changed))
     return 0 if cmp.ok else 1
 

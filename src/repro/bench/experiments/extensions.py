@@ -367,6 +367,118 @@ def check_ext_engine_tiling(result: ExperimentResult) -> None:
     assert ratios[-1] < 80.0
 
 
+# --- engine-executed sharded strong scaling ---------------------------------
+
+STRONG_SCALING_WORKLOAD = (6000, 32, 12)  # n, d, k — executed, host-exact
+STRONG_SCALING_GPUS = (1, 2, 4, 8)
+STRONG_SCALING_ITERS = 6
+STRONG_SCALING_PAPER = (200000, 780, 100)  # the modeled paper-scale curve
+
+
+def run_ext_strong_scaling(cfg: RunConfig) -> ExperimentResult:
+    """Strong scaling of the engine's sharded backend, fit for fit.
+
+    Unlike ``ext_distributed`` (the paper-scale analytical model), this
+    experiment *executes* ``backend="sharded:<g>"`` through the shared
+    engine and reads the modeled makespan off the fitted estimator — so
+    the gate tracks the code path every estimator actually runs.  All
+    metrics are deterministic (modeled launches + ring collectives), and
+    the check pins bit-identical labels against ``backend="host"``.
+
+    At the host-executable n=6000 the curve shows the calibrated
+    small-shard utilization cliff (the Fig. 4 SCOTUS anomaly): shards
+    under ~7200 rows cannot saturate the device, so g=2 can cost *more*
+    than g=1 while g=8 still wins end to end.  The paper-scale speedup
+    metric comes from :func:`~repro.distributed.model_distributed_popcorn`
+    — the same cost functions at n=200k, where every shard stays wide.
+    """
+    from ... import PopcornKernelKMeans
+    from ...baselines import random_labels
+
+    n, d, k = STRONG_SCALING_WORKLOAD
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((n, d)).astype(np.float64)
+    init = random_labels(n, k, rng)
+
+    def fit(backend: str) -> "PopcornKernelKMeans":
+        return PopcornKernelKMeans(
+            k,
+            backend=backend,
+            dtype=np.float64,
+            max_iter=STRONG_SCALING_ITERS,
+            check_convergence=False,
+            seed=0,
+        ).fit(x, init_labels=init)
+
+    host = fit("host")
+    gpu_counts = STRONG_SCALING_GPUS if not cfg.quick else (1, 8)
+    rows = []
+    makespans = {}
+    comms = {}
+    matches = {}
+    for g in gpu_counts:
+        est = fit(f"sharded:{g}")
+        makespans[g] = est.makespan_s_
+        comms[g] = est.comm_profiler_.total_time()
+        matches[g] = bool(np.array_equal(est.labels_, host.labels_))
+        speedup = makespans[gpu_counts[0]] / est.makespan_s_
+        rows.append(
+            (
+                g,
+                f"{est.makespan_s_ * 1e3:.3f}",
+                f"{comms[g] * 1e6:.1f}",
+                f"{speedup:.2f}x",
+                f"{est.parallel_efficiency_ * 100:.0f}%",
+                "yes" if matches[g] else "NO",
+            )
+        )
+    np_, dp, kp = STRONG_SCALING_PAPER
+    paper = {g: model_distributed_popcorn(np_, dp, kp, g) for g in STRONG_SCALING_GPUS}
+    for g in STRONG_SCALING_GPUS:
+        rows.append(
+            (
+                f"paper-scale {g}",
+                f"{paper[g]['makespan_s'] * 1e3:.1f}",
+                f"{paper[g]['comm_s'] * 1e6:.1f}",
+                f"{paper[g]['speedup_vs_1gpu']:.2f}x",
+                f"{paper[g]['efficiency'] * 100:.0f}%",
+                "modeled",
+            )
+        )
+    g_hi = gpu_counts[-1]
+    return ExperimentResult(
+        headers=("gpus", "makespan_ms", "comm_us", "speedup", "efficiency", "labels=host"),
+        rows=tuple(rows),
+        aux={"makespans": makespans, "comms": comms, "matches": matches, "paper": paper},
+        metrics={
+            "time.sharded_g1_makespan_s": makespans[1],
+            "time.sharded_g8_makespan_s": makespans[g_hi],
+            "throughput.sharded_g8_speedup": makespans[1] / makespans[g_hi],
+            "throughput.paper_scale_g8_speedup": paper[8]["speedup_vs_1gpu"],
+            "comm.sharded_g8_comm_s": comms[g_hi],
+            "comm.paper_scale_g8_comm_s": paper[8]["comm_s"],
+        },
+    )
+
+
+def check_ext_strong_scaling(result: ExperimentResult) -> None:
+    makespans = result.aux["makespans"]
+    comms = result.aux["comms"]
+    paper = result.aux["paper"]
+    # the acceptance contract: sharded labels are bit-identical to host
+    assert all(result.aux["matches"].values())
+    # end-to-end strong scaling holds at the executed size...
+    assert makespans[8] < makespans[1]
+    # ...and monotonically at paper scale, where every shard stays wide
+    for a, b in zip(STRONG_SCALING_GPUS, STRONG_SCALING_GPUS[1:]):
+        assert paper[b]["makespan_s"] < paper[a]["makespan_s"]
+    # communication is the price: it grows with the device count
+    order = sorted(comms)
+    assert all(comms[a] <= comms[b] for a, b in zip(order, order[1:]))
+    assert result.metrics["throughput.sharded_g8_speedup"] > 1.2
+    assert result.metrics["throughput.paper_scale_g8_speedup"] > 4.0
+
+
 # --- probes ----------------------------------------------------------------
 
 
@@ -379,6 +491,23 @@ def distributed_probe(cfg: RunConfig):
         )
 
     def fit(est: DistributedPopcornKernelKMeans) -> DistributedPopcornKernelKMeans:
+        return est.fit(x)
+
+    return factory, fit
+
+
+def strong_scaling_probe(cfg: RunConfig):
+    from ... import PopcornKernelKMeans
+
+    x = np.random.default_rng(9).standard_normal((120, 8)).astype(np.float64)
+
+    def factory(seed: int) -> "PopcornKernelKMeans":
+        return PopcornKernelKMeans(
+            4, backend="sharded:4", dtype=np.float64, max_iter=5,
+            check_convergence=False, seed=seed,
+        )
+
+    def fit(est: "PopcornKernelKMeans") -> "PopcornKernelKMeans":
         return est.fit(x)
 
     return factory, fit
@@ -483,6 +612,19 @@ register_experiment(
         check=check_ext_spectral,
         probe=spectral_probe,
         tags=("spectral", "graph"),
+    )
+)
+register_experiment(
+    ExperimentSpec(
+        exp_id="ext_strong_scaling",
+        title="sharded engine backend strong scaling (executed, modeled makespan)",
+        group="extension",
+        run=run_ext_strong_scaling,
+        k_values=(12,),
+        backends=("host", "sharded"),
+        check=check_ext_strong_scaling,
+        probe=strong_scaling_probe,
+        tags=("distributed", "scaling", "engine", "sharded"),
     )
 )
 register_experiment(

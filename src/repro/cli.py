@@ -17,8 +17,9 @@ Mirrors the flag set documented in the paper's Appendix A.4::
     -o STR      write clustering results to a file
 
 plus reproduction-specific extras (``--device``, ``--backend``,
-``--tile-rows``, ``--gram-method``, ``--breakdown``).  Prints modeled
-timings, since the GPU is simulated.
+``--devices`` for the sharded multi-device mode, ``--tile-rows``,
+``--gram-method``, ``--breakdown``).  Prints modeled timings, since the
+GPU is simulated.
 
 The benchmark and serving subsystems ship their own console scripts,
 ``repro-bench`` and ``repro-serve`` (re-exported here as
@@ -91,8 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         default="auto",
-        choices=("auto", "host", "device"),
-        help="execution backend: simulated GPU (device) or NumPy/CSR (host)",
+        choices=("auto", "host", "device", "sharded"),
+        help="execution backend: simulated GPU (device), NumPy/CSR (host), "
+        "or SPMD over simulated devices (sharded; see --devices)",
+    )
+    p.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        metavar="G",
+        help="run on G simulated devices (implies --backend sharded; "
+        "the row-partitioned SPMD mode with modeled collectives)",
     )
     p.add_argument(
         "--tile-rows",
@@ -140,7 +150,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rows = []
     labels = None
     last = None
-    on_device = args.backend in ("auto", "device")
+    backend = args.backend
+    if args.devices is not None:
+        if args.devices < 1:
+            print("gpukmeans: --devices must be >= 1", file=sys.stderr)
+            return 2
+        if backend not in ("auto", "sharded"):
+            print(
+                f"gpukmeans: --devices conflicts with --backend {backend}", file=sys.stderr
+            )
+            return 2
+        backend = f"sharded:{args.devices}"
+    sharded = backend.startswith("sharded")
+    on_device = not sharded and backend in ("auto", "device")
     if args.tile_rows is not None and args.impl != 2:
         print("note: --tile-rows only applies to the Popcorn implementation (-l 2)",
               file=sys.stderr)
@@ -152,7 +174,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.k,
                 kernel=kern,
                 device=device,
-                backend=args.backend,
+                backend=backend,
                 tile_rows=args.tile_rows,
                 gram_method=args.gram_method,
                 max_iter=args.max_iter,
@@ -169,7 +191,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.k,
                 kernel=kern,
                 device=device,
-                backend=args.backend,
+                backend=backend,
                 max_iter=args.max_iter,
                 tol=args.tol,
                 check_convergence=bool(args.check_convergence),
@@ -192,11 +214,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     impl = "Popcorn" if args.impl == 2 else "baseline CUDA"
-    where = f"device={spec.name}" if on_device else "backend=host"
+    if sharded:
+        where = f"backend={last.backend_} ({last.n_devices_} simulated devices)"
+    elif on_device:
+        where = f"device={spec.name}"
+    else:
+        where = "backend=host"
     print(f"{impl} kernel k-means | n={n} d={d} k={args.k} kernel={args.kernel} "
           f"{where}")
     if args.impl == 2:
         print(f"gram method: {last.gram_method_}")
+    if sharded:
+        print(
+            f"modeled makespan: {fmt_seconds(last.makespan_s_)} "
+            f"(comm {fmt_seconds(last.comm_profiler_.total_time())}, "
+            f"parallel efficiency {last.parallel_efficiency_ * 100:.0f}%)"
+        )
     print(
         format_table(
             ["run", "iters", "objective", "K time", "distances", "argmin+update", "total"],
@@ -204,7 +237,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     )
     if args.breakdown:
-        kind = "modeled" if on_device else "measured wall-clock"
+        kind = "modeled" if (on_device or sharded) else "measured wall-clock"
         print(f"\nper-operation summary ({kind}):")
         summary = last.profiler_.summary()
         print(

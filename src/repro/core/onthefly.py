@@ -68,16 +68,21 @@ class OnTheFlyKernelKMeans(OutOfSamplePredictor):
         kernel: Kernel | str = None,
         block_rows: int = 4096,
         spec: DeviceSpec = A100_80GB,
+        backend: str = "auto",
         max_iter: int = DEFAULT_CONFIG.max_iter,
         tol: float = DEFAULT_CONFIG.tol,
         check_convergence: bool = True,
         seed: int | None = None,
         dtype=np.float64,
     ) -> None:
+        from ..distributed.sharding import parse_shard_backend
+
         if n_clusters < 1:
             raise ConfigError("n_clusters must be >= 1")
         if block_rows < 1:
             raise ConfigError("block_rows must be >= 1")
+        self.backend = backend
+        self._shard_devices = parse_shard_backend(backend, type(self).__name__)
         self.n_clusters = int(n_clusters)
         if kernel is None:
             kernel = PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
@@ -98,11 +103,14 @@ class OnTheFlyKernelKMeans(OutOfSamplePredictor):
         self, x: np.ndarray, *, init_labels: Optional[np.ndarray] = None
     ) -> "OnTheFlyKernelKMeans":
         """Run blocked Kernel K-means without materialising K."""
+        from ..distributed.sharding import check_shard_count
+
         xm = as_matrix(x, dtype=self.dtype, name="x")
         n, d = xm.shape
         k = self.n_clusters
         if k > n:
             raise ConfigError(f"n_clusters={k} exceeds n={n}")
+        check_shard_count(n, self._shard_devices)
         b = min(self.block_rows, n)
         prof = Profiler()
         self.profiler_ = prof
@@ -181,6 +189,26 @@ class OnTheFlyKernelKMeans(OutOfSamplePredictor):
         self.timings_ = prof.phase_times()
         self.peak_panel_bytes_ = 4 * b * n
         self._finalize_blocked_support(xm, gram_diag, labels, blocks)
+        if self._shard_devices is None:
+            self.backend_ = "host"
+        else:
+            # sharded mode: each device recomputes the kernel panels of its
+            # own row block (same numerics), with the per-iteration partial
+            # centroid-norm allreduce + label allgather of the SPMD pattern
+            from ..distributed.sharding import attach_shard_profile
+
+            g = self._shard_devices
+            attach_shard_profile(
+                self,
+                n=n,
+                g=g,
+                launches=prof.launches,
+                n_iter=n_iter,
+                allreduce_bytes=8.0 * k,
+                allgather_bytes=4.0 * n,
+                setup_allgather_bytes=4.0 * n * d,
+            )
+            self.backend_ = f"sharded:{g}"
         return self
 
     def _finalize_blocked_support(self, xm, gram_diag, labels, blocks) -> None:

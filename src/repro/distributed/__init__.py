@@ -1,8 +1,27 @@
-"""Distributed Kernel K-means extension (paper Sec. 7 future work)."""
+"""Distributed Kernel K-means extension (paper Sec. 7 future work).
+
+The execution side lives in the engine
+(:class:`repro.engine.sharded.ShardedBackend`, ``backend="sharded:<g>"``
+on every estimator); this package owns the building blocks it rides on —
+the 1-D row partition, the ring-collective cost model, the rectangular
+row-panel launch builders — plus the
+:class:`DistributedPopcornKernelKMeans` convenience wrapper, the
+paper-scale analytical model, and the sharding shims the standalone
+estimators use.
+"""
 
 from .comm import INFINIBAND, NVLINK, CommSpec, allgather_cost, allreduce_cost
+from .costs import (
+    rect_baseline_assemble_cost,
+    rect_baseline_norms_cost,
+    rect_baseline_reduce_cost,
+    rect_gemm_cost,
+    rect_spmm_cost,
+    rect_transform_cost,
+)
 from .dist_popcorn import DistributedPopcornKernelKMeans, model_distributed_popcorn
 from .partition import block_of, row_blocks
+from .sharding import attach_shard_profile, parse_shard_backend
 
 __all__ = [
     "CommSpec",
@@ -12,6 +31,14 @@ __all__ = [
     "allreduce_cost",
     "row_blocks",
     "block_of",
+    "rect_gemm_cost",
+    "rect_transform_cost",
+    "rect_spmm_cost",
+    "rect_baseline_reduce_cost",
+    "rect_baseline_norms_cost",
+    "rect_baseline_assemble_cost",
+    "attach_shard_profile",
+    "parse_shard_backend",
     "DistributedPopcornKernelKMeans",
     "model_distributed_popcorn",
 ]

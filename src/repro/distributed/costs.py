@@ -1,0 +1,110 @@
+"""Rectangular row-panel cost helpers for multi-device execution.
+
+A device that owns a contiguous row block of the kernel matrix executes
+*rectangular* panels of the square single-device operators: a
+``rows x n`` GEMM for its slice of ``K``, a ``rows x n`` elementwise
+kernel transform, the SpMM slice ``E_p = -2 K_p V^T``, and row-panel
+versions of the Sec. 5.3 baseline kernels.  These launch builders are
+shared by the engine's :class:`~repro.engine.sharded.ShardedBackend`
+(which records them per simulated device) and the paper-scale analytical
+model :func:`~repro.distributed.dist_popcorn.model_distributed_popcorn`
+(which sums them without touching data) — so the executed and analytical
+strong-scaling curves cannot drift.
+"""
+
+from __future__ import annotations
+
+from ..gpu import cost
+from ..gpu.launch import Launch
+from ..gpu.spec import DeviceSpec
+
+__all__ = [
+    "rect_gemm_cost",
+    "rect_transform_cost",
+    "rect_spmm_cost",
+    "rect_baseline_reduce_cost",
+    "rect_baseline_norms_cost",
+    "rect_baseline_assemble_cost",
+]
+
+
+def rect_gemm_cost(spec: DeviceSpec, rows: int, n: int, d: int) -> Launch:
+    """One ``rows x n`` panel of the kernel-matrix GEMM (``P_p P^T``)."""
+    from ..gpu import calibration as cal
+
+    flops = 2.0 * rows * n * d
+    bytes_ = 4.0 * (rows * d + n * d + rows * n)
+    t = cost.roofline_time(
+        spec,
+        flops,
+        bytes_,
+        eff_compute=cal.gemm_compute_efficiency(n, d),
+        eff_memory=0.85,
+        lib_call=True,
+    )
+    return Launch("cublas.gemm_block", flops, bytes_, t, meta={"rows": rows, "n": n})
+
+
+def rect_transform_cost(spec: DeviceSpec, rows: int, n: int, flops_per_entry: float) -> Launch:
+    """Elementwise kernel transform over one ``rows x n`` panel."""
+    flops = flops_per_entry * rows * n
+    bytes_ = 4.0 * 2.0 * rows * n
+    t = cost.roofline_time(spec, flops, bytes_, eff_compute=0.5, eff_memory=0.85)
+    return Launch("thrust.transform_block", flops, bytes_, t, meta={"rows": rows})
+
+
+def rect_spmm_cost(spec: DeviceSpec, rows: int, n: int, k: int) -> Launch:
+    """The local SpMM slice ``E_p = -2 K_p V^T`` (``rows x n`` by CSR V^T)."""
+    from ..gpu import calibration as cal
+
+    flops = 2.0 * rows * n
+    bytes_ = 4.0 * (cal.SPMM_TRAFFIC_FACTOR * rows * n + rows * k + rows) + 4.0 * (2.0 * n + k)
+    t = cost.roofline_time(
+        spec, flops, bytes_, eff_memory=cal.spmm_mem_efficiency(k, rows), lib_call=True
+    )
+    return Launch("cusparse.spmm_block", flops, bytes_, t, meta={"rows": rows, "n": n})
+
+
+def rect_baseline_reduce_cost(spec: DeviceSpec, rows: int, n: int, k: int) -> Launch:
+    """Row panel of baseline kernel 1 (shared-memory cluster reduction).
+
+    The per-row reduction still scans all ``n`` columns, so a device that
+    owns ``rows`` rows retires ``2 rows n`` useful FLOPs with the same
+    shared-buffer serialisation as the square kernel.
+    """
+    from ..gpu import calibration as cal
+
+    flops = 2.0 * rows * n
+    counted = flops * cal.baseline_counted_redundancy(k)
+    bytes_ = 4.0 * (rows * n + rows * k + rows)
+    t = cost.roofline_time(
+        spec,
+        flops,
+        bytes_,
+        eff_memory=cal.baseline_mem_efficiency(n),
+        serialization=cal.baseline_reduction_serialization(k),
+    )
+    return Launch(
+        "baseline.k1_cluster_reduce_block",
+        flops,
+        bytes_,
+        t,
+        counted_flops=counted,
+        meta={"rows": rows, "n": n, "k": k},
+    )
+
+
+def rect_baseline_norms_cost(spec: DeviceSpec, rows: int, k: int) -> Launch:
+    """Row panel of baseline kernel 2: partial centroid-norm gathers."""
+    flops = 2.0 * rows
+    bytes_ = 4.0 * (2.0 * rows + k)
+    t = cost.roofline_time(spec, flops, bytes_, eff_memory=0.15)
+    return Launch("baseline.k2_centroid_norms_block", flops, bytes_, t, meta={"rows": rows})
+
+
+def rect_baseline_assemble_cost(spec: DeviceSpec, rows: int, k: int) -> Launch:
+    """Row panel of baseline kernel 3: local distance assembly."""
+    flops = 2.0 * rows * k
+    bytes_ = 4.0 * (2.0 * rows * k + rows + k)
+    t = cost.roofline_time(spec, flops, bytes_, eff_memory=0.6)
+    return Launch("baseline.k3_distance_assemble_block", flops, bytes_, t, meta={"rows": rows})

@@ -1,17 +1,15 @@
 """Distributed Popcorn: multi-GPU Kernel K-means (paper Sec. 7 future work).
 
 SPMD over ``g`` simulated devices with a 1-D row partition of the kernel
-matrix:
-
-* **Kernel matrix** — the points are allgathered once, then every device
-  computes its own row block ``K_p = P_p P^T`` (a rectangular GEMM) and
-  applies the kernel elementwise.
-* **Each iteration** — labels are replicated, so every device builds the
-  same (tiny) V, runs the SpMM on its row block to get its slice of
-  ``E = -2 K V^T``, gathers its local z entries and computes *partial*
-  centroid-norm sums, which one allreduce of ``k`` floats completes.
-  Distances, argmin and the objective partial are local; new labels are
-  exchanged with an allgather of ``n`` int32.
+matrix.  Since the sharded engine backend
+(:class:`repro.engine.sharded.ShardedBackend`) was promoted into the
+shared engine, this estimator is a thin convenience wrapper: it is
+exactly :class:`~repro.core.PopcornKernelKMeans` pinned to
+``backend="sharded:<n_devices>"`` with a configurable per-device spec and
+interconnect — the duplicated SPMD iteration loop earlier revisions
+carried here is gone, and every engine feature (precomputed kernel
+matrices, ``init_labels``, the empty-cluster policy, out-of-sample
+``predict`` / ``predict_batch``, model persistence) works unchanged.
 
 Numerics are exact: the distributed run produces the same assignment
 sequence as single-device Popcorn from the same initial labels (tested).
@@ -22,37 +20,26 @@ bench.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 import numpy as np
 
-from .._typing import as_matrix, check_labels
 from ..config import DEFAULT_CONFIG
-from ..core.assignment import ConvergenceTracker
-from ..engine.base import BaseKernelKMeans
-from ..errors import ConfigError, ShapeError
-from ..gpu import cost
-from ..gpu.profiler import Profiler
+from ..core.popcorn import PopcornKernelKMeans
+from ..errors import ConfigError
 from ..gpu.spec import A100_80GB, DeviceSpec
 from ..kernels import Kernel
-from ..sparse import spmm
-from ..core.selection import build_selection
-from ..baselines.init import random_labels
 from .comm import NVLINK, CommSpec, allgather_cost, allreduce_cost
-from .partition import row_blocks
+from .costs import rect_gemm_cost, rect_spmm_cost, rect_transform_cost
 
 __all__ = ["DistributedPopcornKernelKMeans", "model_distributed_popcorn"]
 
 
-class DistributedPopcornKernelKMeans(BaseKernelKMeans):
+class DistributedPopcornKernelKMeans(PopcornKernelKMeans):
     """Multi-GPU Popcorn with exact numerics and modeled makespan.
 
-    An SPMD specialisation of the engine's estimator family: the fit
-    scaffolding comes from :class:`~repro.engine.BaseKernelKMeans`, but
-    the loop runs over ``g`` per-device row blocks with its own modeled
-    profilers, so only the ``host`` execution substrate applies
-    (``backend="device"`` is rejected — the SPMD path models its devices
-    itself).
+    A :class:`~repro.core.PopcornKernelKMeans` whose ``"auto"`` backend
+    resolves to a :class:`~repro.engine.sharded.ShardedBackend` over
+    ``n_devices`` simulated devices (``spec``) connected by ``comm``;
+    ``backend="host"`` runs the identical numerics single-device.
 
     Attributes (after ``fit``)
     --------------------------
@@ -61,15 +48,15 @@ class DistributedPopcornKernelKMeans(BaseKernelKMeans):
     makespan_s_ : modeled wall-clock (max device clock + comm clock).
     device_profilers_ : one launch log per simulated device.
     comm_profiler_ : the collective-communication log.
-    parallel_efficiency_ : single-device modeled time / (g * makespan).
+    parallel_efficiency_ : aggregate device work / (g * makespan).
     timings_ : per-phase *aggregate device-seconds summed over all g
-        devices* — unlike the single-device estimators, this is total
-        device work, not wall-clock; compare against ``makespan_s_`` for
-        elapsed time.
+        devices* plus the ``comm`` phase — unlike the single-device
+        estimators, this is total device work, not wall-clock; compare
+        against ``makespan_s_`` for elapsed time.
     """
 
-    _default_backend = "host"
-    _supported_backends = ("host",)
+    _default_backend = "sharded"
+    _supported_backends = ("host", "sharded")
 
     def __init__(
         self,
@@ -86,8 +73,11 @@ class DistributedPopcornKernelKMeans(BaseKernelKMeans):
         seed: int | None = None,
         dtype=np.float32,
     ) -> None:
+        if n_devices < 1:
+            raise ConfigError("n_devices must be >= 1")
         super().__init__(
             n_clusters,
+            kernel=kernel,
             backend=backend,
             max_iter=max_iter,
             tol=tol,
@@ -95,199 +85,40 @@ class DistributedPopcornKernelKMeans(BaseKernelKMeans):
             seed=seed,
             dtype=dtype,
         )
-        if n_devices < 1:
-            raise ConfigError("n_devices must be >= 1")
         self.n_devices = int(n_devices)
-        self.kernel = self._resolve_kernel(kernel)
         self.spec = spec
         self.comm = comm
+        self._sharded_backend = None
 
-    def fit(
-        self, x: np.ndarray, *, init_labels: Optional[np.ndarray] = None
-    ) -> "DistributedPopcornKernelKMeans":
-        """Run SPMD Kernel K-means across the simulated devices."""
-        xm = as_matrix(x, dtype=self.dtype, name="x")
-        n, d = xm.shape
-        k = self.n_clusters
-        g = self.n_devices
-        if k > n:
-            raise ConfigError(f"n_clusters={k} exceeds n={n}")
-        if g > n:
-            raise ConfigError(f"n_devices={g} exceeds n={n}")
-        if not self.kernel.gram_expressible:
-            raise ShapeError("distributed path needs a Gram-expressible kernel")
+    def _resolve_backend(self):
+        """Sharded resolution honours this estimator's spec and comm.
 
-        rng = self._rng()
-        blocks = row_blocks(n, g)
-        profs: List[Profiler] = [Profiler() for _ in range(g)]
-        comm_prof = Profiler()
-
-        # ---- replicate points, build local K row blocks -----------------
-        comm_prof.record(allgather_cost(self.comm, g, 4.0 * n * d))
-        k_blocks: List[np.ndarray] = []
-        diag_full = np.empty(n, dtype=self.dtype)
-        for p, (lo, hi) in enumerate(blocks):
-            rows = hi - lo
-            with profs[p].phase("kernel_matrix"):
-                b_blk = xm[lo:hi] @ xm.T  # rectangular GEMM rows x n
-                profs[p].record(_rect_gemm_cost(self.spec, rows, n, d))
-                if self.kernel.needs_diag():
-                    gram_diag = np.einsum("ij,ij->i", xm, xm).astype(self.dtype)
-                    k_blk = self.kernel._from_cross_gram(
-                        b_blk, gram_diag[lo:hi], gram_diag
-                    )
-                else:
-                    k_blk = self.kernel.from_gram(b_blk)
-                profs[p].record(_rect_transform_cost(self.spec, rows, n, self.kernel.flops_per_entry))
-            k_blocks.append(np.ascontiguousarray(k_blk))
-            diag_full[lo:hi] = np.diagonal(k_blk, offset=lo)
-
-        if init_labels is not None:
-            labels = check_labels(init_labels, n, k).copy()
-        else:
-            labels = random_labels(n, k, rng)
-
-        tracker = ConvergenceTracker(tol=self.tol, check=self.check_convergence)
-        n_iter = 0
-        for _ in range(self.max_iter):
-            v = build_selection(labels, k, dtype=self.dtype)
-            partial_norm = np.zeros(k, dtype=np.float64)
-            new_labels = np.empty(n, dtype=np.int32)
-            obj_partial = 0.0
-            for p, (lo, hi) in enumerate(blocks):
-                rows = hi - lo
-                prof = profs[p]
-                with prof.phase("argmin_update"):
-                    prof.record(cost.vbuild_cost(self.spec, n, k))
-                with prof.phase("distances"):
-                    # local SpMM slice: E_p = -2 (V K_p^T)^T = -2 K_p V^T
-                    e_p = np.ascontiguousarray(
-                        spmm(v, np.ascontiguousarray(k_blocks[p].T), alpha=-2.0).T
-                    )
-                    prof.record(_rect_spmm_cost(self.spec, rows, n, k))
-                    z_p = e_p[np.arange(rows), labels[lo:hi]]
-                    prof.record(cost.zgather_cost(self.spec, rows, k))
-                # partial centroid-norm sums over this device's columns:
-                # norms_j = -0.5 * sum_{i in block, label_i = j} V_{j,i} z_i
-                counts = np.bincount(labels, minlength=k).astype(np.float64)
-                inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1), 0.0)
-                partial = np.bincount(
-                    labels[lo:hi], weights=z_p.astype(np.float64), minlength=k
-                )
-                partial_norm += -0.5 * partial * inv
-                with profs[p].phase("distances"):
-                    profs[p].record(cost.spmv_cost(self.spec, rows, k))
-                # local distances + argmin
-                d_p = e_p
-                d_p += diag_full[lo:hi, None]
-                with profs[p].phase("distances"):
-                    profs[p].record(cost.dadd_cost(self.spec, rows, k))
-                k_blocks_assign = d_p  # renamed for clarity below
-                # C~ needs the *global* norms; stash the pre-norm slice
-                if p == 0:
-                    d_slices = []
-                d_slices.append(k_blocks_assign)
-
-            # one allreduce completes the centroid norms across devices
-            comm_prof.record(allreduce_cost(self.comm, g, 4.0 * k))
-            c_norms = partial_norm.astype(self.dtype)
-
-            for p, (lo, hi) in enumerate(blocks):
-                d_p = d_slices[p]
-                d_p += c_norms[None, :]
-                with profs[p].phase("argmin_update"):
-                    lab_p = np.argmin(d_p, axis=1).astype(np.int32)
-                    profs[p].record(cost.argmin_cost(self.spec, hi - lo, k))
-                new_labels[lo:hi] = lab_p
-                obj_partial += float(
-                    d_p[np.arange(hi - lo), lab_p].sum(dtype=np.float64)
-                )
-
-            # exchange assignments for the next iteration's V
-            comm_prof.record(allgather_cost(self.comm, g, 4.0 * n))
-            labels = new_labels
-            n_iter += 1
-            if tracker.update(labels, obj_partial):
-                break
-
-        # out-of-sample support: final-label centroid norms via the
-        # z-gather SpMV over the row blocks — never a concatenated K
-        self._finalize_blocked_support(k_blocks, blocks, labels, xm)
-
-        self.labels_ = labels
-        self.n_iter_ = n_iter
-        self.objective_history_ = list(tracker.objectives)
-        self.objective_ = tracker.objectives[-1]
-        self.converged_ = tracker.converged
-        self.convergence_reason_ = tracker.reason
-        self.backend_ = "host"
-        self.device_profilers_ = profs
-        self.comm_profiler_ = comm_prof
-        # aggregate device-seconds over all g profilers (see class docstring)
-        self.timings_ = {}
-        for pr in profs:
-            for phase, t in pr.phase_times().items():
-                self.timings_[phase] = self.timings_.get(phase, 0.0) + t
-        self.makespan_s_ = max(pr.total_time() for pr in profs) + comm_prof.total_time()
-        single = sum(pr.total_time() for pr in profs)
-        self.parallel_efficiency_ = single / (g * self.makespan_s_) if self.makespan_s_ else 1.0
-        return self
-
-    def _finalize_blocked_support(self, k_blocks, blocks, labels, xm) -> None:
-        """Per-block out-of-sample support: ``C~ = V z`` with
-        ``z_i = (K_p V^T)_{i, lab_i}`` gathered one row block at a time,
-        so peak memory stays one ``rows x n`` block (the SPMD invariant).
+        ``"auto"``/``"sharded"`` use ``n_devices``; an explicit
+        ``"sharded:<g>"`` overrides the device count but still runs on the
+        configured per-device spec and interconnect (the registry default
+        would silently swap in NVLink/A100).
         """
-        from ..sparse import spmv
+        backend = self.backend
+        sharded = backend == "auto" or (
+            isinstance(backend, str) and backend.partition(":")[0] == "sharded"
+        )
+        if not sharded:
+            return super()._resolve_backend()
+        from ..engine.sharded import ShardedBackend
 
-        n = labels.shape[0]
-        k = self.n_clusters
-        v = build_selection(labels, k, dtype=np.float64)
-        z = np.empty(n, dtype=np.float64)
-        for p, (lo, hi) in enumerate(blocks):
-            blk = k_blocks[p].astype(np.float64)
-            t_blk = spmm(v, np.ascontiguousarray(blk.T)).T  # (rows, k)
-            z[lo:hi] = t_blk[np.arange(hi - lo), labels[lo:hi]]
-        self._c_norms = spmv(v, np.ascontiguousarray(z))
-        self._support_x = xm
-        self._support_weights = None
-        self._support_centers = None
-        self._support_v = v
+        g = self.n_devices
+        if isinstance(backend, str) and ":" in backend:
+            from .sharding import parse_device_count
+
+            g = parse_device_count(backend.partition(":")[2])
+        if self._sharded_backend is None or self._sharded_backend.n_devices != g:
+            self._sharded_backend = ShardedBackend(g, spec=self.spec, comm=self.comm)
+        return self._sharded_backend
 
 
 # ----------------------------------------------------------------------
-# rectangular-block cost helpers (row panels of the square operators)
+# paper-scale analytical model
 # ----------------------------------------------------------------------
-
-def _rect_gemm_cost(spec: DeviceSpec, rows: int, n: int, d: int):
-    from ..gpu import calibration as cal
-
-    flops = 2.0 * rows * n * d
-    bytes_ = 4.0 * (rows * d + n * d + rows * n)
-    t = cost.roofline_time(
-        spec, flops, bytes_, eff_compute=cal.gemm_compute_efficiency(n, d),
-        eff_memory=0.85, lib_call=True,
-    )
-    return cost.Launch("cublas.gemm_block", flops, bytes_, t, meta={"rows": rows, "n": n})
-
-
-def _rect_transform_cost(spec: DeviceSpec, rows: int, n: int, fpe: float):
-    flops = fpe * rows * n
-    bytes_ = 4.0 * 2.0 * rows * n
-    t = cost.roofline_time(spec, flops, bytes_, eff_compute=0.5, eff_memory=0.85)
-    return cost.Launch("thrust.transform_block", flops, bytes_, t, meta={"rows": rows})
-
-
-def _rect_spmm_cost(spec: DeviceSpec, rows: int, n: int, k: int):
-    from ..gpu import calibration as cal
-
-    flops = 2.0 * rows * n
-    bytes_ = 4.0 * (cal.SPMM_TRAFFIC_FACTOR * rows * n + rows * k + rows) + 4.0 * (2.0 * n + k)
-    t = cost.roofline_time(
-        spec, flops, bytes_, eff_memory=cal.spmm_mem_efficiency(k, rows), lib_call=True
-    )
-    return cost.Launch("cusparse.spmm_block", flops, bytes_, t, meta={"rows": rows, "n": n})
-
 
 def model_distributed_popcorn(
     n: int,
@@ -302,18 +133,22 @@ def model_distributed_popcorn(
 ) -> dict:
     """Analytical makespan of the distributed run at paper scale.
 
-    Returns {'makespan_s', 'compute_s', 'comm_s', 'speedup_vs_1gpu',
-    'efficiency'} using balanced blocks (rows = ceil(n/g)).
+    Sums the same :mod:`repro.distributed.costs` launch builders the
+    sharded engine backend records, over balanced blocks
+    (rows = ceil(n/g)).  Returns {'makespan_s', 'compute_s', 'comm_s',
+    'speedup_vs_1gpu', 'efficiency'}.
     """
+    from ..gpu import cost
+
     if min(n, d, k, g, iters) < 1:
         raise ConfigError("all parameters must be positive")
     rows = (n + g - 1) // g
     per_dev = 0.0
-    per_dev += _rect_gemm_cost(spec, rows, n, d).time_s
-    per_dev += _rect_transform_cost(spec, rows, n, kernel_flops_per_entry).time_s
+    per_dev += rect_gemm_cost(spec, rows, n, d).time_s
+    per_dev += rect_transform_cost(spec, rows, n, kernel_flops_per_entry).time_s
     per_iter = (
         cost.vbuild_cost(spec, n, k).time_s
-        + _rect_spmm_cost(spec, rows, n, k).time_s
+        + rect_spmm_cost(spec, rows, n, k).time_s
         + cost.zgather_cost(spec, rows, k).time_s
         + cost.spmv_cost(spec, rows, k).time_s
         + cost.dadd_cost(spec, rows, k).time_s

@@ -37,10 +37,22 @@ def row_blocks(n: int, g: int) -> List[Tuple[int, int]]:
 
 
 def block_of(n: int, g: int, row: int) -> int:
-    """Owning device of a global row index."""
+    """Owning device of a global row index, in O(1).
+
+    The partition of :func:`row_blocks` gives the first ``n % g`` devices
+    ``base + 1`` rows and the rest ``base`` rows, so the owner follows
+    arithmetically: rows below the split ``(n % g) * (base + 1)`` belong
+    to the wide blocks, the remainder divides evenly into the narrow ones
+    (agrees with a scan of :func:`row_blocks` for every row — tested).
+    """
+    if n < 1 or g < 1:
+        raise ConfigError(f"n and g must be positive, got n={n}, g={g}")
+    if g > n:
+        raise ConfigError(f"more devices ({g}) than rows ({n})")
     if not (0 <= row < n):
         raise ConfigError(f"row {row} out of range for n={n}")
-    for p, (lo, hi) in enumerate(row_blocks(n, g)):
-        if lo <= row < hi:
-            return p
-    raise AssertionError("unreachable")  # pragma: no cover
+    base, extra = divmod(n, g)
+    split = extra * (base + 1)
+    if row < split:
+        return row // (base + 1)
+    return extra + (row - split) // base

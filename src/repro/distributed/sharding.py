@@ -1,0 +1,183 @@
+"""Sharding support for estimators outside the engine fit loop.
+
+The engine estimators get multi-device execution from
+:class:`repro.engine.sharded.ShardedBackend`; the four standalone
+estimators (Lloyd, Elkan, on-the-fly, PRMLT) own their fit loops, so they
+share this module instead:
+
+* :func:`parse_shard_backend` — the ``backend="host" | "sharded[:<g>]"``
+  contract (``"auto"`` = host, the estimator's native single-node run);
+* :func:`attach_shard_profile` — split a single-node launch profile
+  row-proportionally across ``g`` simulated devices, add the per-iteration
+  ring collectives, and attach the same fitted attributes the engine's
+  sharded backend exposes (``device_profilers_``, ``comm_profiler_``,
+  ``makespan_s_``, ``parallel_efficiency_``, ``n_devices_``).
+
+Numerics never change: sharding a standalone estimator re-labels *where*
+the modeled work runs, so ``backend="sharded:<g>"`` is bit-identical to
+``backend="host"`` by construction (property-tested with the rest of the
+family).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..errors import ConfigError
+from ..gpu.launch import Launch
+from ..gpu.profiler import Profiler
+from ..gpu.spec import CPUSpec, EPYC_7763
+from .comm import CommSpec, NVLINK, allgather_cost, allreduce_cost
+from .partition import row_blocks
+
+__all__ = [
+    "parse_device_count",
+    "parse_shard_backend",
+    "check_shard_count",
+    "attach_shard_profile",
+    "dense_assign_launch",
+    "pruned_assign_launch",
+]
+
+
+def parse_device_count(arg: str) -> int:
+    """The ``<g>`` of a ``"sharded:<g>"`` backend name (shared parser —
+    :meth:`repro.engine.sharded.ShardedBackend.configure` uses it too)."""
+    try:
+        g = int(arg)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"the sharded backend parameter is a device count, got {arg!r} "
+            "(use e.g. backend='sharded:4')"
+        ) from None
+    if g < 1:
+        raise ConfigError(f"device count must be >= 1, got {g}")
+    return g
+
+
+def parse_shard_backend(backend: str, estimator: str) -> Optional[int]:
+    """Device count of a standalone estimator's ``backend`` parameter.
+
+    Returns None for the native single-node run (``"auto"`` / ``"host"``)
+    and the device count ``g`` for ``"sharded"`` / ``"sharded:<g>"``;
+    anything else is a :class:`~repro.errors.ConfigError`.
+    """
+    if backend in ("auto", "host"):
+        return None
+    if backend == "sharded":
+        from ..engine.sharded import DEFAULT_SHARD_DEVICES
+
+        return DEFAULT_SHARD_DEVICES
+    if isinstance(backend, str) and backend.startswith("sharded:"):
+        return parse_device_count(backend.partition(":")[2])
+    raise ConfigError(
+        f"backend must be one of ('auto', 'host', 'sharded', 'sharded:<g>') "
+        f"for {estimator}, got {backend!r}"
+    )
+
+
+def check_shard_count(n: int, g: Optional[int]) -> None:
+    """Fail fast (before any fit work) when ``g`` shards cannot tile ``n``
+    rows; a no-op for the single-node run (``g`` is None)."""
+    if g is not None and g > n:
+        raise ConfigError(f"more devices ({g}) than rows ({n})")
+
+
+def _scaled(launch: Launch, frac: float, dev: int) -> Launch:
+    """The row-proportional share of one launch owned by device ``dev``."""
+    return Launch(
+        name=launch.name,
+        flops=launch.flops * frac,
+        bytes=launch.bytes * frac,
+        time_s=launch.time_s * frac,
+        counted_flops=launch.counted_flops * frac,
+        phase=launch.phase,
+        meta={**launch.meta, "dev": dev},
+    )
+
+
+def attach_shard_profile(
+    est,
+    *,
+    n: int,
+    g: int,
+    launches: Iterable[Launch],
+    n_iter: int,
+    comm: Optional[CommSpec] = None,
+    allreduce_bytes: float = 0.0,
+    allgather_bytes: float = 0.0,
+    setup_allgather_bytes: float = 0.0,
+) -> None:
+    """Attach a modeled ``g``-device profile to a fitted estimator.
+
+    ``launches`` is the estimator's single-node launch log (modeled or
+    synthesized); each device receives the row-proportional share of every
+    launch — the 1-D partition of :func:`~repro.distributed.partition.row_blocks`
+    applied to the whole pipeline.  The communication log charges one
+    optional setup allgather plus per-iteration ring collectives
+    (``allreduce_bytes`` for the reduction the algorithm replicates,
+    ``allgather_bytes`` for the label exchange).
+    """
+    comm = comm if comm is not None else NVLINK
+    blocks = row_blocks(n, g)
+    profs = [Profiler() for _ in range(g)]
+    src = list(launches)
+    for p, (lo, hi) in enumerate(blocks):
+        frac = (hi - lo) / n
+        for la in src:
+            profs[p].record(_scaled(la, frac, p))
+    comm_prof = Profiler()
+    if setup_allgather_bytes:
+        comm_prof.record(allgather_cost(comm, g, setup_allgather_bytes).with_phase("comm"))
+    for _ in range(n_iter):
+        if allreduce_bytes:
+            comm_prof.record(allreduce_cost(comm, g, allreduce_bytes).with_phase("comm"))
+        if allgather_bytes:
+            comm_prof.record(allgather_cost(comm, g, allgather_bytes).with_phase("comm"))
+    dev_totals = [pr.total_time() for pr in profs]
+    comm_s = comm_prof.total_time()
+    est.device_profilers_ = profs
+    est.comm_profiler_ = comm_prof
+    est.n_devices_ = g
+    est.makespan_s_ = max(dev_totals, default=0.0) + comm_s
+    work = sum(dev_totals)
+    est.parallel_efficiency_ = (
+        work / (g * est.makespan_s_) if est.makespan_s_ else 1.0
+    )
+
+
+def dense_assign_launch(
+    n: int, k: int, d: int, n_passes: int, *, cpu: CPUSpec = EPYC_7763
+) -> Launch:
+    """Synthesized cost of ``n_passes`` dense point-to-centroid passes.
+
+    Lloyd's distance step is a dense ``n x d`` by ``d x k`` GEMM plus the
+    norm assembly — BLAS-rate work on the modeled CPU (the classical
+    baselines have no device path to profile, so sharding synthesizes
+    this single launch and splits it row-proportionally).
+    """
+    flops = n_passes * (2.0 * n * k * d + 3.0 * n * k)
+    bytes_ = n_passes * 8.0 * (n * d + k * d + n * k)
+    t = max(flops / (cpu.dense_gflops * 1e9), bytes_ / (cpu.mem_bw_gbps * 1e9))
+    return Launch(
+        "cpu.dense_assign", flops, bytes_, t, phase="distances",
+        meta={"n": n, "k": k, "d": d, "passes": n_passes},
+    )
+
+
+def pruned_assign_launch(
+    evaluated: int, d: int, *, cpu: CPUSpec = EPYC_7763
+) -> Launch:
+    """Synthesized cost of Elkan's triangle-inequality-pruned distances.
+
+    Charges only the ``evaluated`` point-centroid distances the fit
+    actually computed, so the sharded profile inherits the pruning (an
+    Elkan shard is cheaper than a Lloyd shard on the same data).
+    """
+    flops = 3.0 * d * evaluated
+    bytes_ = 8.0 * (2.0 * d + 1.0) * evaluated
+    t = max(flops / (cpu.scalar_gflops * 1e9), bytes_ / (cpu.mem_bw_gbps * 1e9))
+    return Launch(
+        "cpu.elkan_pruned_assign", flops, bytes_, t, phase="distances",
+        meta={"evaluated": evaluated, "d": d},
+    )

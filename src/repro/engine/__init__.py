@@ -8,8 +8,10 @@ runs on this subsystem:
   (validation, device plumbing, the init -> distances -> argmin ->
   convergence loop, empty-cluster policy, fitted attributes);
 * :class:`~repro.engine.backends.Backend` is the pluggable execution
-  substrate — ``host`` (NumPy/CSR) and ``device`` (simulated GPU) ship
-  registered, selected via ``backend=`` on every estimator;
+  substrate — ``host`` (NumPy/CSR), ``device`` (simulated GPU) and
+  ``sharded`` / ``sharded:<g>`` (SPMD over ``g`` simulated devices,
+  :mod:`~repro.engine.sharded`) ship registered, selected via
+  ``backend=`` on every estimator;
 * :mod:`~repro.engine.tiling` is the row-tiled distance pipeline
   (``tile_rows=``): ``E = -2 K V^T`` in streamed row blocks, bit-for-bit
   equal to the monolithic SpMM, so kernel matrices larger than device
@@ -32,12 +34,15 @@ from .backends import (
     unregister_backend,
 )
 from .base import BaseKernelKMeans, OutOfSamplePredictor
+from .sharded import DEFAULT_SHARD_DEVICES, ShardedBackend
 from .tiling import row_tiles, tiled_popcorn_distances_host, validate_tile_rows
 
 __all__ = [
     "Backend",
     "HostBackend",
     "DeviceBackend",
+    "ShardedBackend",
+    "DEFAULT_SHARD_DEVICES",
     "EngineState",
     "DistanceStep",
     "register_backend",

@@ -80,6 +80,13 @@ class EngineState:
     p_norms: Optional[DeviceArray] = None
     p_norms_host: Optional[np.ndarray] = None
     gram_method: str = ""
+    # multi-device execution (the sharded backend): one profiler per
+    # simulated device plus a collective-communication log; ``blocks``
+    # are the per-device row ranges of the 1-D partition
+    n_devices: int = 1
+    device_profilers: Optional[list] = None
+    comm_profiler: Optional[Profiler] = None
+    blocks: Optional[list] = None
 
     def kernel_host(self) -> np.ndarray:
         """Host view of the kernel matrix (whichever backend holds it)."""
@@ -158,6 +165,24 @@ class Backend(ABC):
     def check_capacity(self, state: EngineState, n: int) -> None:
         """Fail fast when the run cannot fit; no-op off-device."""
 
+    def configure(self, arg: str) -> Optional["Backend"]:
+        """Build a parametrised instance for ``"<name>:<arg>"`` lookups.
+
+        :func:`get_backend` calls this on the registered base backend when
+        a name like ``"sharded:8"`` misses the registry; returning None
+        means the backend takes no parameter (the lookup then fails).
+        """
+        return None
+
+    def finalize_results(self, state: EngineState, estimator) -> None:
+        """Attach backend-specific fitted attributes after a fit.
+
+        Called by ``BaseKernelKMeans._set_fit_results`` once the shared
+        attributes are in place — the sharded backend uses this to expose
+        per-device profilers, the communication log and the modeled
+        makespan.
+        """
+
     # ------------------------------------------------------------------
     # kernel-matrix stage (Alg. 2 lines 1-2)
     # ------------------------------------------------------------------
@@ -201,6 +226,12 @@ class Backend(ABC):
 
 _BACKENDS: Dict[str, Backend] = {}
 
+#: instances produced by :meth:`Backend.configure` for parametric names
+#: ("sharded:8"), cached so repeated lookups return the same object —
+#: kept out of ``_BACKENDS`` so the registry proper (and
+#: :func:`available_backends`) lists only real registrations
+_CONFIGURED: Dict[str, Backend] = {}
+
 
 def register_backend(backend: Backend) -> Backend:
     """Register a backend instance under its ``name`` (last wins)."""
@@ -215,19 +246,40 @@ def unregister_backend(name: str) -> None:
 
     Mainly for tests and plugins that register temporary backends; the
     built-in ``host``/``device`` backends can be re-registered via
-    :func:`register_backend` if removed.
+    :func:`register_backend` if removed.  Configured parametric variants
+    (``"<name>:<arg>"``) are dropped with their base.
     """
     _BACKENDS.pop(name, None)
+    for key in [k for k in _CONFIGURED if k.partition(":")[0] == name]:
+        del _CONFIGURED[key]
 
 
 def get_backend(name: str) -> Backend:
-    """Look up a registered backend by name."""
+    """Look up a registered backend by name.
+
+    Parametric names of the form ``"<base>:<arg>"`` (e.g. ``"sharded:8"``)
+    resolve through the base backend's :meth:`Backend.configure` hook; the
+    configured instance is cached under the full name so repeated lookups
+    return the same object.
+    """
     try:
         return _BACKENDS[name]
     except KeyError:
-        raise ConfigError(
-            f"unknown backend {name!r}; registered backends: {', '.join(sorted(_BACKENDS))}"
-        ) from None
+        pass
+    cached = _CONFIGURED.get(name)
+    if cached is not None:
+        return cached
+    if ":" in name:
+        base_name, _, arg = name.partition(":")
+        base = _BACKENDS.get(base_name)
+        if base is not None:
+            configured = base.configure(arg)
+            if configured is not None:
+                _CONFIGURED[name] = configured
+                return configured
+    raise ConfigError(
+        f"unknown backend {name!r}; registered backends: {', '.join(sorted(_BACKENDS))}"
+    )
 
 
 def available_backends() -> Tuple[str, ...]:

@@ -8,11 +8,15 @@ of that once; a concrete estimator shrinks to its *distance-step
 strategy* (:meth:`BaseKernelKMeans._distance_step`) plus whatever input
 handling its ``fit`` needs.
 
-Backends are selected with ``backend="auto" | "host" | "device"`` on
-every estimator; ``"auto"`` resolves to the estimator's natural substrate
-(``_default_backend``).  Estimators whose algorithm has no device
-execution (e.g. the Nyström embedding path) declare a restricted
-``_supported_backends`` and reject the rest at construction time.
+Backends are selected with
+``backend="auto" | "host" | "device" | "sharded[:<g>]"`` on every
+estimator; ``"auto"`` resolves to the estimator's natural substrate
+(``_default_backend``), and parametric names like ``"sharded:8"``
+resolve through the registry's ``configure`` hook.  Estimators whose
+algorithm has no device execution (e.g. the Nyström embedding path)
+declare a restricted ``_supported_backends`` (checked by base name, so
+``"sharded"`` covers every ``"sharded:<g>"``) and reject the rest at
+construction time.
 
 Out-of-sample prediction lives here too: :class:`OutOfSamplePredictor`
 is the single implementation of ``predict`` / ``predict_batch`` every
@@ -224,19 +228,92 @@ class OutOfSamplePredictor:
         """Row tiles over the queries; an empty query block is no tiles."""
         return row_tiles(m, tile) if m else ()
 
-    def predict_batch(self, batches, *, tile_rows: Optional[int] = None) -> np.ndarray:
+    def predict_batch(
+        self,
+        batches,
+        *,
+        tile_rows: Optional[int] = None,
+        devices: Optional[int] = None,
+        profiler=None,
+    ) -> np.ndarray:
         """Predict an iterable of query blocks; returns concatenated labels.
 
         Each block goes through :meth:`predict` independently, so peak
         memory is one block's cross-kernel (further bounded by
         ``tile_rows``) — the entry point the micro-batching
         :class:`repro.serve.PredictionService` drains its queue through.
+
+        ``devices`` shards every block's rows across ``g`` simulated
+        devices (the serving face of the engine's sharded backend): each
+        shard assigns its rows independently — bit-identical to the
+        unsharded call, because assignment is row-wise — and when a
+        ``profiler`` is given, the per-shard work plus the label-allgather
+        cost are recorded (``serve.shard_predict`` / ``comm.allgather``
+        launches under the ``serve`` phase).
         """
         self._require_fitted()
-        outs = [self.predict(b, tile_rows=tile_rows) for b in batches]
+        if devices is None:
+            outs = [self.predict(b, tile_rows=tile_rows) for b in batches]
+        else:
+            g = int(devices)
+            if g < 1:
+                raise ConfigError(f"devices must be >= 1, got {devices}")
+            outs = [
+                self._predict_sharded(b, g, tile_rows=tile_rows, profiler=profiler)
+                for b in batches
+            ]
         if not outs:
             return np.empty(0, dtype=np.int32)
         return np.concatenate(outs)
+
+    def _serve_comm_spec(self):
+        """Interconnect for modeled serving collectives: the estimator's
+        own (``comm`` attribute or a sharded-backend instance's), falling
+        back to NVLink — so fit-time and serve-time comm ride one wire."""
+        from ..distributed.comm import NVLINK, CommSpec
+
+        comm = getattr(self, "comm", None)
+        if isinstance(comm, CommSpec):
+            return comm
+        backend = getattr(self, "backend", None)
+        backend_comm = getattr(backend, "comm", None)
+        if isinstance(backend_comm, CommSpec):
+            return backend_comm
+        return NVLINK
+
+    def _predict_sharded(self, batch, g: int, *, tile_rows, profiler) -> np.ndarray:
+        """One query block, row-partitioned over ``min(g, rows)`` shards."""
+        import time
+
+        from ..distributed.comm import allgather_cost
+        from ..distributed.partition import row_blocks
+        from ..gpu.launch import Launch
+
+        bm = np.asarray(batch)
+        m = bm.shape[0]
+        if m == 0:
+            return self.predict(bm, tile_rows=tile_rows)
+        shards = row_blocks(m, min(g, m))
+        out = np.empty(m, dtype=np.int32)
+        for p, (lo, hi) in enumerate(shards):
+            t0 = time.perf_counter()
+            out[lo:hi] = self.predict(bm[lo:hi], tile_rows=tile_rows)
+            if profiler is not None:
+                profiler.record(
+                    Launch(
+                        "serve.shard_predict",
+                        0.0,
+                        float(bm[lo:hi].nbytes),
+                        time.perf_counter() - t0,
+                        phase="serve",
+                        meta={"dev": p, "rows": hi - lo},
+                    )
+                )
+        if profiler is not None:
+            profiler.record(
+                allgather_cost(self._serve_comm_spec(), len(shards), 4.0 * m).with_phase("serve")
+            )
+        return out
 
 
 class BaseKernelKMeans(OutOfSamplePredictor):
@@ -248,7 +325,12 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         Number of clusters ``k``.
     backend:
         ``"auto"`` (the estimator's natural substrate), ``"host"``
-        (NumPy/CSR) or ``"device"`` (simulated GPU).
+        (NumPy/CSR), ``"device"`` (simulated GPU), ``"sharded"`` /
+        ``"sharded:<g>"`` (SPMD over ``g`` simulated devices,
+        host-bit-exact labels), or a :class:`~repro.engine.backends.Backend`
+        instance (a pre-configured substrate, e.g. a
+        :class:`~repro.engine.sharded.ShardedBackend` with a custom
+        interconnect).
     tile_rows:
         Row-tile height for the streamed distance pipeline; None runs the
         monolithic pipeline.  Only estimators that expose it accept it.
@@ -295,12 +377,10 @@ class BaseKernelKMeans(OutOfSamplePredictor):
             raise ConfigError(
                 f"empty_cluster_policy must be 'keep' or 'reseed', got {empty_cluster_policy!r}"
             )
-        if backend != "auto":
-            if self._supported_backends is not None and backend not in self._supported_backends:
-                raise ConfigError(
-                    f"backend must be one of {('auto',) + tuple(self._supported_backends)} "
-                    f"for {type(self).__name__}, got {backend!r}"
-                )
+        if isinstance(backend, Backend):
+            self._check_backend_supported(backend.name)
+        elif backend != "auto":
+            self._check_backend_supported(backend)
             get_backend(backend)  # unknown names fail fast at construction
         self.n_clusters = int(n_clusters)
         self.backend = backend
@@ -331,7 +411,24 @@ class BaseKernelKMeans(OutOfSamplePredictor):
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(DEFAULT_CONFIG.seed if self.seed is None else self.seed)
 
+    def _check_backend_supported(self, name: str) -> None:
+        """Validate a backend name against ``_supported_backends``.
+
+        Parametric names (``"sharded:<g>"``) are checked by their base
+        name, so a restricted estimator lists ``"sharded"`` once.
+        """
+        if self._supported_backends is None:
+            return
+        base = name.partition(":")[0]
+        if base not in self._supported_backends:
+            raise ConfigError(
+                f"backend must be one of {('auto',) + tuple(self._supported_backends)} "
+                f"for {type(self).__name__}, got {name!r}"
+            )
+
     def _resolve_backend(self) -> Backend:
+        if isinstance(self.backend, Backend):
+            return self.backend
         name = self._default_backend if self.backend == "auto" else self.backend
         return get_backend(name)
 
@@ -444,6 +541,7 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         self.timings_ = state.backend.timings(state)
         self.profiler_ = state.profiler
         self.backend_ = state.backend.name
+        state.backend.finalize_results(state, self)
 
     def fit_predict(self, *args, **kwargs) -> np.ndarray:
         """Fit and return the final labels."""

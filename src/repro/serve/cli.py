@@ -56,7 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("linear", "polynomial", "sigmoid", "gaussian"))
     save_p.add_argument("-s", dest="seed", type=int, default=0, help="RNG seed")
     save_p.add_argument("-m", dest="max_iter", type=int, default=30, help="max iterations")
-    save_p.add_argument("--backend", default="auto", choices=("auto", "host", "device"))
+    save_p.add_argument(
+        "--backend", default="auto", choices=("auto", "host", "device", "sharded")
+    )
+    save_p.add_argument(
+        "--devices", type=int, default=None, metavar="G",
+        help="fit on G simulated devices (implies --backend sharded)",
+    )
     save_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
     save_p.add_argument("-o", dest="output", required=True, help="artifact path (.npz)")
 
@@ -73,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     pred_p.add_argument("--workers", type=int, default=1)
     pred_p.add_argument("--cache-size", type=int, default=1024)
     pred_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    pred_p.add_argument(
+        "--devices", type=int, default=None, metavar="G",
+        help="shard each served batch across G simulated devices",
+    )
     pred_p.add_argument("--stats", action="store_true", help="print serving stats")
 
     serve_p = sub.add_parser("serve", help="stdin-JSONL serving loop")
@@ -82,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--workers", type=int, default=2)
     serve_p.add_argument("--cache-size", type=int, default=4096)
     serve_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    serve_p.add_argument(
+        "--devices", type=int, default=None, metavar="G",
+        help="shard each served batch across G simulated devices",
+    )
     return p
 
 
@@ -98,27 +112,38 @@ def _fit_model(args):
         x, _ = load_dataset(args.input)
     else:
         x, _ = make_random(args.n, args.d, rng=args.seed)
+    from ..errors import ConfigError
+
+    backend = args.backend
+    if args.devices is not None:
+        if args.devices < 1:
+            raise ConfigError(f"--devices must be >= 1, got {args.devices}")
+        if backend not in ("auto", "sharded"):
+            raise ConfigError(f"--devices conflicts with --backend {backend}")
+        backend = f"sharded:{args.devices}"
     if args.model == "popcorn":
         est = PopcornKernelKMeans(
-            args.k, kernel=args.kernel, backend=args.backend,
+            args.k, kernel=args.kernel, backend=backend,
             tile_rows=args.tile_rows, max_iter=args.max_iter, seed=args.seed,
         )
     elif args.model == "baseline":
         est = BaselineCUDAKernelKMeans(
-            args.k, kernel=args.kernel, backend=args.backend,
+            args.k, kernel=args.kernel, backend=backend,
             max_iter=args.max_iter, seed=args.seed,
         )
     elif args.model == "nystrom":
         est = NystromKernelKMeans(
-            args.k, kernel=args.kernel, max_iter=args.max_iter, seed=args.seed,
+            args.k, kernel=args.kernel, backend=backend,
+            max_iter=args.max_iter, seed=args.seed,
         )
     elif args.model == "lloyd":
-        est = LloydKMeans(args.k, max_iter=args.max_iter, seed=args.seed)
+        est = LloydKMeans(args.k, backend=backend, max_iter=args.max_iter, seed=args.seed)
     elif args.model == "elkan":
-        est = ElkanKMeans(args.k, max_iter=args.max_iter, seed=args.seed)
+        est = ElkanKMeans(args.k, backend=backend, max_iter=args.max_iter, seed=args.seed)
     else:  # onthefly
         est = OnTheFlyKernelKMeans(
-            args.k, kernel=args.kernel, max_iter=args.max_iter, seed=args.seed,
+            args.k, kernel=args.kernel, backend=backend,
+            max_iter=args.max_iter, seed=args.seed,
         )
     return est.fit(x), x.shape
 
@@ -181,6 +206,7 @@ def _cmd_predict(args) -> int:
         n_workers=args.workers,
         cache_size=args.cache_size,
         tile_rows=args.tile_rows,
+        devices=args.devices,
     ) as svc:
         labels = svc.predict_many(queries)
         stats = svc.stats()
@@ -221,6 +247,7 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         n_workers=args.workers,
         cache_size=args.cache_size,
         tile_rows=args.tile_rows,
+        devices=args.devices,
     ) as svc:
         pending = []
         for lineno, line in enumerate(stdin, 1):

@@ -72,6 +72,12 @@ class PredictionService:
     tile_rows:
         Forwarded to ``predict`` — bounds the live cross-kernel panel
         when single batches are large.
+    devices:
+        Shard every served batch's rows across this many simulated
+        devices (``predict_batch(devices=...)``, the serving face of the
+        engine's sharded backend); labels are bit-identical to unsharded
+        serving, and the per-shard + allgather launches are recorded on
+        the service profiler.  None serves unsharded.
     profiler:
         Optional shared :class:`~repro.gpu.Profiler`; a fresh one is
         created (and exposed as ``profiler_``) by default.
@@ -89,6 +95,7 @@ class PredictionService:
         n_workers: int = 1,
         cache_size: int = 1024,
         tile_rows: Optional[int] = None,
+        devices: Optional[int] = None,
         profiler: Optional[Profiler] = None,
     ) -> None:
         if not hasattr(model, "predict"):
@@ -103,12 +110,15 @@ class PredictionService:
             raise ConfigError("n_workers must be >= 1")
         if cache_size < 0:
             raise ConfigError("cache_size must be >= 0")
+        if devices is not None and devices < 1:
+            raise ConfigError("devices must be >= 1")
         self.model = model
         self.batch_size = int(batch_size)
         self.max_delay_s = float(max_delay_ms) / 1e3
         self.n_workers = int(n_workers)
         self.cache_size = int(cache_size)
         self.tile_rows = tile_rows
+        self.devices = None if devices is None else int(devices)
         self.profiler_ = profiler if profiler is not None else Profiler()
 
         self._lock = threading.Lock()
@@ -214,7 +224,15 @@ class PredictionService:
         t0 = time.perf_counter()
         try:
             rows = np.stack([req.row for req in batch])
-            labels = self.model.predict(rows, tile_rows=self.tile_rows)
+            if self.devices is not None:
+                labels = self.model.predict_batch(
+                    [rows],
+                    tile_rows=self.tile_rows,
+                    devices=self.devices,
+                    profiler=self.profiler_,
+                )
+            else:
+                labels = self.model.predict(rows, tile_rows=self.tile_rows)
         except Exception as exc:
             # a fused batch can fail on one bad request (e.g. a ragged row);
             # retry each request alone so the error stays with its sender

@@ -118,3 +118,43 @@ class TestFormatting:
         a = make_artifact({"time.x": 1.0})
         report = format_comparison(compare_artifacts(a, a, threshold=0.2))
         assert "no regressions" in report
+
+
+class TestMetricFilters:
+    """The CI split: deterministic metrics block, probe wall-times warn."""
+
+    def test_exclude_prefix_drops_probe_regression(self):
+        old = make_artifact({"time.model_s": 1.0}, probe_mean=1.0)
+        new = make_artifact({"time.model_s": 1.0}, probe_mean=10.0)
+        assert not compare_artifacts(old, new, threshold=0.2).ok
+        assert compare_artifacts(old, new, threshold=0.2, exclude=("time.probe",)).ok
+
+    def test_exclude_does_not_mask_modeled_time(self):
+        old = make_artifact({"time.model_s": 1.0}, probe_mean=1.0)
+        new = make_artifact({"time.model_s": 2.0}, probe_mean=1.0)
+        cmp = compare_artifacts(old, new, threshold=0.2, exclude=("time.probe",))
+        assert not cmp.ok
+        assert cmp.regressions[0].metric == "time.model_s"
+
+    def test_include_prefixes_select_only_matches(self):
+        old = make_artifact({"time.x": 1.0, "quality.ari": 1.0})
+        new = make_artifact({"time.x": 9.0, "quality.ari": 1.0})
+        cmp = compare_artifacts(old, new, threshold=0.2, include=("quality.",))
+        assert cmp.ok
+        assert all(d.metric.startswith("quality.") for d in cmp.deltas)
+
+    def test_exclude_wins_over_include(self):
+        old = make_artifact({"time.probe_total_mean_s_like": 1.0, "time.x": 1.0})
+        new = make_artifact({"time.probe_total_mean_s_like": 9.0, "time.x": 1.0})
+        cmp = compare_artifacts(
+            old, new, threshold=0.2, include=("time.",), exclude=("time.probe",)
+        )
+        assert cmp.ok
+
+    def test_comm_kind_is_lower_is_better(self):
+        from repro.bench.artifact import metric_lower_is_better
+
+        assert metric_lower_is_better("comm.sharded_g8_comm_s")
+        old = make_artifact({"comm.s": 1.0})
+        assert not compare_artifacts(old, make_artifact({"comm.s": 2.0})).ok
+        assert compare_artifacts(old, make_artifact({"comm.s": 0.1})).ok

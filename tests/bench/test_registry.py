@@ -1,4 +1,4 @@
-"""Registry discoverability + quick-mode runnability of all 18 experiments."""
+"""Registry discoverability + quick-mode runnability of all 19 experiments."""
 
 import pytest
 
@@ -31,15 +31,16 @@ EXPECTED_IDS = {
     "ext_memory_wall",
     "ext_nystrom",
     "ext_spectral",
+    "ext_strong_scaling",
     "ext_engine_tiling",
     "serve_throughput",
 }
 
 
 class TestDiscovery:
-    def test_all_18_experiments_registered(self):
+    def test_all_19_experiments_registered(self):
         assert set(experiment_ids()) == EXPECTED_IDS
-        assert len(experiment_ids()) == 18
+        assert len(experiment_ids()) == 19
 
     def test_paper_order(self):
         ids = experiment_ids()

@@ -1,0 +1,65 @@
+"""Property tests for the 1-D row partition the sharded backend rides on."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.distributed import block_of, row_blocks
+from repro.errors import ConfigError
+
+ng = st.integers(min_value=1, max_value=600).flatmap(
+    lambda n: st.tuples(st.just(n), st.integers(min_value=1, max_value=n))
+)
+
+
+class TestRowBlocksProperties:
+    @given(ng)
+    def test_blocks_cover_without_overlap(self, ng_pair):
+        """The blocks tile [0, n) exactly: contiguous, disjoint, complete."""
+        n, g = ng_pair
+        blocks = row_blocks(n, g)
+        assert len(blocks) == g
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == n
+        for (lo_a, hi_a), (lo_b, hi_b) in zip(blocks, blocks[1:]):
+            assert hi_a == lo_b  # contiguous => no overlap, no gap
+            assert lo_a < hi_a
+
+    @given(ng)
+    def test_balanced_within_one_row(self, ng_pair):
+        n, g = ng_pair
+        sizes = [hi - lo for lo, hi in row_blocks(n, g)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n
+
+    @given(ng)
+    def test_wide_blocks_first(self, ng_pair):
+        """The n % g wide blocks lead — the layout block_of assumes."""
+        n, g = ng_pair
+        sizes = [hi - lo for lo, hi in row_blocks(n, g)]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestBlockOfProperties:
+    @given(ng.flatmap(lambda p: st.tuples(st.just(p), st.integers(0, p[0] - 1))))
+    def test_matches_scan(self, args):
+        """The O(1) arithmetic owner equals a scan of the blocks."""
+        (n, g), row = args
+        blocks = row_blocks(n, g)
+        scan = next(p for p, (lo, hi) in enumerate(blocks) if lo <= row < hi)
+        assert block_of(n, g, row) == scan
+
+    def test_large_n_is_cheap(self):
+        """No block list is materialised: huge n resolves instantly."""
+        n = 10**12
+        assert block_of(n, 7, 0) == 0
+        assert block_of(n, 7, n - 1) == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            block_of(10, 3, 10)
+        with pytest.raises(ConfigError):
+            block_of(10, 3, -1)
+        with pytest.raises(ConfigError):
+            block_of(3, 5, 0)  # more devices than rows
+        with pytest.raises(ConfigError):
+            block_of(0, 1, 0)

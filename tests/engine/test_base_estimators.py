@@ -69,7 +69,7 @@ class TestInheritedBehaviour:
             DistributedPopcornKernelKMeans(k, n_devices=2, seed=0, max_iter=3)
             .fit(x)
             .backend_
-            == "host"
+            == "sharded:2"
         )
 
     def test_distributed_reports_timings(self, blobs):
