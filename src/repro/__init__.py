@@ -34,10 +34,25 @@ Layout
 ``repro.distributed`` / ``repro.approx``
     Extensions: multi-GPU Popcorn (the paper's future work) and Nyström
     approximate Kernel K-means.
+``repro.estimators`` / ``repro.params``
+    The uniform estimator API: every estimator registers under a string
+    key (``make_estimator("popcorn", n_clusters=8)``,
+    ``available_estimators()``) and implements the introspectable params
+    protocol (``get_params`` / ``set_params`` / ``clone`` with nested
+    ``kernel__gamma`` access, :class:`~repro.params.ParamSpec`-driven
+    validation, ``NotFittedError`` guards) — persistence, the CLIs, the
+    bench specs, and model selection all construct estimators through
+    the registry.
+``repro.select``
+    Model selection on top of that contract:
+    :class:`~repro.select.GridSearchKernelKMeans` /
+    :func:`~repro.select.cross_validate` clone candidate estimators, fan
+    fits out process-parallel, and score with :mod:`repro.eval`.
 ``repro.serve``
     The inference half of the system: versioned, schema-checked model
-    artifacts (``save_model`` / ``load_model``, bit-exact round trips)
-    and :class:`~repro.serve.PredictionService` — a micro-batching,
+    artifacts (``save_model`` / ``load_model``, bit-exact round trips;
+    headers store the registry name plus ``get_params()``) and
+    :class:`~repro.serve.PredictionService` — a micro-batching,
     LRU-cached, thread-pooled out-of-sample prediction server driven by
     the ``repro-serve`` console script.
 ``repro.bench``
@@ -51,16 +66,29 @@ Layout
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import PopcornKernelKMeans
+>>> from repro import make_estimator
 >>> from repro.data import make_circles
 >>> x, y = make_circles(600, rng=0)
->>> model = PopcornKernelKMeans(2, kernel="gaussian", seed=0).fit(x)
+>>> model = make_estimator("popcorn", n_clusters=2, kernel="gaussian", seed=0).fit(x)
 >>> model.labels_.shape
 (600,)
+
+Hyperparameter search rides the same contract::
+
+    from repro import GridSearchKernelKMeans
+    search = GridSearchKernelKMeans(
+        "popcorn", {"n_clusters": [2], "kernel__gamma": [0.5, 2.0, 5.0]},
+        scoring="ari", cv=3,
+    ).fit(x, y)
+    search.best_params_, search.best_estimator_
 """
 
 from .config import Config, DEFAULT_CONFIG
-from .core import PopcornKernelKMeans, WeightedPopcornKernelKMeans
+from .core import (
+    OnTheFlyKernelKMeans,
+    PopcornKernelKMeans,
+    WeightedPopcornKernelKMeans,
+)
 from .baselines import (
     BaselineCUDAKernelKMeans,
     ElkanKMeans,
@@ -70,18 +98,29 @@ from .baselines import (
 from .distributed import DistributedPopcornKernelKMeans
 from .approx import NystromKernelKMeans
 from .engine import BaseKernelKMeans, available_backends
+from .errors import NotFittedError, ReproError
+from .estimators import (
+    available_estimators,
+    get_estimator_class,
+    make_estimator,
+    register_estimator,
+)
 from .graph import SpectralKernelKMeans
 from .harness import ExperimentResult, TrialStats, run_trials
 from .gpu import A100_80GB, Device, DeviceSpec
 from .kernels import (
+    CosineKernel,
     GaussianKernel,
     Kernel,
     LaplacianKernel,
     LinearKernel,
     PolynomialKernel,
+    RationalQuadraticKernel,
     SigmoidKernel,
     kernel_by_name,
 )
+from .params import ParamSpec, check_is_fitted, clone
+from .select import GridSearchKernelKMeans, ParameterGrid, cross_validate
 from .serve import PredictionService, load_model, save_model
 
 __version__ = "1.0.0"
@@ -90,8 +129,10 @@ __all__ = [
     "__version__",
     "Config",
     "DEFAULT_CONFIG",
+    # the ten estimators
     "PopcornKernelKMeans",
     "WeightedPopcornKernelKMeans",
+    "OnTheFlyKernelKMeans",
     "BaselineCUDAKernelKMeans",
     "PRMLTKernelKMeans",
     "LloydKMeans",
@@ -99,6 +140,21 @@ __all__ = [
     "DistributedPopcornKernelKMeans",
     "NystromKernelKMeans",
     "SpectralKernelKMeans",
+    # estimator registry / params protocol
+    "register_estimator",
+    "make_estimator",
+    "available_estimators",
+    "get_estimator_class",
+    "ParamSpec",
+    "clone",
+    "check_is_fitted",
+    "ReproError",
+    "NotFittedError",
+    # model selection
+    "GridSearchKernelKMeans",
+    "cross_validate",
+    "ParameterGrid",
+    # engine + harness
     "BaseKernelKMeans",
     "available_backends",
     "run_trials",
@@ -107,13 +163,17 @@ __all__ = [
     "Device",
     "DeviceSpec",
     "A100_80GB",
+    # kernels
     "Kernel",
     "LinearKernel",
     "PolynomialKernel",
     "GaussianKernel",
     "SigmoidKernel",
     "LaplacianKernel",
+    "CosineKernel",
+    "RationalQuadraticKernel",
     "kernel_by_name",
+    # serving
     "PredictionService",
     "save_model",
     "load_model",

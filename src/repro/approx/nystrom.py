@@ -23,9 +23,11 @@ from scipy.linalg import eigh
 
 from .._typing import as_matrix
 from ..baselines.lloyd import LloydKMeans
-from ..engine.base import BaseKernelKMeans
+from ..engine.base import BaseKernelKMeans, shared_params
 from ..errors import ConfigError
+from ..estimators import register_estimator
 from ..kernels import Kernel
+from ..params import ParamSpec
 
 __all__ = ["NystromKernelKMeans", "nystrom_embedding", "nystrom_operator"]
 
@@ -72,6 +74,7 @@ def nystrom_embedding(
     return np.ascontiguousarray(phi), landmarks
 
 
+@register_estimator("nystrom")
 class NystromKernelKMeans(BaseKernelKMeans):
     """Approximate Kernel K-means: Nyström embedding + Lloyd.
 
@@ -89,6 +92,21 @@ class NystromKernelKMeans(BaseKernelKMeans):
     _default_backend = "host"
     _supported_backends = ("host", "sharded")
 
+    #: the embedding + Lloyd pipeline is float64 (not a parameter)
+    dtype = np.dtype(np.float64)
+
+    _params = shared_params(
+        "n_clusters",
+        "kernel",
+        "backend",
+        "max_iter",
+        "tol",
+        "n_init",
+        "seed",
+        max_iter={"default": 100},
+        tol={"default": 1e-6},
+    ) + (ParamSpec("n_landmarks", default=128, convert=int, low=1),)
+
     def __init__(
         self,
         n_clusters: int,
@@ -101,29 +119,55 @@ class NystromKernelKMeans(BaseKernelKMeans):
         n_init: int = 5,
         seed: int | None = None,
     ) -> None:
-        super().__init__(
-            n_clusters,
+        self._init_params(
+            n_clusters=n_clusters,
+            n_landmarks=n_landmarks,
+            kernel=kernel,
             backend=backend,
             max_iter=max_iter,
             tol=tol,
+            n_init=n_init,
             seed=seed,
-            dtype=np.float64,
         )
-        if n_landmarks < 1:
-            raise ConfigError("n_landmarks must be >= 1")
-        if n_init < 1:
-            raise ConfigError("n_init must be >= 1")
-        self.n_landmarks = int(n_landmarks)
-        self.kernel = self._resolve_kernel(kernel)
-        self.n_init = int(n_init)
 
-    def fit(self, x: np.ndarray) -> "NystromKernelKMeans":
+    def fit(
+        self,
+        x: Optional[np.ndarray] = None,
+        *,
+        kernel_matrix: Optional[np.ndarray] = None,
+        init_labels: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "NystromKernelKMeans":
         """Embed with Nyström landmarks, then run Lloyd on the embedding.
 
         Lloyd is restarted ``n_init`` times with different k-means++ seeds
         and the lowest-inertia run wins — restarts are cheap in the
         embedded space (O(n m k) per iteration vs O(n^2) exact).
+        ``kernel_matrix`` / ``init_labels`` / ``sample_weight`` are
+        rejected: the approximation samples landmark *points* (the full
+        kernel matrix is exactly what it avoids), the inner Lloyd
+        restarts own their k-means++ seeding, and the embedded objective
+        is unweighted.
         """
+        self._unsupported_fit_arg(
+            "kernel_matrix",
+            kernel_matrix,
+            "the Nyström approximation samples landmark points to avoid "
+            "the full kernel matrix; pass the points themselves",
+        )
+        self._unsupported_fit_arg(
+            "init_labels",
+            init_labels,
+            "the embedded Lloyd refinement is restarted n_init times with "
+            "k-means++ seeding, so a single externally pinned initialisation "
+            "is ill-defined",
+        )
+        self._unsupported_fit_arg(
+            "sample_weight",
+            sample_weight,
+            "the embedded Lloyd objective is unweighted "
+            "(use PopcornKernelKMeans with sample_weight)",
+        )
         from ..distributed.sharding import check_shard_count
 
         xm = as_matrix(x, dtype=np.float64, name="x")

@@ -18,16 +18,19 @@ from .._typing import as_matrix, check_labels
 from ..config import DEFAULT_CONFIG
 from ..core.assignment import ConvergenceTracker, objective_value
 from ..core.distances import distance_matrix_reference
-from ..engine.base import OutOfSamplePredictor
+from ..engine.base import OutOfSamplePredictor, shared_params
 from ..errors import ConfigError, ShapeError
+from ..estimators import register_estimator
 from ..gpu.cost import cpu_gram_cost, cpu_iteration_cost, cpu_kernel_transform_cost
 from ..gpu.profiler import Profiler
 from ..gpu.spec import CPUSpec, EPYC_7763
-from ..kernels import Kernel, PolynomialKernel, kernel_by_name, kernel_matrix
+from ..kernels import Kernel, kernel_matrix as dense_kernel_matrix
+from ..params import ParamSpec
 
 __all__ = ["PRMLTKernelKMeans"]
 
 
+@register_estimator("prmlt")
 class PRMLTKernelKMeans(OutOfSamplePredictor):
     """Single-node CPU Kernel K-means with a modeled-time profiler.
 
@@ -35,6 +38,16 @@ class PRMLTKernelKMeans(OutOfSamplePredictor):
     (same alternating minimisation); only the charged time differs.
     ``predict`` / ``predict_batch`` follow the engine-level contract.
     """
+
+    _params = shared_params(
+        "n_clusters",
+        "kernel",
+        "backend",
+        "max_iter",
+        "tol",
+        "check_convergence",
+        "seed",
+    ) + (ParamSpec("cpu", default=EPYC_7763),)
 
     def __init__(
         self,
@@ -48,41 +61,46 @@ class PRMLTKernelKMeans(OutOfSamplePredictor):
         check_convergence: bool = True,
         seed: int | None = None,
     ) -> None:
+        self._init_params(
+            n_clusters=n_clusters,
+            kernel=kernel,
+            cpu=cpu,
+            backend=backend,
+            max_iter=max_iter,
+            tol=tol,
+            check_convergence=check_convergence,
+            seed=seed,
+        )
+
+    def _validate_params(self) -> None:
         from ..distributed.sharding import parse_shard_backend
 
-        if n_clusters < 1:
-            raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
-        self.n_clusters = int(n_clusters)
-        self.backend = backend
-        self._shard_devices = parse_shard_backend(backend, type(self).__name__)
-        if kernel is None:
-            kernel = PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
-        elif isinstance(kernel, str):
-            kernel = kernel_by_name(kernel)
-        self.kernel = kernel
-        self.cpu = cpu
-        self.max_iter = int(max_iter)
-        self.tol = float(tol)
-        self.check_convergence = bool(check_convergence)
-        self.seed = seed
+        self._shard_devices = parse_shard_backend(self.backend, type(self).__name__)
 
     def fit(
         self,
         x: Optional[np.ndarray] = None,
         *,
-        kernel_matrix_precomputed: Optional[np.ndarray] = None,
+        kernel_matrix: Optional[np.ndarray] = None,
         init_labels: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
     ) -> "PRMLTKernelKMeans":
         """Run PRMLT Kernel K-means on the modeled CPU."""
-        if x is None and kernel_matrix_precomputed is None:
+        self._unsupported_fit_arg(
+            "sample_weight",
+            sample_weight,
+            "the PRMLT M-code implements the unweighted objective "
+            "(use PopcornKernelKMeans with sample_weight for weighted clustering)",
+        )
+        if x is None and kernel_matrix is None:
             raise ShapeError("fit needs points x or a precomputed kernel matrix")
         prof = Profiler()
         self.profiler_ = prof
         rng = np.random.default_rng(DEFAULT_CONFIG.seed if self.seed is None else self.seed)
 
         xm = None
-        if kernel_matrix_precomputed is not None:
-            km = as_matrix(kernel_matrix_precomputed, dtype=np.float64, name="kernel matrix")
+        if kernel_matrix is not None:
+            km = as_matrix(kernel_matrix, dtype=np.float64, name="kernel matrix")
             n = km.shape[0]
             with prof.phase("kernel_matrix"):
                 prof.record(cpu_kernel_transform_cost(self.cpu, n))
@@ -90,7 +108,7 @@ class PRMLTKernelKMeans(OutOfSamplePredictor):
             xm = as_matrix(x, dtype=np.float64, name="x")
             n, d = xm.shape
             with prof.phase("kernel_matrix"):
-                km = kernel_matrix(xm, self.kernel)
+                km = dense_kernel_matrix(xm, self.kernel)
                 prof.record(cpu_gram_cost(self.cpu, n, d))
                 prof.record(cpu_kernel_transform_cost(self.cpu, n))
 
@@ -150,7 +168,3 @@ class PRMLTKernelKMeans(OutOfSamplePredictor):
             )
             self.backend_ = f"sharded:{g}"
         return self
-
-    def fit_predict(self, x: Optional[np.ndarray] = None, **kwargs) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(x, **kwargs).labels_

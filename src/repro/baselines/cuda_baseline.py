@@ -28,8 +28,9 @@ import numpy as np
 from .._typing import as_matrix
 from ..config import DEFAULT_CONFIG
 from ..engine.backends import DistanceStep, EngineState
-from ..engine.base import BaseKernelKMeans
+from ..engine.base import BaseKernelKMeans, shared_params
 from ..errors import ConfigError, ShapeError
+from ..estimators import register_estimator
 from ..gpu.device import Device
 from ..gpu.spec import DeviceSpec
 from ..kernels import Kernel
@@ -37,6 +38,7 @@ from ..kernels import Kernel
 __all__ = ["BaselineCUDAKernelKMeans"]
 
 
+@register_estimator("baseline")
 class BaselineCUDAKernelKMeans(BaseKernelKMeans):
     """Hand-written-kernel GPU Kernel K-means (the paper's CUDA baseline).
 
@@ -46,6 +48,18 @@ class BaselineCUDAKernelKMeans(BaseKernelKMeans):
     resident).  Unlike Popcorn there is no capacity pre-check: the
     baseline fails mid-run on allocation, as the real implementation does.
     """
+
+    _params = shared_params(
+        "n_clusters",
+        "kernel",
+        "device",
+        "backend",
+        "max_iter",
+        "tol",
+        "check_convergence",
+        "seed",
+        "dtype",
+    )
 
     def __init__(
         self,
@@ -60,8 +74,10 @@ class BaselineCUDAKernelKMeans(BaseKernelKMeans):
         seed: int | None = None,
         dtype=np.float32,
     ) -> None:
-        super().__init__(
-            n_clusters,
+        self._init_params(
+            n_clusters=n_clusters,
+            kernel=kernel,
+            device=device,
             backend=backend,
             max_iter=max_iter,
             tol=tol,
@@ -69,8 +85,6 @@ class BaselineCUDAKernelKMeans(BaseKernelKMeans):
             seed=seed,
             dtype=dtype,
         )
-        self.kernel = self._resolve_kernel(kernel)
-        self._device_arg = device
 
     def _distance_step(self, state: EngineState, labels, weights=None) -> DistanceStep:
         """The baseline's strategy: the three Sec. 5.3 kernels."""
@@ -82,8 +96,15 @@ class BaselineCUDAKernelKMeans(BaseKernelKMeans):
         *,
         kernel_matrix: Optional[np.ndarray] = None,
         init_labels: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
     ) -> "BaselineCUDAKernelKMeans":
         """Run the baseline pipeline; see class docstring for the kernels."""
+        self._unsupported_fit_arg(
+            "sample_weight",
+            sample_weight,
+            "the baseline's hand-written reduction kernels are unweighted "
+            "(use PopcornKernelKMeans, whose selection matrix carries weights)",
+        )
         if x is None and kernel_matrix is None:
             raise ShapeError("fit needs either points x or a precomputed kernel_matrix")
 

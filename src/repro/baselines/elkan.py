@@ -21,8 +21,9 @@ import numpy as np
 
 from .._typing import as_matrix, check_labels
 from ..config import DEFAULT_CONFIG
-from ..engine.base import OutOfSamplePredictor
+from ..engine.base import OutOfSamplePredictor, shared_params
 from ..errors import ConfigError
+from ..estimators import register_estimator
 from .init import kmeans_pp_centers, labels_from_centers, random_labels
 
 __all__ = ["ElkanKMeans"]
@@ -37,6 +38,7 @@ def _pairwise_sq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.maximum(d, 0.0)
 
 
+@register_estimator("elkan")
 class ElkanKMeans(OutOfSamplePredictor):
     """Exact K-means with triangle-inequality pruning.
 
@@ -53,6 +55,18 @@ class ElkanKMeans(OutOfSamplePredictor):
     pruned_fraction_ : 1 - evaluated / lloyd.
     """
 
+    _params = shared_params(
+        "n_clusters",
+        "init",
+        "backend",
+        "max_iter",
+        "tol",
+        "seed",
+        init={"default": "k-means++"},
+        max_iter={"default": 300},
+        tol={"default": 1e-6},
+    )
+
     def __init__(
         self,
         n_clusters: int,
@@ -63,22 +77,47 @@ class ElkanKMeans(OutOfSamplePredictor):
         tol: float = 1e-6,
         seed: int | None = None,
     ) -> None:
+        self._init_params(
+            n_clusters=n_clusters,
+            init=init,
+            backend=backend,
+            max_iter=max_iter,
+            tol=tol,
+            seed=seed,
+        )
+
+    def _validate_params(self) -> None:
         from ..distributed.sharding import parse_shard_backend
 
-        if n_clusters < 1:
-            raise ConfigError("n_clusters must be >= 1")
-        if init not in ("random", "k-means++"):
-            raise ConfigError(f"init must be 'random' or 'k-means++', got {init!r}")
-        self.n_clusters = int(n_clusters)
-        self.init = init
-        self.backend = backend
-        self._shard_devices = parse_shard_backend(backend, type(self).__name__)
-        self.max_iter = int(max_iter)
-        self.tol = float(tol)
-        self.seed = seed
+        self._shard_devices = parse_shard_backend(self.backend, type(self).__name__)
 
-    def fit(self, x: np.ndarray, *, init_labels: Optional[np.ndarray] = None) -> "ElkanKMeans":
-        """Run Elkan's algorithm to convergence."""
+    def fit(
+        self,
+        x: Optional[np.ndarray] = None,
+        *,
+        kernel_matrix: Optional[np.ndarray] = None,
+        init_labels: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "ElkanKMeans":
+        """Run Elkan's algorithm to convergence.
+
+        Like Lloyd (to which it is assignment-for-assignment equivalent),
+        Elkan maintains explicit input-space centroids: ``kernel_matrix``
+        and ``sample_weight`` are rejected with an explanation rather than
+        silently ignored.
+        """
+        self._unsupported_fit_arg(
+            "kernel_matrix",
+            kernel_matrix,
+            "Elkan's triangle-inequality bounds are input-space distances "
+            "to explicit centroids; the points themselves are required",
+        )
+        self._unsupported_fit_arg(
+            "sample_weight",
+            sample_weight,
+            "the classical estimator minimises the unweighted inertia "
+            "(use PopcornKernelKMeans with sample_weight for weighted clustering)",
+        )
         from ..distributed.sharding import check_shard_count
 
         xm = as_matrix(x, dtype=np.float64, name="x")
@@ -179,10 +218,6 @@ class ElkanKMeans(OutOfSamplePredictor):
             )
             self.backend_ = f"sharded:{g}"
         return self
-
-    def fit_predict(self, x: np.ndarray, **kwargs) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(x, **kwargs).labels_
 
     @staticmethod
     def _centers_from(xm, labels, k, rng):

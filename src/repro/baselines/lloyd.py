@@ -18,13 +18,15 @@ import numpy as np
 
 from .._typing import as_matrix, check_labels
 from ..config import DEFAULT_CONFIG
-from ..engine.base import OutOfSamplePredictor
+from ..engine.base import OutOfSamplePredictor, shared_params
 from ..errors import ConfigError
+from ..estimators import register_estimator
 from .init import kmeans_pp_centers, labels_from_centers, random_labels
 
 __all__ = ["LloydKMeans"]
 
 
+@register_estimator("lloyd")
 class LloydKMeans(OutOfSamplePredictor):
     """Classical K-means with random or k-means++ initialisation.
 
@@ -43,6 +45,18 @@ class LloydKMeans(OutOfSamplePredictor):
     objective_history_ : inertia per iteration.
     """
 
+    _params = shared_params(
+        "n_clusters",
+        "init",
+        "backend",
+        "max_iter",
+        "tol",
+        "seed",
+        init={"default": "k-means++"},
+        max_iter={"default": 300},
+        tol={"default": 1e-6},
+    )
+
     def __init__(
         self,
         n_clusters: int,
@@ -53,22 +67,47 @@ class LloydKMeans(OutOfSamplePredictor):
         tol: float = 1e-6,
         seed: int | None = None,
     ) -> None:
+        self._init_params(
+            n_clusters=n_clusters,
+            init=init,
+            backend=backend,
+            max_iter=max_iter,
+            tol=tol,
+            seed=seed,
+        )
+
+    def _validate_params(self) -> None:
         from ..distributed.sharding import parse_shard_backend
 
-        if n_clusters < 1:
-            raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
-        if init not in ("random", "k-means++"):
-            raise ConfigError(f"init must be 'random' or 'k-means++', got {init!r}")
-        self.n_clusters = int(n_clusters)
-        self.init = init
-        self.backend = backend
-        self._shard_devices = parse_shard_backend(backend, type(self).__name__)
-        self.max_iter = int(max_iter)
-        self.tol = float(tol)
-        self.seed = seed
+        self._shard_devices = parse_shard_backend(self.backend, type(self).__name__)
 
-    def fit(self, x: np.ndarray, *, init_labels: Optional[np.ndarray] = None) -> "LloydKMeans":
-        """Run Lloyd's alternation until the centroid shift drops below tol."""
+    def fit(
+        self,
+        x: Optional[np.ndarray] = None,
+        *,
+        kernel_matrix: Optional[np.ndarray] = None,
+        init_labels: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "LloydKMeans":
+        """Run Lloyd's alternation until the centroid shift drops below tol.
+
+        Lloyd operates on explicit input-space centers: ``kernel_matrix``
+        is rejected (there is no kernel trick here — points are required)
+        and ``sample_weight`` is rejected (the classical unweighted
+        objective; weighted clustering goes through the kernel family).
+        """
+        self._unsupported_fit_arg(
+            "kernel_matrix",
+            kernel_matrix,
+            "Lloyd's algorithm maintains explicit input-space centroids "
+            "and needs the points themselves",
+        )
+        self._unsupported_fit_arg(
+            "sample_weight",
+            sample_weight,
+            "the classical estimator minimises the unweighted inertia "
+            "(use PopcornKernelKMeans with sample_weight for weighted clustering)",
+        )
         from ..distributed.sharding import check_shard_count
 
         xm = as_matrix(x, dtype=np.float64, name="x")
@@ -140,10 +179,6 @@ class LloydKMeans(OutOfSamplePredictor):
             setup_allgather_bytes=8.0 * n * d,
         )
         self.backend_ = f"sharded:{g}"
-
-    def fit_predict(self, x: np.ndarray, **kwargs) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(x, **kwargs).labels_
 
     @staticmethod
     def _centers_from(

@@ -15,9 +15,9 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from ...baselines import BaselineCUDAKernelKMeans, random_labels
-from ...core import PopcornKernelKMeans
+from ...baselines import random_labels
 from ...data import TABLE2
+from ...estimators import make_estimator
 from ..registry import RunConfig
 
 __all__ = [
@@ -68,9 +68,10 @@ def popcorn_probe(cfg: RunConfig, *, n: int = 150, d: int = 8, k: int = 5):
     """Small real Popcorn fit honouring ``--backend`` / ``--tile-rows``."""
     x = _probe_points(n, d, cfg.base_seed)
 
-    def factory(seed: int) -> PopcornKernelKMeans:
-        return PopcornKernelKMeans(
-            k,
+    def factory(seed: int):
+        return make_estimator(
+            "popcorn",
+            n_clusters=k,
             dtype=np.float64,
             backend=cfg.backend,
             tile_rows=cfg.tile_rows,
@@ -79,7 +80,7 @@ def popcorn_probe(cfg: RunConfig, *, n: int = 150, d: int = 8, k: int = 5):
             seed=seed,
         )
 
-    def fit(est: PopcornKernelKMeans) -> PopcornKernelKMeans:
+    def fit(est):
         return est.fit(x)
 
     return factory, fit
@@ -90,9 +91,10 @@ def baseline_probe(cfg: RunConfig, *, n: int = 150, d: int = 8, k: int = 5):
     x = _probe_points(n, d, cfg.base_seed)
     init = random_labels(n, k, np.random.default_rng(cfg.base_seed))
 
-    def factory(seed: int) -> BaselineCUDAKernelKMeans:
-        return BaselineCUDAKernelKMeans(
-            k,
+    def factory(seed: int):
+        return make_estimator(
+            "baseline",
+            n_clusters=k,
             dtype=np.float64,
             backend=cfg.backend,
             max_iter=5,
@@ -100,7 +102,7 @@ def baseline_probe(cfg: RunConfig, *, n: int = 150, d: int = 8, k: int = 5):
             seed=seed,
         )
 
-    def fit(est: BaselineCUDAKernelKMeans) -> BaselineCUDAKernelKMeans:
+    def fit(est):
         return est.fit(x, init_labels=init)
 
     return factory, fit

@@ -11,11 +11,11 @@ from dataclasses import replace
 
 import numpy as np
 
-from ...approx import NystromKernelKMeans, nystrom_embedding
-from ...core import model_onthefly, OnTheFlyKernelKMeans
+from ...approx import nystrom_embedding
+from ...core import model_onthefly
+from ...estimators import make_estimator
 from ...data import make_circles, make_moons
 from ...distributed import (
-    DistributedPopcornKernelKMeans,
     INFINIBAND,
     NVLINK,
     model_distributed_popcorn,
@@ -234,7 +234,9 @@ def run_ext_nystrom(cfg: RunConfig) -> ExperimentResult:
     for m in landmark_sweep:
         phi, _ = nystrom_embedding(x, kern, m, rng=np.random.default_rng(0))
         err = float(np.linalg.norm(phi @ phi.T - k_true) / np.linalg.norm(k_true))
-        model = NystromKernelKMeans(2, n_landmarks=m, kernel=kern, seed=0).fit(x)
+        model = make_estimator(
+            "nystrom", n_clusters=2, n_landmarks=m, kernel=kern, seed=0
+        ).fit(x)
         ari = adjusted_rand_index(model.labels_, y)
         aris.append(ari)
         errs.append(err)
@@ -265,7 +267,6 @@ def check_ext_nystrom(result: ExperimentResult) -> None:
 def run_ext_spectral(cfg: RunConfig) -> ExperimentResult:
     import networkx as nx
 
-    from ... import PopcornKernelKMeans, SpectralKernelKMeans
     from ...graph import cluster_graph
 
     mixing = (0.01, 0.20) if cfg.quick else (0.01, 0.05, 0.10, 0.20)
@@ -281,10 +282,11 @@ def run_ext_spectral(cfg: RunConfig) -> ExperimentResult:
 
     n_moons = 150 if cfg.quick else 300
     x, y = make_moons(n_moons, rng=3)
-    plain = PopcornKernelKMeans(
-        2, kernel=GaussianKernel(gamma=20.0), seed=0, init="k-means++", max_iter=100
+    plain = make_estimator(
+        "popcorn", n_clusters=2, kernel=GaussianKernel(gamma=20.0), seed=0,
+        init="k-means++", max_iter=100,
     ).fit(x)
-    spect = SpectralKernelKMeans(2, seed=0).fit(x)
+    spect = make_estimator("spectral", n_clusters=2, seed=0).fit(x)
     plain_ari = adjusted_rand_index(plain.labels_, y)
     spect_ari = adjusted_rand_index(spect.labels_, y)
     rows.append(("moons", "plain kernel k-means", f"{plain_ari:.3f}"))
@@ -392,7 +394,6 @@ def run_ext_strong_scaling(cfg: RunConfig) -> ExperimentResult:
     metric comes from :func:`~repro.distributed.model_distributed_popcorn`
     — the same cost functions at n=200k, where every shard stays wide.
     """
-    from ... import PopcornKernelKMeans
     from ...baselines import random_labels
 
     n, d, k = STRONG_SCALING_WORKLOAD
@@ -400,9 +401,10 @@ def run_ext_strong_scaling(cfg: RunConfig) -> ExperimentResult:
     x = rng.standard_normal((n, d)).astype(np.float64)
     init = random_labels(n, k, rng)
 
-    def fit(backend: str) -> "PopcornKernelKMeans":
-        return PopcornKernelKMeans(
-            k,
+    def fit(backend: str):
+        return make_estimator(
+            "popcorn",
+            n_clusters=k,
             backend=backend,
             dtype=np.float64,
             max_iter=STRONG_SCALING_ITERS,
@@ -485,29 +487,28 @@ def check_ext_strong_scaling(result: ExperimentResult) -> None:
 def distributed_probe(cfg: RunConfig):
     x = np.random.default_rng(4).standard_normal((90, 6)).astype(np.float64)
 
-    def factory(seed: int) -> DistributedPopcornKernelKMeans:
-        return DistributedPopcornKernelKMeans(
-            4, n_devices=3, dtype=np.float64, max_iter=6, check_convergence=False, seed=seed
+    def factory(seed: int):
+        return make_estimator(
+            "distributed", n_clusters=4, n_devices=3, dtype=np.float64,
+            max_iter=6, check_convergence=False, seed=seed,
         )
 
-    def fit(est: DistributedPopcornKernelKMeans) -> DistributedPopcornKernelKMeans:
+    def fit(est):
         return est.fit(x)
 
     return factory, fit
 
 
 def strong_scaling_probe(cfg: RunConfig):
-    from ... import PopcornKernelKMeans
-
     x = np.random.default_rng(9).standard_normal((120, 8)).astype(np.float64)
 
-    def factory(seed: int) -> "PopcornKernelKMeans":
-        return PopcornKernelKMeans(
-            4, backend="sharded:4", dtype=np.float64, max_iter=5,
-            check_convergence=False, seed=seed,
+    def factory(seed: int):
+        return make_estimator(
+            "popcorn", n_clusters=4, backend="sharded:4", dtype=np.float64,
+            max_iter=5, check_convergence=False, seed=seed,
         )
 
-    def fit(est: "PopcornKernelKMeans") -> "PopcornKernelKMeans":
+    def fit(est):
         return est.fit(x)
 
     return factory, fit
@@ -516,12 +517,13 @@ def strong_scaling_probe(cfg: RunConfig):
 def onthefly_probe(cfg: RunConfig):
     x = np.random.default_rng(0).standard_normal((120, 6)).astype(np.float64)
 
-    def factory(seed: int) -> OnTheFlyKernelKMeans:
-        return OnTheFlyKernelKMeans(
-            4, block_rows=32, max_iter=5, check_convergence=False, seed=seed
+    def factory(seed: int):
+        return make_estimator(
+            "onthefly", n_clusters=4, block_rows=32, max_iter=5,
+            check_convergence=False, seed=seed,
         )
 
-    def fit(est: OnTheFlyKernelKMeans) -> OnTheFlyKernelKMeans:
+    def fit(est):
         return est.fit(x)
 
     return factory, fit
@@ -531,19 +533,19 @@ def nystrom_probe(cfg: RunConfig):
     x, _ = make_circles(200, rng=1)
     kern = GaussianKernel(gamma=5.0)
 
-    def factory(seed: int) -> NystromKernelKMeans:
-        return NystromKernelKMeans(2, n_landmarks=50, kernel=kern, seed=seed)
+    def factory(seed: int):
+        return make_estimator(
+            "nystrom", n_clusters=2, n_landmarks=50, kernel=kern, seed=seed
+        )
 
     return walltime_probe(factory, x)
 
 
 def spectral_probe(cfg: RunConfig):
-    from ... import SpectralKernelKMeans
-
     x, _ = make_moons(120, rng=1)
 
-    def factory(seed: int) -> "SpectralKernelKMeans":
-        return SpectralKernelKMeans(2, seed=seed)
+    def factory(seed: int):
+        return make_estimator("spectral", n_clusters=2, seed=seed)
 
     return walltime_probe(factory, x)
 

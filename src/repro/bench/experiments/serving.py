@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 
-from ...core import PopcornKernelKMeans
+from ...estimators import make_estimator
 from ...serve import PredictionService
 from ..registry import ExperimentResult, ExperimentSpec, RunConfig, register_experiment
 
@@ -28,10 +28,10 @@ QUICK_BATCH_SIZES = (1, 64)
 REPEAT_FRACTION = 0.25  # of the stream re-issues earlier queries (cache hits)
 
 
-def _fitted_model(cfg: RunConfig, n: int, d: int, k: int) -> PopcornKernelKMeans:
+def _fitted_model(cfg: RunConfig, n: int, d: int, k: int):
     x = np.random.default_rng(cfg.base_seed).standard_normal((n, d))
-    return PopcornKernelKMeans(
-        k, dtype=np.float64, backend="host", max_iter=8,
+    return make_estimator(
+        "popcorn", n_clusters=k, dtype=np.float64, backend="host", max_iter=8,
         check_convergence=False, seed=cfg.base_seed,
     ).fit(x)
 

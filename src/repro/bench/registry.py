@@ -36,6 +36,7 @@ _EXPERIMENT_MODULES = (
     "repro.bench.experiments.ablations",
     "repro.bench.experiments.extensions",
     "repro.bench.experiments.serving",
+    "repro.bench.experiments.selection",
 )
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}

@@ -30,7 +30,38 @@ from .artifact import (
 )
 from .registry import ExperimentResult, RunConfig, get_experiment
 
-__all__ = ["DEFAULT_RESULTS_DIR", "emit_result", "run_experiment", "run_experiments"]
+__all__ = [
+    "DEFAULT_RESULTS_DIR",
+    "emit_result",
+    "pool_map",
+    "run_experiment",
+    "run_experiments",
+]
+
+
+def pool_map(worker, items, jobs: int = 1, *, initializer=None, initargs=()) -> list:
+    """Order-preserving map, process-parallel when ``jobs > 1``.
+
+    The one worker pool both fan-out layers share: the bench runner maps
+    experiments through it and the model-selection layer
+    (:mod:`repro.select`) maps candidate fits through it.  ``worker``
+    must be a module-level callable and ``items`` picklable.
+
+    ``initializer(*initargs)`` runs once per worker process (and once
+    inline on the serial path) — the place to park a large shared input
+    (the search data) so it is not re-pickled into every task.
+    """
+    items = list(items)
+    if jobs > 1 and len(items) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(items)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            return list(pool.map(worker, items))
+    if initializer is not None:
+        initializer(*initargs)
+    return [worker(item) for item in items]
 
 #: Where the per-experiment CSVs land by default (the legacy location).
 DEFAULT_RESULTS_DIR = os.path.join("benchmarks", "results")
@@ -118,12 +149,9 @@ def run_experiments(
     """
     t0 = time.perf_counter()
     work = [(exp_id, cfg, results_dir, write_csv, run_probes) for exp_id in exp_ids]
-    outcomes: List[Tuple[str, Optional[Dict[str, object]], str, Optional[str]]] = []
-    if jobs > 1 and len(work) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-            outcomes = list(pool.map(_worker, work))
-    else:
-        outcomes = [_worker(w) for w in work]
+    outcomes: List[Tuple[str, Optional[Dict[str, object]], str, Optional[str]]] = (
+        pool_map(_worker, work, jobs)
+    )
 
     experiments: Dict[str, Dict[str, object]] = {}
     failures: Dict[str, str] = {}

@@ -35,9 +35,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .baselines import BaselineCUDAKernelKMeans
-from .core import PopcornKernelKMeans
 from .data import load_dataset, make_random
+from .estimators import filter_params, get_estimator_class, make_estimator
 from .gpu import Device, named_device
 from .kernels import kernel_by_name
 from .bench.cli import main as bench_main
@@ -166,37 +165,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.tile_rows is not None and args.impl != 2:
         print("note: --tile-rows only applies to the Popcorn implementation (-l 2)",
               file=sys.stderr)
+    # registry-driven construction (no estimator-class switch): the -l
+    # flag maps to a registry name, and flags an estimator does not
+    # declare (init/tile_rows/gram_method for the baseline) are dropped
+    estimator_name = "popcorn" if args.impl == 2 else "baseline"
+    supported = get_estimator_class(estimator_name).param_specs()
+    if args.init != "random" and "init" not in supported:
+        print("note: the baseline implementation only supports --init random",
+              file=sys.stderr)
     for run in range(args.runs):
         device = Device(spec) if on_device else None
         seed = args.seed + run
-        if args.impl == 2:
-            algo = PopcornKernelKMeans(
-                args.k,
-                kernel=kern,
-                device=device,
-                backend=backend,
-                tile_rows=args.tile_rows,
-                gram_method=args.gram_method,
-                max_iter=args.max_iter,
-                tol=args.tol,
-                check_convergence=bool(args.check_convergence),
-                init=args.init,
-                seed=seed,
-            )
-        else:
-            if args.init != "random":
-                print("note: the baseline implementation only supports --init random",
-                      file=sys.stderr)
-            algo = BaselineCUDAKernelKMeans(
-                args.k,
-                kernel=kern,
-                device=device,
-                backend=backend,
-                max_iter=args.max_iter,
-                tol=args.tol,
-                check_convergence=bool(args.check_convergence),
-                seed=seed,
-            )
+        offered = {
+            "n_clusters": args.k,
+            "kernel": kern,
+            "device": device,
+            "backend": backend,
+            "tile_rows": args.tile_rows,
+            "gram_method": args.gram_method,
+            "max_iter": args.max_iter,
+            "tol": args.tol,
+            "check_convergence": bool(args.check_convergence),
+            "init": args.init,
+            "seed": seed,
+        }
+        algo = make_estimator(estimator_name, **filter_params(estimator_name, offered))
         algo.fit(x)
         labels = algo.labels_
         last = algo

@@ -31,12 +31,14 @@ import numpy as np
 
 from .._typing import as_matrix, check_labels
 from ..config import DEFAULT_CONFIG
-from ..engine.base import OutOfSamplePredictor
+from ..engine.base import OutOfSamplePredictor, shared_params
 from ..errors import ConfigError, ShapeError
+from ..estimators import register_estimator
 from ..gpu import cost
 from ..gpu.profiler import Profiler
 from ..gpu.spec import A100_80GB, DeviceSpec
-from ..kernels import Kernel, PolynomialKernel, kernel_by_name
+from ..kernels import Kernel
+from ..params import ParamSpec
 from ..sparse import spmm, spmv
 from ..baselines.init import random_labels
 from .assignment import ConvergenceTracker
@@ -45,6 +47,7 @@ from .selection import build_selection
 __all__ = ["OnTheFlyKernelKMeans", "model_onthefly"]
 
 
+@register_estimator("onthefly")
 class OnTheFlyKernelKMeans(OutOfSamplePredictor):
     """Blocked Kernel K-means that recomputes kernel panels per iteration.
 
@@ -61,6 +64,21 @@ class OnTheFlyKernelKMeans(OutOfSamplePredictor):
     profiler_ : the modeled launch log.
     """
 
+    _params = shared_params(
+        "n_clusters",
+        "kernel",
+        "backend",
+        "max_iter",
+        "tol",
+        "check_convergence",
+        "seed",
+        "dtype",
+        dtype={"default": np.float64},
+    ) + (
+        ParamSpec("block_rows", default=4096, convert=int, low=1),
+        ParamSpec("spec", default=A100_80GB),
+    )
+
     def __init__(
         self,
         n_clusters: int,
@@ -75,34 +93,53 @@ class OnTheFlyKernelKMeans(OutOfSamplePredictor):
         seed: int | None = None,
         dtype=np.float64,
     ) -> None:
+        self._init_params(
+            n_clusters=n_clusters,
+            kernel=kernel,
+            block_rows=block_rows,
+            spec=spec,
+            backend=backend,
+            max_iter=max_iter,
+            tol=tol,
+            check_convergence=check_convergence,
+            seed=seed,
+            dtype=dtype,
+        )
+
+    def _validate_params(self) -> None:
         from ..distributed.sharding import parse_shard_backend
 
-        if n_clusters < 1:
-            raise ConfigError("n_clusters must be >= 1")
-        if block_rows < 1:
-            raise ConfigError("block_rows must be >= 1")
-        self.backend = backend
-        self._shard_devices = parse_shard_backend(backend, type(self).__name__)
-        self.n_clusters = int(n_clusters)
-        if kernel is None:
-            kernel = PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
-        elif isinstance(kernel, str):
-            kernel = kernel_by_name(kernel)
-        if not kernel.gram_expressible:
+        self._shard_devices = parse_shard_backend(self.backend, type(self).__name__)
+        if not self.kernel.gram_expressible:
             raise ShapeError("on-the-fly path needs a Gram-expressible kernel")
-        self.kernel = kernel
-        self.block_rows = int(block_rows)
-        self.spec = spec
-        self.max_iter = int(max_iter)
-        self.tol = float(tol)
-        self.check_convergence = bool(check_convergence)
-        self.seed = seed
-        self.dtype = np.dtype(dtype)
 
     def fit(
-        self, x: np.ndarray, *, init_labels: Optional[np.ndarray] = None
+        self,
+        x: Optional[np.ndarray] = None,
+        *,
+        kernel_matrix: Optional[np.ndarray] = None,
+        init_labels: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
     ) -> "OnTheFlyKernelKMeans":
-        """Run blocked Kernel K-means without materialising K."""
+        """Run blocked Kernel K-means without materialising K.
+
+        ``kernel_matrix`` is rejected: this estimator exists precisely so
+        the kernel matrix is never materialised — a caller holding one
+        should use :class:`~repro.core.PopcornKernelKMeans` instead.
+        """
+        self._unsupported_fit_arg(
+            "kernel_matrix",
+            kernel_matrix,
+            "the blocked algorithm recomputes kernel panels from the points "
+            "each iteration so K never materialises; pass a precomputed "
+            "kernel to PopcornKernelKMeans instead",
+        )
+        self._unsupported_fit_arg(
+            "sample_weight",
+            sample_weight,
+            "the blocked pipeline implements the unweighted objective "
+            "(use PopcornKernelKMeans with sample_weight)",
+        )
         from ..distributed.sharding import check_shard_count
 
         xm = as_matrix(x, dtype=self.dtype, name="x")
@@ -231,10 +268,6 @@ class OnTheFlyKernelKMeans(OutOfSamplePredictor):
         self._support_weights = None
         self._support_centers = None
         self._support_v = v
-
-    def fit_predict(self, x: np.ndarray, **kwargs) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(x, **kwargs).labels_
 
     # ------------------------------------------------------------------
     # kernel plumbing

@@ -24,17 +24,20 @@ from typing import Optional
 
 import numpy as np
 
-from .._typing import as_matrix
+from .._typing import as_matrix, as_vector
 from ..config import DEFAULT_CONFIG
-from ..engine.base import BaseKernelKMeans
+from ..engine.base import BaseKernelKMeans, shared_params
 from ..errors import ConfigError, ShapeError
+from ..estimators import register_estimator
 from ..kernels import Kernel
 from ..gpu.device import Device
 from ..gpu.spec import DeviceSpec
+from ..params import ParamSpec, optional
 
 __all__ = ["PopcornKernelKMeans"]
 
 
+@register_estimator("popcorn")
 class PopcornKernelKMeans(BaseKernelKMeans):
     """GPU Kernel K-means via sparse linear algebra (Popcorn, PPoPP'25).
 
@@ -102,6 +105,24 @@ class PopcornKernelKMeans(BaseKernelKMeans):
     ``load_model`` with bit-exact predictions.
     """
 
+    _params = shared_params(
+        "n_clusters",
+        "kernel",
+        "device",
+        "backend",
+        "tile_rows",
+        "max_iter",
+        "tol",
+        "check_convergence",
+        "init",
+        "empty_cluster_policy",
+        "seed",
+        "dtype",
+    ) + (
+        ParamSpec("gram_method", default="auto", choices=("auto", "gemm", "syrk")),
+        ParamSpec("gram_threshold", default=None, convert=optional(float)),
+    )
+
     def __init__(
         self,
         n_clusters: int,
@@ -120,10 +141,14 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         seed: int | None = None,
         dtype=np.float32,
     ) -> None:
-        super().__init__(
-            n_clusters,
+        self._init_params(
+            n_clusters=n_clusters,
+            kernel=kernel,
+            device=device,
             backend=backend,
             tile_rows=tile_rows,
+            gram_method=gram_method,
+            gram_threshold=gram_threshold,
             max_iter=max_iter,
             tol=tol,
             check_convergence=check_convergence,
@@ -132,12 +157,6 @@ class PopcornKernelKMeans(BaseKernelKMeans):
             seed=seed,
             dtype=dtype,
         )
-        if gram_method not in ("auto", "gemm", "syrk"):
-            raise ConfigError(f"gram_method must be auto/gemm/syrk, got {gram_method!r}")
-        self.kernel = self._resolve_kernel(kernel)
-        self._device_arg = device
-        self.gram_method = gram_method
-        self.gram_threshold = gram_threshold
 
     # ------------------------------------------------------------------
     # fitting
@@ -148,12 +167,16 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         *,
         kernel_matrix: Optional[np.ndarray] = None,
         init_labels: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
     ) -> "PopcornKernelKMeans":
         """Cluster the dataset (or a precomputed kernel matrix).
 
         Exactly one of ``x`` / ``kernel_matrix`` may drive the kernel
         computation; passing ``kernel_matrix`` skips the GEMM/SYRK stage
         (the entry point for non-Gram-expressible kernels).
+        ``sample_weight`` runs the weighted pipeline (the selection
+        matrix's values become ``w_i / s_j``, Dhillon et al. 2004); None
+        is the paper's unweighted algorithm, bit-for-bit.
         """
         if x is None and kernel_matrix is None:
             raise ShapeError("fit needs either points x or a precomputed kernel_matrix")
@@ -188,16 +211,21 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         k = self.n_clusters
         if k > n:
             raise ConfigError(f"n_clusters={k} exceeds number of points n={n}")
+        w = None
+        if sample_weight is not None:
+            w = as_vector(sample_weight, dtype=np.float64, name="sample_weight")
+            if w.shape[0] != n:
+                raise ShapeError(f"sample_weight must have length {n}")
 
         # ---- init + main loop (Alg. 2 lines 3-16) ----------------------
         labels = self._init_labels(state, init_labels, rng)
-        labels, n_iter, tracker = self._fit_loop(state, labels)
+        labels, n_iter, tracker = self._fit_loop(state, labels, weights=w)
 
         # out-of-sample support consistent with the *final* labels (the
         # loop's own c_norms correspond to the pre-update V); the shared
         # engine predict (repro.engine.base.OutOfSamplePredictor) consumes
         # it, replacing the estimator-local predict of earlier revisions
-        self._finalize_support(state.kernel_host(), labels, x=self._train_x)
+        self._finalize_support(state.kernel_host(), labels, x=self._train_x, weights=w)
 
         state.backend.finish(state)
         self._set_fit_results(state, labels, n_iter, tracker)

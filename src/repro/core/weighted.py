@@ -33,10 +33,12 @@ from typing import Optional
 import numpy as np
 
 from .._typing import as_matrix, as_vector, check_labels
-from ..engine.base import BaseKernelKMeans
+from ..engine.base import BaseKernelKMeans, shared_params
 from ..errors import ConfigError, ShapeError
+from ..estimators import register_estimator
 from ..gpu.device import Device
 from ..gpu.spec import DeviceSpec
+from ..kernels import Kernel
 from ..sparse import spmm, spmv, weighted_selection_matrix
 
 __all__ = [
@@ -69,6 +71,7 @@ def weighted_distances_host(
     return d
 
 
+@register_estimator("weighted")
 class WeightedPopcornKernelKMeans(BaseKernelKMeans):
     """Weighted Kernel K-means with the SpMM/SpMV pipeline.
 
@@ -88,64 +91,115 @@ class WeightedPopcornKernelKMeans(BaseKernelKMeans):
 
     _default_backend = "host"
 
+    #: the weighted pipeline is float64 end to end (not a parameter)
+    dtype = np.dtype(np.float64)
+
+    _params = shared_params(
+        "n_clusters",
+        "kernel",
+        "backend",
+        "tile_rows",
+        "device",
+        "max_iter",
+        "tol",
+        "check_convergence",
+        "init",
+        "empty_cluster_policy",
+        "seed",
+        max_iter={"default": 100},
+        tol={"default": 1e-6},
+    )
+
     def __init__(
         self,
         n_clusters: int,
         *,
+        kernel: Kernel | str = None,
         backend: str = "auto",
         tile_rows: int | None = None,
         device: Device | DeviceSpec | None = None,
         max_iter: int = 100,
         tol: float = 1e-6,
         check_convergence: bool = True,
+        init: str = "random",
+        empty_cluster_policy: str = "keep",
         seed: int | None = None,
     ) -> None:
-        super().__init__(
-            n_clusters,
+        self._init_params(
+            n_clusters=n_clusters,
+            kernel=kernel,
             backend=backend,
             tile_rows=tile_rows,
+            device=device,
             max_iter=max_iter,
             tol=tol,
             check_convergence=check_convergence,
+            init=init,
+            empty_cluster_policy=empty_cluster_policy,
             seed=seed,
-            dtype=np.float64,
         )
-        self._device_arg = device
 
     def fit(
         self,
-        kernel_matrix: np.ndarray,
+        x: Optional[np.ndarray] = None,
         *,
-        weights: Optional[np.ndarray] = None,
+        kernel_matrix: Optional[np.ndarray] = None,
         init_labels: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
     ) -> "WeightedPopcornKernelKMeans":
-        """Cluster a precomputed kernel matrix under point weights."""
-        km = as_matrix(kernel_matrix, dtype=np.float64, name="kernel_matrix")
-        n = km.shape[0]
-        if km.shape != (n, n):
-            raise ShapeError("kernel_matrix must be square")
+        """Cluster under point weights (the spectral use case passes a
+        precomputed ``kernel_matrix``; points ``x`` go through ``kernel``)."""
+        if x is None and kernel_matrix is None:
+            raise ShapeError("fit needs either points x or a precomputed kernel_matrix")
+
+        state = self._begin_state()
+        self.device_ = state.device
+
+        if kernel_matrix is not None:
+            if x is not None:
+                raise ConfigError("pass points x or kernel_matrix, not both")
+            km = as_matrix(kernel_matrix, dtype=np.float64, name="kernel_matrix")
+            n = km.shape[0]
+            if km.shape != (n, n):
+                raise ShapeError("kernel_matrix must be square")
+            state.backend.check_capacity(state, n)
+            state.backend.load_kernel_matrix(state, km)
+            xm = None
+        else:
+            xm = as_matrix(x, dtype=np.float64, name="x")
+            # the pre-redesign signature took the kernel matrix as the
+            # first positional argument; a square symmetric x is almost
+            # certainly a legacy call that would silently cluster K as
+            # points, so fail loudly with the migration instead
+            if xm.shape[0] == xm.shape[1] and np.allclose(xm, xm.T, atol=1e-10):
+                raise ConfigError(
+                    "x is a square symmetric matrix — this looks like a "
+                    "precomputed kernel matrix; pass it as "
+                    "fit(kernel_matrix=...) (fit(x) treats its argument as "
+                    "points and evaluates the kernel parameter on them). "
+                    "To cluster genuinely square-symmetric points, evaluate "
+                    "the kernel yourself: fit(kernel_matrix=est.kernel.pairwise(x))"
+                )
+            n = xm.shape[0]
+            state.backend.check_capacity(state, n)
+            state.backend.compute_kernel_matrix(state, xm, self.kernel)
         k = self.n_clusters
         if k > n:
             raise ConfigError(f"n_clusters={k} exceeds n={n}")
         w = (
             np.ones(n)
-            if weights is None
-            else as_vector(weights, dtype=np.float64, name="weights")
+            if sample_weight is None
+            else as_vector(sample_weight, dtype=np.float64, name="sample_weight")
         )
         if w.shape[0] != n:
-            raise ShapeError(f"weights must have length {n}")
-
-        state = self._begin_state()
-        self.device_ = state.device
-        state.backend.check_capacity(state, n)
-        state.backend.load_kernel_matrix(state, km)
+            raise ShapeError(f"sample_weight must have length {n}")
 
         labels = self._init_labels(state, init_labels, self._rng())
         labels, n_iter, tracker = self._fit_loop(state, labels, weights=w)
 
-        # fitted on a precomputed kernel: out-of-sample queries go through
-        # predict(cross_kernel=...) with the weighted selection matrix
-        self._finalize_support(state.kernel_host(), labels, weights=w)
+        # out-of-sample queries go through predict(cross_kernel=...) with
+        # the weighted selection matrix (or predict(x) when fitted on points)
+        self._finalize_support(state.kernel_host(), labels, x=xm, weights=w)
         state.backend.finish(state)
         self._set_fit_results(state, labels, n_iter, tracker)
         return self

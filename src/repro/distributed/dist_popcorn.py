@@ -24,15 +24,19 @@ import numpy as np
 
 from ..config import DEFAULT_CONFIG
 from ..core.popcorn import PopcornKernelKMeans
+from ..engine.base import shared_params
 from ..errors import ConfigError
+from ..estimators import register_estimator
 from ..gpu.spec import A100_80GB, DeviceSpec
 from ..kernels import Kernel
+from ..params import ParamSpec
 from .comm import NVLINK, CommSpec, allgather_cost, allreduce_cost
 from .costs import rect_gemm_cost, rect_spmm_cost, rect_transform_cost
 
 __all__ = ["DistributedPopcornKernelKMeans", "model_distributed_popcorn"]
 
 
+@register_estimator("distributed")
 class DistributedPopcornKernelKMeans(PopcornKernelKMeans):
     """Multi-GPU Popcorn with exact numerics and modeled makespan.
 
@@ -58,6 +62,23 @@ class DistributedPopcornKernelKMeans(PopcornKernelKMeans):
     _default_backend = "sharded"
     _supported_backends = ("host", "sharded")
 
+    _sharded_backend = None
+
+    _params = shared_params(
+        "n_clusters",
+        "kernel",
+        "backend",
+        "max_iter",
+        "tol",
+        "check_convergence",
+        "seed",
+        "dtype",
+    ) + (
+        ParamSpec("n_devices", default=4, convert=int, low=1),
+        ParamSpec("spec", default=A100_80GB),
+        ParamSpec("comm", default=NVLINK),
+    )
+
     def __init__(
         self,
         n_clusters: int,
@@ -73,22 +94,19 @@ class DistributedPopcornKernelKMeans(PopcornKernelKMeans):
         seed: int | None = None,
         dtype=np.float32,
     ) -> None:
-        if n_devices < 1:
-            raise ConfigError("n_devices must be >= 1")
-        super().__init__(
-            n_clusters,
+        self._init_params(
+            n_clusters=n_clusters,
+            n_devices=n_devices,
             kernel=kernel,
             backend=backend,
+            spec=spec,
+            comm=comm,
             max_iter=max_iter,
             tol=tol,
             check_convergence=check_convergence,
             seed=seed,
             dtype=dtype,
         )
-        self.n_devices = int(n_devices)
-        self.spec = spec
-        self.comm = comm
-        self._sharded_backend = None
 
     def _resolve_backend(self):
         """Sharded resolution honours this estimator's spec and comm.

@@ -33,11 +33,25 @@ from .backends import (
     register_backend,
     unregister_backend,
 )
-from .base import BaseKernelKMeans, OutOfSamplePredictor
+from .base import (
+    SHARED_PARAM_SPECS,
+    BaseKernelKMeans,
+    OutOfSamplePredictor,
+    resolve_kernel,
+    shared_params,
+)
+from .params import ParamSpec, ParamsProtocol, check_is_fitted, clone
 from .sharded import DEFAULT_SHARD_DEVICES, ShardedBackend
 from .tiling import row_tiles, tiled_popcorn_distances_host, validate_tile_rows
 
 __all__ = [
+    "ParamSpec",
+    "ParamsProtocol",
+    "clone",
+    "check_is_fitted",
+    "shared_params",
+    "SHARED_PARAM_SPECS",
+    "resolve_kernel",
     "Backend",
     "HostBackend",
     "DeviceBackend",

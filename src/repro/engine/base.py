@@ -41,12 +41,13 @@ from ..errors import ConfigError, ShapeError
 from ..gpu.device import Device
 from ..gpu.spec import A100_80GB, DeviceSpec
 from .backends import Backend, DistanceStep, EngineState, get_backend
+from .params import ParamSpec, ParamsProtocol, check_is_fitted
 from .tiling import row_tiles, validate_tile_rows
 
 __all__ = ["OutOfSamplePredictor", "BaseKernelKMeans"]
 
 
-class OutOfSamplePredictor:
+class OutOfSamplePredictor(ParamsProtocol):
     """The engine-level out-of-sample prediction contract.
 
     Every estimator in the family mixes this in (the kernel estimators
@@ -88,8 +89,40 @@ class OutOfSamplePredictor:
     _support_v = None
 
     def _require_fitted(self) -> None:
-        if not hasattr(self, "labels_"):
-            raise ConfigError("estimator is not fitted; call fit() first")
+        check_is_fitted(self)
+
+    # ------------------------------------------------------------------
+    # the uniform fit-input contract
+    # ------------------------------------------------------------------
+    def _unsupported_fit_arg(self, name: str, value, why: str) -> None:
+        """Reject a uniform-contract fit input this estimator cannot honour.
+
+        Every estimator accepts the same ``fit(x=None, *,
+        kernel_matrix=None, init_labels=None, sample_weight=None)``
+        signature; inputs an algorithm has no use for are rejected with
+        an explanation instead of being silently ignored.
+        """
+        if value is not None:
+            raise ConfigError(
+                f"{type(self).__name__}.fit does not accept {name}: {why}"
+            )
+
+    def fit_predict(
+        self,
+        x: Optional[np.ndarray] = None,
+        *,
+        kernel_matrix: Optional[np.ndarray] = None,
+        init_labels: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Fit and return the final labels (one forwarding contract for
+        the whole family — estimator-local overrides are gone)."""
+        return self.fit(
+            x,
+            kernel_matrix=kernel_matrix,
+            init_labels=init_labels,
+            sample_weight=sample_weight,
+        ).labels_
 
     # ------------------------------------------------------------------
     # support-set plumbing
@@ -316,6 +349,67 @@ class OutOfSamplePredictor:
         return out
 
 
+def resolve_kernel(kernel):
+    """Kernel-parameter conversion: None -> the paper's polynomial kernel;
+    str -> registry lookup; Kernel instances pass through."""
+    from ..kernels import PolynomialKernel, kernel_by_name
+
+    if kernel is None:
+        return PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
+    if isinstance(kernel, str):
+        return kernel_by_name(kernel)
+    return kernel
+
+
+#: Reusable :class:`~repro.engine.params.ParamSpec` building blocks for the
+#: estimator family.  Each concrete estimator composes its full parameter
+#: surface from these via :func:`shared_params` (overriding defaults where
+#: its algorithm differs), so validation rules are written exactly once.
+SHARED_PARAM_SPECS = {
+    "n_clusters": ParamSpec("n_clusters", convert=int, low=1, required=True),
+    "backend": ParamSpec("backend", default="auto"),
+    "tile_rows": ParamSpec("tile_rows", default=None, convert=validate_tile_rows),
+    "max_iter": ParamSpec(
+        "max_iter", default=DEFAULT_CONFIG.max_iter, convert=int, low=1
+    ),
+    "tol": ParamSpec("tol", default=DEFAULT_CONFIG.tol, convert=float),
+    "check_convergence": ParamSpec("check_convergence", default=True, convert=bool),
+    "init": ParamSpec("init", default="random", choices=("random", "k-means++")),
+    "empty_cluster_policy": ParamSpec(
+        "empty_cluster_policy", default="keep", choices=("keep", "reseed")
+    ),
+    "seed": ParamSpec("seed", default=None),
+    "dtype": ParamSpec("dtype", default=np.float32, convert=np.dtype),
+    "device": ParamSpec("device", default=None),
+    "kernel": ParamSpec("kernel", default=None, convert=resolve_kernel),
+    "n_init": ParamSpec("n_init", default=5, convert=int, low=1),
+}
+
+
+def shared_params(*names: str, **overrides) -> tuple:
+    """Compose a ``_params`` tuple from :data:`SHARED_PARAM_SPECS`.
+
+    ``overrides`` maps a parameter name to a dict of
+    :class:`~repro.engine.params.ParamSpec` field replacements
+    (``max_iter={"default": 100}``).
+    """
+    import dataclasses
+
+    unused = set(overrides) - set(names)
+    if unused:
+        raise ConfigError(
+            f"shared_params override(s) {sorted(unused)} do not match any "
+            f"listed parameter name (listed: {list(names)})"
+        )
+    out = []
+    for name in names:
+        spec = SHARED_PARAM_SPECS[name]
+        if name in overrides:
+            spec = dataclasses.replace(spec, **overrides[name])
+        out.append(spec)
+    return tuple(out)
+
+
 class BaseKernelKMeans(OutOfSamplePredictor):
     """Common scaffolding for the kernel-k-means estimator family.
 
@@ -353,6 +447,36 @@ class BaseKernelKMeans(OutOfSamplePredictor):
     #: a tuple restricts to the named ones (e.g. host-only estimators)
     _supported_backends = None
 
+    #: class-level defaults for the engine knobs, so subclasses that
+    #: exclude one from their parameter surface (e.g. the baseline has no
+    #: row tiling, the spectral estimator owns its init) still satisfy the
+    #: attribute contract the shared fit loop reads
+    tile_rows = None
+    max_iter = DEFAULT_CONFIG.max_iter
+    tol = DEFAULT_CONFIG.tol
+    init = "random"
+    empty_cluster_policy = "keep"
+    check_convergence = True
+    seed = None
+    device = None
+    dtype = np.dtype(np.float32)
+    gram_method = "auto"
+    gram_threshold = None
+
+    _params = shared_params(
+        "n_clusters",
+        "backend",
+        "tile_rows",
+        "max_iter",
+        "tol",
+        "check_convergence",
+        "init",
+        "empty_cluster_policy",
+        "seed",
+        "dtype",
+        "device",
+    )
+
     def __init__(
         self,
         n_clusters: int,
@@ -366,47 +490,41 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         empty_cluster_policy: str = "keep",
         seed: Optional[int] = None,
         dtype=np.float32,
+        device: Device | DeviceSpec | None = None,
     ) -> None:
-        if n_clusters < 1:
-            raise ConfigError(f"n_clusters must be >= 1, got {n_clusters}")
-        if max_iter < 1:
-            raise ConfigError("max_iter must be >= 1")
-        if init not in ("random", "k-means++"):
-            raise ConfigError(f"init must be 'random' or 'k-means++', got {init!r}")
-        if empty_cluster_policy not in ("keep", "reseed"):
-            raise ConfigError(
-                f"empty_cluster_policy must be 'keep' or 'reseed', got {empty_cluster_policy!r}"
-            )
+        self._init_params(
+            n_clusters=n_clusters,
+            backend=backend,
+            tile_rows=tile_rows,
+            max_iter=max_iter,
+            tol=tol,
+            check_convergence=check_convergence,
+            init=init,
+            empty_cluster_policy=empty_cluster_policy,
+            seed=seed,
+            dtype=dtype,
+            device=device,
+        )
+
+    def _validate_params(self) -> None:
+        """Cross-parameter checks shared by the whole engine family."""
+        backend = self.backend
         if isinstance(backend, Backend):
             self._check_backend_supported(backend.name)
-        elif backend != "auto":
-            self._check_backend_supported(backend)
-            get_backend(backend)  # unknown names fail fast at construction
-        self.n_clusters = int(n_clusters)
-        self.backend = backend
-        self.tile_rows = validate_tile_rows(tile_rows)
-        self.max_iter = int(max_iter)
-        self.tol = float(tol)
-        self.check_convergence = bool(check_convergence)
-        self.init = init
-        self.empty_cluster_policy = empty_cluster_policy
-        self.seed = seed
-        self.dtype = np.dtype(dtype)
-        self._device_arg = None
-
-    # ------------------------------------------------------------------
-    # shared plumbing
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _resolve_kernel(kernel):
-        """None -> the paper's polynomial kernel; str -> registry lookup."""
-        from ..kernels import PolynomialKernel, kernel_by_name
-
-        if kernel is None:
-            return PolynomialKernel(gamma=1.0, coef0=1.0, degree=2)
-        if isinstance(kernel, str):
-            return kernel_by_name(kernel)
-        return kernel
+        elif isinstance(backend, str):
+            if backend != "auto":
+                self._check_backend_supported(backend)
+                get_backend(backend)  # unknown names fail fast at construction
+        else:
+            raise ConfigError(
+                f"backend must be a backend name or Backend instance, "
+                f"got {type(backend).__name__}"
+            )
+        device = getattr(self, "device", None)
+        if device is not None and not isinstance(device, (Device, DeviceSpec)):
+            raise ConfigError(
+                f"device must be a Device or DeviceSpec, got {type(device).__name__}"
+            )
 
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(DEFAULT_CONFIG.seed if self.seed is None else self.seed)
@@ -433,7 +551,7 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         return get_backend(name)
 
     def _make_device(self) -> Device:
-        dev = self._device_arg
+        dev = getattr(self, "device", None)
         if dev is None:
             return Device(A100_80GB)
         if isinstance(dev, DeviceSpec):
@@ -446,7 +564,7 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         """Open the backend for one fit (creating the device if needed)."""
         be = self._resolve_backend()
         device = self._make_device() if be.needs_device else None
-        if device is None and self._device_arg is not None:
+        if device is None and getattr(self, "device", None) is not None:
             raise ConfigError(
                 f"backend={be.name!r} does not run on a device; drop the device argument"
             )
@@ -542,7 +660,3 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         self.profiler_ = state.profiler
         self.backend_ = state.backend.name
         state.backend.finalize_results(state, self)
-
-    def fit_predict(self, *args, **kwargs) -> np.ndarray:
-        """Fit and return the final labels."""
-        return self.fit(*args, **kwargs).labels_

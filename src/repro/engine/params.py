@@ -1,0 +1,12 @@
+"""The engine's face of the introspectable-params protocol.
+
+The implementation lives in the dependency-free top-level module
+:mod:`repro.params` (the kernel classes adopt the same protocol and
+:mod:`repro.engine.backends` imports :mod:`repro.kernels`, so the
+protocol must sit below both); this module re-exports it under the
+engine namespace the estimator family documents.
+"""
+
+from ..params import ParamSpec, ParamsProtocol, check_is_fitted, clone
+
+__all__ = ["ParamSpec", "ParamsProtocol", "clone", "check_is_fitted"]

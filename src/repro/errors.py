@@ -52,6 +52,17 @@ class ConfigError(ReproError, ValueError):
     """An invalid configuration value was supplied."""
 
 
+class NotFittedError(ConfigError, AttributeError):
+    """A fitted-only operation was invoked on an unfitted estimator.
+
+    Raised by ``predict`` / ``predict_batch`` / :func:`check_is_fitted`
+    before ``fit`` has run.  Subclasses :class:`ConfigError` (callers that
+    catch configuration problems keep working) and ``AttributeError``
+    (the fitted attributes genuinely do not exist yet), mirroring the
+    scikit-learn convention.
+    """
+
+
 class DatasetError(ConfigError):
     """A dataset file or generator specification is invalid.
 

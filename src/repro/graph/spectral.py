@@ -40,8 +40,10 @@ from .._typing import as_matrix
 from ..baselines.lloyd import LloydKMeans
 from ..config import DEFAULT_CONFIG
 from ..core.weighted import WeightedPopcornKernelKMeans
-from ..engine.base import BaseKernelKMeans
+from ..engine.base import BaseKernelKMeans, shared_params
 from ..errors import ConfigError, ShapeError
+from ..estimators import register_estimator
+from ..params import ParamSpec
 from ..sparse import from_dense, spmm
 
 __all__ = [
@@ -210,12 +212,13 @@ def _cluster_adjacency(
         cand = WeightedPopcornKernelKMeans(
             n_clusters, max_iter=max_iter, seed=int(rng.integers(2**31)),
             backend=backend,
-        ).fit(k_mat, weights=w, init_labels=init)
+        ).fit(kernel_matrix=k_mat, sample_weight=w, init_labels=init)
         if best is None or cand.objective_ < best.objective_:
             best = cand
     return best
 
 
+@register_estimator("spectral")
 class SpectralKernelKMeans(BaseKernelKMeans):
     """Normalized-cut spectral clustering without dense eigendecomposition.
 
@@ -233,6 +236,25 @@ class SpectralKernelKMeans(BaseKernelKMeans):
 
     _default_backend = "host"
 
+    #: the normalized-cut pipeline is float64 with a fixed refinement tol
+    dtype = np.dtype(np.float64)
+    tol = 1e-6
+
+    _params = shared_params(
+        "n_clusters",
+        "backend",
+        "n_init",
+        "max_iter",
+        "seed",
+        n_init={"default": 4},
+        max_iter={"default": 100},
+    ) + (
+        ParamSpec("n_neighbors", default=10, convert=int, low=1),
+        ParamSpec("mode", default="distance", choices=("connectivity", "distance")),
+        ParamSpec("sigma", default=1.0, convert=float),
+        ParamSpec("power_iters", default=2000, convert=int, low=1),
+    )
+
     def __init__(
         self,
         n_clusters: int,
@@ -246,24 +268,54 @@ class SpectralKernelKMeans(BaseKernelKMeans):
         power_iters: int = 2000,
         seed: int | None = None,
     ) -> None:
-        super().__init__(
-            n_clusters,
+        self._init_params(
+            n_clusters=n_clusters,
+            n_neighbors=n_neighbors,
+            mode=mode,
+            sigma=sigma,
             backend=backend,
+            n_init=n_init,
             max_iter=max_iter,
-            tol=1e-6,
+            power_iters=power_iters,
             seed=seed,
-            dtype=np.float64,
         )
-        if n_init < 1:
-            raise ConfigError("n_init must be >= 1")
-        self.n_neighbors = int(n_neighbors)
-        self.mode = mode
-        self.sigma = float(sigma)
-        self.n_init = int(n_init)
-        self.power_iters = int(power_iters)
 
-    def fit(self, x: np.ndarray) -> "SpectralKernelKMeans":
-        """Cluster a point cloud through its kNN graph."""
+    def fit(
+        self,
+        x: Optional[np.ndarray] = None,
+        *,
+        kernel_matrix: Optional[np.ndarray] = None,
+        init_labels: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "SpectralKernelKMeans":
+        """Cluster a point cloud through its kNN graph.
+
+        ``kernel_matrix`` / ``init_labels`` / ``sample_weight`` are
+        rejected: the normalized-cut kernel and the point weights are
+        *derived* from the kNN graph (Dhillon et al.'s equivalence), and
+        initialisation comes from the power-iteration embedding — all
+        three are outputs of this pipeline, not inputs to it.
+        """
+        self._unsupported_fit_arg(
+            "kernel_matrix",
+            kernel_matrix,
+            "the normalized-cut kernel is built from the kNN affinity graph "
+            "(cluster a precomputed kernel with WeightedPopcornKernelKMeans)",
+        )
+        self._unsupported_fit_arg(
+            "init_labels",
+            init_labels,
+            "initialisation comes from the power-iteration spectral embedding "
+            "(random inits stall on normalized-cut kernels)",
+        )
+        self._unsupported_fit_arg(
+            "sample_weight",
+            sample_weight,
+            "the normalized-cut equivalence fixes the weights to the graph "
+            "degrees",
+        )
+        if x is None:
+            raise ShapeError("fit needs a point cloud x to build the kNN graph from")
         n = np.asarray(x).shape[0]
         g = knn_graph(x, self.n_neighbors, mode=self.mode)
         self.graph_ = g

@@ -21,12 +21,26 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from .._typing import as_matrix
-from ..errors import ShapeError
+from ..errors import ConfigError, ShapeError
+from ..params import ParamsProtocol
 
-__all__ = ["Kernel"]
+__all__ = ["Kernel", "positive_float"]
 
 
-class Kernel(ABC):
+def positive_float(name: str):
+    """A :class:`~repro.params.ParamSpec` converter for strictly positive
+    floats (the common kernel-hyperparameter constraint)."""
+
+    def convert(value) -> float:
+        value = float(value)
+        if value <= 0:
+            raise ConfigError(f"{name} must be positive, got {value!r}")
+        return value
+
+    return convert
+
+
+class Kernel(ParamsProtocol, ABC):
     """Abstract kernel function ``kappa(x, y)``.
 
     Attributes
@@ -97,9 +111,3 @@ class Kernel(ABC):
         xv = np.atleast_2d(np.asarray(x, dtype=np.float64))
         yv = np.atleast_2d(np.asarray(y, dtype=np.float64))
         return float(self.pairwise(xv, yv)[0, 0])
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        params = ", ".join(
-            f"{k}={v}" for k, v in sorted(vars(self).items()) if not k.startswith("_")
-        )
-        return f"{type(self).__name__}({params})"

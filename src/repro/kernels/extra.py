@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigError
-from .base import Kernel
+from ..params import ParamSpec
+from .base import Kernel, positive_float
 
 __all__ = ["CosineKernel", "RationalQuadraticKernel"]
 
@@ -64,11 +64,15 @@ class RationalQuadraticKernel(Kernel):
 
     flops_per_entry = 8.0
 
+    _params = (
+        ParamSpec("alpha", default=1.0, convert=positive_float("alpha")),
+        ParamSpec(
+            "length_scale", default=1.0, convert=positive_float("length_scale")
+        ),
+    )
+
     def __init__(self, alpha: float = 1.0, length_scale: float = 1.0) -> None:
-        if alpha <= 0 or length_scale <= 0:
-            raise ConfigError("alpha and length_scale must be positive")
-        self.alpha = float(alpha)
-        self.length_scale = float(length_scale)
+        self._init_params(alpha=alpha, length_scale=length_scale)
 
     def needs_diag(self) -> bool:
         return True

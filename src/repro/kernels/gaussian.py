@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigError
-from .base import Kernel
+from ..params import ParamSpec
+from .base import Kernel, positive_float
 
 __all__ = ["GaussianKernel"]
 
@@ -21,11 +21,13 @@ class GaussianKernel(Kernel):
 
     flops_per_entry = 8.0
 
+    _params = (
+        ParamSpec("gamma", default=1.0, convert=positive_float("gamma")),
+        ParamSpec("sigma2", default=1.0, convert=positive_float("sigma2")),
+    )
+
     def __init__(self, gamma: float = 1.0, sigma2: float = 1.0) -> None:
-        if gamma <= 0 or sigma2 <= 0:
-            raise ConfigError("gamma and sigma2 must be positive")
-        self.gamma = float(gamma)
-        self.sigma2 = float(sigma2)
+        self._init_params(gamma=gamma, sigma2=sigma2)
 
     def needs_diag(self) -> bool:
         return True

@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from .._typing import as_matrix
-from ..errors import ConfigError, ShapeError
-from .base import Kernel
+from ..errors import ShapeError
+from ..params import ParamSpec
+from .base import Kernel, positive_float
 
 __all__ = ["LaplacianKernel"]
 
@@ -23,10 +24,10 @@ class LaplacianKernel(Kernel):
     gram_expressible = False
     flops_per_entry = 8.0
 
+    _params = (ParamSpec("gamma", default=1.0, convert=positive_float("gamma")),)
+
     def __init__(self, gamma: float = 1.0) -> None:
-        if gamma <= 0:
-            raise ConfigError("gamma must be positive")
-        self.gamma = float(gamma)
+        self._init_params(gamma=gamma)
 
     def from_gram(self, b: np.ndarray, diag: np.ndarray | None = None) -> np.ndarray:
         raise ShapeError(

@@ -15,8 +15,8 @@ import math
 import numpy as np
 
 from .._typing import as_matrix
-from ..errors import ConfigError
-from .base import Kernel
+from ..params import ParamSpec
+from .base import Kernel, positive_float
 
 __all__ = ["PolynomialKernel"]
 
@@ -26,14 +26,14 @@ class PolynomialKernel(Kernel):
 
     flops_per_entry = 4.0
 
+    _params = (
+        ParamSpec("gamma", default=1.0, convert=positive_float("gamma")),
+        ParamSpec("coef0", default=1.0, convert=float),
+        ParamSpec("degree", default=2, convert=int, low=1),
+    )
+
     def __init__(self, gamma: float = 1.0, coef0: float = 1.0, degree: int = 2) -> None:
-        if degree < 1:
-            raise ConfigError("polynomial degree must be >= 1")
-        if gamma <= 0:
-            raise ConfigError("gamma must be positive")
-        self.gamma = float(gamma)
-        self.coef0 = float(coef0)
-        self.degree = int(degree)
+        self._init_params(gamma=gamma, coef0=coef0, degree=degree)
 
     def from_gram(self, b: np.ndarray, diag: np.ndarray | None = None) -> np.ndarray:
         # K = pow(gamma * B + c, r), elementwise and in place (Eq. 11)

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigError
-from .base import Kernel
+from ..params import ParamSpec
+from .base import Kernel, positive_float
 
 __all__ = ["SigmoidKernel"]
 
@@ -21,11 +21,13 @@ class SigmoidKernel(Kernel):
 
     flops_per_entry = 6.0
 
+    _params = (
+        ParamSpec("gamma", default=1.0, convert=positive_float("gamma")),
+        ParamSpec("coef0", default=0.0, convert=float),
+    )
+
     def __init__(self, gamma: float = 1.0, coef0: float = 0.0) -> None:
-        if gamma <= 0:
-            raise ConfigError("gamma must be positive")
-        self.gamma = float(gamma)
-        self.coef0 = float(coef0)
+        self._init_params(gamma=gamma, coef0=coef0)
 
     def from_gram(self, b: np.ndarray, diag: np.ndarray | None = None) -> np.ndarray:
         b *= b.dtype.type(self.gamma)

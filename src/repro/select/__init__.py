@@ -1,0 +1,34 @@
+"""Model selection over the estimator family (``repro.select``).
+
+The layer the uniform estimator API was built for: because every
+estimator exposes ``get_params`` / ``set_params`` / ``clone`` and can be
+constructed by registry name, hyperparameter search is generic —
+
+>>> from repro.select import GridSearchKernelKMeans
+>>> search = GridSearchKernelKMeans(
+...     "popcorn",
+...     {"n_clusters": [2, 3], "kernel__gamma": [0.5, 1.0]},
+...     cv=3, n_jobs=4,
+... ).fit(x, y)                                       # doctest: +SKIP
+>>> search.best_params_, search.best_score_           # doctest: +SKIP
+
+Candidate fits fan out process-parallel through the bench runner's
+worker pool; scoring uses :mod:`repro.eval.metrics` (ARI/NMI/purity/
+accuracy on held-out folds) or the fitted objective for label-free
+search.  The ``model_selection`` bench experiment tracks search
+throughput through the CI perf gate.
+"""
+
+from .search import (
+    SCORERS,
+    GridSearchKernelKMeans,
+    ParameterGrid,
+    cross_validate,
+)
+
+__all__ = [
+    "SCORERS",
+    "ParameterGrid",
+    "cross_validate",
+    "GridSearchKernelKMeans",
+]

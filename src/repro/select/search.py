@@ -1,0 +1,385 @@
+"""Grid search and cross-validation over the estimator family.
+
+Everything here is built on the two protocols the API redesign
+introduced: candidates are produced with :func:`repro.params.clone` +
+``set_params`` (never by re-encoding constructor kwargs), estimators may
+be named registry keys (:func:`repro.estimators.make_estimator`), and the
+candidate fits fan out process-parallel through the same worker pool the
+bench runner uses (:func:`repro.bench.runner.pool_map`).
+
+Scoring uses :mod:`repro.eval.metrics` when ground-truth labels are
+supplied (``ari`` / ``nmi`` / ``purity`` / ``accuracy`` on the held-out
+fold's predictions) and the fitted clustering objective when they are not
+(``objective``: the negated final objective / inertia, so *higher is
+better* uniformly and ``best_score_`` is always a max).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, NotFittedError
+from ..estimators import make_estimator
+from ..params import ParamsProtocol, check_is_fitted, clone
+
+__all__ = [
+    "SCORERS",
+    "ParameterGrid",
+    "cross_validate",
+    "GridSearchKernelKMeans",
+]
+
+
+def _score_objective(est, x_test, y_test) -> float:
+    """Label-free score: the negated fitted objective (higher = better)."""
+    objective = getattr(est, "objective_", None)
+    if objective is None:
+        objective = getattr(est, "inertia_", None)
+    if objective is None:
+        raise ConfigError(
+            f"{type(est).__name__} exposes neither objective_ nor inertia_; "
+            "pass ground-truth labels y and a metric scorer instead"
+        )
+    return -float(objective)
+
+
+def _metric_scorer(metric: Callable[[np.ndarray, np.ndarray], float]):
+    def score(est, x_test, y_test) -> float:
+        return float(metric(y_test, est.predict(x_test)))
+
+    return score
+
+
+def _scorers() -> Dict[str, Callable]:
+    from ..eval import (
+        adjusted_rand_index,
+        clustering_accuracy,
+        normalized_mutual_info,
+        purity,
+    )
+
+    return {
+        "ari": _metric_scorer(adjusted_rand_index),
+        "nmi": _metric_scorer(normalized_mutual_info),
+        "purity": _metric_scorer(purity),
+        "accuracy": _metric_scorer(clustering_accuracy),
+        "objective": _score_objective,
+    }
+
+
+#: scorer name -> ``score(fitted_est, x_test, y_test) -> float`` (higher
+#: is better everywhere; ``objective`` negates the minimised objective)
+SCORERS = _scorers()
+
+
+def _resolve_scoring(scoring: Optional[str], y) -> Tuple[str, Callable]:
+    if scoring is None:
+        scoring = "objective" if y is None else "ari"
+    score_fn = SCORERS.get(scoring)
+    if score_fn is None:
+        raise ConfigError(
+            f"unknown scoring {scoring!r}; available: {sorted(SCORERS)}"
+        )
+    if scoring != "objective" and y is None:
+        raise ConfigError(
+            f"scoring={scoring!r} needs ground-truth labels y "
+            "(label-free search uses scoring='objective')"
+        )
+    return scoring, score_fn
+
+
+class ParameterGrid:
+    """Iterate every combination of a ``{name: [values...]}`` grid.
+
+    Accepts a single mapping or a sequence of mappings (each expanded
+    independently and concatenated, the sklearn convention); parameter
+    names may use the nested ``kernel__gamma`` form, which ``set_params``
+    resolves.
+    """
+
+    def __init__(self, grid) -> None:
+        if isinstance(grid, Mapping):
+            grid = [grid]
+        self.grid: List[Mapping] = list(grid)
+        for sub in self.grid:
+            if not isinstance(sub, Mapping):
+                raise ConfigError("param_grid must be a mapping or a list of mappings")
+            for name, values in sub.items():
+                # any sized non-string iterable works (lists, tuples,
+                # np.linspace arrays — the canonical sweep inputs)
+                if isinstance(values, (str, Mapping)) or not hasattr(values, "__len__"):
+                    raise ConfigError(
+                        f"param_grid[{name!r}] must be a sequence of candidate "
+                        f"values, got {values!r}"
+                    )
+                if len(values) == 0:
+                    raise ConfigError(f"param_grid[{name!r}] is empty")
+
+    def __iter__(self):
+        for sub in self.grid:
+            names = sorted(sub)
+            for combo in itertools.product(*(sub[name] for name in names)):
+                yield dict(zip(names, combo))
+
+    def __len__(self) -> int:
+        return sum(
+            int(np.prod([len(v) for v in sub.values()])) if sub else 1
+            for sub in self.grid
+        )
+
+
+def _build_candidate(estimator, params: Dict[str, object]):
+    """A fresh unfitted estimator for one parameter combination."""
+    if isinstance(estimator, str):
+        # constructors have no double-underscore resolution: construct
+        # from the flat params, then route nested names (kernel__gamma)
+        # through set_params like the instance-template path does
+        flat = {k: v for k, v in params.items() if "__" not in k}
+        nested = {k: v for k, v in params.items() if "__" in k}
+        candidate = make_estimator(estimator, **flat)
+        return candidate.set_params(**nested) if nested else candidate
+    if not isinstance(estimator, ParamsProtocol):
+        raise ConfigError(
+            f"estimator must be a registry name or a params-protocol "
+            f"estimator, got {type(estimator).__name__}"
+        )
+    return clone(estimator).set_params(**params)
+
+
+def _fold_indices(
+    n: int, cv: int, seed: Optional[int]
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """``cv`` shuffled (train, test) row splits of ``range(n)``."""
+    if cv < 2:
+        raise ConfigError(f"cv must be >= 2, got {cv}")
+    if cv > n:
+        raise ConfigError(f"cv={cv} exceeds the number of rows n={n}")
+    order = np.random.default_rng(0 if seed is None else seed).permutation(n)
+    folds = np.array_split(order, cv)
+    out = []
+    for i, test in enumerate(folds):
+        train = np.concatenate([folds[j] for j in range(cv) if j != i])
+        out.append((np.sort(train), np.sort(test)))
+    return out
+
+
+#: per-process search inputs, installed once by :func:`_init_search_data`
+#: (a pool initializer) so the dataset is pickled once per worker rather
+#: than once per (candidate x fold) task
+_SEARCH_DATA: Dict[str, Optional[np.ndarray]] = {"x": None, "y": None}
+
+
+def _init_search_data(x: np.ndarray, y: Optional[np.ndarray]) -> None:
+    _SEARCH_DATA["x"] = x
+    _SEARCH_DATA["y"] = y
+
+
+def _pool_fit_and_score(tasks, n_jobs: int, x, y) -> list:
+    """Fan the fit/score tasks out; never retain the data past the call.
+
+    The initializer installs ``x``/``y`` once per worker process (and
+    once inline on the serial path); the parent-side reference is cleared
+    afterwards so a large search dataset does not outlive the search.
+    """
+    from ..bench.runner import pool_map
+
+    try:
+        return pool_map(
+            _fit_and_score, tasks, n_jobs, initializer=_init_search_data, initargs=(x, y)
+        )
+    finally:
+        _SEARCH_DATA["x"] = None
+        _SEARCH_DATA["y"] = None
+
+
+def _fit_and_score(task):
+    """Pool worker: fit one unfitted candidate on one fold and score it.
+
+    Module-level so :func:`repro.bench.runner.pool_map` can ship it to a
+    worker process; only the (small) unfitted estimator, index arrays,
+    and the scorer name cross the boundary per task — the data arrive
+    once per worker through :func:`_init_search_data`, and a fitted model
+    never crosses at all.
+    """
+    est, train, test, scoring = task
+    x, y = _SEARCH_DATA["x"], _SEARCH_DATA["y"]
+    score_fn = SCORERS[scoring]
+    t0 = time.perf_counter()
+    est.fit(x[train])
+    fit_time = time.perf_counter() - t0
+    score = score_fn(est, x[test], None if y is None else y[test])
+    return float(score), fit_time, int(getattr(est, "n_iter_", 0))
+
+
+def cross_validate(
+    estimator,
+    x: np.ndarray,
+    y: Optional[np.ndarray] = None,
+    *,
+    cv: int = 3,
+    scoring: Optional[str] = None,
+    n_jobs: int = 1,
+    seed: Optional[int] = 0,
+) -> Dict[str, object]:
+    """Score ``estimator`` across ``cv`` shuffled row folds.
+
+    Each fold clones the estimator (:func:`repro.params.clone` — the
+    original is never mutated), fits the training rows, and scores the
+    held-out rows (metric scorers) or the fitted objective
+    (``scoring="objective"``).  ``n_jobs > 1`` fans the fold fits out
+    process-parallel.  Returns ``{"test_score", "fit_time", "n_iter",
+    "mean_test_score", "std_test_score", "scoring"}``.
+    """
+    x = np.asarray(x)
+    if y is not None:
+        y = np.asarray(y)
+        if y.shape[0] != x.shape[0]:
+            raise ConfigError(
+                f"y has {y.shape[0]} labels for {x.shape[0]} rows"
+            )
+    scoring, _ = _resolve_scoring(scoring, y)
+    tasks = [
+        (_build_candidate(estimator, {}), train, test, scoring)
+        for train, test in _fold_indices(x.shape[0], cv, seed)
+    ]
+    results = _pool_fit_and_score(tasks, n_jobs, x, y)
+    scores = np.array([r[0] for r in results])
+    return {
+        "test_score": scores,
+        "fit_time": np.array([r[1] for r in results]),
+        "n_iter": np.array([r[2] for r in results]),
+        "mean_test_score": float(scores.mean()),
+        "std_test_score": float(scores.std()),
+        "scoring": scoring,
+    }
+
+
+class GridSearchKernelKMeans:
+    """Exhaustive parameter search over any registered (or protocol)
+    estimator, with clone-based candidates and process-parallel fits.
+
+    Parameters
+    ----------
+    estimator:
+        A params-protocol estimator instance (the template every
+        candidate is cloned from) or a registry name (``"popcorn"`` —
+        candidates then come from :func:`repro.estimators.make_estimator`,
+        so the grid must cover required parameters like ``n_clusters``).
+    param_grid:
+        ``{name: [values...]}`` (or a list of such mappings).  Nested
+        ``kernel__gamma`` names reach into kernel hyperparameters.
+    scoring:
+        A :data:`SCORERS` name; defaults to ``"ari"`` when ``fit`` gets
+        ground-truth labels and ``"objective"`` otherwise.
+    cv:
+        Shuffled row folds per candidate (>= 2).
+    n_jobs:
+        Process-parallel width for the candidate x fold fan-out
+        (:func:`repro.bench.runner.pool_map`).
+    refit:
+        When True (default), refit the best candidate on the full data;
+        ``best_estimator_`` / ``predict`` then work.
+
+    Attributes (after ``fit``)
+    --------------------------
+    cv_results_ : dict of per-candidate arrays (``params``,
+        ``mean_test_score``, ``std_test_score``, ``split<i>_test_score``,
+        ``mean_fit_time``, ``rank_test_score``).
+    best_index_, best_params_, best_score_ : the winning candidate.
+    best_estimator_ : the refitted winner (``refit=True`` only).
+    n_candidates_, n_fits_ : search size accounting.
+    """
+
+    def __init__(
+        self,
+        estimator,
+        param_grid,
+        *,
+        scoring: Optional[str] = None,
+        cv: int = 3,
+        n_jobs: int = 1,
+        refit: bool = True,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.estimator = estimator
+        self.param_grid = ParameterGrid(param_grid)
+        if scoring is not None and scoring not in SCORERS:
+            raise ConfigError(
+                f"unknown scoring {scoring!r}; available: {sorted(SCORERS)}"
+            )
+        self.scoring = scoring
+        self.cv = int(cv)
+        self.n_jobs = int(n_jobs)
+        self.refit = bool(refit)
+        self.seed = seed
+
+    def fit(
+        self, x: np.ndarray, y: Optional[np.ndarray] = None
+    ) -> "GridSearchKernelKMeans":
+        """Run the search: every candidate x every fold, best mean wins."""
+        x = np.asarray(x)
+        if y is not None:
+            y = np.asarray(y)
+            if y.shape[0] != x.shape[0]:
+                raise ConfigError(f"y has {y.shape[0]} labels for {x.shape[0]} rows")
+        scoring, _ = _resolve_scoring(self.scoring, y)
+        candidates = list(self.param_grid)
+        if not candidates:
+            raise ConfigError("param_grid expands to zero candidates")
+        folds = _fold_indices(x.shape[0], self.cv, self.seed)
+
+        # one flat task list (candidate x fold) so a single pool_map keeps
+        # every worker busy even when folds outnumber candidates; the data
+        # ship once per worker via the pool initializer, not per task
+        tasks = [
+            (_build_candidate(self.estimator, params), train, test, scoring)
+            for params in candidates
+            for train, test in folds
+        ]
+        t0 = time.perf_counter()
+        results = _pool_fit_and_score(tasks, self.n_jobs, x, y)
+        self.search_time_s_ = time.perf_counter() - t0
+
+        n_folds = len(folds)
+        scores = np.array([r[0] for r in results]).reshape(len(candidates), n_folds)
+        fit_times = np.array([r[1] for r in results]).reshape(len(candidates), n_folds)
+        means = scores.mean(axis=1)
+        # rank 1 = best; ties share the better rank (competition ranking)
+        ranks = np.array(
+            [1 + int((means > m).sum()) for m in means], dtype=np.int32
+        )
+        self.cv_results_ = {
+            "params": candidates,
+            "mean_test_score": means,
+            "std_test_score": scores.std(axis=1),
+            **{f"split{i}_test_score": scores[:, i] for i in range(n_folds)},
+            "mean_fit_time": fit_times.mean(axis=1),
+            "rank_test_score": ranks,
+        }
+        self.scoring_ = scoring
+        self.n_candidates_ = len(candidates)
+        self.n_fits_ = len(tasks)
+        self.best_index_ = int(np.argmax(means))
+        self.best_score_ = float(means[self.best_index_])
+        self.best_params_ = dict(candidates[self.best_index_])
+        if self.refit:
+            best = _build_candidate(self.estimator, self.best_params_)
+            t0 = time.perf_counter()
+            best.fit(x)
+            self.refit_time_s_ = time.perf_counter() - t0
+            self.best_estimator_ = best
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Delegate to the refitted best estimator."""
+        check_is_fitted(self, ("best_index_",))
+        if not self.refit:
+            raise NotFittedError(
+                "GridSearchKernelKMeans was built with refit=False; "
+                "no best_estimator_ to predict with"
+            )
+        return self.best_estimator_.predict(x)

@@ -30,13 +30,26 @@ import numpy as np
 
 from ..data import load_dataset, make_random
 from ..errors import ReproError
+from ..estimators import filter_params, make_estimator
 from ..reporting import format_table
 from .persist import inspect_model, load_model, save_model
 from .service import PredictionService
 
 __all__ = ["build_parser", "main"]
 
-_SAVE_MODELS = ("popcorn", "baseline", "nystrom", "lloyd", "elkan", "onthefly")
+#: estimators whose fit contract the generic save path can drive from a
+#: plain point matrix (the spectral/weighted estimators need a graph or a
+#: precomputed kernel — save those programmatically via save_model)
+_SAVE_MODELS = (
+    "popcorn",
+    "baseline",
+    "nystrom",
+    "lloyd",
+    "elkan",
+    "onthefly",
+    "prmlt",
+    "distributed",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,15 +117,18 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 
 def _fit_model(args):
-    from ..approx import NystromKernelKMeans
-    from ..baselines import BaselineCUDAKernelKMeans, ElkanKMeans, LloydKMeans
-    from ..core import OnTheFlyKernelKMeans, PopcornKernelKMeans
+    """Registry-driven construction: no estimator-class switch anywhere.
+
+    The CLI offers one flag set for every model; flags an estimator does
+    not declare in its parameter surface (``kernel`` for Lloyd/Elkan,
+    ``tile_rows`` for most) are simply not forwarded.
+    """
+    from ..errors import ConfigError
 
     if args.input:
         x, _ = load_dataset(args.input)
     else:
         x, _ = make_random(args.n, args.d, rng=args.seed)
-    from ..errors import ConfigError
 
     backend = args.backend
     if args.devices is not None:
@@ -121,30 +137,15 @@ def _fit_model(args):
         if backend not in ("auto", "sharded"):
             raise ConfigError(f"--devices conflicts with --backend {backend}")
         backend = f"sharded:{args.devices}"
-    if args.model == "popcorn":
-        est = PopcornKernelKMeans(
-            args.k, kernel=args.kernel, backend=backend,
-            tile_rows=args.tile_rows, max_iter=args.max_iter, seed=args.seed,
-        )
-    elif args.model == "baseline":
-        est = BaselineCUDAKernelKMeans(
-            args.k, kernel=args.kernel, backend=backend,
-            max_iter=args.max_iter, seed=args.seed,
-        )
-    elif args.model == "nystrom":
-        est = NystromKernelKMeans(
-            args.k, kernel=args.kernel, backend=backend,
-            max_iter=args.max_iter, seed=args.seed,
-        )
-    elif args.model == "lloyd":
-        est = LloydKMeans(args.k, backend=backend, max_iter=args.max_iter, seed=args.seed)
-    elif args.model == "elkan":
-        est = ElkanKMeans(args.k, backend=backend, max_iter=args.max_iter, seed=args.seed)
-    else:  # onthefly
-        est = OnTheFlyKernelKMeans(
-            args.k, kernel=args.kernel, backend=backend,
-            max_iter=args.max_iter, seed=args.seed,
-        )
+    offered = {
+        "n_clusters": args.k,
+        "kernel": args.kernel,
+        "backend": backend,
+        "tile_rows": args.tile_rows,
+        "max_iter": args.max_iter,
+        "seed": args.seed,
+    }
+    est = make_estimator(args.model, **filter_params(args.model, offered))
     return est.fit(x), x.shape
 
 
@@ -153,7 +154,7 @@ def _cmd_save(args) -> int:
     path = save_model(model, args.output)
     meta = inspect_model(path)
     print(
-        f"saved {meta['estimator']} (k={meta['n_clusters']}, trained on "
+        f"saved {meta['estimator']} (k={meta['params']['n_clusters']}, trained on "
         f"n={n} d={d}) to {path} [{meta['file_bytes']} bytes]"
     )
     return 0
@@ -162,18 +163,27 @@ def _cmd_save(args) -> int:
 def _cmd_load(args) -> int:
     meta = inspect_model(args.model)
     fit = meta.get("fit") or {}
-    kern = meta.get("kernel")
+    params = meta.get("params") or {}
+    kern = params.get("kernel")
     rows = [
         ("estimator", meta["estimator"]),
         ("schema version", meta["schema_version"]),
-        ("n_clusters", meta["n_clusters"]),
-        ("dtype", meta.get("dtype") or "-"),
-        ("kernel", kern["name"] if kern else "-"),
-        ("kernel params", json.dumps(kern["params"]) if kern else "-"),
+        ("n_clusters", params.get("n_clusters", "-")),
+        ("kernel", kern["name"] if isinstance(kern, dict) else "-"),
+        (
+            "kernel params",
+            json.dumps(kern.get("params", {})) if isinstance(kern, dict) else "-",
+        ),
         ("fit iterations", fit.get("n_iter") if fit.get("n_iter") is not None else "-"),
         ("fit objective", fit.get("objective") if fit.get("objective") is not None else "-"),
         ("fit backend", fit.get("backend") or "-"),
         ("file bytes", meta["file_bytes"]),
+    ]
+    rows += [
+        (f"param {name}", json.dumps(value))
+        for name, value in sorted(params.items())
+        if name not in ("n_clusters", "kernel") and value is not None
+        and not isinstance(value, dict)
     ]
     rows += [
         (f"array {key}", f"{info['shape']} {info['dtype']}")

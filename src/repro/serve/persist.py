@@ -9,19 +9,25 @@ artifacts are safe to exchange and the array payloads round-trip
 **bit-exactly**: ``load_model(save_model(est, p)).predict(q)`` is
 bit-identical to ``est.predict(q)`` (tested property).
 
-Header schema (``MODEL_SCHEMA_VERSION`` = 1)::
+Header schema (``MODEL_SCHEMA_VERSION`` = 2)::
 
     {
       "format": "repro-serve-model",
-      "schema_version": 1,
-      "estimator": "<class name>",          # whitelisted, see _ESTIMATOR_MODULES
-      "n_clusters": int,
-      "dtype": "float32" | "float64" | null,
-      "kernel": {"name": str, "params": {...}} | null,
+      "schema_version": 2,
+      "estimator": "<registry name>",       # repro.estimators key, e.g. "popcorn"
+      "params": {...},                      # JSON-encoded get_params() of the fit
       "fit": {"n_iter": int|null, "objective": float|null,
               "converged": bool|null, "backend": str|null},
       "arrays": [<npz keys present>, ...]
     }
+
+Since schema version 2 the header is **registry-driven**: ``estimator``
+is the :mod:`repro.estimators` registry key and ``params`` is the
+estimator's introspected configuration
+(:func:`repro.estimators.estimator_config`), so loading reconstructs the
+exact estimator through :func:`~repro.estimators.make_estimator` —
+there is no estimator-class switch statement anywhere, and a newly
+registered estimator gets persistence for free.
 
 Loading rejects non-artifacts, unknown estimator names, and any
 ``schema_version`` other than the current one with a clear
@@ -30,16 +36,15 @@ Loading rejects non-artifacts, unknown estimator names, and any
 
 from __future__ import annotations
 
-import importlib
 import json
 import os
 import zipfile
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
 from ..errors import ConfigError
-from ..kernels import Kernel, kernel_by_name
+from ..estimators import estimator_config, estimator_from_config
 
 __all__ = [
     "MODEL_FORMAT",
@@ -50,21 +55,7 @@ __all__ = [
 ]
 
 MODEL_FORMAT = "repro-serve-model"
-MODEL_SCHEMA_VERSION = 1
-
-#: estimator classes an artifact may name, and where they live
-_ESTIMATOR_MODULES: Dict[str, str] = {
-    "PopcornKernelKMeans": "repro.core",
-    "OnTheFlyKernelKMeans": "repro.core",
-    "WeightedPopcornKernelKMeans": "repro.core",
-    "BaselineCUDAKernelKMeans": "repro.baselines",
-    "PRMLTKernelKMeans": "repro.baselines",
-    "LloydKMeans": "repro.baselines",
-    "ElkanKMeans": "repro.baselines",
-    "NystromKernelKMeans": "repro.approx",
-    "DistributedPopcornKernelKMeans": "repro.distributed",
-    "SpectralKernelKMeans": "repro.graph",
-}
+MODEL_SCHEMA_VERSION = 2
 
 #: npz key -> estimator attribute; every key is optional except
 #: ``labels``/``c_norms`` (the engine predict contract's minimum).
@@ -81,43 +72,9 @@ _ARRAY_ATTRS = (
     ("landmarks", "landmarks_"),
 )
 
-#: estimators whose public ``centers_`` is the persisted support_centers
-_CENTERS_ALIASED = ("LloydKMeans", "ElkanKMeans")
-
-
-def _canonical_kernel_names() -> Dict[type, str]:
-    """Reverse of the kernel name registry (first, canonical name wins)."""
-    from ..kernels import _BY_NAME
-
-    out: Dict[type, str] = {}
-    for name, cls in _BY_NAME.items():
-        out.setdefault(cls, name)
-    return out
-
-
-def _kernel_config(kernel) -> Optional[dict]:
-    if kernel is None:
-        return None
-    if not isinstance(kernel, Kernel):
-        raise ConfigError(f"cannot persist non-Kernel attribute {type(kernel).__name__}")
-    names = _canonical_kernel_names()
-    name = names.get(type(kernel))
-    if name is None:
-        raise ConfigError(
-            f"cannot persist custom kernel {type(kernel).__name__}; only kernels "
-            "registered in repro.kernels.kernel_by_name are serialisable"
-        )
-    params = {k: v for k, v in vars(kernel).items() if not k.startswith("_")}
-    return {"name": name, "params": params}
-
-
-def _kernel_from_config(cfg: Optional[dict]):
-    if cfg is None:
-        return None
-    try:
-        return kernel_by_name(cfg["name"], **cfg.get("params", {}))
-    except (KeyError, TypeError, ValueError) as exc:
-        raise ConfigError(f"model artifact names an unloadable kernel: {exc}") from exc
+#: estimators (by registry name) whose public ``centers_`` is the
+#: persisted support_centers
+_CENTERS_ALIASED = ("lloyd", "elkan")
 
 
 def _fit_metadata(model) -> dict:
@@ -137,22 +94,23 @@ def _fit_metadata(model) -> dict:
 def save_model(model, path: str) -> str:
     """Persist a fitted estimator as a versioned ``.npz`` artifact.
 
-    Returns the path written.  The estimator must be fitted and
-    predict-capable (the engine contract's support set present); custom
-    estimator or kernel classes outside the whitelist are rejected.
+    Returns the path written.  The estimator must be fitted,
+    predict-capable (the engine contract's support set present), and
+    registered in :mod:`repro.estimators`; custom estimator or kernel
+    classes outside the registries are rejected.
     """
-    name = type(model).__name__
-    if name not in _ESTIMATOR_MODULES:
-        known = ", ".join(sorted(_ESTIMATOR_MODULES))
-        raise ConfigError(f"cannot persist {name}; serialisable estimators: {known}")
+    try:
+        config = estimator_config(model)  # rejects unregistered classes
+    except ConfigError as exc:
+        raise ConfigError(f"cannot persist {type(model).__name__}: {exc}") from exc
     if not hasattr(model, "labels_"):
         raise ConfigError("estimator is not fitted; call fit() before save_model")
     if getattr(model, "_c_norms", None) is None and getattr(
         model, "_support_centers", None
     ) is None:
         raise ConfigError(
-            f"{name} carries no out-of-sample support set; refit with this "
-            "version of the package before saving"
+            f"{config['estimator']} carries no out-of-sample support set; refit "
+            "with this version of the package before saving"
         )
 
     arrays: Dict[str, np.ndarray] = {}
@@ -161,14 +119,11 @@ def save_model(model, path: str) -> str:
         if val is not None:
             arrays[key] = np.asarray(val)
 
-    dtype = getattr(model, "dtype", None)
     meta = {
         "format": MODEL_FORMAT,
         "schema_version": MODEL_SCHEMA_VERSION,
-        "estimator": name,
-        "n_clusters": int(model.n_clusters),
-        "dtype": None if dtype is None else np.dtype(dtype).name,
-        "kernel": _kernel_config(getattr(model, "kernel", None)),
+        "estimator": config["estimator"],
+        "params": config["params"],
         "fit": _fit_metadata(model),
         "arrays": sorted(arrays),
     }
@@ -205,7 +160,8 @@ def _read_artifact(path: str):
         npz.close()
         raise ConfigError(
             f"{path}: model schema version {got!r} is not supported by this "
-            f"package (expected {MODEL_SCHEMA_VERSION}); re-save the model"
+            f"package (expected {MODEL_SCHEMA_VERSION}); refit the estimator "
+            "with this version and save_model it again"
         )
     return meta, npz
 
@@ -213,27 +169,19 @@ def _read_artifact(path: str):
 def load_model(path: str):
     """Reconstruct a fitted, predict-capable estimator from an artifact.
 
-    The estimator is rebuilt without re-running ``__init__`` (the fit
-    already validated its configuration); all arrays load bit-exactly,
-    so ``predict`` is bit-identical to the estimator that was saved.
+    The estimator is rebuilt through the registry
+    (:func:`repro.estimators.make_estimator` on the persisted
+    ``(estimator, params)`` header — its configuration re-validates on the
+    way in); all arrays load bit-exactly, so ``predict`` is bit-identical
+    to the estimator that was saved.
     """
     meta, npz = _read_artifact(path)
     try:
-        name = meta["estimator"]
-        module = _ESTIMATOR_MODULES.get(name)
-        if module is None:
-            known = ", ".join(sorted(_ESTIMATOR_MODULES))
-            raise ConfigError(
-                f"{path}: unknown estimator {name!r}; loadable estimators: {known}"
-            )
-        cls = getattr(importlib.import_module(module), name)
-        model = cls.__new__(cls)
-        model.n_clusters = int(meta["n_clusters"])
-        if meta.get("dtype"):
-            model.dtype = np.dtype(meta["dtype"])
-        kernel = _kernel_from_config(meta.get("kernel"))
-        if kernel is not None:
-            model.kernel = kernel
+        name = meta.get("estimator")
+        try:
+            model = estimator_from_config(name, meta.get("params"))
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: unknown estimator config: {exc}") from exc
         fit = meta.get("fit") or {}
         if fit.get("n_iter") is not None:
             model.n_iter_ = int(fit["n_iter"])

@@ -144,5 +144,5 @@ class TestPRMLTSpecifics:
     def test_precomputed_kernel_path(self, rng):
         x = rng.standard_normal((20, 3))
         km = PolynomialKernel().pairwise(x)
-        m = PRMLTKernelKMeans(2, seed=0, max_iter=3).fit(kernel_matrix_precomputed=km)
+        m = PRMLTKernelKMeans(2, seed=0, max_iter=3).fit(kernel_matrix=km)
         assert m.labels_.shape == (20,)

@@ -1,4 +1,4 @@
-"""Registry discoverability + quick-mode runnability of all 19 experiments."""
+"""Registry discoverability + quick-mode runnability of all 20 experiments."""
 
 import pytest
 
@@ -34,13 +34,14 @@ EXPECTED_IDS = {
     "ext_strong_scaling",
     "ext_engine_tiling",
     "serve_throughput",
+    "model_selection",
 }
 
 
 class TestDiscovery:
-    def test_all_19_experiments_registered(self):
+    def test_all_20_experiments_registered(self):
         assert set(experiment_ids()) == EXPECTED_IDS
-        assert len(experiment_ids()) == 19
+        assert len(experiment_ids()) == 20
 
     def test_paper_order(self):
         ids = experiment_ids()

@@ -54,8 +54,8 @@ FAMILY = {
     "weighted": lambda backend, x: WeightedPopcornKernelKMeans(
         3, backend=backend, seed=0
     ).fit(
-        kernel_matrix(x, PolynomialKernel()),
-        weights=np.linspace(0.5, 2.0, x.shape[0]),
+        kernel_matrix=kernel_matrix(x, PolynomialKernel()),
+        sample_weight=np.linspace(0.5, 2.0, x.shape[0]),
     ),
     "distributed": lambda backend, x: DistributedPopcornKernelKMeans(
         3, backend=backend, n_devices=3, dtype=np.float64, max_iter=8, seed=0

@@ -147,10 +147,10 @@ class TestCrossBackendEquivalence:
         w = rng.uniform(0.2, 4.0, n)
         init = random_labels(n, k, rng)
         host = WeightedPopcornKernelKMeans(k, backend="host").fit(
-            km, weights=w, init_labels=init
+            kernel_matrix=km, sample_weight=w, init_labels=init
         )
         dev = WeightedPopcornKernelKMeans(k, backend="device").fit(
-            km, weights=w, init_labels=init
+            kernel_matrix=km, sample_weight=w, init_labels=init
         )
         assert np.array_equal(host.labels_, dev.labels_)
         assert dev.objective_ == pytest.approx(host.objective_)

@@ -82,7 +82,7 @@ class TestInheritedBehaviour:
 
     def test_weighted_reports_engine_attributes(self, small_kernel_matrix):
         km, labels, k = small_kernel_matrix
-        m = WeightedPopcornKernelKMeans(k, seed=0).fit(km)
+        m = WeightedPopcornKernelKMeans(k, seed=0).fit(kernel_matrix=km)
         assert m.backend_ == "host"
         assert m.convergence_reason_ in (
             "", "assignments stable", "objective improvement below tol"

@@ -1,0 +1,187 @@
+"""The model-selection layer: grid expansion, CV scoring, search semantics."""
+
+import numpy as np
+import pytest
+
+from repro import PopcornKernelKMeans, clone
+from repro.data import make_blobs, make_circles
+from repro.errors import ConfigError, NotFittedError
+from repro.kernels import GaussianKernel
+from repro.select import (
+    SCORERS,
+    GridSearchKernelKMeans,
+    ParameterGrid,
+    cross_validate,
+)
+
+
+def _circles(n=200, seed=0):
+    x, y = make_circles(n, rng=seed)
+    return x, y
+
+
+class TestParameterGrid:
+    def test_product_expansion(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        combos = list(grid)
+        assert len(combos) == len(grid) == 6
+        assert {"a": 1, "b": "z"} in combos
+
+    def test_list_of_grids_concatenates(self):
+        grid = ParameterGrid([{"a": [1]}, {"b": [2, 3]}])
+        assert list(grid) == [{"a": 1}, {"b": 2}, {"b": 3}]
+
+    def test_scalar_values_rejected(self):
+        with pytest.raises(ConfigError, match="sequence"):
+            ParameterGrid({"a": 1})
+        with pytest.raises(ConfigError, match="sequence"):
+            ParameterGrid({"a": "host"})
+        with pytest.raises(ConfigError, match="empty"):
+            ParameterGrid({"a": []})
+
+
+class TestCrossValidate:
+    def test_supervised_scoring_uses_heldout_predictions(self):
+        x, y = make_blobs(60, 3, 3, rng=0)
+        result = cross_validate(
+            PopcornKernelKMeans(3, dtype=np.float64, seed=0, max_iter=10),
+            x,
+            y,
+            cv=3,
+        )
+        assert result["scoring"] == "ari"
+        assert result["test_score"].shape == (3,)
+        assert result["mean_test_score"] > 0.5  # blobs are easy
+
+    def test_label_free_scoring_defaults_to_objective(self):
+        x, _ = make_blobs(50, 3, 2, rng=1)
+        result = cross_validate(PopcornKernelKMeans(2, seed=0, max_iter=5), x, cv=2)
+        assert result["scoring"] == "objective"
+        assert np.all(np.isfinite(result["test_score"]))
+
+    def test_original_estimator_never_mutated(self):
+        x, y = make_blobs(40, 3, 2, rng=2)
+        est = PopcornKernelKMeans(2, seed=0, max_iter=5)
+        cross_validate(est, x, y, cv=2)
+        assert not hasattr(est, "labels_")
+
+    def test_metric_scoring_without_y_rejected(self):
+        x, _ = make_blobs(40, 3, 2, rng=2)
+        with pytest.raises(ConfigError, match="ground-truth"):
+            cross_validate(PopcornKernelKMeans(2), x, scoring="ari")
+
+    def test_validation(self):
+        x, y = make_blobs(40, 3, 2, rng=2)
+        with pytest.raises(ConfigError, match="cv"):
+            cross_validate(PopcornKernelKMeans(2), x, y, cv=1)
+        with pytest.raises(ConfigError, match="scoring"):
+            cross_validate(PopcornKernelKMeans(2), x, y, scoring="f1")
+        with pytest.raises(ConfigError, match="labels"):
+            cross_validate(PopcornKernelKMeans(2), x, y[:-1])
+
+
+class TestGridSearch:
+    def test_bandwidth_sweep_finds_the_separating_gamma(self):
+        x, y = _circles()
+        search = GridSearchKernelKMeans(
+            "popcorn",
+            {
+                "n_clusters": [2],
+                "backend": ["host"],
+                "dtype": [np.float64],
+                "kernel": [GaussianKernel(gamma=g) for g in (0.5, 5.0)],
+                "init": ["k-means++"],
+                "max_iter": [20],
+                "seed": [0],
+            },
+            scoring="ari",
+            cv=2,
+        ).fit(x, y)
+        assert search.best_params_["kernel"].gamma == 5.0
+        assert search.n_candidates_ == 2
+        assert search.n_fits_ == 4
+        assert search.cv_results_["rank_test_score"][search.best_index_] == 1
+        assert search.predict(x).shape == (x.shape[0],)
+
+    def test_registry_name_accepts_nested_kernel_params(self):
+        """The README headline flow: registry name + kernel__gamma grid."""
+        x, y = _circles(n=120)
+        search = GridSearchKernelKMeans(
+            "popcorn",
+            {"n_clusters": [2], "kernel__gamma": [0.5, 5.0], "max_iter": [10],
+             "dtype": [np.float64], "kernel": ["gaussian"], "seed": [0]},
+            scoring="ari",
+            cv=2,
+        ).fit(x, y)
+        assert search.best_params_["kernel__gamma"] == 5.0
+
+    def test_estimator_instance_template_cloned_per_candidate(self):
+        x, y = make_blobs(50, 3, 2, rng=0)
+        template = PopcornKernelKMeans(2, dtype=np.float64, seed=0, max_iter=8)
+        search = GridSearchKernelKMeans(
+            template, {"kernel__gamma": [0.5, 1.0]}, cv=2
+        ).fit(x, y)
+        assert not hasattr(template, "labels_")
+        assert template.kernel.gamma == 1.0  # never mutated
+        assert set(search.best_params_) == {"kernel__gamma"}
+
+    def test_process_parallel_matches_serial(self):
+        x, y = _circles(n=120)
+        grid = {
+            "n_clusters": [2],
+            "backend": ["host"],
+            "dtype": [np.float64],
+            "kernel": [GaussianKernel(gamma=g) for g in (2.0, 5.0)],
+            "max_iter": [8],
+            "seed": [0],
+        }
+        serial = GridSearchKernelKMeans("popcorn", grid, cv=2, n_jobs=1).fit(x, y)
+        parallel = GridSearchKernelKMeans("popcorn", grid, cv=2, n_jobs=2).fit(x, y)
+        assert np.allclose(
+            serial.cv_results_["mean_test_score"],
+            parallel.cv_results_["mean_test_score"],
+        )
+        assert repr(serial.best_params_) == repr(parallel.best_params_)
+
+    def test_refit_false_has_no_best_estimator(self):
+        x, y = make_blobs(40, 3, 2, rng=0)
+        search = GridSearchKernelKMeans(
+            PopcornKernelKMeans(2, seed=0, max_iter=5),
+            {"kernel__gamma": [1.0]},
+            cv=2,
+            refit=False,
+        ).fit(x, y)
+        assert not hasattr(search, "best_estimator_")
+        with pytest.raises(NotFittedError):
+            search.predict(x)
+
+    def test_predict_before_fit_raises(self):
+        search = GridSearchKernelKMeans("popcorn", {"n_clusters": [2]})
+        with pytest.raises(NotFittedError):
+            search.predict(np.zeros((3, 2)))
+
+    def test_label_free_search_over_registry_name(self):
+        x, _ = make_blobs(50, 3, 3, rng=4)
+        search = GridSearchKernelKMeans(
+            "lloyd", {"n_clusters": [2, 3, 4], "seed": [0]}, cv=2
+        ).fit(x)
+        assert search.scoring_ == "objective"
+        assert search.best_params_["n_clusters"] in (2, 3, 4)
+
+    def test_works_via_clone_for_every_scorer(self):
+        x, y = make_blobs(45, 3, 3, rng=5)
+        est = PopcornKernelKMeans(3, dtype=np.float64, seed=0, max_iter=6)
+        for scoring in sorted(SCORERS):
+            search = GridSearchKernelKMeans(
+                clone(est), {"kernel__gamma": [1.0]}, cv=2, scoring=scoring
+            ).fit(x, y)
+            assert np.isfinite(search.best_score_), scoring
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="scoring"):
+            GridSearchKernelKMeans("popcorn", {"n_clusters": [2]}, scoring="f1")
+        with pytest.raises(ConfigError, match="mapping"):
+            GridSearchKernelKMeans("popcorn", [1, 2])
+        x, y = make_blobs(30, 3, 2, rng=0)
+        with pytest.raises(ConfigError, match="estimator"):
+            GridSearchKernelKMeans(object(), {"a": [1]}).fit(x, y)

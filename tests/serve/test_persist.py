@@ -92,11 +92,28 @@ class TestRoundTripBitExact:
         kern = kernel_by_name("gaussian")
         km = kern.pairwise(x)
         w = np.random.default_rng(0).uniform(0.5, 2.0, size=x.shape[0])
-        est = WeightedPopcornKernelKMeans(k, seed=0).fit(km, weights=w)
+        est = WeightedPopcornKernelKMeans(k, seed=0).fit(kernel_matrix=km, sample_weight=w)
         kc = kern.pairwise(q, x)
         expected = est.predict(cross_kernel=kc)
         loaded = load_model(save_model(est, str(tmp_path / "w.npz")))
         assert np.array_equal(loaded.predict(cross_kernel=kc), expected)
+
+    def test_spectral_cross_kernel_round_trip(self, tmp_path):
+        """With spectral, the tenth registered estimator round-trips too:
+        queries supply cross-kernel rows in the normalized-cut space."""
+        from repro import SpectralKernelKMeans
+        from repro.data import make_moons
+        from repro.graph import ncut_kernel
+        import networkx as nx
+
+        x, _ = make_moons(80, rng=1)
+        est = SpectralKernelKMeans(2, seed=0).fit(x)
+        a = nx.to_numpy_array(est.graph_, nodelist=range(x.shape[0]), weight="weight")
+        km, _ = ncut_kernel(a)
+        expected = est.predict(cross_kernel=km)  # training rows as queries
+        loaded = load_model(save_model(est, str(tmp_path / "s.npz")))
+        assert type(loaded) is SpectralKernelKMeans
+        assert np.array_equal(loaded.predict(cross_kernel=km), expected)
 
     def test_laplacian_precomputed_round_trip(self, tmp_path):
         """The non-Gram-expressible kernel goes through the cross-kernel."""
@@ -234,10 +251,10 @@ class TestInspect:
             k, kernel="gaussian", dtype=np.float64, max_iter=5, seed=0
         ).fit(x)
         meta = inspect_model(save_model(est, str(tmp_path / "m.npz")))
-        assert meta["estimator"] == "PopcornKernelKMeans"
+        assert meta["estimator"] == "popcorn"
         assert meta["schema_version"] == MODEL_SCHEMA_VERSION
-        assert meta["n_clusters"] == k
-        assert meta["kernel"]["name"] == "gaussian"
+        assert meta["params"]["n_clusters"] == k
+        assert meta["params"]["kernel"]["name"] == "gaussian"
         assert meta["fit"]["n_iter"] == est.n_iter_
         assert meta["array_info"]["labels"]["shape"] == [x.shape[0]]
         assert meta["array_info"]["support_x"]["shape"] == list(x.shape)

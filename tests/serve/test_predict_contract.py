@@ -166,7 +166,7 @@ class TestSelfConsistency:
         x, _, k = blobs64
         kern = PolynomialKernel()
         km = kern.pairwise(x)
-        est = WeightedPopcornKernelKMeans(k, seed=0).fit(km)
+        est = WeightedPopcornKernelKMeans(k, seed=0).fit(kernel_matrix=km)
         assert np.array_equal(est.predict(cross_kernel=km), est.labels_)
 
     def test_precomputed_fit_requires_cross_kernel(self, blobs64):

@@ -35,7 +35,7 @@ class TestSaveLoad:
         out = _save(tmp_path, train_csv)
         assert main(["load", out]) == 0
         text = capsys.readouterr().out
-        assert "PopcornKernelKMeans" in text
+        assert "popcorn" in text
         assert "polynomial" in text
         assert "array labels" in text
 

@@ -1,0 +1,85 @@
+"""API conformance: every registered estimator exposes the uniform surface.
+
+This file is the fast CI pre-gate (it runs before the full matrix): it
+instantiates every registered estimator with defaults and asserts the
+contract the whole system is built on — the params protocol
+(``get_params`` / ``set_params`` / ``clone`` / introspectable specs),
+the uniform ``fit`` / ``fit_predict`` / ``predict`` signatures, the
+``NotFittedError`` guard, and registry/persistence interoperability.
+No fits larger than a few dozen points run here.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro import (
+    NotFittedError,
+    available_estimators,
+    clone,
+    get_estimator_class,
+    make_estimator,
+)
+from repro.data import make_blobs
+from repro.engine.base import OutOfSamplePredictor
+from repro.errors import ConfigError
+from repro.params import ParamSpec, ParamsProtocol
+
+ALL = sorted(available_estimators())
+
+UNIFORM_FIT_PARAMS = ["self", "x", "kernel_matrix", "init_labels", "sample_weight"]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestUniformSurface:
+    def test_constructs_with_defaults(self, name):
+        est = make_estimator(name, n_clusters=2)
+        assert est.n_clusters == 2
+
+    def test_params_protocol(self, name):
+        cls = get_estimator_class(name)
+        assert issubclass(cls, ParamsProtocol)
+        est = make_estimator(name, n_clusters=2)
+        params = est.get_params(deep=False)
+        assert params["n_clusters"] == 2
+        assert set(params) == set(cls.param_specs())
+        assert all(isinstance(s, ParamSpec) for s in cls.param_specs().values())
+        est.set_params(**params)  # idempotent
+        assert isinstance(clone(est), cls)
+        assert repr(est).startswith(cls.__name__ + "(")
+
+    def test_uniform_fit_and_fit_predict_signatures(self, name):
+        cls = get_estimator_class(name)
+        assert list(inspect.signature(cls.fit).parameters) == UNIFORM_FIT_PARAMS
+        assert cls.fit_predict is OutOfSamplePredictor.fit_predict
+
+    def test_predict_surface_and_not_fitted_guard(self, name):
+        est = make_estimator(name, n_clusters=2)
+        for method in ("fit", "fit_predict", "predict", "predict_batch",
+                       "get_params", "set_params", "clone"):
+            assert callable(getattr(est, method)), method
+        with pytest.raises(NotFittedError):
+            est.predict(np.zeros((2, 2)))
+        with pytest.raises(NotFittedError):
+            est.predict_batch([np.zeros((2, 2))])
+
+    def test_unknown_param_raises_config_error(self, name):
+        with pytest.raises(ConfigError, match="valid parameters"):
+            make_estimator(name, n_clusters=2, frobnicate=True)
+
+    def test_shared_validation(self, name):
+        with pytest.raises(ConfigError):
+            make_estimator(name, n_clusters=0)
+
+
+def test_default_fit_produces_fitted_attributes():
+    """One tiny real fit per estimator: labels_ + the fitted guard clears."""
+    x, _ = make_blobs(36, 3, 2, rng=0)
+    for name in ALL:
+        est = make_estimator(name, n_clusters=2, seed=0)
+        est.fit(x)
+        assert est.labels_.shape == (x.shape[0],), name
+        assert est.labels_.dtype == np.int32, name
+        # fitted: the guard no longer raises
+        est.predict_batch([])
