@@ -73,6 +73,7 @@ _KIND_LOWER_IS_BETTER = {
     "time": True,
     "error": True,
     "comm": True,
+    "mem": True,
     "throughput": False,
     "quality": False,
 }
@@ -88,19 +89,41 @@ def metric_lower_is_better(name: str) -> bool:
         raise ConfigError(f"metric {name!r} has unknown kind {kind!r}; known: {known}") from None
 
 
+#: BLAS/OpenMP thread-count knobs recorded alongside measured numbers —
+#: host-side timings (reduction engine, tiled pipeline) depend on them.
+_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
 def environment_metadata() -> Dict[str, str]:
-    """Interpreter/platform/library versions, for artifact provenance."""
+    """Interpreter/platform/library versions, for artifact provenance.
+
+    Includes the machine's CPU count and any BLAS/OpenMP thread-count
+    environment variables that were set: measured host-side timings are
+    meaningless without the thread budget they ran under.
+    """
     import numpy
     import scipy
 
-    return {
+    meta = {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.system(),
         "machine": platform.machine(),
         "numpy": numpy.__version__,
         "scipy": scipy.__version__,
+        "cpu_count": str(os.cpu_count() or 1),
     }
+    for var in _THREAD_ENV_VARS:
+        value = os.environ.get(var)
+        if value is not None:
+            meta[var.lower()] = value
+    return meta
 
 
 def device_metadata(spec: DeviceSpec) -> Dict[str, object]:

@@ -113,6 +113,31 @@ def build_parser() -> argparse.ArgumentParser:
         "Popcorn only)",
     )
     p.add_argument(
+        "--chunk-rows",
+        dest="chunk_rows",
+        type=int,
+        default=None,
+        metavar="R",
+        help="row-chunk height of the chunked fused reduction engine "
+        "(host-family backends; supersedes --tile-rows there)",
+    )
+    p.add_argument(
+        "--chunk-cols",
+        dest="chunk_cols",
+        type=int,
+        default=None,
+        metavar="C",
+        help="cluster-axis chunk width of the fused reduction engine",
+    )
+    p.add_argument(
+        "--n-threads",
+        dest="n_threads",
+        type=int,
+        default=None,
+        metavar="T",
+        help="worker threads for the fused reduction's row-chunk sweep",
+    )
+    p.add_argument(
         "--gram-method",
         default="auto",
         choices=("auto", "gemm", "syrk"),
@@ -182,6 +207,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "device": device,
             "backend": backend,
             "tile_rows": args.tile_rows,
+            "chunk_rows": args.chunk_rows,
+            "chunk_cols": args.chunk_cols,
+            "n_threads": args.n_threads,
             "gram_method": args.gram_method,
             "max_iter": args.max_iter,
             "tol": args.tol,

@@ -22,7 +22,22 @@ __all__ = ["argmin_assign", "objective_value", "ConvergenceTracker"]
 
 
 def argmin_assign(d_mat: np.ndarray) -> np.ndarray:
-    """Row-wise argmin; ties break to the lowest cluster index."""
+    """Row-wise argmin over the distance matrix.
+
+    Contract (pinned by property tests and honoured by every distance
+    path, including the chunked fused reduction in
+    :mod:`repro.engine.reduction`):
+
+    * **tie-break** — when a row attains its minimum in several columns,
+      the *lowest* column index wins (``np.argmin`` first-occurrence
+      semantics); the fused reduction reproduces this by visiting column
+      chunks in ascending order and updating its running best on strict
+      ``<`` only;
+    * **dtype** — the result is always ``int32`` regardless of the input
+      dtype or platform default int.  This is a deliberate downcast: the
+      cluster count is bounded far below ``2**31`` and the int32 labels
+      match the device-side label buffers and the on-disk model format.
+    """
     if d_mat.ndim != 2:
         raise ShapeError("distance matrix must be 2-D")
     return np.argmin(d_mat, axis=1).astype(np.int32)

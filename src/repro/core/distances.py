@@ -26,8 +26,7 @@ from ..errors import ShapeError
 from ..gpu import custom, cusparse
 from ..gpu.device import Device
 from ..gpu.memory import DeviceArray
-from ..sparse import CSRMatrix, spmm
-from .norms import centroid_norms_spmv
+from ..sparse import CSRMatrix, spmm, spmv
 from .selection import build_selection
 
 __all__ = [
@@ -72,10 +71,14 @@ def popcorn_distances_host(
     dt = np.dtype(dtype) if dtype is not None else k_mat.dtype
     v = build_selection(lab, k, dtype=dt)
     # E = -2 K V^T, computed in the sparse-times-dense orientation
-    e = np.ascontiguousarray(spmm(v, np.ascontiguousarray(k_mat.astype(dt)), alpha=-2.0).T)
-    # centroid norms via the z-gather SpMV; E is already scaled by -2, so
-    # the gather uses -0.5 * E = K V^T
-    c_norms = centroid_norms_spmv(-0.5 * e, v, lab)
+    e = np.ascontiguousarray(spmm(v, k_mat.astype(dt, copy=False), alpha=-2.0).T)
+    # centroid norms via the z-gather SpMV.  E is scaled by -2, so the
+    # SpMV folds in -0.5 to cancel it: gathering the length-n label
+    # column first and scaling inside the SpMV avoids the second n x k
+    # temporary that ``-0.5 * e`` used to allocate (the -0.5 is an exact
+    # power-of-two scaling, so the result is bitwise unchanged).
+    z = np.ascontiguousarray(e[np.arange(n), lab])
+    c_norms = spmv(v, z, alpha=-0.5)
     d = e
     d += np.diagonal(k_mat).astype(dt)[:, None]
     d += c_norms[None, :].astype(dt)

@@ -60,6 +60,14 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         K resident (monolithic); an int streams K in ``tile_rows x n``
         panels so kernel matrices beyond device capacity still fit.
         Labels are identical to the monolithic run for any valid value.
+        On the host backend this is a compatibility alias for
+        ``chunk_rows``.
+    chunk_rows, chunk_cols, n_threads:
+        Chunk schedule and thread count of the chunked fused reduction
+        (:mod:`repro.engine.reduction`) — the host-side distance+argmin
+        path that never materialises the full ``n x k`` distance block.
+        Setting any of them with ``backend="auto"`` selects the host
+        backend; labels are bit-identical for every setting.
     gram_method:
         ``"auto"`` (the n/d dispatch of Sec. 4.2), ``"gemm"`` or ``"syrk"``.
     gram_threshold:
@@ -111,6 +119,9 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         "device",
         "backend",
         "tile_rows",
+        "chunk_rows",
+        "chunk_cols",
+        "n_threads",
         "max_iter",
         "tol",
         "check_convergence",
@@ -131,6 +142,9 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         device: Device | DeviceSpec | None = None,
         backend: str = "auto",
         tile_rows: int | None = None,
+        chunk_rows: int | None = None,
+        chunk_cols: int | None = None,
+        n_threads: int | None = None,
         gram_method: str = "auto",
         gram_threshold: float | None = None,
         max_iter: int = DEFAULT_CONFIG.max_iter,
@@ -147,6 +161,9 @@ class PopcornKernelKMeans(BaseKernelKMeans):
             device=device,
             backend=backend,
             tile_rows=tile_rows,
+            chunk_rows=chunk_rows,
+            chunk_cols=chunk_cols,
+            n_threads=n_threads,
             gram_method=gram_method,
             gram_threshold=gram_threshold,
             max_iter=max_iter,

@@ -61,10 +61,12 @@ def weighted_distances_host(
         raise ShapeError("kernel matrix must be square")
     lab = check_labels(labels, n, k)
     v = weighted_selection_matrix(lab, k, weights, dtype=k_mat.dtype)
-    e = np.ascontiguousarray(spmm(v, np.ascontiguousarray(k_mat), alpha=-2.0).T)
-    # weighted z-gather SpMV: diag(V_w K V_w^T) = V_w z
-    z = (-0.5 * e)[np.arange(n), lab]
-    c_norms = spmv(v, np.ascontiguousarray(z))
+    e = np.ascontiguousarray(spmm(v, k_mat, alpha=-2.0).T)
+    # weighted z-gather SpMV: diag(V_w K V_w^T) = V_w z.  Gather the
+    # length-n label column first and fold the -0.5 (exact power-of-two
+    # scaling) into the SpMV instead of allocating a second n x k array.
+    z = np.ascontiguousarray(e[np.arange(n), lab])
+    c_norms = spmv(v, z, alpha=-0.5)
     d = e
     d += np.diagonal(k_mat)[:, None]
     d += c_norms[None, :]
@@ -99,6 +101,9 @@ class WeightedPopcornKernelKMeans(BaseKernelKMeans):
         "kernel",
         "backend",
         "tile_rows",
+        "chunk_rows",
+        "chunk_cols",
+        "n_threads",
         "device",
         "max_iter",
         "tol",
@@ -117,6 +122,9 @@ class WeightedPopcornKernelKMeans(BaseKernelKMeans):
         kernel: Kernel | str = None,
         backend: str = "auto",
         tile_rows: int | None = None,
+        chunk_rows: int | None = None,
+        chunk_cols: int | None = None,
+        n_threads: int | None = None,
         device: Device | DeviceSpec | None = None,
         max_iter: int = 100,
         tol: float = 1e-6,
@@ -130,6 +138,9 @@ class WeightedPopcornKernelKMeans(BaseKernelKMeans):
             kernel=kernel,
             backend=backend,
             tile_rows=tile_rows,
+            chunk_rows=chunk_rows,
+            chunk_cols=chunk_cols,
+            n_threads=n_threads,
             device=device,
             max_iter=max_iter,
             tol=tol,

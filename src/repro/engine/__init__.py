@@ -12,14 +12,27 @@ runs on this subsystem:
   ``sharded`` / ``sharded:<g>`` (SPMD over ``g`` simulated devices,
   :mod:`~repro.engine.sharded`) ship registered, selected via
   ``backend=`` on every estimator;
+* :mod:`~repro.engine.reduction` is the chunked pairwise-reduction
+  engine: a :class:`~repro.engine.reduction.PairwiseReduction` base spec
+  (two-axis chunk schedule + work-stealing thread pool) with an
+  :class:`~repro.engine.reduction.ArgminReduction` kernel that fuses the
+  row argmin into the sweep, so the full ``n x k`` (or ``m x k``)
+  distance block is never materialised — each worker holds one
+  ``chunk_rows x chunk_cols`` panel.  The host and sharded fit loops and
+  the shared predict path all run on it, with labels bit-for-bit equal
+  to the legacy full-matrix pipeline for every chunk shape and thread
+  count;
 * :mod:`~repro.engine.tiling` is the row-tiled distance pipeline
   (``tile_rows=``): ``E = -2 K V^T`` in streamed row blocks, bit-for-bit
-  equal to the monolithic SpMM, so kernel matrices larger than device
-  capacity flow through tile-by-tile instead of raising;
+  equal to the monolithic SpMM.  On the device backend it streams
+  kernel-matrix panels over PCIe; on host-family backends ``tile_rows``
+  survives as a compatibility alias for the reduction engine's
+  ``chunk_rows``;
 * :class:`~repro.engine.base.OutOfSamplePredictor` is the shared
   out-of-sample contract: one ``predict`` / ``predict_batch``
-  implementation (row-tiled cross-kernel, never the full ``m x n``
-  matrix) every estimator and the :mod:`repro.serve` subsystem consume.
+  implementation (chunked fused cross-kernel argmin, never the full
+  ``m x n`` matrix) every estimator and the :mod:`repro.serve`
+  subsystem consume.
 """
 
 from .backends import (
@@ -41,6 +54,20 @@ from .base import (
     shared_params,
 )
 from .params import ParamSpec, ParamsProtocol, check_is_fitted, clone
+from .reduction import (
+    DEFAULT_CHUNK_COLS,
+    DEFAULT_CHUNK_ROWS,
+    ArgminReduction,
+    CrossKernelArgmin,
+    FusedDistances,
+    PairwiseReduction,
+    WorkStealingPool,
+    chunk_ranges,
+    csr_row_slice,
+    fused_popcorn_argmin,
+    validate_chunk_size,
+    validate_n_threads,
+)
 from .sharded import DEFAULT_SHARD_DEVICES, ShardedBackend
 from .tiling import row_tiles, tiled_popcorn_distances_host, validate_tile_rows
 
@@ -65,6 +92,18 @@ __all__ = [
     "available_backends",
     "BaseKernelKMeans",
     "OutOfSamplePredictor",
+    "PairwiseReduction",
+    "ArgminReduction",
+    "CrossKernelArgmin",
+    "FusedDistances",
+    "WorkStealingPool",
+    "fused_popcorn_argmin",
+    "chunk_ranges",
+    "csr_row_slice",
+    "validate_chunk_size",
+    "validate_n_threads",
+    "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_CHUNK_COLS",
     "row_tiles",
     "tiled_popcorn_distances_host",
     "validate_tile_rows",

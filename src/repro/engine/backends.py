@@ -41,7 +41,8 @@ from ..gpu.spec import DeviceSpec
 from ..kernels.base import Kernel
 from ..kernels.dispatch import choose_gram_method
 from ..kernels.gram import device_kernel_matrix
-from .tiling import row_tiles, tiled_popcorn_distances_host, validate_tile_rows
+from .reduction import fused_popcorn_argmin, validate_chunk_size, validate_n_threads
+from .tiling import row_tiles, validate_tile_rows
 
 __all__ = [
     "Backend",
@@ -71,6 +72,11 @@ class EngineState:
     dtype: np.dtype
     tile_rows: Optional[int]
     profiler: Profiler
+    # chunked-reduction engine knobs (host-family backends); ``tile_rows``
+    # doubles as the ``chunk_rows`` compatibility alias when unset
+    chunk_rows: Optional[int] = None
+    chunk_cols: Optional[int] = None
+    n_threads: Optional[int] = None
     device: Optional[Device] = None
     spec: Optional[DeviceSpec] = None
     n: int = 0
@@ -98,24 +104,75 @@ class EngineState:
 
 
 class DistanceStep:
-    """Result of one distance computation: ``D`` plus owned buffers.
+    """Result of one distance computation.
 
-    ``d`` is always a host ndarray view (the objective and the
-    empty-cluster policy read it); ``d_buf`` is the device-resident
-    buffer when one exists (the device argmin consumes it).  ``free()``
-    releases every buffer the step allocated.
+    Two shapes exist:
+
+    * **materialised** — ``d`` is a host ndarray (or ``d_buf`` a
+      device-resident buffer); the objective and empty-cluster policy
+      read entries out of the full ``n x k`` block;
+    * **fused** — produced by the chunked reduction engine
+      (:mod:`repro.engine.reduction`): only the row argmin outputs
+      (``labels``, ``min_d``) plus an exact on-demand entry evaluator
+      survive, and ``d`` is deliberately unavailable because the full
+      block was never built.
+
+    :meth:`assigned` serves both: the per-row distance to an arbitrary
+    assignment, which is all the fit loop (objective, reseed policy)
+    ever needs.  ``free()`` releases every buffer the step allocated.
     """
 
-    __slots__ = ("_d", "d_buf", "_frees")
+    __slots__ = ("_d", "d_buf", "_frees", "labels", "min_d", "_at")
 
-    def __init__(self, d: Optional[np.ndarray] = None, *, d_buf=None, frees: Tuple = ()) -> None:
+    def __init__(
+        self,
+        d: Optional[np.ndarray] = None,
+        *,
+        d_buf=None,
+        frees: Tuple = (),
+        labels: Optional[np.ndarray] = None,
+        min_d: Optional[np.ndarray] = None,
+        at=None,
+    ) -> None:
         self._d = d
         self.d_buf = d_buf
         self._frees = tuple(frees)
+        self.labels = labels
+        self.min_d = min_d
+        self._at = at
 
     @property
     def d(self) -> np.ndarray:
-        return self._d if self._d is not None else self.d_buf.a
+        if self._d is not None:
+            return self._d
+        if self.d_buf is not None:
+            return self.d_buf.a
+        raise ConfigError(
+            "this distance step is fused: the full distance block was never "
+            "materialised; use argmin_labels()/assigned() instead"
+        )
+
+    def argmin_labels(self) -> Optional[np.ndarray]:
+        """Fused row-argmin labels, or None when the step is materialised."""
+        return self.labels
+
+    def assigned(self, labels: np.ndarray) -> np.ndarray:
+        """Per-row distances ``D[i, labels[i]]`` as a fresh writable array.
+
+        Fused steps answer from ``min_d`` for rows whose assignment is
+        the argmin and evaluate the handful of moved rows exactly via
+        the on-demand entry evaluator (bitwise the legacy entries);
+        materialised steps gather from the full block.
+        """
+        lab = np.asarray(labels)
+        if self.labels is not None:
+            out = self.min_d.copy()
+            moved = np.flatnonzero(lab != self.labels)
+            if moved.size:
+                out[moved] = self._at(moved, lab[moved])
+            return out
+        d = self.d
+        return d[np.arange(d.shape[0]), lab]  # fancy indexing: already fresh
 
     def free(self) -> None:
         for buf in self._frees:
@@ -146,9 +203,17 @@ class Backend(ABC):
         n_clusters: int,
         dtype,
         tile_rows: Optional[int] = None,
+        chunk_rows: Optional[int] = None,
+        chunk_cols: Optional[int] = None,
+        n_threads: Optional[int] = None,
         device: Optional[Device] = None,
     ) -> EngineState:
-        """Open a fit: allocate the profiler/device state."""
+        """Open a fit: allocate the profiler/device state.
+
+        ``chunk_rows``/``chunk_cols``/``n_threads`` configure the chunked
+        fused reduction on host-family backends; backends that cannot
+        honour them must reject them with :class:`ConfigError`.
+        """
 
     @abstractmethod
     def finish(self, state: EngineState) -> None:
@@ -350,7 +415,17 @@ class HostBackend(Backend):
 
     name = "host"
 
-    def begin(self, *, n_clusters, dtype, tile_rows=None, device=None) -> EngineState:
+    def begin(
+        self,
+        *,
+        n_clusters,
+        dtype,
+        tile_rows=None,
+        chunk_rows=None,
+        chunk_cols=None,
+        n_threads=None,
+        device=None,
+    ) -> EngineState:
         if device is not None:
             raise ConfigError("backend='host' does not run on a device; drop the device argument")
         return EngineState(
@@ -358,6 +433,9 @@ class HostBackend(Backend):
             n_clusters=int(n_clusters),
             dtype=np.dtype(dtype),
             tile_rows=validate_tile_rows(tile_rows),
+            chunk_rows=validate_chunk_size(chunk_rows, "chunk_rows"),
+            chunk_cols=validate_chunk_size(chunk_cols, "chunk_cols"),
+            n_threads=validate_n_threads(n_threads),
             profiler=Profiler(),
         )
 
@@ -387,17 +465,23 @@ class HostBackend(Backend):
         self._record(state, "kernel_matrix", "kernel_matrix", t0)
 
     def popcorn_step(self, state, labels, weights=None) -> DistanceStep:
+        # the chunked fused reduction is the one distance path;
+        # ``tile_rows`` is honoured as a ``chunk_rows`` compatibility
+        # alias when no explicit chunk size is given
         t0 = time.perf_counter()
-        d, _ = tiled_popcorn_distances_host(
+        rows = state.chunk_rows if state.chunk_rows is not None else state.tile_rows
+        fused = fused_popcorn_argmin(
             state.k_host,
             labels,
             state.n_clusters,
-            tile_rows=state.tile_rows,
+            chunk_rows=rows,
+            chunk_cols=state.chunk_cols,
+            n_threads=state.n_threads,
             weights=weights,
             dtype=state.dtype,
         )
         self._record(state, "distances", "popcorn_distances", t0)
-        return DistanceStep(d)
+        return DistanceStep(labels=fused.labels, min_d=fused.min_d, at=fused.at)
 
     def baseline_step(self, state, labels) -> DistanceStep:
         # the three Sec. 5.3 kernels — same *_numerics helpers the device
@@ -414,7 +498,9 @@ class HostBackend(Backend):
 
     def argmin(self, state, step) -> np.ndarray:
         t0 = time.perf_counter()
-        labels = np.argmin(step.d, axis=1).astype(np.int32)
+        labels = step.argmin_labels()
+        if labels is None:
+            labels = np.argmin(step.d, axis=1).astype(np.int32)
         self._record(state, "argmin_update", "argmin", t0)
         return labels
 
@@ -437,9 +523,25 @@ class DeviceBackend(Backend):
     name = "device"
     needs_device = True
 
-    def begin(self, *, n_clusters, dtype, tile_rows=None, device=None) -> EngineState:
+    def begin(
+        self,
+        *,
+        n_clusters,
+        dtype,
+        tile_rows=None,
+        chunk_rows=None,
+        chunk_cols=None,
+        n_threads=None,
+        device=None,
+    ) -> EngineState:
         if device is None:
             raise ConfigError("the device backend needs a Device")
+        if chunk_rows is not None or chunk_cols is not None or n_threads is not None:
+            raise ConfigError(
+                "chunk_rows/chunk_cols/n_threads configure the host-side chunked "
+                "reduction engine; the device backend streams with tile_rows= "
+                "instead — use backend='host' (or 'sharded:<g>') for chunked execution"
+            )
         return EngineState(
             backend=self,
             n_clusters=int(n_clusters),

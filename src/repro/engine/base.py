@@ -42,7 +42,14 @@ from ..gpu.device import Device
 from ..gpu.spec import A100_80GB, DeviceSpec
 from .backends import Backend, DistanceStep, EngineState, get_backend
 from .params import ParamSpec, ParamsProtocol, check_is_fitted
-from .tiling import row_tiles, validate_tile_rows
+from .reduction import (
+    CrossKernelArgmin,
+    WorkStealingPool,
+    chunk_ranges,
+    validate_chunk_size,
+    validate_n_threads,
+)
+from .tiling import validate_tile_rows
 
 __all__ = ["OutOfSamplePredictor", "BaseKernelKMeans"]
 
@@ -198,12 +205,49 @@ class OutOfSamplePredictor(ParamsProtocol):
         d = -2.0 * (q @ self._support_centers.T) + self._c_norms[None, :]
         return np.argmin(d, axis=1).astype(np.int32)
 
+    def _assign_cross(self, m, panel_rows, rows, cols, threads) -> np.ndarray:
+        """Fused cross-kernel argmin over one query block."""
+        red = CrossKernelArgmin(
+            m,
+            panel_rows,
+            self._support_selection(),
+            self._c_norms,
+            chunk_rows=rows,
+            chunk_cols=cols,
+            n_threads=threads,
+        )
+        labels, _ = red.run()
+        return labels
+
+    def _assign_centers(self, xm, rows, threads) -> np.ndarray:
+        """Row-chunked assignment against explicit centers.
+
+        Only the query axis is chunked: the dense BLAS products here are
+        not guaranteed bitwise-stable under column blocking, so centers
+        stay whole and each row chunk reproduces the monolithic argmin.
+        """
+        m = xm.shape[0]
+        out = np.empty(m, dtype=np.int32)
+
+        def task(r0: int, r1: int) -> None:
+            q = self._query_features(xm[r0:r1])
+            out[r0:r1] = self._labels_from_centers(q)
+
+        tasks = [
+            (lambda r0=r0, r1=r1: task(r0, r1)) for r0, r1 in chunk_ranges(m, rows)
+        ]
+        WorkStealingPool(threads).run(tasks)
+        return out
+
     def predict(
         self,
         x: Optional[np.ndarray] = None,
         *,
         cross_kernel: Optional[np.ndarray] = None,
         tile_rows: Optional[int] = None,
+        chunk_rows: Optional[int] = None,
+        chunk_cols: Optional[int] = None,
+        n_threads: Optional[int] = None,
     ) -> np.ndarray:
         """Assign held-out points to the fitted clusters.
 
@@ -211,11 +255,20 @@ class OutOfSamplePredictor(ParamsProtocol):
         the per-query constant is dropped.  Supply ``cross_kernel``
         (``m x n_train``, ``K_c[q, i] = kappa(q, p_i)``) when the
         estimator was fitted on a precomputed kernel matrix.
-        ``tile_rows`` streams the queries in row tiles (labels are
-        bit-identical to the monolithic run for any valid value).
+
+        Assignment runs through the chunked fused reduction
+        (:mod:`repro.engine.reduction`): ``chunk_rows`` bounds the live
+        query block (``tile_rows`` is a compatibility alias for it),
+        ``chunk_cols`` bounds the live cluster block, and ``n_threads``
+        distributes query chunks over a work-stealing thread pool.
+        Labels are bit-identical to the monolithic run for every setting.
         """
         self._require_fitted()
-        tile = validate_tile_rows(tile_rows)
+        rows = validate_chunk_size(chunk_rows, "chunk_rows")
+        if rows is None:
+            rows = validate_tile_rows(tile_rows)
+        cols = validate_chunk_size(chunk_cols, "chunk_cols")
+        threads = validate_n_threads(n_threads)
         if cross_kernel is not None:
             if x is not None:
                 raise ConfigError("pass query points x or cross_kernel, not both")
@@ -228,19 +281,14 @@ class OutOfSamplePredictor(ParamsProtocol):
             n_sup = self.labels_.shape[0]
             if kc.shape[1] != n_sup:
                 raise ShapeError(f"cross_kernel must have {n_sup} columns")
-            out = np.empty(kc.shape[0], dtype=np.int32)
-            for lo, hi in self._query_tiles(kc.shape[0], tile):
-                out[lo:hi] = self._labels_from_cross(kc[lo:hi])
-            return out
+            return self._assign_cross(
+                kc.shape[0], lambda r0, r1: kc[r0:r1], rows, cols, threads
+            )
         if x is None:
             raise ShapeError("predict needs query points x (or a cross_kernel)")
         if self._support_centers is not None:
             xm = as_matrix(x, dtype=np.float64, name="x")
-            out = np.empty(xm.shape[0], dtype=np.int32)
-            for lo, hi in self._query_tiles(xm.shape[0], tile):
-                q = self._query_features(xm[lo:hi])
-                out[lo:hi] = self._labels_from_centers(q)
-            return out
+            return self._assign_centers(xm, rows, threads)
         if self._support_x is None:
             raise ShapeError(
                 "estimator was fitted on a precomputed kernel; pass cross_kernel"
@@ -250,22 +298,22 @@ class OutOfSamplePredictor(ParamsProtocol):
         if kernel is None:
             raise ConfigError(f"{type(self).__name__} has no kernel to evaluate queries with")
         sup = self._support_x
-        out = np.empty(xm.shape[0], dtype=np.int32)
-        for lo, hi in self._query_tiles(xm.shape[0], tile):
-            kc = kernel.pairwise(xm[lo:hi], sup).astype(np.float64)
-            out[lo:hi] = self._labels_from_cross(kc)
-        return out
-
-    @staticmethod
-    def _query_tiles(m: int, tile: Optional[int]):
-        """Row tiles over the queries; an empty query block is no tiles."""
-        return row_tiles(m, tile) if m else ()
+        return self._assign_cross(
+            xm.shape[0],
+            lambda r0, r1: kernel.pairwise(xm[r0:r1], sup).astype(np.float64),
+            rows,
+            cols,
+            threads,
+        )
 
     def predict_batch(
         self,
         batches,
         *,
         tile_rows: Optional[int] = None,
+        chunk_rows: Optional[int] = None,
+        chunk_cols: Optional[int] = None,
+        n_threads: Optional[int] = None,
         devices: Optional[int] = None,
         profiler=None,
     ) -> np.ndarray:
@@ -285,15 +333,20 @@ class OutOfSamplePredictor(ParamsProtocol):
         launches under the ``serve`` phase).
         """
         self._require_fitted()
+        kw = dict(
+            tile_rows=tile_rows,
+            chunk_rows=chunk_rows,
+            chunk_cols=chunk_cols,
+            n_threads=n_threads,
+        )
         if devices is None:
-            outs = [self.predict(b, tile_rows=tile_rows) for b in batches]
+            outs = [self.predict(b, **kw) for b in batches]
         else:
             g = int(devices)
             if g < 1:
                 raise ConfigError(f"devices must be >= 1, got {devices}")
             outs = [
-                self._predict_sharded(b, g, tile_rows=tile_rows, profiler=profiler)
-                for b in batches
+                self._predict_sharded(b, g, profiler=profiler, **kw) for b in batches
             ]
         if not outs:
             return np.empty(0, dtype=np.int32)
@@ -314,7 +367,10 @@ class OutOfSamplePredictor(ParamsProtocol):
             return backend_comm
         return NVLINK
 
-    def _predict_sharded(self, batch, g: int, *, tile_rows, profiler) -> np.ndarray:
+    def _predict_sharded(
+        self, batch, g: int, *, tile_rows, chunk_rows=None, chunk_cols=None,
+        n_threads=None, profiler,
+    ) -> np.ndarray:
         """One query block, row-partitioned over ``min(g, rows)`` shards."""
         import time
 
@@ -322,15 +378,21 @@ class OutOfSamplePredictor(ParamsProtocol):
         from ..distributed.partition import row_blocks
         from ..gpu.launch import Launch
 
+        kw = dict(
+            tile_rows=tile_rows,
+            chunk_rows=chunk_rows,
+            chunk_cols=chunk_cols,
+            n_threads=n_threads,
+        )
         bm = np.asarray(batch)
         m = bm.shape[0]
         if m == 0:
-            return self.predict(bm, tile_rows=tile_rows)
+            return self.predict(bm, **kw)
         shards = row_blocks(m, min(g, m))
         out = np.empty(m, dtype=np.int32)
         for p, (lo, hi) in enumerate(shards):
             t0 = time.perf_counter()
-            out[lo:hi] = self.predict(bm[lo:hi], tile_rows=tile_rows)
+            out[lo:hi] = self.predict(bm[lo:hi], **kw)
             if profiler is not None:
                 profiler.record(
                     Launch(
@@ -369,6 +431,13 @@ SHARED_PARAM_SPECS = {
     "n_clusters": ParamSpec("n_clusters", convert=int, low=1, required=True),
     "backend": ParamSpec("backend", default="auto"),
     "tile_rows": ParamSpec("tile_rows", default=None, convert=validate_tile_rows),
+    "chunk_rows": ParamSpec(
+        "chunk_rows", default=None, convert=lambda v: validate_chunk_size(v, "chunk_rows")
+    ),
+    "chunk_cols": ParamSpec(
+        "chunk_cols", default=None, convert=lambda v: validate_chunk_size(v, "chunk_cols")
+    ),
+    "n_threads": ParamSpec("n_threads", default=None, convert=validate_n_threads),
     "max_iter": ParamSpec(
         "max_iter", default=DEFAULT_CONFIG.max_iter, convert=int, low=1
     ),
@@ -428,6 +497,12 @@ class BaseKernelKMeans(OutOfSamplePredictor):
     tile_rows:
         Row-tile height for the streamed distance pipeline; None runs the
         monolithic pipeline.  Only estimators that expose it accept it.
+        On host-family backends this is a compatibility alias for
+        ``chunk_rows`` over the chunked fused reduction engine.
+    chunk_rows, chunk_cols, n_threads:
+        Chunk schedule and thread count of the fused reduction engine
+        (:mod:`repro.engine.reduction`); host-family backends only.
+        Labels are bit-identical for every setting.
     max_iter, tol, check_convergence:
         Loop control (artifact ``-m`` / ``-t`` / ``-c``).
     init:
@@ -452,6 +527,9 @@ class BaseKernelKMeans(OutOfSamplePredictor):
     #: row tiling, the spectral estimator owns its init) still satisfy the
     #: attribute contract the shared fit loop reads
     tile_rows = None
+    chunk_rows = None
+    chunk_cols = None
+    n_threads = None
     max_iter = DEFAULT_CONFIG.max_iter
     tol = DEFAULT_CONFIG.tol
     init = "random"
@@ -467,6 +545,9 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         "n_clusters",
         "backend",
         "tile_rows",
+        "chunk_rows",
+        "chunk_cols",
+        "n_threads",
         "max_iter",
         "tol",
         "check_convergence",
@@ -483,6 +564,9 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         *,
         backend: str = "auto",
         tile_rows: Optional[int] = None,
+        chunk_rows: Optional[int] = None,
+        chunk_cols: Optional[int] = None,
+        n_threads: Optional[int] = None,
         max_iter: int = DEFAULT_CONFIG.max_iter,
         tol: float = DEFAULT_CONFIG.tol,
         check_convergence: bool = True,
@@ -496,6 +580,9 @@ class BaseKernelKMeans(OutOfSamplePredictor):
             n_clusters=n_clusters,
             backend=backend,
             tile_rows=tile_rows,
+            chunk_rows=chunk_rows,
+            chunk_cols=chunk_cols,
+            n_threads=n_threads,
             max_iter=max_iter,
             tol=tol,
             check_convergence=check_convergence,
@@ -548,7 +635,17 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         if isinstance(self.backend, Backend):
             return self.backend
         name = self._default_backend if self.backend == "auto" else self.backend
+        if name == "device" and self.backend == "auto" and self._wants_chunked():
+            # the chunked fused reduction is host-side execution; an
+            # explicit backend="device" with chunk params still fails fast
+            name = "host"
         return get_backend(name)
+
+    def _wants_chunked(self) -> bool:
+        return any(
+            getattr(self, p, None) is not None
+            for p in ("chunk_rows", "chunk_cols", "n_threads")
+        )
 
     def _make_device(self) -> Device:
         dev = getattr(self, "device", None)
@@ -572,6 +669,9 @@ class BaseKernelKMeans(OutOfSamplePredictor):
             n_clusters=self.n_clusters,
             dtype=self.dtype,
             tile_rows=self.tile_rows,
+            chunk_rows=getattr(self, "chunk_rows", None),
+            chunk_cols=getattr(self, "chunk_cols", None),
+            n_threads=getattr(self, "n_threads", None),
             device=device,
         )
 
@@ -600,12 +700,14 @@ class BaseKernelKMeans(OutOfSamplePredictor):
     def _objective(
         self, step: DistanceStep, labels: np.ndarray, weights: Optional[np.ndarray]
     ) -> float:
-        from ..core.assignment import objective_value
-
+        # step.assigned serves both step shapes: fused steps answer from
+        # their running minima (plus exact on-demand entries for rows the
+        # reseed policy moved), materialised steps gather from the block —
+        # the summands are bitwise the legacy ``D[i, labels[i]]`` either way
+        assigned = step.assigned(labels)
         if weights is None:
-            return objective_value(step.d, labels)
-        n = labels.shape[0]
-        return float((weights * step.d[np.arange(n), labels]).sum())
+            return float(assigned.sum(dtype=np.float64))
+        return float((weights * assigned).sum())
 
     def _fit_loop(
         self,
@@ -623,7 +725,7 @@ class BaseKernelKMeans(OutOfSamplePredictor):
             step = self._distance_step(state, labels, weights)
             new_labels = state.backend.argmin(state, step)
             if self.empty_cluster_policy == "reseed":
-                new_labels = self._reseed_empty(step.d, new_labels, self.n_clusters)
+                new_labels = self._reseed_empty(step, new_labels, self.n_clusters)
             objective = self._objective(step, new_labels, weights)
             step.free()
             labels = new_labels
@@ -632,14 +734,14 @@ class BaseKernelKMeans(OutOfSamplePredictor):
                 break
         return labels, n_iter, tracker
 
-    def _reseed_empty(self, d_mat: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
+    def _reseed_empty(self, step: DistanceStep, labels: np.ndarray, k: int) -> np.ndarray:
         """Move the farthest-from-centroid points into empty clusters."""
         counts = np.bincount(labels, minlength=k)
         empty = np.flatnonzero(counts == 0)
         if empty.size == 0:
             return labels
         labels = labels.copy()
-        assigned_d = d_mat[np.arange(labels.shape[0]), labels].copy()
+        assigned_d = step.assigned(labels)
         for j in empty:
             i = int(np.argmax(assigned_d))
             labels[i] = j

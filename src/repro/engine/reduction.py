@@ -1,0 +1,572 @@
+"""Chunked pairwise-reduction engine with fused argmin (ROADMAP item 1).
+
+The row-tiled pipeline (:mod:`repro.engine.tiling`) streams K, but it
+still materialises the full ``n x k`` distance block E and then runs a
+separate row-wise argmin over it, serially.  This module is the
+cache-blocked, thread-parallel middle layer that removes both costs,
+modeled on scikit-learn's ``pairwise_distances_reduction`` architecture:
+
+* :class:`PairwiseReduction` is the base *spec* — it owns the chunk
+  schedule (both the sample axis and the cluster/centroid axis are
+  chunked) and the work-stealing thread driver;
+* :class:`ArgminReduction` is the specialised *kernel* — it fuses the
+  row argmin (and min-distance) into the reduction, so each worker only
+  ever holds one ``chunk_rows x chunk_cols`` panel plus a running
+  per-row best/argbest pair.  The full distance block is never built.
+
+Concrete reductions plug in a panel evaluator:
+:func:`fused_popcorn_argmin` evaluates Popcorn's ``-2 K V^T + P~ + C~``
+panels (the fit loop), and :class:`CrossKernelArgmin` evaluates
+``-2 K_c V^T + C~`` panels (out-of-sample prediction).
+
+Parallelism uses *threads*, not processes: the panel work is NumPy/BLAS
+bound (the GIL is released inside the ufunc loops) and the operands are
+shared read-only, so row chunks are distributed over a small
+work-stealing pool (:class:`WorkStealingPool`) with no copies.
+
+Bit-exactness contract
+----------------------
+Labels and min-distances are **bit-for-bit identical** to the legacy
+full-matrix pipeline for every chunk shape and thread count:
+
+* the CSR SpMM computes every output entry with one sequential
+  ``np.add.reduceat`` over that row's nonzero segment, so slicing V's
+  rows (cluster chunks) and K's columns (sample chunks) leaves every
+  E entry unchanged — chunk boundaries never move a rounding;
+* panels add ``(E + P~) + C~`` in the exact association and dtype of the
+  legacy ``d += p; d += c`` sequence;
+* the running reduction updates on strict ``<`` with column chunks
+  visited in ascending order and ``np.argmin`` (first minimum) inside
+  each panel, which reproduces ``np.argmin``'s lowest-index tie-breaking
+  over the full row;
+* the fp reduction order is fixed by the chunk schedule alone — the
+  work-stealing pool only changes *when* a row chunk runs, never what it
+  computes, and row chunks write disjoint output slices.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE, check_labels
+from ..errors import ConfigError, ShapeError
+from ..sparse import (
+    CSRMatrix,
+    selection_matrix,
+    spmm,
+    spmv,
+    weighted_selection_matrix,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "DEFAULT_CHUNK_COLS",
+    "validate_chunk_size",
+    "validate_n_threads",
+    "chunk_ranges",
+    "csr_row_slice",
+    "WorkStealingPool",
+    "PairwiseReduction",
+    "ArgminReduction",
+    "CrossKernelArgmin",
+    "FusedDistances",
+    "fused_popcorn_argmin",
+]
+
+#: default sample-axis chunk when ``chunk_rows`` is requested but unsized
+DEFAULT_CHUNK_ROWS = 2048
+#: default cluster-axis chunk when ``chunk_cols`` is requested but unsized
+DEFAULT_CHUNK_COLS = 256
+
+
+# ----------------------------------------------------------------------
+# chunk schedule
+# ----------------------------------------------------------------------
+
+def validate_chunk_size(value, name: str = "chunk_rows") -> Optional[int]:
+    """Normalise a chunk-size parameter: None (one chunk) or a positive int."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(f"{name} must be a positive int or None, got {value!r}")
+    r = int(value)
+    if r < 1:
+        raise ConfigError(f"{name} must be >= 1 (or None for a single chunk), got {value}")
+    return r
+
+
+def validate_n_threads(value) -> Optional[int]:
+    """Normalise an ``n_threads`` parameter: None (serial) or a positive int."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(f"n_threads must be a positive int or None, got {value!r}")
+    t = int(value)
+    if t < 1:
+        raise ConfigError(f"n_threads must be >= 1 (or None for serial), got {value}")
+    return t
+
+
+def chunk_ranges(n: int, chunk: Optional[int]) -> List[Tuple[int, int]]:
+    """Half-open ranges ``[(lo, hi), ...]`` covering ``[0, n)``.
+
+    ``chunk=None`` (or any value >= n) yields the single monolithic
+    range; the last chunk is short when ``chunk`` does not divide ``n``.
+    ``n = 0`` yields no chunks.
+    """
+    if n < 0:
+        raise ShapeError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return []
+    c = validate_chunk_size(chunk, "chunk")
+    if c is None or c >= n:
+        return [(0, n)]
+    return [(lo, min(lo + c, n)) for lo in range(0, n, c)]
+
+
+def csr_row_slice(a: CSRMatrix, r0: int, r1: int) -> CSRMatrix:
+    """Zero-copy row slice ``a[r0:r1]`` of a CSR matrix.
+
+    The values/colinds arrays are views into the parent's; only the
+    (short) rowptrs array is rebased.  Used to hand one cluster chunk of
+    V to the SpMM — per-row arithmetic is untouched, so the sliced
+    product is bitwise equal to the corresponding rows of the full one.
+    """
+    if not (0 <= r0 <= r1 <= a.nrows):
+        raise ShapeError(f"row slice [{r0}, {r1}) out of bounds for {a.nrows} rows")
+    lo, hi = int(a.rowptrs[r0]), int(a.rowptrs[r1])
+    return CSRMatrix(
+        a.values[lo:hi],
+        a.colinds[lo:hi],
+        a.rowptrs[r0 : r1 + 1] - lo,
+        (r1 - r0, a.ncols),
+        check=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# the work-stealing thread pool
+# ----------------------------------------------------------------------
+
+class WorkStealingPool:
+    """Run a finite task list on ``n_threads`` workers with work stealing.
+
+    Tasks are dealt round-robin into per-worker deques; a worker drains
+    its own deque from the front and, when empty, steals from the *back*
+    of the most loaded peer — so a straggler chunk never serialises the
+    tail while the other workers idle.  With ``n_threads=1`` (or a single
+    task) everything runs inline with zero threading overhead.
+
+    Correctness does not depend on the schedule: tasks must write
+    disjoint outputs (the reductions here write per-row-chunk slices),
+    so any interleaving produces the same result.  The first task
+    exception is re-raised after all workers stop.
+    """
+
+    def __init__(self, n_threads: Optional[int] = None) -> None:
+        self.n_threads = validate_n_threads(n_threads) or 1
+
+    def run(self, tasks: Sequence[Callable[[], None]]) -> None:
+        if not tasks:
+            return
+        if self.n_threads == 1 or len(tasks) == 1:
+            for task in tasks:
+                task()
+            return
+        width = min(self.n_threads, len(tasks))
+        queues = [deque() for _ in range(width)]
+        for i, task in enumerate(tasks):
+            queues[i % width].append(task)
+        lock = threading.Lock()
+        errors: List[BaseException] = []
+
+        def worker(wid: int) -> None:
+            while True:
+                task = None
+                with lock:
+                    if errors:
+                        return
+                    if queues[wid]:
+                        task = queues[wid].popleft()
+                    else:
+                        victim = max(range(width), key=lambda q: len(queues[q]))
+                        if queues[victim]:
+                            task = queues[victim].pop()
+                if task is None:
+                    return
+                try:
+                    task()
+                except BaseException as exc:  # propagate to the caller
+                    with lock:
+                        errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=worker, args=(i,), daemon=True) for i in range(width)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+
+
+# ----------------------------------------------------------------------
+# the base spec and the argmin kernel
+# ----------------------------------------------------------------------
+
+class PairwiseReduction(ABC):
+    """Base spec of a chunked pairwise reduction.
+
+    Owns the two-axis chunk schedule and the thread driver; a concrete
+    kernel implements :meth:`_process_rows` (one row chunk end to end).
+    Row chunks are independent tasks; whatever state a kernel
+    accumulates must be written to disjoint per-row-chunk slices.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        *,
+        chunk_rows: Optional[int] = None,
+        chunk_cols: Optional[int] = None,
+        n_threads: Optional[int] = None,
+    ) -> None:
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        if self.n_rows < 0 or self.n_cols < 1:
+            raise ShapeError(
+                f"reduction needs n_rows >= 0 and n_cols >= 1, got {(n_rows, n_cols)}"
+            )
+        self.chunk_rows = validate_chunk_size(chunk_rows, "chunk_rows")
+        self.chunk_cols = validate_chunk_size(chunk_cols, "chunk_cols")
+        self.n_threads = validate_n_threads(n_threads) or 1
+
+    def row_chunks(self) -> List[Tuple[int, int]]:
+        return chunk_ranges(self.n_rows, self.chunk_rows)
+
+    def col_chunks(self) -> List[Tuple[int, int]]:
+        return chunk_ranges(self.n_cols, self.chunk_cols)
+
+    @abstractmethod
+    def _process_rows(self, r0: int, r1: int) -> None:
+        """Reduce rows ``[r0, r1)`` across all column chunks."""
+
+    def run(self):
+        tasks = [(lambda r0=r0, r1=r1: self._process_rows(r0, r1)) for r0, r1 in self.row_chunks()]
+        WorkStealingPool(self.n_threads).run(tasks)
+        return self._finalize()
+
+    def _finalize(self):
+        return None
+
+
+class ArgminReduction(PairwiseReduction):
+    """Fused row-argmin over chunked panels.
+
+    Each row chunk holds one ``chunk_rows x chunk_cols`` panel plus a
+    running per-row ``(best, argbest)`` pair; column chunks are visited
+    in ascending order and the running minimum updates on strict ``<``,
+    so ties resolve to the lowest column index exactly as a full-row
+    ``np.argmin`` would (the :func:`repro.core.assignment.argmin_assign`
+    contract).  Outputs are ``labels`` (int32) and ``min_d`` (the panel
+    dtype) — the full distance block is never materialised.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        dtype,
+        *,
+        chunk_rows: Optional[int] = None,
+        chunk_cols: Optional[int] = None,
+        n_threads: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            n_rows,
+            n_cols,
+            chunk_rows=chunk_rows,
+            chunk_cols=chunk_cols,
+            n_threads=n_threads,
+        )
+        self.dtype = np.dtype(dtype)
+        self.labels = np.zeros(self.n_rows, dtype=np.int32)
+        self.min_d = np.full(self.n_rows, np.inf, dtype=self.dtype)
+
+    @property
+    def panel_bytes(self) -> int:
+        """Peak resident distance-panel bytes per worker (the memory bound)."""
+        rows = self.n_rows if self.chunk_rows is None else min(self.chunk_rows, self.n_rows)
+        cols = self.n_cols if self.chunk_cols is None else min(self.chunk_cols, self.n_cols)
+        return int(max(rows, 1) * cols * self.dtype.itemsize)
+
+    def _row_context(self, r0: int, r1: int):
+        """Hook: per-row-chunk operands shared across its column chunks."""
+        return None
+
+    @abstractmethod
+    def _panel(self, ctx, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+        """Evaluate the ``(r1-r0) x (c1-c0)`` distance panel."""
+
+    def _process_rows(self, r0: int, r1: int) -> None:
+        ctx = self._row_context(r0, r1)
+        rr = r1 - r0
+        best = np.full(rr, np.inf, dtype=self.dtype)
+        arg = np.zeros(rr, dtype=np.int32)
+        rows = np.arange(rr)
+        for c0, c1 in self.col_chunks():
+            panel = self._panel(ctx, r0, r1, c0, c1)
+            local = np.argmin(panel, axis=1)
+            vals = panel[rows, local]
+            upd = vals < best
+            best[upd] = vals[upd]
+            arg[upd] = (c0 + local[upd]).astype(np.int32)
+        self.labels[r0:r1] = arg
+        self.min_d[r0:r1] = best
+
+    def _finalize(self):
+        return self.labels, self.min_d
+
+
+# ----------------------------------------------------------------------
+# the Popcorn fit-loop reduction
+# ----------------------------------------------------------------------
+
+def _one_row_csr(values: np.ndarray) -> CSRMatrix:
+    """A trusted 1 x nnz CSR row whose columns index a gathered operand."""
+    nnz = values.shape[0]
+    return CSRMatrix(
+        values,
+        np.arange(nnz, dtype=INDEX_DTYPE),
+        np.array([0, nnz], dtype=np.int64),
+        (1, nnz),
+        check=False,
+    )
+
+
+def _label_gather(
+    km: np.ndarray,
+    v: CSRMatrix,
+    lab: np.ndarray,
+    *,
+    budget_elems: int,
+    n_threads: Optional[int],
+) -> np.ndarray:
+    """``z_i = E[i, lab_i]`` for ``E = -2 K V^T`` without building E.
+
+    Only the label-column entry of each E row feeds the SpMV
+    centroid-norm trick, and point ``i``'s label column is the cluster
+    it belongs to — so per cluster ``j`` the needed entries are one SpMM
+    row against the gathered ``|L_j| x |L_j|`` block ``K[L_j, L_j]``
+    (total work ~ sum |L_j|^2 ~ n^2/k for balanced clusters, vs the
+    full SpMM's n^2 k^0 ... n*k columns).  The arithmetic goes through
+    :func:`repro.sparse.spmm` itself, so every entry is bitwise the one
+    the full product would hold; the gathered block is further split so
+    at most ``budget_elems`` elements are resident (the same panel
+    budget the argmin reduction honours).  Clusters are independent
+    tasks for the thread pool (they partition the points, so writes are
+    disjoint).
+    """
+    n = km.shape[0]
+    z = np.zeros(n, dtype=v.dtype)
+    tasks = []
+    for j in range(v.nrows):
+        lo, hi = int(v.rowptrs[j]), int(v.rowptrs[j + 1])
+        if lo == hi:
+            continue
+
+        def gather(lo=lo, hi=hi):
+            members = v.colinds[lo:hi]
+            row = _one_row_csr(v.values[lo:hi])
+            nj = hi - lo
+            block = max(1, budget_elems // nj)
+            for b0 in range(0, nj, block):
+                cols = members[b0 : b0 + block]
+                gathered = km[np.ix_(members, cols)]
+                z[cols] = spmm(row, gathered, alpha=-2.0)[0]
+
+        tasks.append(gather)
+    WorkStealingPool(n_threads).run(tasks)
+    return z
+
+
+class _PopcornArgmin(ArgminReduction):
+    """Fused ``argmin_j (-2 K V^T + P~ + C~)`` over row x cluster chunks."""
+
+    def __init__(self, km, v, p_norms, c_norms, **kwargs) -> None:
+        super().__init__(km.shape[0], v.nrows, km.dtype, **kwargs)
+        self._km = km
+        self._v = v
+        self._p = p_norms
+        self._c = c_norms
+
+    def _row_context(self, r0: int, r1: int):
+        # a view: the SpMM gathers rows of its dense operand, so no
+        # contiguous copy of the K panel is ever needed
+        return self._km[:, r0:r1]
+
+    def _panel(self, kp, r0, r1, c0, c1) -> np.ndarray:
+        vc = self._v if c0 == 0 and c1 == self.n_cols else csr_row_slice(self._v, c0, c1)
+        e = spmm(vc, kp, alpha=-2.0)  # (cc, rr); rows of the legacy E^T
+        panel = e.T + self._p[r0:r1, None]
+        panel += self._c[c0:c1][None, :]
+        return panel
+
+
+class FusedDistances:
+    """Result of one fused Popcorn distance step.
+
+    Holds the argmin outputs (``labels``, ``min_d``) plus the pipeline
+    operands (``v``, ``z``, ``c_norms``) and an exact on-demand entry
+    evaluator :meth:`at` — everything the fit loop's objective,
+    convergence and empty-cluster-reseed policies need, with no ``n x k``
+    block anywhere.  ``panel_bytes`` is the peak resident distance-panel
+    footprint per worker.
+    """
+
+    __slots__ = ("labels", "min_d", "v", "z", "c_norms", "panel_bytes", "_km", "_p")
+
+    def __init__(self, labels, min_d, v, z, c_norms, km, p_norms, panel_bytes) -> None:
+        self.labels = labels
+        self.min_d = min_d
+        self.v = v
+        self.z = z
+        self.c_norms = c_norms
+        self.panel_bytes = int(panel_bytes)
+        self._km = km
+        self._p = p_norms
+
+    def at(self, rows, cols) -> np.ndarray:
+        """Exact distance entries ``D[rows[t], cols[t]]``, one at a time.
+
+        Each entry re-runs the same SpMM arithmetic the panels use on
+        that single (point, cluster) pair, so the value is bitwise the
+        legacy ``D[i, j]`` — including empty clusters, whose SpMM/SpMV
+        contributions are exact zeros (``D[i, j_empty] = (0 + P~_i) + 0``).
+        Used by the reseed policy, which touches at most ``k`` entries.
+        """
+        rows = np.atleast_1d(np.asarray(rows))
+        cols = np.atleast_1d(np.asarray(cols))
+        if rows.shape != cols.shape:
+            raise ShapeError("rows and cols must have matching shapes")
+        v, km, dt = self.v, self._km, self.min_d.dtype
+        out = np.empty(rows.shape[0], dtype=dt)
+        for t in range(rows.shape[0]):
+            i, j = int(rows[t]), int(cols[t])
+            lo, hi = int(v.rowptrs[j]), int(v.rowptrs[j + 1])
+            if lo == hi:
+                e = dt.type(0.0)
+            else:
+                members = v.colinds[lo:hi]
+                row = _one_row_csr(v.values[lo:hi])
+                e = spmm(row, km[members, i][:, None], alpha=-2.0)[0, 0]
+            out[t] = (e + self._p[i]) + self.c_norms[j]
+        return out
+
+
+def fused_popcorn_argmin(
+    k_mat: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    *,
+    chunk_rows: Optional[int] = None,
+    chunk_cols: Optional[int] = None,
+    n_threads: Optional[int] = None,
+    weights: Optional[np.ndarray] = None,
+    dtype=None,
+) -> FusedDistances:
+    """One Popcorn distance step through the fused reduction engine.
+
+    Three phases, each bitwise equal to its legacy counterpart:
+
+    1. **z-pass** — :func:`_label_gather` computes ``z_i = E[i, lab_i]``
+       per cluster without building E;
+    2. **centroid norms** — the same ``C~ = -0.5 V z`` SpMV the tiled
+       pipeline runs (the -0.5 cancels the -2 and is an exact
+       power-of-two scaling);
+    3. **fused argmin** — :class:`_PopcornArgmin` sweeps
+       ``chunk_rows x chunk_cols`` panels of ``E^T + P~ + C~``,
+       thread-parallel over row chunks.
+
+    Returns a :class:`FusedDistances`; ``labels``/``min_d`` match the
+    legacy pipeline plus row argmin bit for bit, for every chunk shape
+    and thread count (property-tested).
+    """
+    n = k_mat.shape[0]
+    if k_mat.shape != (n, n):
+        raise ShapeError("kernel matrix must be square")
+    lab = check_labels(labels, n, k)
+    dt = np.dtype(dtype) if dtype is not None else k_mat.dtype
+    km = k_mat.astype(dt, copy=False)
+    if weights is None:
+        v = selection_matrix(lab, k, dtype=dt)
+    else:
+        v = weighted_selection_matrix(lab, k, weights, dtype=dt)
+    p_norms = np.diagonal(km)
+    red = _PopcornArgmin(
+        km,
+        v,
+        p_norms,
+        np.zeros(k, dtype=dt),  # placeholder until c_norms exist
+        chunk_rows=chunk_rows,
+        chunk_cols=chunk_cols,
+        n_threads=n_threads,
+    )
+    z = _label_gather(
+        km, v, lab, budget_elems=max(red.panel_bytes // dt.itemsize, 1), n_threads=n_threads
+    )
+    c_norms = spmv(v, z, alpha=-0.5)
+    red._c = c_norms
+    red.run()
+    return FusedDistances(red.labels, red.min_d, v, z, c_norms, km, p_norms, red.panel_bytes)
+
+
+# ----------------------------------------------------------------------
+# the out-of-sample prediction reduction
+# ----------------------------------------------------------------------
+
+class CrossKernelArgmin(ArgminReduction):
+    """Fused ``argmin_j (-2 K_c V^T + C~)`` for out-of-sample queries.
+
+    ``panel_rows(r0, r1)`` supplies the ``(r1-r0) x n_support``
+    cross-kernel block for one query chunk — a slice of a precomputed
+    matrix, or a kernel evaluation against the support set — so the full
+    ``m x n_support`` cross-kernel and the full ``m x k`` distance block
+    are both bounded by the chunk schedule.  The per-query self-kernel
+    constant is dropped (it cannot move the argmin), matching
+    :class:`repro.engine.base.OutOfSamplePredictor`.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        panel_rows: Callable[[int, int], np.ndarray],
+        v: CSRMatrix,
+        c_norms: np.ndarray,
+        **kwargs,
+    ) -> None:
+        super().__init__(n_rows, v.nrows, np.float64, **kwargs)
+        self._panel_rows = panel_rows
+        self._v = v
+        self._c = c_norms
+
+    def _row_context(self, r0: int, r1: int):
+        kc = np.asarray(self._panel_rows(r0, r1), dtype=np.float64)
+        if kc.shape != (r1 - r0, self._v.ncols):
+            raise ShapeError(
+                f"cross-kernel chunk must be {(r1 - r0, self._v.ncols)}, got {kc.shape}"
+            )
+        return kc.T  # (n_support, rr) view; the SpMM accepts any layout
+
+    def _panel(self, kct, r0, r1, c0, c1) -> np.ndarray:
+        vc = self._v if c0 == 0 and c1 == self.n_cols else csr_row_slice(self._v, c0, c1)
+        kvt = spmm(vc, kct)  # (cc, rr)
+        panel = -2.0 * kvt.T
+        panel += self._c[c0:c1][None, :]
+        return panel

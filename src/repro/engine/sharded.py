@@ -55,7 +55,8 @@ from .backends import (
     _host_kernel_matrix,
     register_backend,
 )
-from .tiling import tiled_popcorn_distances_host, validate_tile_rows
+from .reduction import fused_popcorn_argmin, validate_chunk_size, validate_n_threads
+from .tiling import validate_tile_rows
 
 __all__ = ["ShardedBackend", "DEFAULT_SHARD_DEVICES"]
 
@@ -114,7 +115,17 @@ class ShardedBackend(Backend):
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def begin(self, *, n_clusters, dtype, tile_rows=None, device=None) -> EngineState:
+    def begin(
+        self,
+        *,
+        n_clusters,
+        dtype,
+        tile_rows=None,
+        chunk_rows=None,
+        chunk_cols=None,
+        n_threads=None,
+        device=None,
+    ) -> EngineState:
         if device is not None:
             raise ConfigError(
                 "the sharded backend simulates its own devices; drop the device argument"
@@ -125,6 +136,9 @@ class ShardedBackend(Backend):
             n_clusters=int(n_clusters),
             dtype=np.dtype(dtype),
             tile_rows=validate_tile_rows(tile_rows),
+            chunk_rows=validate_chunk_size(chunk_rows, "chunk_rows"),
+            chunk_cols=validate_chunk_size(chunk_cols, "chunk_cols"),
+            n_threads=validate_n_threads(n_threads),
             profiler=Profiler(),
             spec=self.spec,
             n_devices=g,
@@ -236,11 +250,19 @@ class ShardedBackend(Backend):
         from ..distributed.costs import rect_spmm_cost
 
         n, k = state.n, state.n_clusters
-        d, _ = tiled_popcorn_distances_host(
+        # per-shard compute executes through the chunked fused reduction
+        # (host-exact labels for every chunk/thread setting); the cost
+        # model below is unchanged — it charges the same per-device
+        # rectangular panels and collectives as before, so modeled
+        # strong-scaling metrics stay comparable across code versions
+        rows_chunk = state.chunk_rows if state.chunk_rows is not None else state.tile_rows
+        fused = fused_popcorn_argmin(
             state.k_host,
             labels,
             k,
-            tile_rows=state.tile_rows,
+            chunk_rows=rows_chunk,
+            chunk_cols=state.chunk_cols,
+            n_threads=state.n_threads,
             weights=weights,
             dtype=state.dtype,
         )
@@ -253,7 +275,7 @@ class ShardedBackend(Backend):
             self._dev(state, p, "distances", cost.dadd_cost(self.spec, rows, k))
         # one ring allreduce of k floats completes the centroid norms
         self._allreduce(state, 4.0 * k)
-        return DistanceStep(d)
+        return DistanceStep(labels=fused.labels, min_d=fused.min_d, at=fused.at)
 
     def baseline_step(self, state, labels) -> DistanceStep:
         from ..distributed.costs import (
@@ -279,7 +301,9 @@ class ShardedBackend(Backend):
         return DistanceStep(d)
 
     def argmin(self, state, step) -> np.ndarray:
-        labels = np.argmin(step.d, axis=1).astype(np.int32)
+        labels = step.argmin_labels()
+        if labels is None:
+            labels = np.argmin(step.d, axis=1).astype(np.int32)
         k = state.n_clusters
         for p, (lo, hi) in enumerate(self._blocks(state)):
             self._dev(state, p, "argmin_update", cost.argmin_cost(self.spec, hi - lo, k))

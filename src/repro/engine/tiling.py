@@ -89,8 +89,9 @@ def tiled_popcorn_distances_host(
         v = weighted_selection_matrix(lab, k, weights, dtype=dt)
     e = np.empty((n, k), dtype=dt)
     for lo, hi in row_tiles(n, tile_rows):
-        panel = np.ascontiguousarray(km[:, lo:hi])
-        e[lo:hi] = spmm(v, panel, alpha=-2.0).T
+        # the SpMM gathers rows of its dense operand, so the column
+        # slice can be passed as a view — no per-panel contiguous copy
+        e[lo:hi] = spmm(v, km[:, lo:hi], alpha=-2.0).T
     # centroid norms via the z-gather SpMV; the -0.5 cancels the -2
     z = np.ascontiguousarray(e[np.arange(n), lab])
     c_norms = spmv(v, z, alpha=-0.5)

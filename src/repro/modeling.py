@@ -25,8 +25,10 @@ from .kernels.dispatch import choose_gram_method
 
 __all__ = [
     "RunModel",
+    "ChunkedRunModel",
     "model_popcorn",
     "model_popcorn_tiled",
+    "model_popcorn_chunked",
     "model_baseline",
     "model_cpu",
     "model_gram",
@@ -184,6 +186,128 @@ def model_popcorn_tiled(
         with prof.phase("argmin_update"):
             prof.record(cost.argmin_cost(spec, n, k))
     return RunModel(prof, n, d, k, iters)
+
+
+@dataclass(frozen=True)
+class ChunkedRunModel:
+    """Modeled chunked-fused run: the work log plus the threaded makespan.
+
+    ``profiler`` holds every launch (the *total* work across all
+    workers); ``makespan_s`` is the critical path when row chunks are
+    dealt round-robin over ``n_threads`` workers — serial stages
+    (transfers, V build, z-pass, SpMV) plus the slowest worker's share
+    of the fused panel sweep per iteration.  ``panel_bytes`` is the peak
+    resident distance-panel footprint per worker (the fused engine's
+    memory bound, vs ``n x k`` for the legacy pipeline).
+    """
+
+    profiler: Profiler
+    makespan_s: float
+    n: int
+    d: int
+    k: int
+    iters: int
+    n_threads: int
+    panel_bytes: int
+
+    @property
+    def total_work_s(self) -> float:
+        return self.profiler.total_time()
+
+    @property
+    def phases(self) -> Dict[str, float]:
+        return self.profiler.phase_times()
+
+
+def model_popcorn_chunked(
+    n: int,
+    d: int,
+    k: int,
+    *,
+    chunk_rows: int,
+    chunk_cols: int | None = None,
+    n_threads: int = 1,
+    iters: int = 30,
+    spec: DeviceSpec = A100_80GB,
+    kernel_flops_per_entry: float = 4.0,
+    include_transfer: bool = True,
+) -> ChunkedRunModel:
+    """Analytical model of the chunked fused-argmin reduction engine.
+
+    Mirrors :func:`repro.engine.reduction.fused_popcorn_argmin` iterated
+    ``iters`` times on a streamed kernel matrix: the kernel stage and the
+    per-iteration serial work (V build, z-pass, centroid-norm SpMV)
+    match :func:`model_popcorn_tiled`; the panel sweep replaces the
+    legacy full-matrix D-add + separate argmin with per-chunk fused
+    work (SpMM + add + running argmin over each
+    ``chunk_rows x chunk_cols`` panel), distributed round-robin over
+    ``n_threads`` workers — only the slowest worker's share lands on the
+    critical path.  The fused sweep never materialises the ``n x k``
+    block, so ``panel_bytes`` bounds resident distance storage.
+    """
+    _check(n, d, k, iters)
+    if n_threads < 1:
+        raise ConfigError(f"n_threads must be >= 1, got {n_threads}")
+    from .engine.reduction import chunk_ranges
+
+    row_chunks = chunk_ranges(n, chunk_rows)
+    col_chunks = chunk_ranges(k, chunk_cols)
+    prof = Profiler()
+    makespan = 0.0
+
+    def serial(phase: str, *launches) -> None:
+        nonlocal makespan
+        with prof.phase(phase):
+            for launch in launches:
+                prof.record(launch)
+                makespan += launch.time_s
+
+    if include_transfer:
+        serial("transfer", cost.h2d_cost(spec, FP32 * n * d))
+    for lo, hi in row_chunks:
+        serial(
+            "kernel_matrix",
+            cost.gemm_tile_cost(spec, hi - lo, n, d),
+            cost.transform_tile_cost(spec, hi - lo, n, kernel_flops_per_entry),
+        )
+    serial("kernel_matrix", cost.diag_extract_cost(spec, n))
+    for lo, hi in row_chunks:
+        serial("transfer", cost.d2h_cost(spec, FP32 * (hi - lo) * n))
+    serial("transfer", cost.h2d_cost(spec, FP32 * n))  # P~ upload
+
+    for _ in range(iters):
+        serial("argmin_update", cost.vbuild_cost(spec, n, k))
+        # the z-pass gather and the centroid-norm SpMV are serial stages
+        serial("distances", cost.zgather_cost(spec, n, k), cost.spmv_cost(spec, n, k))
+        # fused panel sweep: row chunks dealt round-robin over the workers
+        worker_s = [0.0] * n_threads
+        for i, (lo, hi) in enumerate(row_chunks):
+            rr = hi - lo
+            t_chunk = 0.0
+            with prof.phase("transfer"):
+                h2d = cost.h2d_cost(spec, FP32 * rr * n)
+                prof.record(h2d)
+                t_chunk += h2d.time_s
+            for c0, c1 in col_chunks:
+                cc = c1 - c0
+                with prof.phase("distances"):
+                    for launch in (
+                        cost.spmm_tile_cost(spec, rr, n, cc),
+                        cost.dadd_cost(spec, rr, cc),
+                    ):
+                        prof.record(launch)
+                        t_chunk += launch.time_s
+                with prof.phase("argmin_update"):
+                    amin = cost.argmin_cost(spec, rr, cc)
+                    prof.record(amin)
+                    t_chunk += amin.time_s
+            worker_s[i % n_threads] += t_chunk
+        makespan += max(worker_s)
+
+    rows = min(chunk_rows, n) if chunk_rows else n
+    cols = min(chunk_cols, k) if chunk_cols else k
+    panel_bytes = int(FP32 * rows * cols)
+    return ChunkedRunModel(prof, makespan, n, d, k, iters, n_threads, panel_bytes)
 
 
 def model_baseline(

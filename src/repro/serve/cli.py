@@ -59,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
+    def add_reduction_flags(sp):
+        # chunk schedule + thread count of the fused reduction engine;
+        # --tile-rows stays as the compatibility alias for --chunk-rows
+        sp.add_argument("--chunk-rows", dest="chunk_rows", type=int, default=None, metavar="R")
+        sp.add_argument("--chunk-cols", dest="chunk_cols", type=int, default=None, metavar="C")
+        sp.add_argument("--n-threads", dest="n_threads", type=int, default=None, metavar="T")
+
     save_p = sub.add_parser("save", help="fit an estimator and persist it as an artifact")
     save_p.add_argument("--model", default="popcorn", choices=_SAVE_MODELS)
     save_p.add_argument("-k", type=int, default=10, help="number of clusters")
@@ -77,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fit on G simulated devices (implies --backend sharded)",
     )
     save_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    add_reduction_flags(save_p)
     save_p.add_argument("-o", dest="output", required=True, help="artifact path (.npz)")
 
     load_p = sub.add_parser("load", help="print an artifact's metadata")
@@ -92,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     pred_p.add_argument("--workers", type=int, default=1)
     pred_p.add_argument("--cache-size", type=int, default=1024)
     pred_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    add_reduction_flags(pred_p)
     pred_p.add_argument(
         "--devices", type=int, default=None, metavar="G",
         help="shard each served batch across G simulated devices",
@@ -105,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--workers", type=int, default=2)
     serve_p.add_argument("--cache-size", type=int, default=4096)
     serve_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    add_reduction_flags(serve_p)
     serve_p.add_argument(
         "--devices", type=int, default=None, metavar="G",
         help="shard each served batch across G simulated devices",
@@ -142,6 +152,9 @@ def _fit_model(args):
         "kernel": args.kernel,
         "backend": backend,
         "tile_rows": args.tile_rows,
+        "chunk_rows": args.chunk_rows,
+        "chunk_cols": args.chunk_cols,
+        "n_threads": args.n_threads,
         "max_iter": args.max_iter,
         "seed": args.seed,
     }
@@ -216,6 +229,9 @@ def _cmd_predict(args) -> int:
         n_workers=args.workers,
         cache_size=args.cache_size,
         tile_rows=args.tile_rows,
+        chunk_rows=args.chunk_rows,
+        chunk_cols=args.chunk_cols,
+        n_threads=args.n_threads,
         devices=args.devices,
     ) as svc:
         labels = svc.predict_many(queries)
@@ -257,6 +273,9 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         n_workers=args.workers,
         cache_size=args.cache_size,
         tile_rows=args.tile_rows,
+        chunk_rows=args.chunk_rows,
+        chunk_cols=args.chunk_cols,
+        n_threads=args.n_threads,
         devices=args.devices,
     ) as svc:
         pending = []

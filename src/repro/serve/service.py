@@ -72,6 +72,11 @@ class PredictionService:
     tile_rows:
         Forwarded to ``predict`` — bounds the live cross-kernel panel
         when single batches are large.
+    chunk_rows, chunk_cols, n_threads:
+        Chunk schedule and thread count of the fused cross-kernel
+        reduction, forwarded to ``predict`` / ``predict_batch``
+        (``chunk_rows`` supersedes ``tile_rows`` when both are set;
+        labels are bit-identical for every setting).
     devices:
         Shard every served batch's rows across this many simulated
         devices (``predict_batch(devices=...)``, the serving face of the
@@ -95,6 +100,9 @@ class PredictionService:
         n_workers: int = 1,
         cache_size: int = 1024,
         tile_rows: Optional[int] = None,
+        chunk_rows: Optional[int] = None,
+        chunk_cols: Optional[int] = None,
+        n_threads: Optional[int] = None,
         devices: Optional[int] = None,
         profiler: Optional[Profiler] = None,
     ) -> None:
@@ -118,6 +126,9 @@ class PredictionService:
         self.n_workers = int(n_workers)
         self.cache_size = int(cache_size)
         self.tile_rows = tile_rows
+        self.chunk_rows = chunk_rows
+        self.chunk_cols = chunk_cols
+        self.n_threads = n_threads
         self.devices = None if devices is None else int(devices)
         self.profiler_ = profiler if profiler is not None else Profiler()
 
@@ -224,15 +235,21 @@ class PredictionService:
         t0 = time.perf_counter()
         try:
             rows = np.stack([req.row for req in batch])
+            kw = {
+                "tile_rows": self.tile_rows,
+                "chunk_rows": self.chunk_rows,
+                "chunk_cols": self.chunk_cols,
+                "n_threads": self.n_threads,
+            }
             if self.devices is not None:
                 labels = self.model.predict_batch(
                     [rows],
-                    tile_rows=self.tile_rows,
                     devices=self.devices,
                     profiler=self.profiler_,
+                    **kw,
                 )
             else:
-                labels = self.model.predict(rows, tile_rows=self.tile_rows)
+                labels = self.model.predict(rows, **kw)
         except Exception as exc:
             # a fused batch can fail on one bad request (e.g. a ragged row);
             # retry each request alone so the error stays with its sender

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._typing import as_matrix
+from .._typing import as_float_dtype
 from ..errors import ShapeError
 from .csr import CSRMatrix
 
@@ -60,7 +60,10 @@ def spmm(a: CSRMatrix, b: np.ndarray, *, alpha: float = 1.0, out: np.ndarray | N
     a:
         CSR matrix of shape ``(m, n)``.
     b:
-        Dense matrix of shape ``(n, p)``; promoted to ``a.dtype``.
+        Dense matrix of shape ``(n, p)``; promoted to ``a.dtype``.  Any
+        memory layout is accepted without a copy — the kernel gathers
+        rows of ``b`` by fancy indexing, which is layout-agnostic — so
+        callers can pass transposed or column-sliced views directly.
     alpha:
         Scalar multiplier fused into the product (cuSPARSE-style).
     out:
@@ -72,7 +75,11 @@ def spmm(a: CSRMatrix, b: np.ndarray, *, alpha: float = 1.0, out: np.ndarray | N
     numpy.ndarray
         Dense ``(m, p)`` product.
     """
-    bmat = as_matrix(b, dtype=a.dtype, name="b")
+    bmat = np.asarray(b)
+    if bmat.ndim != 2:
+        raise ShapeError(f"b must be 2-D, got ndim={bmat.ndim}")
+    if bmat.dtype != a.dtype:
+        bmat = bmat.astype(as_float_dtype(a.dtype))
     m, n = a.shape
     if bmat.shape[0] != n:
         raise ShapeError(f"spmm dimension mismatch: A is {a.shape}, B is {bmat.shape}")

@@ -1,4 +1,4 @@
-"""Registry discoverability + quick-mode runnability of all 20 experiments."""
+"""Registry discoverability + quick-mode runnability of all 21 experiments."""
 
 import pytest
 
@@ -33,15 +33,16 @@ EXPECTED_IDS = {
     "ext_spectral",
     "ext_strong_scaling",
     "ext_engine_tiling",
+    "ext_reduction_engine",
     "serve_throughput",
     "model_selection",
 }
 
 
 class TestDiscovery:
-    def test_all_20_experiments_registered(self):
+    def test_all_21_experiments_registered(self):
         assert set(experiment_ids()) == EXPECTED_IDS
-        assert len(experiment_ids()) == 20
+        assert len(experiment_ids()) == 21
 
     def test_paper_order(self):
         ids = experiment_ids()

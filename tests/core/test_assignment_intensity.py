@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
     ConvergenceTracker,
@@ -28,6 +30,24 @@ class TestArgminAssign:
 
     def test_dtype(self):
         assert argmin_assign(np.ones((2, 2))).dtype == np.int32
+
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        k=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_tie_breaks_to_lowest_index(self, n, k, seed):
+        # quantise to a handful of levels so row-wise ties are common;
+        # the contract (which the fused chunked reduction must and does
+        # reproduce) is the lowest column index among the row minima
+        rng = np.random.default_rng(seed)
+        d = rng.integers(0, 3, size=(n, k)).astype(np.float64)
+        got = argmin_assign(d)
+        assert got.dtype == np.int32
+        for i in range(n):
+            ties = np.flatnonzero(d[i] == d[i].min())
+            assert got[i] == ties[0]
 
 
 class TestObjective:
