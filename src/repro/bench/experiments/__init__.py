@@ -1,7 +1,7 @@
 """The bundled experiments: importing this package registers all of them."""
 
 from . import paper_figures  # noqa: F401  (isort: keep paper order)
-from . import ablations, extensions, reduction  # noqa: F401
+from . import ablations, extensions, minibatch, reduction  # noqa: F401
 from .common import DATASETS, ITERS, K_VALUES, datasets, k_values
 
 __all__ = ["DATASETS", "ITERS", "K_VALUES", "datasets", "k_values"]

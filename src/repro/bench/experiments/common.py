@@ -65,7 +65,12 @@ def _probe_points(n: int, d: int, seed: int) -> np.ndarray:
 
 
 def popcorn_probe(cfg: RunConfig, *, n: int = 150, d: int = 8, k: int = 5):
-    """Small real Popcorn fit honouring ``--backend`` / ``--tile-rows``."""
+    """Small real Popcorn fit honouring ``--backend`` / ``--tile-rows``.
+
+    ``cfg.tile_rows`` (the bench artifact's config key) feeds the
+    estimator's ``chunk_rows`` — the same row granularity under its
+    current name.
+    """
     x = _probe_points(n, d, cfg.base_seed)
 
     def factory(seed: int):
@@ -74,7 +79,7 @@ def popcorn_probe(cfg: RunConfig, *, n: int = 150, d: int = 8, k: int = 5):
             n_clusters=k,
             dtype=np.float64,
             backend=cfg.backend,
-            tile_rows=cfg.tile_rows,
+            chunk_rows=cfg.tile_rows,
             max_iter=5,
             check_convergence=False,
             seed=seed,

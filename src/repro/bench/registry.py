@@ -37,6 +37,7 @@ _EXPERIMENT_MODULES = (
     "repro.bench.experiments.extensions",
     "repro.bench.experiments.serving",
     "repro.bench.experiments.selection",
+    "repro.bench.experiments.minibatch",
 )
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}

@@ -109,8 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="R",
-        help="stream the kernel matrix in row tiles of R (out-of-core mode; "
-        "Popcorn only)",
+        help="deprecated alias of --chunk-rows",
     )
     p.add_argument(
         "--chunk-rows",
@@ -118,8 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="R",
-        help="row-chunk height of the chunked fused reduction engine "
-        "(host-family backends; supersedes --tile-rows there)",
+        help="row granularity of the distance pipeline: streamed kernel-matrix "
+        "panels on the device backend (out-of-core mode), row-chunk height of "
+        "the fused reduction on host-family backends",
     )
     p.add_argument(
         "--chunk-cols",

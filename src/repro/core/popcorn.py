@@ -37,7 +37,9 @@ from ..params import ParamSpec, optional
 __all__ = ["PopcornKernelKMeans"]
 
 
-@register_estimator("popcorn")
+@register_estimator(
+    "popcorn", capabilities=("supports_partial_fit", "supports_sample_weight")
+)
 class PopcornKernelKMeans(BaseKernelKMeans):
     """GPU Kernel K-means via sparse linear algebra (Popcorn, PPoPP'25).
 
@@ -55,19 +57,26 @@ class PopcornKernelKMeans(BaseKernelKMeans):
     backend:
         ``"auto"`` (= device), ``"device"`` (simulated GPU, modeled
         timings) or ``"host"`` (NumPy/CSR, identical numerics).
-    tile_rows:
-        Row-tile height for the streamed distance pipeline.  None keeps
-        K resident (monolithic); an int streams K in ``tile_rows x n``
-        panels so kernel matrices beyond device capacity still fit.
-        Labels are identical to the monolithic run for any valid value.
-        On the host backend this is a compatibility alias for
-        ``chunk_rows``.
-    chunk_rows, chunk_cols, n_threads:
-        Chunk schedule and thread count of the chunked fused reduction
-        (:mod:`repro.engine.reduction`) — the host-side distance+argmin
-        path that never materialises the full ``n x k`` distance block.
-        Setting any of them with ``backend="auto"`` selects the host
-        backend; labels are bit-identical for every setting.
+    chunk_rows:
+        Row granularity of the distance pipeline.  On the device backend
+        it streams K in ``chunk_rows x n`` panels so kernel matrices
+        beyond device capacity still fit; on host-family backends it is
+        the row-chunk height of the chunked fused reduction
+        (:mod:`repro.engine.reduction`).  Labels are identical to the
+        monolithic run for any valid value.  ``tile_rows=`` is accepted
+        as a deprecated alias.
+    chunk_cols, n_threads:
+        Cluster-axis chunk and thread count of the chunked fused
+        reduction — the host-side distance+argmin path that never
+        materialises the full ``n x k`` distance block.  Setting either
+        with ``backend="auto"`` selects the host backend; labels are
+        bit-identical for every setting.
+    batch_size, max_no_improvement, reassignment_ratio:
+        Online mini-batch controls for :meth:`partial_fit`
+        (:mod:`repro.engine.minibatch`): the per-call batch split (None
+        treats each call as one batch), the smoothed-inertia early-stop
+        patience (None disables), and the dead-cluster reassignment
+        threshold as a fraction of the largest per-cluster weight.
     gram_method:
         ``"auto"`` (the n/d dispatch of Sec. 4.2), ``"gemm"`` or ``"syrk"``.
     gram_threshold:
@@ -118,7 +127,6 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         "kernel",
         "device",
         "backend",
-        "tile_rows",
         "chunk_rows",
         "chunk_cols",
         "n_threads",
@@ -129,6 +137,9 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         "empty_cluster_policy",
         "seed",
         "dtype",
+        "batch_size",
+        "max_no_improvement",
+        "reassignment_ratio",
     ) + (
         ParamSpec("gram_method", default="auto", choices=("auto", "gemm", "syrk")),
         ParamSpec("gram_threshold", default=None, convert=optional(float)),
@@ -154,6 +165,9 @@ class PopcornKernelKMeans(BaseKernelKMeans):
         empty_cluster_policy: str = "keep",
         seed: int | None = None,
         dtype=np.float32,
+        batch_size: int | None = None,
+        max_no_improvement: int | None = 10,
+        reassignment_ratio: float = 0.01,
     ) -> None:
         self._init_params(
             n_clusters=n_clusters,
@@ -173,6 +187,9 @@ class PopcornKernelKMeans(BaseKernelKMeans):
             empty_cluster_policy=empty_cluster_policy,
             seed=seed,
             dtype=dtype,
+            batch_size=batch_size,
+            max_no_improvement=max_no_improvement,
+            reassignment_ratio=reassignment_ratio,
         )
 
     # ------------------------------------------------------------------

@@ -73,7 +73,9 @@ def weighted_distances_host(
     return d
 
 
-@register_estimator("weighted")
+@register_estimator(
+    "weighted", capabilities=("supports_partial_fit", "supports_sample_weight")
+)
 class WeightedPopcornKernelKMeans(BaseKernelKMeans):
     """Weighted Kernel K-means with the SpMM/SpMV pipeline.
 
@@ -92,6 +94,9 @@ class WeightedPopcornKernelKMeans(BaseKernelKMeans):
     """
 
     _default_backend = "host"
+    #: fit runs with explicit unit weights when sample_weight is None;
+    #: the partial_fit cold start replays the same choice
+    _partial_fit_unit_weights = True
 
     #: the weighted pipeline is float64 end to end (not a parameter)
     dtype = np.dtype(np.float64)
@@ -100,7 +105,6 @@ class WeightedPopcornKernelKMeans(BaseKernelKMeans):
         "n_clusters",
         "kernel",
         "backend",
-        "tile_rows",
         "chunk_rows",
         "chunk_cols",
         "n_threads",
@@ -111,6 +115,9 @@ class WeightedPopcornKernelKMeans(BaseKernelKMeans):
         "init",
         "empty_cluster_policy",
         "seed",
+        "batch_size",
+        "max_no_improvement",
+        "reassignment_ratio",
         max_iter={"default": 100},
         tol={"default": 1e-6},
     )
@@ -132,6 +139,9 @@ class WeightedPopcornKernelKMeans(BaseKernelKMeans):
         init: str = "random",
         empty_cluster_policy: str = "keep",
         seed: int | None = None,
+        batch_size: int | None = None,
+        max_no_improvement: int | None = 10,
+        reassignment_ratio: float = 0.01,
     ) -> None:
         self._init_params(
             n_clusters=n_clusters,
@@ -148,6 +158,9 @@ class WeightedPopcornKernelKMeans(BaseKernelKMeans):
             init=init,
             empty_cluster_policy=empty_cluster_policy,
             seed=seed,
+            batch_size=batch_size,
+            max_no_improvement=max_no_improvement,
+            reassignment_ratio=reassignment_ratio,
         )
 
     def fit(

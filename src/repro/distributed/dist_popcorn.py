@@ -36,7 +36,7 @@ from .costs import rect_gemm_cost, rect_spmm_cost, rect_transform_cost
 __all__ = ["DistributedPopcornKernelKMeans", "model_distributed_popcorn"]
 
 
-@register_estimator("distributed")
+@register_estimator("distributed", capabilities=("supports_sample_weight",))
 class DistributedPopcornKernelKMeans(PopcornKernelKMeans):
     """Multi-GPU Popcorn with exact numerics and modeled makespan.
 

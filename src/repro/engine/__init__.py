@@ -22,17 +22,24 @@ runs on this subsystem:
   the shared predict path all run on it, with labels bit-for-bit equal
   to the legacy full-matrix pipeline for every chunk shape and thread
   count;
-* :mod:`~repro.engine.tiling` is the row-tiled distance pipeline
-  (``tile_rows=``): ``E = -2 K V^T`` in streamed row blocks, bit-for-bit
-  equal to the monolithic SpMM.  On the device backend it streams
-  kernel-matrix panels over PCIe; on host-family backends ``tile_rows``
-  survives as a compatibility alias for the reduction engine's
-  ``chunk_rows``;
+* :mod:`~repro.engine.tiling` is the row-tiled distance pipeline:
+  ``E = -2 K V^T`` in streamed row blocks, bit-for-bit equal to the
+  monolithic SpMM.  ``chunk_rows=`` is the one row-granularity knob
+  everywhere — the device backend streams kernel-matrix panels of that
+  height over PCIe, host-family backends chunk the fused reduction with
+  it (``tile_rows=`` survives as a deprecated alias, resolved by the
+  params protocol);
 * :class:`~repro.engine.base.OutOfSamplePredictor` is the shared
   out-of-sample contract: one ``predict`` / ``predict_batch``
   implementation (chunked fused cross-kernel argmin, never the full
   ``m x n`` matrix) every estimator and the :mod:`repro.serve`
-  subsystem consume.
+  subsystem consume — plus the uniform ``partial_fit`` surface;
+* :mod:`~repro.engine.minibatch` is the online mini-batch fit path
+  behind ``partial_fit``: per-batch assignment through the fused
+  reduction, incremental selection-matrix/centroid-norm updates with
+  per-cluster learning-rate counts, dead-cluster reassignment, and
+  smoothed-inertia early stopping.  The first call is one full fit
+  iteration, bit for bit.
 """
 
 from .backends import (
@@ -53,6 +60,7 @@ from .base import (
     resolve_kernel,
     shared_params,
 )
+from .minibatch import EWA_ALPHA, OnlineState, partial_fit_step, restore_online_state
 from .params import ParamSpec, ParamsProtocol, check_is_fitted, clone
 from .reduction import (
     DEFAULT_CHUNK_COLS,
@@ -65,6 +73,7 @@ from .reduction import (
     chunk_ranges,
     csr_row_slice,
     fused_popcorn_argmin,
+    resolve_rows_alias,
     validate_chunk_size,
     validate_n_threads,
 )
@@ -100,8 +109,13 @@ __all__ = [
     "fused_popcorn_argmin",
     "chunk_ranges",
     "csr_row_slice",
+    "resolve_rows_alias",
     "validate_chunk_size",
     "validate_n_threads",
+    "EWA_ALPHA",
+    "OnlineState",
+    "partial_fit_step",
+    "restore_online_state",
     "DEFAULT_CHUNK_ROWS",
     "DEFAULT_CHUNK_COLS",
     "row_tiles",

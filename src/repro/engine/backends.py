@@ -376,7 +376,7 @@ def _resolve_gram_method(
     if tiled:
         if method == "syrk":
             raise ConfigError(
-                "tile_rows streams rectangular GEMM panels; gram_method='syrk' "
+                "chunk_rows streams rectangular GEMM panels; gram_method='syrk' "
                 "is only available in monolithic mode"
             )
         return "gemm"
@@ -458,7 +458,8 @@ class HostBackend(Backend):
         _check_gram_expressible(kernel)
         t0 = time.perf_counter()
         n, d = x.shape
-        used = _resolve_gram_method(method, threshold, n, d, state.tile_rows is not None)
+        tiled = state.chunk_rows is not None or state.tile_rows is not None
+        used = _resolve_gram_method(method, threshold, n, d, tiled)
         state.k_host, state.p_norms_host = _host_kernel_matrix(x, kernel, used)
         state.n = n
         state.gram_method = used
@@ -536,17 +537,24 @@ class DeviceBackend(Backend):
     ) -> EngineState:
         if device is None:
             raise ConfigError("the device backend needs a Device")
-        if chunk_rows is not None or chunk_cols is not None or n_threads is not None:
+        if chunk_cols is not None or n_threads is not None:
             raise ConfigError(
-                "chunk_rows/chunk_cols/n_threads configure the host-side chunked "
-                "reduction engine; the device backend streams with tile_rows= "
-                "instead — use backend='host' (or 'sharded:<g>') for chunked execution"
+                "chunk_cols/n_threads configure the host-side chunked "
+                "reduction engine; the device backend only streams row panels "
+                "(chunk_rows=/tile_rows=) — use backend='host' (or "
+                "'sharded:<g>') for chunked execution"
             )
+        # ``chunk_rows`` is the canonical row-granularity knob; on the
+        # device backend it sets the streamed panel height (what
+        # ``tile_rows`` configured before the rename)
+        rows = validate_chunk_size(chunk_rows, "chunk_rows")
+        if rows is None:
+            rows = validate_tile_rows(tile_rows)
         return EngineState(
             backend=self,
             n_clusters=int(n_clusters),
             dtype=np.dtype(dtype),
-            tile_rows=validate_tile_rows(tile_rows),
+            tile_rows=rows,
             profiler=device.profiler,
             device=device,
             spec=device.spec,

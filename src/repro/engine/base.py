@@ -41,15 +41,15 @@ from ..errors import ConfigError, ShapeError
 from ..gpu.device import Device
 from ..gpu.spec import A100_80GB, DeviceSpec
 from .backends import Backend, DistanceStep, EngineState, get_backend
-from .params import ParamSpec, ParamsProtocol, check_is_fitted
+from .params import ParamSpec, ParamsProtocol, check_is_fitted, optional
 from .reduction import (
     CrossKernelArgmin,
     WorkStealingPool,
     chunk_ranges,
+    resolve_rows_alias,
     validate_chunk_size,
     validate_n_threads,
 )
-from .tiling import validate_tile_rows
 
 __all__ = ["OutOfSamplePredictor", "BaseKernelKMeans"]
 
@@ -61,8 +61,8 @@ class OutOfSamplePredictor(ParamsProtocol):
     through :class:`BaseKernelKMeans`; the classical baselines directly)
     so ``predict`` has one signature and one implementation everywhere::
 
-        predict(x=None, *, cross_kernel=None, tile_rows=None)
-        predict_batch(batches, *, tile_rows=None)
+        predict(x=None, *, cross_kernel=None, chunk_rows=None, ...)
+        predict_batch(batches, *, chunk_rows=None, ...)
 
     A fitted estimator provides a *support set*:
 
@@ -83,10 +83,11 @@ class OutOfSamplePredictor(ParamsProtocol):
     Assignment drops the per-query constant ``kappa(q, q)``, which cannot
     move the argmin: ``d_qj = -2 s_qj + ||c_j||^2`` with ``s_qj`` either
     ``(K_c V^T)_qj`` (kernel support) or ``<phi(q), c_j>`` (centers).
-    ``tile_rows`` streams the queries in row tiles so only one
-    ``tile_rows x n_support`` cross-kernel panel is live at a time; the
-    CSR SpMM computes output columns independently, so any tiling is
-    bit-identical to the monolithic product.
+    ``chunk_rows`` streams the queries in row chunks (``tile_rows`` is
+    the deprecated alias) so only one ``chunk_rows x n_support``
+    cross-kernel panel is live at a time; the CSR SpMM computes output
+    columns independently, so any chunking is bit-identical to the
+    monolithic product.
     """
 
     #: support-set defaults (fit overwrites what applies)
@@ -130,6 +131,31 @@ class OutOfSamplePredictor(ParamsProtocol):
             init_labels=init_labels,
             sample_weight=sample_weight,
         ).labels_
+
+    def partial_fit(
+        self,
+        x: Optional[np.ndarray] = None,
+        *,
+        kernel_matrix: Optional[np.ndarray] = None,
+        sample_weight: Optional[np.ndarray] = None,
+    ):
+        """One incremental mini-batch update (online fitting contract).
+
+        Part of the uniform estimator surface: every estimator exposes
+        the method, but only those declaring the
+        ``supports_partial_fit`` capability in the registry implement it
+        — the rest raise an explained
+        :class:`~repro.errors.ConfigError` (never ``AttributeError``).
+        The implementation lives in :mod:`repro.engine.minibatch`.
+        """
+        from ..estimators import require_capability
+
+        require_capability(self, "supports_partial_fit", method="partial_fit")
+        from .minibatch import partial_fit_step
+
+        return partial_fit_step(
+            self, x, kernel_matrix=kernel_matrix, sample_weight=sample_weight
+        )
 
     # ------------------------------------------------------------------
     # support-set plumbing
@@ -258,15 +284,15 @@ class OutOfSamplePredictor(ParamsProtocol):
 
         Assignment runs through the chunked fused reduction
         (:mod:`repro.engine.reduction`): ``chunk_rows`` bounds the live
-        query block (``tile_rows`` is a compatibility alias for it),
+        query block (``tile_rows`` is the deprecated alias for it),
         ``chunk_cols`` bounds the live cluster block, and ``n_threads``
         distributes query chunks over a work-stealing thread pool.
         Labels are bit-identical to the monolithic run for every setting.
         """
         self._require_fitted()
-        rows = validate_chunk_size(chunk_rows, "chunk_rows")
-        if rows is None:
-            rows = validate_tile_rows(tile_rows)
+        rows = resolve_rows_alias(
+            chunk_rows, tile_rows, owner=f"{type(self).__name__}.predict"
+        )
         cols = validate_chunk_size(chunk_cols, "chunk_cols")
         threads = validate_n_threads(n_threads)
         if cross_kernel is not None:
@@ -278,7 +304,10 @@ class OutOfSamplePredictor(ParamsProtocol):
                     "pass query points x instead of cross_kernel"
                 )
             kc = as_matrix(cross_kernel, dtype=np.float64, name="cross_kernel")
-            n_sup = self.labels_.shape[0]
+            # after partial_fit the support can outgrow the last batch's
+            # labels_, so the column count comes from the selection matrix
+            v = self._support_v
+            n_sup = v.ncols if v is not None else self.labels_.shape[0]
             if kc.shape[1] != n_sup:
                 raise ShapeError(f"cross_kernel must have {n_sup} columns")
             return self._assign_cross(
@@ -321,7 +350,7 @@ class OutOfSamplePredictor(ParamsProtocol):
 
         Each block goes through :meth:`predict` independently, so peak
         memory is one block's cross-kernel (further bounded by
-        ``tile_rows``) — the entry point the micro-batching
+        ``chunk_rows``) — the entry point the micro-batching
         :class:`repro.serve.PredictionService` drains its queue through.
 
         ``devices`` shards every block's rows across ``g`` simulated
@@ -334,8 +363,9 @@ class OutOfSamplePredictor(ParamsProtocol):
         """
         self._require_fitted()
         kw = dict(
-            tile_rows=tile_rows,
-            chunk_rows=chunk_rows,
+            chunk_rows=resolve_rows_alias(
+                chunk_rows, tile_rows, owner=f"{type(self).__name__}.predict_batch"
+            ),
             chunk_cols=chunk_cols,
             n_threads=n_threads,
         )
@@ -368,7 +398,7 @@ class OutOfSamplePredictor(ParamsProtocol):
         return NVLINK
 
     def _predict_sharded(
-        self, batch, g: int, *, tile_rows, chunk_rows=None, chunk_cols=None,
+        self, batch, g: int, *, chunk_rows=None, chunk_cols=None,
         n_threads=None, profiler,
     ) -> np.ndarray:
         """One query block, row-partitioned over ``min(g, rows)`` shards."""
@@ -379,7 +409,6 @@ class OutOfSamplePredictor(ParamsProtocol):
         from ..gpu.launch import Launch
 
         kw = dict(
-            tile_rows=tile_rows,
             chunk_rows=chunk_rows,
             chunk_cols=chunk_cols,
             n_threads=n_threads,
@@ -430,9 +459,11 @@ def resolve_kernel(kernel):
 SHARED_PARAM_SPECS = {
     "n_clusters": ParamSpec("n_clusters", convert=int, low=1, required=True),
     "backend": ParamSpec("backend", default="auto"),
-    "tile_rows": ParamSpec("tile_rows", default=None, convert=validate_tile_rows),
     "chunk_rows": ParamSpec(
-        "chunk_rows", default=None, convert=lambda v: validate_chunk_size(v, "chunk_rows")
+        "chunk_rows",
+        default=None,
+        convert=lambda v: validate_chunk_size(v, "chunk_rows"),
+        aliases=("tile_rows",),
     ),
     "chunk_cols": ParamSpec(
         "chunk_cols", default=None, convert=lambda v: validate_chunk_size(v, "chunk_cols")
@@ -452,6 +483,18 @@ SHARED_PARAM_SPECS = {
     "device": ParamSpec("device", default=None),
     "kernel": ParamSpec("kernel", default=None, convert=resolve_kernel),
     "n_init": ParamSpec("n_init", default=5, convert=int, low=1),
+    # online mini-batch fitting (repro.engine.minibatch)
+    "batch_size": ParamSpec(
+        "batch_size",
+        default=None,
+        convert=lambda v: validate_chunk_size(v, "batch_size"),
+    ),
+    "max_no_improvement": ParamSpec(
+        "max_no_improvement", default=10, convert=optional(int), low=1
+    ),
+    "reassignment_ratio": ParamSpec(
+        "reassignment_ratio", default=0.01, convert=float, low=0.0
+    ),
 }
 
 
@@ -494,15 +537,16 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         instance (a pre-configured substrate, e.g. a
         :class:`~repro.engine.sharded.ShardedBackend` with a custom
         interconnect).
-    tile_rows:
-        Row-tile height for the streamed distance pipeline; None runs the
-        monolithic pipeline.  Only estimators that expose it accept it.
-        On host-family backends this is a compatibility alias for
-        ``chunk_rows`` over the chunked fused reduction engine.
-    chunk_rows, chunk_cols, n_threads:
-        Chunk schedule and thread count of the fused reduction engine
-        (:mod:`repro.engine.reduction`); host-family backends only.
-        Labels are bit-identical for every setting.
+    chunk_rows:
+        Row granularity of the distance pipeline: the chunk height of
+        the fused reduction on host-family backends, the streamed panel
+        height on the device backend; None runs monolithic.
+        ``tile_rows=`` is accepted as a deprecated alias (the ParamSpec
+        remaps it with a :class:`DeprecationWarning`).
+    chunk_cols, n_threads:
+        Cluster-axis chunk and thread count of the fused reduction
+        engine (:mod:`repro.engine.reduction`); host-family backends
+        only.  Labels are bit-identical for every setting.
     max_iter, tol, check_convergence:
         Loop control (artifact ``-m`` / ``-t`` / ``-c``).
     init:
@@ -525,7 +569,9 @@ class BaseKernelKMeans(OutOfSamplePredictor):
     #: class-level defaults for the engine knobs, so subclasses that
     #: exclude one from their parameter surface (e.g. the baseline has no
     #: row tiling, the spectral estimator owns its init) still satisfy the
-    #: attribute contract the shared fit loop reads
+    #: attribute contract the shared fit loop reads.  ``tile_rows`` is no
+    #: longer a parameter (``chunk_rows`` aliases it) but stays an
+    #: attribute for the backend ``begin`` contract.
     tile_rows = None
     chunk_rows = None
     chunk_cols = None
@@ -540,11 +586,17 @@ class BaseKernelKMeans(OutOfSamplePredictor):
     dtype = np.dtype(np.float32)
     gram_method = "auto"
     gram_threshold = None
+    batch_size = None
+    max_no_improvement = 10
+    reassignment_ratio = 0.01
+    #: estimators whose unweighted fit path runs with explicit unit
+    #: weights (the weighted pipeline) set this, so a full-data
+    #: ``partial_fit`` cold start replays their exact fit numerics
+    _partial_fit_unit_weights = False
 
     _params = shared_params(
         "n_clusters",
         "backend",
-        "tile_rows",
         "chunk_rows",
         "chunk_cols",
         "n_threads",
@@ -642,9 +694,11 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         return get_backend(name)
 
     def _wants_chunked(self) -> bool:
+        # chunk_rows alone stays backend-neutral (the device backend
+        # folds it into its streamed panel height, preserving the old
+        # tile_rows semantics); chunk_cols/n_threads are host-only
         return any(
-            getattr(self, p, None) is not None
-            for p in ("chunk_rows", "chunk_cols", "n_threads")
+            getattr(self, p, None) is not None for p in ("chunk_cols", "n_threads")
         )
 
     def _make_device(self) -> Device:

@@ -7,6 +7,6 @@ protocol must sit below both); this module re-exports it under the
 engine namespace the estimator family documents.
 """
 
-from ..params import ParamSpec, ParamsProtocol, check_is_fitted, clone
+from ..params import ParamSpec, ParamsProtocol, check_is_fitted, clone, optional
 
-__all__ = ["ParamSpec", "ParamsProtocol", "clone", "check_is_fitted"]
+__all__ = ["ParamSpec", "ParamsProtocol", "clone", "check_is_fitted", "optional"]

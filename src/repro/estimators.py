@@ -28,14 +28,29 @@ import numpy as np
 from .errors import ConfigError
 
 __all__ = [
+    "CAPABILITY_TAGS",
     "register_estimator",
     "available_estimators",
     "get_estimator_class",
     "make_estimator",
     "estimator_name",
+    "estimator_capabilities",
+    "require_capability",
     "estimator_config",
     "estimator_from_config",
 ]
+
+#: The recognised capability tags.  ``supports_partial_fit`` marks
+#: estimators with an online mini-batch path, ``supports_sample_weight``
+#: marks estimators whose ``fit`` honours per-point weights, and
+#: ``requires_precomputed_kernel`` marks estimators that cannot build
+#: their own Gram matrix from points (none of the bundled ones — every
+#: kernel-family estimator grew a points path in the API redesign).
+CAPABILITY_TAGS = (
+    "supports_partial_fit",
+    "supports_sample_weight",
+    "requires_precomputed_kernel",
+)
 
 #: Modules imported by :func:`_load_builtins`; each registers its
 #: estimators as an import side effect (the bench registry pattern).
@@ -55,14 +70,24 @@ _ESTIMATOR_MODULES = (
 _REGISTRY: Dict[str, type] = {}
 
 
-def register_estimator(name: str):
+def register_estimator(name: str, *, capabilities: Tuple[str, ...] = ()):
     """Class decorator adding an estimator to the registry.
 
     ``name`` is the stable string key (``"popcorn"``) used by
     :func:`make_estimator`, the CLIs, and persisted model artifacts.
-    Duplicate names are a :class:`~repro.errors.ConfigError` unless they
-    re-register the identical class (idempotent re-imports are fine).
+    ``capabilities`` declares the subset of :data:`CAPABILITY_TAGS` the
+    estimator supports; downstream layers query them through
+    :func:`estimator_capabilities` / ``available_estimators(tag=...)``
+    instead of sniffing for methods.  Duplicate names are a
+    :class:`~repro.errors.ConfigError` unless they re-register the
+    identical class (idempotent re-imports are fine).
     """
+    bad = set(capabilities) - set(CAPABILITY_TAGS)
+    if bad:
+        raise ConfigError(
+            f"unknown capability tag(s) {sorted(bad)} for estimator "
+            f"{name!r}; recognised tags: {list(CAPABILITY_TAGS)}"
+        )
 
     def decorate(cls: type) -> type:
         existing = _REGISTRY.get(name)
@@ -73,6 +98,7 @@ def register_estimator(name: str):
             )
         _REGISTRY[name] = cls
         cls._registry_name = name
+        cls._capabilities = frozenset(capabilities)
         return cls
 
     return decorate
@@ -84,10 +110,58 @@ def _load_builtins() -> None:
         importlib.import_module(mod)
 
 
-def available_estimators() -> Tuple[str, ...]:
-    """All registered estimator names, sorted."""
+def available_estimators(tag: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered estimator names, sorted.
+
+    ``tag`` restricts the listing to estimators declaring that
+    capability: ``available_estimators(tag="supports_partial_fit")``.
+    """
     _load_builtins()
-    return tuple(sorted(_REGISTRY))
+    if tag is None:
+        return tuple(sorted(_REGISTRY))
+    if tag not in CAPABILITY_TAGS:
+        raise ConfigError(
+            f"unknown capability tag {tag!r}; recognised tags: "
+            f"{list(CAPABILITY_TAGS)}"
+        )
+    return tuple(
+        sorted(
+            name
+            for name, cls in _REGISTRY.items()
+            if tag in getattr(cls, "_capabilities", frozenset())
+        )
+    )
+
+
+def estimator_capabilities(obj) -> Tuple[str, ...]:
+    """The capability tags of an estimator name, class, or instance."""
+    if isinstance(obj, str):
+        cls = get_estimator_class(obj)
+    else:
+        cls = obj if isinstance(obj, type) else type(obj)
+    return tuple(sorted(getattr(cls, "_capabilities", frozenset())))
+
+
+def require_capability(est, tag: str, *, method: str) -> None:
+    """Uniform guard for capability-gated methods.
+
+    Raises an explained :class:`~repro.errors.ConfigError` (never an
+    ``AttributeError``) when ``est`` does not declare ``tag``, naming
+    the estimators that do.
+    """
+    if tag not in CAPABILITY_TAGS:
+        raise ConfigError(
+            f"unknown capability tag {tag!r}; recognised tags: "
+            f"{list(CAPABILITY_TAGS)}"
+        )
+    cls = type(est)
+    if tag in getattr(cls, "_capabilities", frozenset()):
+        return
+    supporting = ", ".join(available_estimators(tag=tag)) or "none"
+    raise ConfigError(
+        f"{cls.__name__} does not support {method}() (missing capability "
+        f"{tag!r}); estimators that do: {supporting}"
+    )
 
 
 def get_estimator_class(name: str) -> type:
@@ -109,7 +183,7 @@ def make_estimator(name: str, **params):
     """
     cls = get_estimator_class(name)
     specs = cls.param_specs()
-    unknown = set(params) - set(specs)
+    unknown = set(params) - set(specs) - set(cls.param_aliases())
     if unknown:
         raise ConfigError(
             f"unknown parameter(s) {sorted(unknown)} for estimator {name!r} "
@@ -131,10 +205,18 @@ def filter_params(name: str, params: Dict[str, object]) -> Dict[str, object]:
 
     The CLI idiom: offer one flag set for every model and forward only
     what the estimator's parameter surface accepts (``kernel`` for the
-    kernel family but not Lloyd/Elkan, ``tile_rows`` for Popcorn, ...).
+    kernel family but not Lloyd/Elkan, ``chunk_rows`` for Popcorn, ...).
+    Deprecated aliases (``tile_rows``) pass through too — the params
+    protocol remaps them with the one central ``DeprecationWarning``.
     """
-    supported = get_estimator_class(name).param_specs()
-    return {key: value for key, value in params.items() if key in supported}
+    cls = get_estimator_class(name)
+    supported = cls.param_specs()
+    aliases = cls.param_aliases()
+    return {
+        key: value
+        for key, value in params.items()
+        if key in supported or key in aliases
+    }
 
 
 def estimator_name(obj) -> str:
@@ -258,10 +340,12 @@ def _decode_value(name: str, value):
 
 
 def estimator_config(est) -> Dict[str, object]:
-    """``{"estimator": name, "params": {...}}`` — the JSON-safe identity
-    of an estimator's configuration (what model artifacts store)."""
+    """``{"estimator": name, "capabilities": [...], "params": {...}}`` —
+    the JSON-safe identity of an estimator's configuration (what model
+    artifacts store)."""
     return {
         "estimator": estimator_name(est),
+        "capabilities": list(estimator_capabilities(est)),
         "params": {
             name: _encode_value(name, value)
             for name, value in est.get_params(deep=False).items()

@@ -16,13 +16,20 @@ Pieces
     bit for bit.
 :mod:`repro.serve.service`
     :class:`PredictionService` — micro-batching request queue, LRU
-    kernel-row cache, thread-pool workers, profiler-recorded batches.
+    kernel-row cache, thread-pool workers, profiler-recorded batches,
+    and atomic model hot-swap (``swap_model``) with zero dropped
+    in-flight requests.
+:mod:`repro.serve.refresh`
+    :class:`ModelRefresher` — online refresh loop: a shadow copy of the
+    served model absorbs ``partial_fit`` batches, then publishes as the
+    next versioned artifact (atomic write) and hot-swaps into the
+    running service.
 :mod:`repro.serve.cli`
     The ``repro-serve`` console script (``save`` / ``load`` /
     ``predict`` / ``serve`` subcommands; one-shot files or stdin JSONL).
 
-Artifact format (schema version 1)
-----------------------------------
+Artifact format
+---------------
 One ``.npz`` file; the ``__meta__`` entry is a UTF-8 JSON header, every
 other entry is a raw array of the estimator's support set:
 
@@ -43,6 +50,9 @@ npz key           contents
 ``landmark_x``    Nyström landmark points
 ``nystrom_map``   the Nyström ``W^{-1/2}`` query-embedding map
 ``landmarks``     Nyström landmark indices into the training set
+``support_v_*``   explicit support selection matrix (CSR arrays) of an
+                  online-fitted model (schema v3)
+``online_counts``  per-cluster accumulated ``partial_fit`` weights
 ================  =====================================================
 
 Micro-batching knobs (:class:`PredictionService`)
@@ -51,7 +61,8 @@ Micro-batching knobs (:class:`PredictionService`)
 ``max_delay_ms``   wait for the batch to fill (latency/throughput knob)
 ``n_workers``      worker threads serving batches concurrently
 ``cache_size``     LRU entries memoised by query-row digest (0 = off)
-``tile_rows``      row-tile bound on the live cross-kernel panel
+``chunk_rows``     row-chunk bound on the live cross-kernel panel
+                   (``tile_rows`` is a deprecated alias)
 
 Quickstart
 ----------
@@ -70,6 +81,7 @@ from .persist import (
     load_model,
     save_model,
 )
+from .refresh import ModelRefresher
 from .service import PredictionService
 
 __all__ = [
@@ -79,4 +91,5 @@ __all__ = [
     "load_model",
     "inspect_model",
     "PredictionService",
+    "ModelRefresher",
 ]

@@ -9,6 +9,8 @@ Usage::
                                   [--batch-size 64] [--stats]
     cat queries.jsonl | repro-serve serve model.npz --batch-size 64 \
                                   --max-delay-ms 2 --workers 2
+    repro-serve refresh model.npz --input new_data.csv [--outdir DIR]
+                                  [--batch-size 256]
 
 ``save`` fits an estimator and persists it as a versioned artifact;
 ``load`` prints an artifact's metadata; ``predict`` answers a one-shot
@@ -16,13 +18,20 @@ query file (CSV/libSVM like the training CLI, or JSONL) through the
 micro-batching service; ``serve`` reads JSONL queries from stdin — one
 ``[x, ...]`` array or ``{"id": ..., "x": [...]}`` object per line — and
 writes one ``{"id": ..., "label": ...}`` result per line to stdout,
-printing the serving stats to stderr at EOF.
+printing the serving stats to stderr at EOF; ``refresh`` absorbs new
+data into an online-capable artifact via ``partial_fit`` and publishes
+the next numbered artifact version (``<stem>-vNNNN.npz``).
+
+Row-chunking flags take ``--chunk-rows`` everywhere; ``--tile-rows`` is
+kept as a deprecated alias and will be removed.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import re
 import sys
 from typing import Optional, Sequence
 
@@ -33,6 +42,7 @@ from ..errors import ReproError
 from ..estimators import filter_params, make_estimator
 from ..reporting import format_table
 from .persist import inspect_model, load_model, save_model
+from .refresh import ModelRefresher
 from .service import PredictionService
 
 __all__ = ["build_parser", "main"]
@@ -60,9 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     def add_reduction_flags(sp):
-        # chunk schedule + thread count of the fused reduction engine;
-        # --tile-rows stays as the compatibility alias for --chunk-rows
-        sp.add_argument("--chunk-rows", dest="chunk_rows", type=int, default=None, metavar="R")
+        # chunk schedule + thread count of the fused reduction engine
+        sp.add_argument("--chunk-rows", dest="chunk_rows", type=int, default=None, metavar="R",
+                        help="row-chunk height of the fused reduction / streamed panels")
         sp.add_argument("--chunk-cols", dest="chunk_cols", type=int, default=None, metavar="C")
         sp.add_argument("--n-threads", dest="n_threads", type=int, default=None, metavar="T")
 
@@ -83,7 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--devices", type=int, default=None, metavar="G",
         help="fit on G simulated devices (implies --backend sharded)",
     )
-    save_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    save_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R",
+                        help="deprecated alias of --chunk-rows")
     add_reduction_flags(save_p)
     save_p.add_argument("-o", dest="output", required=True, help="artifact path (.npz)")
 
@@ -99,7 +110,8 @@ def build_parser() -> argparse.ArgumentParser:
     pred_p.add_argument("--max-delay-ms", type=float, default=1.0)
     pred_p.add_argument("--workers", type=int, default=1)
     pred_p.add_argument("--cache-size", type=int, default=1024)
-    pred_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    pred_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R",
+                        help="deprecated alias of --chunk-rows")
     add_reduction_flags(pred_p)
     pred_p.add_argument(
         "--devices", type=int, default=None, metavar="G",
@@ -113,11 +125,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--max-delay-ms", type=float, default=2.0)
     serve_p.add_argument("--workers", type=int, default=2)
     serve_p.add_argument("--cache-size", type=int, default=4096)
-    serve_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R")
+    serve_p.add_argument("--tile-rows", dest="tile_rows", type=int, default=None, metavar="R",
+                        help="deprecated alias of --chunk-rows")
     add_reduction_flags(serve_p)
     serve_p.add_argument(
         "--devices", type=int, default=None, metavar="G",
         help="shard each served batch across G simulated devices",
+    )
+
+    ref_p = sub.add_parser(
+        "refresh",
+        help="partial_fit new data into an artifact and publish the next version",
+    )
+    ref_p.add_argument("model", help="artifact path (an online-capable estimator)")
+    ref_p.add_argument("--input", required=True,
+                       help="new data file (CSV, libsvm, or .jsonl)")
+    ref_p.add_argument(
+        "--outdir", default=None,
+        help="directory for the versioned artifacts (default: the model's directory)",
+    )
+    ref_p.add_argument(
+        "--basename", default=None,
+        help="artifact stem (default: the model filename, version suffix stripped)",
+    )
+    ref_p.add_argument(
+        "--batch-size", type=int, default=None, metavar="B",
+        help="split the input into partial_fit batches of B rows",
     )
     return p
 
@@ -299,6 +332,29 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
     return 0
 
 
+def _cmd_refresh(args) -> int:
+    model = load_model(args.model)
+    x = _read_queries(args.input)
+    outdir = args.outdir or os.path.dirname(os.path.abspath(args.model))
+    base = args.basename
+    if base is None:
+        stem = os.path.splitext(os.path.basename(args.model))[0]
+        base = re.sub(r"-v\d+$", "", stem)
+    if args.batch_size is not None:
+        model.set_params(batch_size=args.batch_size)
+    with PredictionService(model, n_workers=1) as svc:
+        refresher = ModelRefresher(svc, outdir, basename=base)
+        refresher.observe(x)
+        path = refresher.refresh()
+        stats = svc.stats()
+    print(
+        f"absorbed {x.shape[0]} rows in {refresher.n_batches_observed} "
+        f"online batches; published {path} "
+        f"(served model version {stats['model_version']})"
+    )
+    return 0
+
+
 def _flush_one(item, stdout) -> None:
     qid, future = item
     try:
@@ -318,6 +374,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_load(args)
         if args.command == "predict":
             return _cmd_predict(args)
+        if args.command == "refresh":
+            return _cmd_refresh(args)
         return _cmd_serve(args)
     except ReproError as exc:
         print(f"repro-serve: error: {exc}", file=sys.stderr)

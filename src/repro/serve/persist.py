@@ -9,15 +9,16 @@ artifacts are safe to exchange and the array payloads round-trip
 **bit-exactly**: ``load_model(save_model(est, p)).predict(q)`` is
 bit-identical to ``est.predict(q)`` (tested property).
 
-Header schema (``MODEL_SCHEMA_VERSION`` = 2)::
+Header schema (``MODEL_SCHEMA_VERSION`` = 3)::
 
     {
       "format": "repro-serve-model",
-      "schema_version": 2,
+      "schema_version": 3,
       "estimator": "<registry name>",       # repro.estimators key, e.g. "popcorn"
       "params": {...},                      # JSON-encoded get_params() of the fit
       "fit": {"n_iter": int|null, "objective": float|null,
               "converged": bool|null, "backend": str|null},
+      "online": {...} | absent,             # partial_fit counters (see below)
       "arrays": [<npz keys present>, ...]
     }
 
@@ -28,6 +29,19 @@ estimator's introspected configuration
 exact estimator through :func:`~repro.estimators.make_estimator` —
 there is no estimator-class switch statement anywhere, and a newly
 registered estimator gets persistence for free.
+
+Schema version 3 adds **online-fitted models**: an estimator carrying
+mini-batch ``partial_fit`` state (:mod:`repro.engine.minibatch`)
+additionally persists its explicit support selection matrix
+(``support_v_*`` CSR arrays — after online updates ``labels_`` covers
+only the last batch, so V is no longer derivable from it) plus the
+per-cluster accumulated weights (``online_counts``) and the
+smoothed-inertia counters under the ``online`` header key
+(``n_batches_seen`` / ``ewa_inertia`` / ``ewa_inertia_min`` /
+``no_improvement`` / ``precomputed``).  Loading such an artifact
+reconstructs the live online state, so ``partial_fit`` continues exactly
+where the saved model stopped (the reassignment RNG is reseeded from the
+``seed`` parameter — artifacts stay pickle-free).
 
 Loading rejects non-artifacts, unknown estimator names, and any
 ``schema_version`` other than the current one with a clear
@@ -55,7 +69,7 @@ __all__ = [
 ]
 
 MODEL_FORMAT = "repro-serve-model"
-MODEL_SCHEMA_VERSION = 2
+MODEL_SCHEMA_VERSION = 3
 
 #: npz key -> estimator attribute; every key is optional except
 #: ``labels``/``c_norms`` (the engine predict contract's minimum).
@@ -127,6 +141,24 @@ def save_model(model, path: str) -> str:
         "fit": _fit_metadata(model),
         "arrays": sorted(arrays),
     }
+
+    # online-fitted models carry live partial_fit state: the explicit
+    # support V (labels_ covers only the last batch, so V cannot be
+    # rebuilt from it) and the per-cluster counts + smoothed-inertia
+    # counters that make the loaded model resume where this one stopped
+    online = getattr(model, "_online", None)
+    v = getattr(model, "_support_v", None)
+    if online is not None and v is not None:
+        arrays["support_v_values"] = np.asarray(v.values)
+        arrays["support_v_colinds"] = np.asarray(v.colinds)
+        arrays["support_v_rowptrs"] = np.asarray(v.rowptrs)
+        arrays["support_v_shape"] = np.asarray(v.shape, dtype=np.int64)
+        arrays["online_counts"] = np.asarray(online.counts, dtype=np.float64)
+        meta["online"] = {
+            "n_batches_seen": int(getattr(model, "n_batches_seen_", 0)),
+            **online.counters(),
+        }
+        meta["arrays"] = sorted(arrays)
     header = np.frombuffer(json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8)
 
     parent = os.path.dirname(os.path.abspath(path))
@@ -196,6 +228,23 @@ def load_model(path: str):
                 setattr(model, attr, npz[key])
         if name in _CENTERS_ALIASED and getattr(model, "_support_centers", None) is not None:
             model.centers_ = model._support_centers
+        if "support_v_values" in npz.files:
+            from ..sparse import CSRMatrix
+
+            shape = tuple(int(s) for s in npz["support_v_shape"])
+            model._support_v = CSRMatrix(
+                npz["support_v_values"],
+                npz["support_v_colinds"],
+                npz["support_v_rowptrs"],
+                shape,
+                check=False,
+            )
+        online_meta = meta.get("online")
+        if online_meta is not None and "online_counts" in npz.files:
+            from ..engine.minibatch import restore_online_state
+
+            model.n_batches_seen_ = int(online_meta.get("n_batches_seen", 0))
+            restore_online_state(model, npz["online_counts"], online_meta)
         if not hasattr(model, "labels_"):
             raise ConfigError(f"{path}: artifact carries no labels array")
         return model

@@ -16,6 +16,11 @@ server:
 * **thread-pool workers** — ``n_workers`` threads serve batches
   concurrently (the predict pipeline is pure read-only NumPy on the
   support set, so workers share the model safely);
+* **hot swap** — :meth:`PredictionService.swap_model` atomically
+  replaces the served model while requests are in flight: running
+  batches finish on the model they started with, new batches see the
+  new one, the label cache is invalidated, and no request is dropped
+  (the online-refresh loop of :class:`repro.serve.ModelRefresher`);
 * **stats** — per-request latency percentiles, batch-size distribution,
   cache hit rate and queries/sec via :meth:`stats`, and every served
   batch is recorded on an Nsight-style :class:`repro.gpu.Profiler`
@@ -34,6 +39,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..engine.reduction import resolve_rows_alias
 from ..errors import ConfigError
 from ..gpu.launch import Launch
 from ..gpu.profiler import Profiler
@@ -69,14 +75,11 @@ class PredictionService:
         Worker threads serving batches concurrently.
     cache_size:
         LRU entries memoising label-by-query-digest (0 disables).
-    tile_rows:
-        Forwarded to ``predict`` — bounds the live cross-kernel panel
-        when single batches are large.
     chunk_rows, chunk_cols, n_threads:
         Chunk schedule and thread count of the fused cross-kernel
         reduction, forwarded to ``predict`` / ``predict_batch``
-        (``chunk_rows`` supersedes ``tile_rows`` when both are set;
-        labels are bit-identical for every setting).
+        (labels are bit-identical for every setting).  ``tile_rows=`` is
+        accepted as a deprecated alias of ``chunk_rows=``.
     devices:
         Shard every served batch's rows across this many simulated
         devices (``predict_batch(devices=...)``, the serving face of the
@@ -125,8 +128,9 @@ class PredictionService:
         self.max_delay_s = float(max_delay_ms) / 1e3
         self.n_workers = int(n_workers)
         self.cache_size = int(cache_size)
-        self.tile_rows = tile_rows
-        self.chunk_rows = chunk_rows
+        self.chunk_rows = resolve_rows_alias(
+            chunk_rows, tile_rows, owner="PredictionService"
+        )
         self.chunk_cols = chunk_cols
         self.n_threads = n_threads
         self.devices = None if devices is None else int(devices)
@@ -137,6 +141,8 @@ class PredictionService:
         self._queue: deque = deque()
         self._cache: "OrderedDict[str, int]" = OrderedDict()
         self._closed = False
+        self._model_version = 1
+        self._n_swaps = 0
 
         # stats (guarded by self._lock)
         self._n_requests = 0
@@ -233,23 +239,27 @@ class PredictionService:
 
     def _run_batch(self, batch: List[_Request]) -> None:
         t0 = time.perf_counter()
+        # bind the model once per batch: swap_model may replace self.model
+        # mid-flight, and a batch must run start-to-finish on one
+        # consistent model (the predict pipeline is read-only on it)
+        model = self.model
+        version = self._model_version
         try:
             rows = np.stack([req.row for req in batch])
             kw = {
-                "tile_rows": self.tile_rows,
                 "chunk_rows": self.chunk_rows,
                 "chunk_cols": self.chunk_cols,
                 "n_threads": self.n_threads,
             }
             if self.devices is not None:
-                labels = self.model.predict_batch(
+                labels = model.predict_batch(
                     [rows],
                     devices=self.devices,
                     profiler=self.profiler_,
                     **kw,
                 )
             else:
-                labels = self.model.predict(rows, **kw)
+                labels = model.predict(rows, **kw)
         except Exception as exc:
             # a fused batch can fail on one bad request (e.g. a ragged row);
             # retry each request alone so the error stays with its sender
@@ -279,7 +289,10 @@ class PredictionService:
             for req in batch:
                 self._latencies.append(t1 - req.t_enqueue)
             self._t_last = t1
-            if self.cache_size:
+            # a batch that raced with a swap still answers (its labels are
+            # consistent with the model it ran on), but must not seed the
+            # new model's cache with stale results
+            if self.cache_size and version == self._model_version:
                 for req, label in zip(batch, labels):
                     self._cache[req.key] = int(label)
                     self._cache.move_to_end(req.key)
@@ -287,6 +300,31 @@ class PredictionService:
                     self._cache.popitem(last=False)
         for req, label in zip(batch, labels):
             req.future.set_result(int(label))
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    def swap_model(self, model) -> int:
+        """Atomically replace the served model; returns the new version.
+
+        In-flight batches finish on the model they started with (workers
+        bind it once per batch), queued and future requests see the new
+        one, and the label cache is invalidated — so no request is ever
+        dropped or answered from a half-swapped state.  The served model
+        version (``stats()["model_version"]``) increments per swap.
+        """
+        if not hasattr(model, "predict"):
+            raise ConfigError("model must expose the engine predict contract")
+        if not hasattr(model, "labels_"):
+            raise ConfigError("model is not fitted; fit (or load) it before serving")
+        with self._lock:
+            if self._closed:
+                raise ConfigError("service is closed")
+            self.model = model
+            self._model_version += 1
+            self._n_swaps += 1
+            self._cache.clear()
+            return self._model_version
 
     # ------------------------------------------------------------------
     # lifecycle + stats
@@ -319,6 +357,8 @@ class PredictionService:
             hits = self._n_cache_hits
             batches = self._n_batches
             sizes = list(self._batch_sizes)
+            version = self._model_version
+            swaps = self._n_swaps
             span = (
                 (self._t_last - self._t_first)
                 if (self._t_first is not None and self._t_last is not None)
@@ -337,4 +377,6 @@ class PredictionService:
             "latency_p95_ms": self._percentile(lat, 95) * 1e3,
             "latency_max_ms": float(np.max(lat)) * 1e3 if lat else 0.0,
             "queries_per_s": served / span if span > 0 else 0.0,
+            "model_version": version,
+            "model_swaps": swaps,
         }

@@ -1,4 +1,4 @@
-"""Registry discoverability + quick-mode runnability of all 21 experiments."""
+"""Registry discoverability + quick-mode runnability of all 22 experiments."""
 
 import pytest
 
@@ -34,15 +34,16 @@ EXPECTED_IDS = {
     "ext_strong_scaling",
     "ext_engine_tiling",
     "ext_reduction_engine",
+    "ext_minibatch",
     "serve_throughput",
     "model_selection",
 }
 
 
 class TestDiscovery:
-    def test_all_21_experiments_registered(self):
+    def test_all_22_experiments_registered(self):
         assert set(experiment_ids()) == EXPECTED_IDS
-        assert len(experiment_ids()) == 21
+        assert len(experiment_ids()) == 22
 
     def test_paper_order(self):
         ids = experiment_ids()

@@ -164,8 +164,11 @@ class TestTiledEstimator:
             PopcornKernelKMeans(k, gram_method="syrk", tile_rows=16).fit(x)
 
     def test_bad_tile_rows_rejected(self):
-        with pytest.raises(ConfigError, match="tile_rows"):
-            PopcornKernelKMeans(2, tile_rows=0)
+        # the deprecated alias remaps before validation, so the error
+        # names the canonical knob
+        with pytest.warns(DeprecationWarning, match="tile_rows"):
+            with pytest.raises(ConfigError, match="chunk_rows"):
+                PopcornKernelKMeans(2, tile_rows=0)
 
     def test_model_matches_execution_launch_for_launch(self, rng):
         """The tiled analytical model mirrors the tiled engine exactly."""

@@ -1,0 +1,176 @@
+"""ModelRefresher: shadow partial_fit, versioned artifacts, hot swap.
+
+The concurrency test is the acceptance check of the refresh pipeline:
+a running service keeps answering ``predict_many`` calls while models
+are swapped underneath it — zero dropped requests, and every answer is
+consistent with a model the service actually served.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import LloydKMeans, PopcornKernelKMeans
+from repro.data import make_blobs
+from repro.errors import ConfigError
+from repro.serve import ModelRefresher, PredictionService, load_model, save_model
+
+
+@pytest.fixture()
+def online_model():
+    x = make_blobs(60, 4, 3, rng=0)[0].astype(np.float64)
+    est = PopcornKernelKMeans(
+        3, dtype=np.float64, backend="host", seed=0, batch_size=20
+    )
+    est.partial_fit(x)
+    return est, x
+
+
+class TestShadowAndArtifacts:
+    def test_shadow_is_independent(self, online_model, tmp_path):
+        model, x = online_model
+        q = x[:15]
+        with PredictionService(model, n_workers=1) as svc:
+            ref = ModelRefresher(svc, str(tmp_path))
+            assert ref.shadow is not svc.model
+            before = svc.predict_many(q)
+            ref.observe(x[30:])  # shadow moves, live model does not
+            assert np.array_equal(svc.predict_many(q), before)
+            assert ref.n_batches_observed > model.n_batches_seen_
+
+    def test_refresh_publishes_versioned_artifact_and_swaps(
+        self, online_model, tmp_path
+    ):
+        model, x = online_model
+        with PredictionService(model, n_workers=1) as svc:
+            ref = ModelRefresher(svc, str(tmp_path), basename="km")
+            ref.observe(x)
+            path = ref.refresh()
+            assert os.path.basename(path) == "km-v0001.npz"
+            assert ref.latest_artifact() == path
+            assert svc.model is not model  # the *loaded* artifact serves
+            stats = svc.stats()
+            assert stats["model_version"] == 2
+            assert stats["model_swaps"] == 1
+            # served answers come from the published artifact
+            want = load_model(path).predict(x[:10])
+            assert np.array_equal(svc.predict_many(x[:10]), want)
+            ref.observe(x[:20])
+            assert os.path.basename(ref.refresh()) == "km-v0002.npz"
+            assert svc.stats()["model_version"] == 3
+
+    def test_version_numbering_continues(self, online_model, tmp_path):
+        model, x = online_model
+        (tmp_path / "model-v0007.npz").write_bytes(b"")
+        with PredictionService(model, n_workers=1) as svc:
+            ref = ModelRefresher(svc, str(tmp_path))
+            assert os.path.basename(ref.refresh()) == "model-v0008.npz"
+
+    def test_no_stray_temp_files(self, online_model, tmp_path):
+        model, x = online_model
+        with PredictionService(model, n_workers=1) as svc:
+            ref = ModelRefresher(svc, str(tmp_path))
+            ref.observe(x[:20])
+            ref.refresh()
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["model-v0001.npz"]
+
+    def test_validation(self, online_model, tmp_path):
+        model, _ = online_model
+        with pytest.raises(ConfigError, match="PredictionService"):
+            ModelRefresher(model, str(tmp_path))
+        with PredictionService(model, n_workers=1) as svc:
+            with pytest.raises(ConfigError, match="basename"):
+                ModelRefresher(svc, str(tmp_path), basename="")
+        x = make_blobs(30, 3, 2, rng=1)[0]
+        lloyd = LloydKMeans(2, seed=0).fit(x)
+        with PredictionService(lloyd, n_workers=1) as svc:
+            with pytest.raises(ConfigError, match="supports_partial_fit"):
+                ModelRefresher(svc, str(tmp_path))
+
+
+class TestOnlineArtifactRoundTrip:
+    def test_v3_schema_preserves_online_counters(self, online_model, tmp_path):
+        model, x = online_model
+        path = str(tmp_path / "m.npz")
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.n_batches_seen_ == model.n_batches_seen_
+        np.testing.assert_array_equal(loaded._online.counts, model._online.counts)
+        assert loaded._online.counters() == model._online.counters()
+        assert np.array_equal(loaded.predict(x), model.predict(x))
+
+    def test_loaded_model_resumes_partial_fit(self, online_model, tmp_path):
+        model, x = online_model
+        path = str(tmp_path / "m.npz")
+        save_model(model, path)
+        loaded = load_model(path)
+        before = loaded.n_batches_seen_
+        loaded.partial_fit(x[:20])
+        assert loaded.n_batches_seen_ == before + 1
+        assert loaded._online.n_support == model._online.n_support + 20
+
+
+class TestHotSwapConcurrency:
+    def test_zero_dropped_requests_across_swaps(self):
+        x = make_blobs(80, 4, 3, rng=3)[0].astype(np.float64)
+        q = np.random.default_rng(7).standard_normal((23, 4))
+        model_a = PopcornKernelKMeans(
+            3, dtype=np.float64, backend="host", seed=0, max_iter=6
+        ).fit(x)
+        model_b = PopcornKernelKMeans(
+            3, dtype=np.float64, backend="host", seed=4, max_iter=6
+        ).fit(x)
+        want_a = model_a.predict(q)
+        want_b = model_b.predict(q)
+
+        errors = []
+        results = []
+        stop = threading.Event()
+
+        def client():
+            while not stop.is_set():
+                try:
+                    results.append(np.asarray(svc.predict_many(q)))
+                except Exception as exc:  # any failure fails the test
+                    errors.append(exc)
+                    return
+
+        with PredictionService(
+            model_a, batch_size=8, n_workers=2, cache_size=64
+        ) as svc:
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for i in range(10):  # swap back and forth under load
+                svc.swap_model(model_b if i % 2 == 0 else model_a)
+            stop.set()
+            for t in threads:
+                t.join()
+            final = svc.predict_many(q)
+            stats = svc.stats()
+
+        assert not errors
+        assert len(results) > 0
+        # every in-flight answer is element-wise consistent with one of
+        # the two served models (micro-batches bind a model each)
+        for got in results:
+            assert got.shape == want_a.shape
+            assert np.all((got == want_a) | (got == want_b))
+        # after the last swap (even i = 9 -> model_a) the cache holds no
+        # stale labels: answers match the live model exactly
+        assert np.array_equal(final, want_a)
+        assert stats["model_swaps"] == 10
+        assert stats["model_version"] == 11
+
+    def test_swap_rejects_unfitted_and_closed(self):
+        x = make_blobs(40, 3, 2, rng=0)[0]
+        model = PopcornKernelKMeans(2, dtype=np.float64, backend="host", seed=0).fit(x)
+        svc = PredictionService(model, n_workers=1)
+        with pytest.raises(ConfigError, match="not fitted"):
+            svc.swap_model(PopcornKernelKMeans(2))
+        svc.close()
+        with pytest.raises(ConfigError, match="closed"):
+            svc.swap_model(model)

@@ -83,3 +83,79 @@ def test_default_fit_produces_fitted_attributes():
         assert est.labels_.dtype == np.int32, name
         # fitted: the guard no longer raises
         est.predict_batch([])
+
+
+# ----------------------------------------------------------------------
+# partial_fit: part of the uniform surface for every estimator
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.estimators import estimator_capabilities  # noqa: E402
+
+UNIFORM_PARTIAL_FIT_PARAMS = ["self", "x", "kernel_matrix", "sample_weight"]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestPartialFitContract:
+    def test_uniform_partial_fit_signature(self, name):
+        cls = get_estimator_class(name)
+        sig = inspect.signature(cls.partial_fit)
+        assert list(sig.parameters) == UNIFORM_PARTIAL_FIT_PARAMS
+        assert (
+            sig.parameters["x"].kind
+            is inspect.Parameter.POSITIONAL_OR_KEYWORD
+        )
+        for kw in ("kernel_matrix", "sample_weight"):
+            assert sig.parameters[kw].kind is inspect.Parameter.KEYWORD_ONLY, kw
+
+    def test_capability_gate_never_attribute_error(self, name):
+        est = make_estimator(name, n_clusters=2, seed=0)
+        x = np.random.default_rng(0).standard_normal((10, 3))
+        if "supports_partial_fit" in estimator_capabilities(name):
+            est.partial_fit(x)
+            assert est.n_batches_seen_ == 1
+            assert est.labels_.shape == (10,)
+        else:
+            # a uniform, explained ConfigError — never AttributeError
+            with pytest.raises(ConfigError, match="supports_partial_fit"):
+                est.partial_fit(x)
+
+
+def _full_inertia(est, x):
+    """Full-data kernel inertia of a fitted online model (test-side math:
+    d(x_i, c_j) = kappa(x_i, x_i) - 2 <phi(x_i), c_j> + ||c_j||^2)."""
+    xm = np.asarray(x, dtype=np.float64)
+    cross = np.asarray(est.kernel.pairwise(xm, est._support_x), dtype=np.float64)
+    v = est._support_v
+    dense = np.zeros(v.shape)
+    np.add.at(dense, (v.row_indices(), v.colinds), v.values)
+    s = cross @ dense.T
+    diag = np.asarray(np.diagonal(est.kernel.pairwise(xm)), dtype=np.float64)
+    d = diag[:, None] - 2.0 * s + np.asarray(est._c_norms, dtype=np.float64)[None, :]
+    return float(d.min(axis=1).sum())
+
+
+@given(order=st.permutations(list(range(4))), seed=st.integers(0, 3))
+@settings(max_examples=12, deadline=None)
+def test_interleaved_batch_orders_converge_to_similar_objective(order, seed):
+    """Streaming the same batches in a different order lands on the same
+    objective basin: full-data inertia agrees within a loose tolerance."""
+    x, _ = make_blobs(40, 4, 3, rng=seed)
+    x = x.astype(np.float64)
+    batches = [x[i * 10 : (i + 1) * 10] for i in range(4)]
+
+    def train(seq):
+        est = make_estimator(
+            "popcorn", n_clusters=3, seed=seed, backend="host", dtype=np.float64
+        )
+        est.partial_fit(x)  # identical cold start for both streams
+        for _ in range(2):
+            for b in seq:
+                est.partial_fit(batches[b])
+        return est
+
+    a = _full_inertia(train(list(range(4))), x)
+    b = _full_inertia(train(list(order)), x)
+    assert a == pytest.approx(b, rel=0.5)
