@@ -1,0 +1,99 @@
+"""Observability quickstart: trace a fit and a serving run into Perfetto.
+
+The `repro.obs` layer records what the process *actually* did — nested
+wall-clock spans, one lane per thread — next to the *modeled* launch
+timelines the simulated devices keep.  This example:
+
+1. enables the tracer (the programmatic face of `REPRO_TRACE=1` /
+   `--trace-out`);
+2. fits Popcorn on the host backend with a threaded chunk schedule, so
+   the work-stealing pool's task spans land on worker lanes;
+3. fits the same data on two simulated devices (`backend="sharded:2"`)
+   — per-iteration `sharded.step` spans plus modeled collective events;
+4. serves a query stream through `PredictionService` and reads the same
+   numbers three ways: the `trace_` fitted attribute, a combined
+   Perfetto/chrome-trace file, and a Prometheus text snapshot.
+
+Run:  python examples/trace_quickstart.py
+"""
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro import PopcornKernelKMeans, PredictionService
+from repro.data import make_blobs
+from repro.obs import metrics, prometheus_text, trace, write_combined_trace
+from repro.obs.export import estimator_profilers
+from repro.reporting import format_table
+
+
+def main() -> None:
+    x, _ = make_blobs(900, 8, 5, rng=0)
+    trace.enable()
+    mark = trace.mark()
+
+    # --- traced host fit (pool lanes) ---------------------------------
+    host = PopcornKernelKMeans(
+        5, kernel="linear", backend="host", dtype=np.float64,
+        chunk_rows=128, n_threads=2, max_iter=8,
+        check_convergence=False, seed=0,
+    ).fit(x)
+    assert host.trace_["fit.iter"]["count"] == 8
+    assert host.trace_["pool.task"]["count"] > 0
+
+    # --- traced sharded fit (one modeled lane per device) -------------
+    sharded = PopcornKernelKMeans(
+        5, kernel="linear", backend="sharded:2", dtype=np.float64,
+        max_iter=8, check_convergence=False, seed=0,
+    ).fit(x)
+    assert sharded.trace_["sharded.step"]["count"] == 8
+    assert np.array_equal(host.labels_, sharded.labels_)  # bit-exact SPMD
+
+    # --- traced serving -----------------------------------------------
+    rng = np.random.default_rng(1)
+    queries = rng.standard_normal((128, x.shape[1]))
+    with PredictionService(sharded, batch_size=32, n_workers=1) as svc:
+        svc.predict_many(queries)
+        stats = svc.stats()
+    assert stats["served"] == 128
+
+    # --- the per-name aggregate every fit carries ----------------------
+    rows = [
+        (name, agg["count"], f"{agg['total_s'] * 1e3:.2f}")
+        for name, agg in sorted(trace.summary(since=mark).items())
+    ]
+    print(format_table(["span", "count", "total ms"], rows))
+
+    # --- one Perfetto-loadable file: real spans + modeled lanes --------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.json")
+        write_combined_trace(
+            path, tracer=trace, since=mark,
+            profilers=estimator_profilers(sharded),
+        )
+        events = json.loads(open(path).read())
+        pids = sorted({e["pid"] for e in events})
+        size = os.path.getsize(path)
+    # pid 0 = wall-clock spans; one pid per simulated device + comm
+    assert pids == [0, 1, 2, 3]
+    print(f"\ncombined chrome-trace: {len(events)} events, {len(pids)} "
+          f"process lanes, {size} bytes (load at https://ui.perfetto.dev)")
+
+    # --- the aggregate face: Prometheus text exposition ----------------
+    prom = prometheus_text(metrics.snapshot())
+    counter_lines = [
+        ln for ln in prom.splitlines()
+        if ln.startswith("repro_") and "_total " in ln
+    ]
+    print("\nmetrics snapshot (counters):")
+    for line in counter_lines:
+        print(f"  {line}")
+    assert any("pool_tasks" in ln for ln in counter_lines)
+    assert any("serve_requests" in ln for ln in counter_lines)
+
+
+if __name__ == "__main__":
+    main()

@@ -105,6 +105,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-probes", action="store_true", help="skip the executed run_trials probes"
     )
     run_p.add_argument("--seed", type=int, default=0, help="base seed for the probes")
+    run_p.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        metavar="FILE",
+        help="enable span tracing (repro.obs) and write a combined "
+        "Perfetto/chrome-trace of the sweep: one bench.experiment span per "
+        "experiment plus the engine/pool spans underneath (in-process runs "
+        "only — --jobs > 1 workers trace their own processes)",
+    )
+    run_p.add_argument(
+        "--metrics-out",
+        dest="metrics_out",
+        default=None,
+        metavar="FILE",
+        help="write the run's repro.obs metrics registry as a Prometheus "
+        "text snapshot (implies tracing, which gates metric recording)",
+    )
 
     cmp_p = sub.add_parser("compare", help="regression-gate two JSON artifacts")
     cmp_p.add_argument("old", help="baseline BENCH_results.json")
@@ -190,6 +208,12 @@ def _cmd_run(args) -> int:
     # quick rows subset the paper grids, so don't clobber the canonical
     # full-mode CSVs unless asked to
     write_csv = args.csv or not (args.no_csv or args.quick)
+    trace_mark = 0
+    if args.trace_out or args.metrics_out:
+        from ..obs import trace
+
+        trace.enable()
+        trace_mark = trace.mark()
     _, failures = run_experiments(
         ids,
         cfg,
@@ -199,6 +223,18 @@ def _cmd_run(args) -> int:
         write_csv=write_csv,
         run_probes=not args.no_probes,
     )
+    if args.trace_out:
+        from ..obs import trace
+        from ..obs.export import write_combined_trace
+
+        write_combined_trace(args.trace_out, tracer=trace, since=trace_mark)
+        print(f"combined trace written to {args.trace_out}")
+    if args.metrics_out:
+        from ..obs import metrics, prometheus_text
+
+        with open(args.metrics_out, "w") as fh:
+            fh.write(prometheus_text(metrics.snapshot()))
+        print(f"metrics snapshot written to {args.metrics_out}")
     if failures:
         print(f"\n{len(failures)}/{len(ids)} experiment(s) FAILED: {', '.join(failures)}")
         return 1

@@ -38,6 +38,7 @@ _EXPERIMENT_MODULES = (
     "repro.bench.experiments.serving",
     "repro.bench.experiments.selection",
     "repro.bench.experiments.minibatch",
+    "repro.bench.experiments.observability",
 )
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}

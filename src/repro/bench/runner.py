@@ -89,18 +89,21 @@ def run_experiment(
     ``run_check`` defaults to full-mode only: quick mode subsets the
     sweeps, so the paper's full-grid shape assertions do not apply.
     """
+    from ..obs import trace
+
     spec = get_experiment(exp_id)
     t0 = time.perf_counter()
-    result = spec.run(cfg)
-    do_check = (not cfg.quick) if run_check is None else run_check
-    if do_check and spec.check is not None:
-        spec.check(result)
-    probe = None
-    if run_probe and spec.probe is not None:
-        factory, fit = spec.probe(cfg)
-        probe = trial_record(
-            run_trials(factory, fit, n_trials=cfg.trials(), base_seed=cfg.base_seed)
-        )
+    with trace.span("bench.experiment", exp_id=exp_id, quick=cfg.quick):
+        result = spec.run(cfg)
+        do_check = (not cfg.quick) if run_check is None else run_check
+        if do_check and spec.check is not None:
+            spec.check(result)
+        probe = None
+        if run_probe and spec.probe is not None:
+            factory, fit = spec.probe(cfg)
+            probe = trial_record(
+                run_trials(factory, fit, n_trials=cfg.trials(), base_seed=cfg.base_seed)
+            )
     wall = time.perf_counter() - t0
     text = ""
     if write_csv:

@@ -152,6 +152,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a chrome://tracing JSON of the last run's modeled timeline",
     )
+    p.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        metavar="FILE",
+        help="enable wall-clock span tracing (repro.obs) and write a combined "
+        "Perfetto/chrome-trace of the last run: real fit/pool spans next to "
+        "the modeled profiler lanes (one pid per simulated device when "
+        "sharded)",
+    )
     return p
 
 
@@ -166,6 +176,12 @@ def _load_points(args) -> np.ndarray:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    trace_mark = 0
+    if args.trace_out:
+        from .obs import trace
+
+        trace.enable()
+        trace_mark = trace.mark()
     x = _load_points(args)
     n, d = x.shape
     spec = named_device(args.device)
@@ -276,6 +292,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         write_chrome_trace(last.profiler_, args.trace)
         print(f"\nchrome trace written to {args.trace}")
+    if args.trace_out:
+        from .obs import trace
+        from .obs.export import estimator_profilers, write_combined_trace
+
+        write_combined_trace(
+            args.trace_out,
+            tracer=trace,
+            since=trace_mark,
+            profilers=estimator_profilers(last),
+        )
+        print(f"\ncombined trace written to {args.trace_out}")
     if args.output:
         np.savetxt(args.output, labels, fmt="%d")
         print(f"\nlabels written to {args.output}")

@@ -81,6 +81,9 @@ class EngineState:
     spec: Optional[DeviceSpec] = None
     n: int = 0
     launch_mark: int = 0
+    # span index at fit start (a repro.obs trace mark), so the fitted
+    # ``trace_`` summary covers exactly this fit's window
+    trace_mark: int = 0
     k_op: Optional[DeviceArray] = None
     k_host: Optional[np.ndarray] = None
     p_norms: Optional[DeviceArray] = None

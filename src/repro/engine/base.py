@@ -40,6 +40,7 @@ from .._typing import as_matrix, check_labels
 from ..errors import ConfigError, ShapeError
 from ..gpu.device import Device
 from ..gpu.spec import A100_80GB, DeviceSpec
+from ..obs import trace
 from .backends import Backend, DistanceStep, EngineState, get_backend
 from .params import ParamSpec, ParamsProtocol, check_is_fitted, optional
 from .reduction import (
@@ -719,7 +720,7 @@ class BaseKernelKMeans(OutOfSamplePredictor):
             raise ConfigError(
                 f"backend={be.name!r} does not run on a device; drop the device argument"
             )
-        return be.begin(
+        state = be.begin(
             n_clusters=self.n_clusters,
             dtype=self.dtype,
             tile_rows=self.tile_rows,
@@ -728,6 +729,8 @@ class BaseKernelKMeans(OutOfSamplePredictor):
             n_threads=getattr(self, "n_threads", None),
             device=device,
         )
+        state.trace_mark = trace.mark()
+        return state
 
     # ------------------------------------------------------------------
     # the init -> distances -> argmin -> convergence loop
@@ -776,11 +779,16 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         tracker = ConvergenceTracker(tol=self.tol, check=self.check_convergence)
         n_iter = 0
         for _ in range(self.max_iter):
-            step = self._distance_step(state, labels, weights)
-            new_labels = state.backend.argmin(state, step)
-            if self.empty_cluster_policy == "reseed":
-                new_labels = self._reseed_empty(step, new_labels, self.n_clusters)
-            objective = self._objective(step, new_labels, weights)
+            with trace.span("fit.iter", iter=n_iter):
+                with trace.span("fit.distances"):
+                    step = self._distance_step(state, labels, weights)
+                with trace.span("fit.argmin"):
+                    new_labels = state.backend.argmin(state, step)
+                with trace.span("fit.update"):
+                    if self.empty_cluster_policy == "reseed":
+                        new_labels = self._reseed_empty(step, new_labels, self.n_clusters)
+                with trace.span("fit.inertia"):
+                    objective = self._objective(step, new_labels, weights)
             step.free()
             labels = new_labels
             n_iter += 1
@@ -815,4 +823,7 @@ class BaseKernelKMeans(OutOfSamplePredictor):
         self.timings_ = state.backend.timings(state)
         self.profiler_ = state.profiler
         self.backend_ = state.backend.name
+        # per-name span aggregate of this fit's window (empty when the
+        # tracer is off); the cheap always-present face of repro.obs
+        self.trace_ = trace.summary(since=state.trace_mark)
         state.backend.finalize_results(state, self)

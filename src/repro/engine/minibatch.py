@@ -67,6 +67,7 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE, as_matrix, as_vector
 from ..errors import ConfigError, ShapeError
+from ..obs import metrics, trace
 from ..sparse import CSRMatrix
 from .backends import DistanceStep, _host_kernel_matrix, _resolve_gram_method
 from .reduction import CrossKernelArgmin, chunk_ranges, fused_popcorn_argmin
@@ -325,16 +326,17 @@ def _update_batch(
     batch row ``i`` occupies after the update; ``kbb_fn(idx)`` evaluates
     the batch-local kernel block for one cluster's members.
     """
-    red = CrossKernelArgmin(
-        m,
-        panel_fn,
-        est._support_selection(),
-        state.c_norms,
-        chunk_rows=est.chunk_rows,
-        chunk_cols=est.chunk_cols,
-        n_threads=est.n_threads,
-    )
-    labels_b, min_d = red.run()
+    with trace.span("minibatch.assign", m=m):
+        red = CrossKernelArgmin(
+            m,
+            panel_fn,
+            est._support_selection(),
+            state.c_norms,
+            chunk_rows=est.chunk_rows,
+            chunk_cols=est.chunk_cols,
+            n_threads=est.n_threads,
+        )
+        labels_b, min_d = red.run()
 
     # fused min_d drops the per-query constant: d = -2 s + ||c||^2, so
     # the assignment's <phi(q_b), c_j> and the true batch inertia both
@@ -357,45 +359,46 @@ def _update_batch(
                 [np.asarray(sw, dtype=np.float64), w_b]
             )
 
-    for j in np.unique(labels_b):
-        idx = np.flatnonzero(labels_b == j)
-        wj = w_b[idx]
-        add = float(wj.sum())
-        old = float(state.counts[j])
-        new = old + add
-        scale = old / new
-        if old > 0.0:
-            state.vals[j] = state.vals[j] * scale
-        else:  # first mass ever seen by this cluster: drop stale entries
-            state.members[j] = np.empty(0, dtype=INDEX_DTYPE)
-            state.vals[j] = np.empty(0, dtype=np.float64)
-        state.members[j] = np.concatenate(
-            [state.members[j], batch_cols[idx].astype(INDEX_DTYPE, copy=False)]
-        )
-        state.vals[j] = np.concatenate([state.vals[j], wj / new])
-        kbb = kbb_fn(idx)
-        quad = float(wj @ np.asarray(kbb, dtype=np.float64) @ wj)
-        cross = float((wj * s_b[idx]).sum())
-        state.counts[j] = new
-        state.c_norms[j] = (
-            scale * scale * state.c_norms[j]
-            + 2.0 * (scale / new) * cross
-            + quad / (new * new)
-        )
+    with trace.span("minibatch.update", m=m):
+        for j in np.unique(labels_b):
+            idx = np.flatnonzero(labels_b == j)
+            wj = w_b[idx]
+            add = float(wj.sum())
+            old = float(state.counts[j])
+            new = old + add
+            scale = old / new
+            if old > 0.0:
+                state.vals[j] = state.vals[j] * scale
+            else:  # first mass ever seen by this cluster: drop stale entries
+                state.members[j] = np.empty(0, dtype=INDEX_DTYPE)
+                state.vals[j] = np.empty(0, dtype=np.float64)
+            state.members[j] = np.concatenate(
+                [state.members[j], batch_cols[idx].astype(INDEX_DTYPE, copy=False)]
+            )
+            state.vals[j] = np.concatenate([state.vals[j], wj / new])
+            kbb = kbb_fn(idx)
+            quad = float(wj @ np.asarray(kbb, dtype=np.float64) @ wj)
+            cross = float((wj * s_b[idx]).sum())
+            state.counts[j] = new
+            state.c_norms[j] = (
+                scale * scale * state.c_norms[j]
+                + 2.0 * (scale / new) * cross
+                + quad / (new * new)
+            )
 
-    # dead-cluster reassignment AFTER the fold-in, so reset clusters
-    # never see a stale scale on the next batch
-    ratio = float(getattr(est, "reassignment_ratio", 0.0) or 0.0)
-    if ratio > 0.0 and m > 0:
-        cap = ratio * float(state.counts.max())
-        for j in np.flatnonzero(state.counts < cap):
-            b = int(state.rng.integers(m))
-            state.members[j] = np.array([batch_cols[b]], dtype=INDEX_DTYPE)
-            state.vals[j] = np.array([1.0], dtype=np.float64)
-            state.counts[j] = float(w_b[b])
-            state.c_norms[j] = float(diag_b[b])
+        # dead-cluster reassignment AFTER the fold-in, so reset clusters
+        # never see a stale scale on the next batch
+        ratio = float(getattr(est, "reassignment_ratio", 0.0) or 0.0)
+        if ratio > 0.0 and m > 0:
+            cap = ratio * float(state.counts.max())
+            for j in np.flatnonzero(state.counts < cap):
+                b = int(state.rng.integers(m))
+                state.members[j] = np.array([batch_cols[b]], dtype=INDEX_DTYPE)
+                state.vals[j] = np.array([1.0], dtype=np.float64)
+                state.counts[j] = float(w_b[b])
+                state.c_norms[j] = float(diag_b[b])
 
-    _rebuild_support(est, state)
+        _rebuild_support(est, state)
 
     # smoothed-inertia early-stop bookkeeping (per-sample normalized)
     w_sum = float(w_b.sum())
@@ -516,11 +519,13 @@ def partial_fit_step(est, x=None, *, kernel_matrix=None, sample_weight=None):
                         "kernel_matrix in one batch; unset batch_size for "
                         "the first call"
                     )
-                _cold_start(est, None, km, w_slice)
+                with trace.span("minibatch.cold_start", n=n):
+                    _cold_start(est, None, km, w_slice)
                 est.gram_method_ = "precomputed"
             else:
                 xb0 = xm[lo:hi]
-                _cold_start(est, xb0, _batch_kernel_matrix(est, xb0), w_slice)
+                with trace.span("minibatch.cold_start", n=hi - lo):
+                    _cold_start(est, xb0, _batch_kernel_matrix(est, xb0), w_slice)
             call_labels.append(est.labels_)
             continue
         state = est._online
@@ -528,38 +533,42 @@ def partial_fit_step(est, x=None, *, kernel_matrix=None, sample_weight=None):
         w_b = (
             np.ones(m, dtype=np.float64) if w_slice is None else w_slice
         )
+        if trace.enabled:
+            metrics.counter("minibatch.batches").inc()
         if precomputed_mode:
             rows = np.arange(lo, hi)
-            labels_b = _update_batch(
-                est,
-                state,
-                panel_fn=lambda r0, r1, lo=lo: km64[lo + r0 : lo + r1, :],
-                m=m,
-                w_b=w_b,
-                diag_b=np.asarray(np.diagonal(km64)[lo:hi], dtype=np.float64),
-                batch_cols=rows,
-                kbb_fn=lambda idx, rows=rows: km64[np.ix_(rows[idx], rows[idx])],
-                grow_support=False,
-                xb=None,
-            )
+            with trace.span("minibatch.batch", lo=lo, hi=hi):
+                labels_b = _update_batch(
+                    est,
+                    state,
+                    panel_fn=lambda r0, r1, lo=lo: km64[lo + r0 : lo + r1, :],
+                    m=m,
+                    w_b=w_b,
+                    diag_b=np.asarray(np.diagonal(km64)[lo:hi], dtype=np.float64),
+                    batch_cols=rows,
+                    kbb_fn=lambda idx, rows=rows: km64[np.ix_(rows[idx], rows[idx])],
+                    grow_support=False,
+                    xb=None,
+                )
         else:
             xb = xm[lo:hi]
             sup_before = est._support_x
             kernel = est.kernel
-            labels_b = _update_batch(
-                est,
-                state,
-                panel_fn=lambda r0, r1, xb=xb, sup=sup_before: np.asarray(
-                    kernel.pairwise(xb[r0:r1], sup), dtype=np.float64
-                ),
-                m=m,
-                w_b=w_b,
-                diag_b=_kernel_self_diag(kernel, xb),
-                batch_cols=np.arange(state.n_support, state.n_support + m),
-                kbb_fn=lambda idx, xb=xb: kernel.pairwise(xb[idx]),
-                grow_support=True,
-                xb=xb,
-            )
+            with trace.span("minibatch.batch", lo=lo, hi=hi):
+                labels_b = _update_batch(
+                    est,
+                    state,
+                    panel_fn=lambda r0, r1, xb=xb, sup=sup_before: np.asarray(
+                        kernel.pairwise(xb[r0:r1], sup), dtype=np.float64
+                    ),
+                    m=m,
+                    w_b=w_b,
+                    diag_b=_kernel_self_diag(kernel, xb),
+                    batch_cols=np.arange(state.n_support, state.n_support + m),
+                    kbb_fn=lambda idx, xb=xb: kernel.pairwise(xb[idx]),
+                    grow_support=True,
+                    xb=xb,
+                )
         call_labels.append(labels_b)
 
     est.labels_ = (

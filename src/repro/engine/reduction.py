@@ -47,6 +47,7 @@ full-matrix pipeline for every chunk shape and thread count:
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from abc import ABC, abstractmethod
 from collections import deque
@@ -56,6 +57,7 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE, check_labels
 from ..errors import ConfigError, ShapeError
+from ..obs import metrics, trace
 from ..sparse import (
     CSRMatrix,
     selection_matrix,
@@ -205,20 +207,38 @@ class WorkStealingPool:
     def run(self, tasks: Sequence[Callable[[], None]]) -> None:
         if not tasks:
             return
+        # observability is gated on the tracer so the disabled path stays
+        # byte-for-byte the original schedule with zero extra work
+        instrumented = trace.enabled
+        if instrumented:
+            metrics.counter("pool.tasks").inc(len(tasks))
+
+        def run_task(task: Callable[[], None], wid: int, stolen: bool) -> None:
+            if instrumented:
+                t0 = time.perf_counter()
+                with trace.span("pool.task", wid=wid, stolen=stolen):
+                    task()
+                metrics.counter(f"pool.w{wid}.busy_s").inc(time.perf_counter() - t0)
+            else:
+                task()
+
         if self.n_threads == 1 or len(tasks) == 1:
             for task in tasks:
-                task()
+                run_task(task, 0, False)
             return
         width = min(self.n_threads, len(tasks))
         queues = [deque() for _ in range(width)]
         for i, task in enumerate(tasks):
             queues[i % width].append(task)
+        if instrumented:
+            metrics.gauge("pool.queue_depth").max(max(len(q) for q in queues))
         lock = threading.Lock()
         errors: List[BaseException] = []
 
         def worker(wid: int) -> None:
             while True:
                 task = None
+                stolen = False
                 with lock:
                     if errors:
                         return
@@ -228,10 +248,13 @@ class WorkStealingPool:
                         victim = max(range(width), key=lambda q: len(queues[q]))
                         if queues[victim]:
                             task = queues[victim].pop()
+                            stolen = True
                 if task is None:
                     return
+                if stolen and instrumented:
+                    metrics.counter("pool.steals").inc()
                 try:
-                    task()
+                    run_task(task, wid, stolen)
                 except BaseException as exc:  # propagate to the caller
                     with lock:
                         errors.append(exc)

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..errors import AllocationError, ConfigError
 from ..gpu import cost, custom
+from ..obs import metrics, trace
 from ..gpu.launch import Launch
 from ..gpu.profiler import Profiler
 from ..gpu.spec import A100_80GB, DeviceSpec
@@ -183,6 +184,12 @@ class ShardedBackend(Backend):
         tagged = launch.with_phase("comm")
         state.comm_profiler.record(tagged)
         state.profiler.record(tagged)
+        if trace.enabled:
+            # collectives are modeled, not executed: a zero-duration
+            # event carries the modeled cost; counters track the volume
+            trace.instant(launch.name, bytes=launch.bytes, modeled_s=launch.time_s)
+            metrics.counter("comm.collectives").inc()
+            metrics.counter("comm.bytes").inc(launch.bytes)
 
     def _allgather(self, state: EngineState, total_bytes: float) -> None:
         from ..distributed.comm import allgather_cost
@@ -256,16 +263,17 @@ class ShardedBackend(Backend):
         # rectangular panels and collectives as before, so modeled
         # strong-scaling metrics stay comparable across code versions
         rows_chunk = state.chunk_rows if state.chunk_rows is not None else state.tile_rows
-        fused = fused_popcorn_argmin(
-            state.k_host,
-            labels,
-            k,
-            chunk_rows=rows_chunk,
-            chunk_cols=state.chunk_cols,
-            n_threads=state.n_threads,
-            weights=weights,
-            dtype=state.dtype,
-        )
+        with trace.span("sharded.step", devices=state.n_devices, n=n, k=k):
+            fused = fused_popcorn_argmin(
+                state.k_host,
+                labels,
+                k,
+                chunk_rows=rows_chunk,
+                chunk_cols=state.chunk_cols,
+                n_threads=state.n_threads,
+                weights=weights,
+                dtype=state.dtype,
+            )
         for p, (lo, hi) in enumerate(self._blocks(state)):
             rows = hi - lo
             self._dev(state, p, "argmin_update", cost.vbuild_cost(self.spec, n, k))

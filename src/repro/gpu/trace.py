@@ -4,30 +4,66 @@
 (``ph: "X"``) with microsecond timestamps.  Exporting the profiler's
 modeled timeline gives the same visual debugging workflow a real
 Nsight Systems capture would — lanes per phase, one slice per launch.
+
+A single :class:`~repro.gpu.profiler.Profiler` exports as one process
+(pid 0) with one thread lane per phase — the original layout.  Passing
+*several* profilers (a mapping or ``(name, profiler)`` pairs) lays each
+out as its own pid in the same file, which is how a sharded fit's
+per-device profilers (``device_profilers_``) plus its collective
+profiler (``comm_profiler_``) become one side-by-side timeline.  Every
+export also records :func:`repro.bench.artifact.environment_metadata`
+in a metadata event, so a trace file identifies the machine and library
+versions that produced it.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Iterable, List, Mapping, Tuple, Union
 
 from .profiler import Profiler
 
 __all__ = ["to_chrome_trace", "write_chrome_trace"]
 
+ProfilerSet = Union[
+    Profiler,
+    Mapping[str, Profiler],
+    Iterable[Tuple[str, Profiler]],
+]
 
-def to_chrome_trace(profiler: Profiler, *, process_name: str = "simulated-gpu") -> List[dict]:
-    """Serial timeline of all launches as chrome-trace event dicts.
 
-    Launches are laid end to end in record order (the simulated device is
-    a single in-order stream).  Phases map to thread lanes so the
+def _normalize(profilers: ProfilerSet, default_name: str) -> List[Tuple[str, Profiler]]:
+    if isinstance(profilers, Profiler):
+        return [(default_name, profilers)]
+    if isinstance(profilers, Mapping):
+        return list(profilers.items())
+    return list(profilers)
+
+
+def _environment_event(pid: int) -> dict:
+    # lazy import: bench.artifact sits above gpu in the layering
+    from ..bench.artifact import environment_metadata
+
+    return {
+        "name": "environment",
+        "ph": "M",
+        "pid": pid,
+        "args": environment_metadata(),
+    }
+
+
+def _profiler_events(profiler: Profiler, pid: int, process_name: str) -> List[dict]:
+    """Serial timeline of one profiler's launches as one pid.
+
+    Launches are laid end to end in record order (each simulated device
+    is a single in-order stream).  Phases map to thread lanes so the
     kernel-matrix / distances / argmin structure is visible at a glance.
     """
     events: List[dict] = [
         {
             "name": "process_name",
             "ph": "M",
-            "pid": 0,
+            "pid": pid,
             "args": {"name": process_name},
         }
     ]
@@ -42,7 +78,7 @@ def to_chrome_trace(profiler: Profiler, *, process_name: str = "simulated-gpu") 
                 "name": launch.name,
                 "cat": phase,
                 "ph": "X",
-                "pid": 0,
+                "pid": pid,
                 "tid": tid,
                 "ts": clock_us,
                 "dur": dur,
@@ -62,7 +98,7 @@ def to_chrome_trace(profiler: Profiler, *, process_name: str = "simulated-gpu") 
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 0,
+                "pid": pid,
                 "tid": tid,
                 "args": {"name": f"phase: {phase}"},
             }
@@ -70,7 +106,29 @@ def to_chrome_trace(profiler: Profiler, *, process_name: str = "simulated-gpu") 
     return events
 
 
-def write_chrome_trace(profiler: Profiler, path: str, **kwargs) -> None:
+def to_chrome_trace(
+    profilers: ProfilerSet,
+    *,
+    process_name: str = "simulated-gpu",
+    base_pid: int = 0,
+) -> List[dict]:
+    """Chrome-trace event dicts for one profiler or a set of them.
+
+    A bare :class:`Profiler` keeps the original single-process layout
+    (pid ``base_pid``, named ``process_name``).  A mapping / sequence of
+    ``(name, profiler)`` pairs exports each profiler as its own pid —
+    ``base_pid``, ``base_pid + 1``, ... in order — named by its key.
+    The first process also carries an ``environment`` metadata event.
+    """
+    named = _normalize(profilers, process_name)
+    events: List[dict] = []
+    for offset, (name, profiler) in enumerate(named):
+        events.extend(_profiler_events(profiler, base_pid + offset, name))
+    events.append(_environment_event(base_pid))
+    return events
+
+
+def write_chrome_trace(profilers: ProfilerSet, path: str, **kwargs) -> None:
     """Write the trace to ``path`` (open in chrome://tracing or Perfetto)."""
     with open(path, "w") as fh:
-        json.dump(to_chrome_trace(profiler, **kwargs), fh)
+        json.dump(to_chrome_trace(profilers, **kwargs), fh)

@@ -1,0 +1,244 @@
+"""Exporters: JSONL event log, combined chrome-trace, Prometheus text.
+
+Three serialisations of the same observations:
+
+* :func:`write_jsonl` — an append-friendly line-per-event log (spans,
+  then one metrics snapshot record) for ad-hoc ``jq``/pandas analysis;
+* :func:`combined_chrome_trace` / :func:`write_combined_trace` — one
+  Perfetto-loadable file holding the *wall-clock* span timeline (pid 0,
+  one lane per thread) next to any number of *modeled* profiler
+  timelines (one pid each, via the generalized
+  :func:`repro.gpu.trace.to_chrome_trace`);
+* :func:`prometheus_text` / :func:`stats_to_prometheus` — the
+  ``text/plain; version=0.0.4`` exposition format, fed either from a
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` or a flat stats
+  dict like :meth:`repro.serve.PredictionService.stats`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "spans_to_chrome_events",
+    "combined_chrome_trace",
+    "write_combined_trace",
+    "write_jsonl",
+    "prometheus_text",
+    "stats_to_prometheus",
+    "estimator_profilers",
+]
+
+#: pid of the wall-clock span process in a combined trace; modeled
+#: profiler lanes start right after it
+SPAN_PID = 0
+
+
+def spans_to_chrome_events(
+    spans: Sequence[Span],
+    *,
+    epoch: Optional[float] = None,
+    pid: int = SPAN_PID,
+    process_name: str = "wall-clock spans",
+) -> List[dict]:
+    """Chrome-trace events for recorded spans: one thread, one lane."""
+    if epoch is None:
+        epoch = min((s.t0 for s in spans), default=0.0)
+    events: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": process_name}}
+    ]
+    seen_threads: Dict[int, str] = {}
+    for s in spans:
+        seen_threads.setdefault(s.thread_id, s.thread_name)
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.partition(".")[0],
+                "ph": "X",
+                "pid": pid,
+                "tid": s.thread_id,
+                "ts": (s.t0 - epoch) * 1e6,
+                "dur": s.duration_s * 1e6,
+                "args": dict(s.attrs),
+            }
+        )
+    for tid, tname in seen_threads.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tname},
+            }
+        )
+    return events
+
+
+def combined_chrome_trace(
+    *,
+    tracer: Optional[Tracer] = None,
+    spans: Optional[Sequence[Span]] = None,
+    since: int = 0,
+    profilers: Optional[Mapping[str, object]] = None,
+) -> List[dict]:
+    """One trace file: real spans (pid 0) + modeled profiler lanes.
+
+    ``tracer`` (or an explicit ``spans`` list) provides the wall-clock
+    timeline; ``profilers`` maps process names to
+    :class:`~repro.gpu.Profiler` instances, each exported as its own pid
+    starting at 1 — e.g. ``{"dev0": ..., "dev1": ..., "comm": ...}`` for
+    a sharded fit.
+    """
+    from ..gpu.trace import to_chrome_trace
+
+    events: List[dict] = []
+    if spans is None and tracer is not None:
+        spans = tracer.spans(since)
+    if spans:
+        # zero the timeline at the first recorded span, not the tracer
+        # epoch — the tracer may be hours older than the traced window
+        events.extend(spans_to_chrome_events(spans))
+    if profilers:
+        events.extend(to_chrome_trace(dict(profilers), base_pid=SPAN_PID + 1))
+    else:
+        from ..gpu.trace import _environment_event
+
+        events.append(_environment_event(SPAN_PID))
+    return events
+
+
+def write_combined_trace(path: str, **kwargs) -> None:
+    """Write :func:`combined_chrome_trace` to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(combined_chrome_trace(**kwargs), fh)
+
+
+def estimator_profilers(est) -> Dict[str, object]:
+    """Named profiler lanes of a fitted estimator for the combined trace.
+
+    A sharded fit contributes one lane per simulated device
+    (``dev0`` ... ``dev<g-1>``, from ``device_profilers_``) plus the
+    collective log (``comm``); any other fit contributes its single
+    ``profiler_`` named after the backend it ran on.
+    """
+    devs = getattr(est, "device_profilers_", None)
+    if devs:
+        out = {f"dev{p}": pr for p, pr in enumerate(devs)}
+        comm = getattr(est, "comm_profiler_", None)
+        if comm is not None:
+            out["comm"] = comm
+        return out
+    prof = getattr(est, "profiler_", None)
+    if prof is None:
+        return {}
+    backend = getattr(est, "backend_", None)
+    name = "simulated-gpu" if backend in (None, "device") else f"backend:{backend}"
+    return {name: prof}
+
+
+def write_jsonl(
+    path: str,
+    *,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    since: int = 0,
+) -> None:
+    """Line-per-event log: span records, then one metrics snapshot."""
+    with open(path, "w") as fh:
+        if tracer is not None:
+            epoch = tracer.epoch
+            for s in tracer.spans(since):
+                fh.write(
+                    json.dumps(
+                        {
+                            "event": "span",
+                            "name": s.name,
+                            "ts_s": s.t0 - epoch,
+                            "dur_s": s.duration_s,
+                            "thread": s.thread_name,
+                            "span_id": s.span_id,
+                            "parent_id": s.parent_id,
+                            "attrs": s.attrs,
+                        }
+                    )
+                    + "\n"
+                )
+        if registry is not None:
+            fh.write(
+                json.dumps({"event": "metrics", "snapshot": registry.snapshot()}) + "\n"
+            )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str, prefix: str) -> str:
+    safe = "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def _fmt(value: float) -> str:
+    return repr(float(value))
+
+
+def prometheus_text(
+    snapshot: Mapping[str, Mapping[str, object]], *, prefix: str = "repro"
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text."""
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        pname = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_fmt(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(value)}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        pname = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{pname}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        cumulative += hist["counts"][-1]
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{pname}_sum {_fmt(hist['sum'])}")
+        lines.append(f"{pname}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+#: stats keys that are monotone counts (exposed as Prometheus counters);
+#: everything else in a stats dict is a gauge
+_STATS_COUNTERS = frozenset(
+    {"requests", "served", "cache_hits", "batches", "model_swaps"}
+)
+
+
+def stats_to_prometheus(
+    stats: Mapping[str, float],
+    *,
+    prefix: str = "repro_serve",
+    counters: Iterable[str] = _STATS_COUNTERS,
+) -> str:
+    """Render a flat stats dict (e.g. ``PredictionService.stats()``)."""
+    counter_keys = set(counters)
+    lines: List[str] = []
+    for key in sorted(stats):
+        value = stats[key]
+        if not isinstance(value, (int, float)):
+            continue
+        pname = _prom_name(key, prefix)
+        if key in counter_keys:
+            pname += "_total"
+            lines.append(f"# TYPE {pname} counter")
+        else:
+            lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(value)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,214 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The aggregate side of :mod:`repro.obs`: where spans answer "what happened
+when", metrics answer "how much, in total" — steal counts in the
+work-stealing pool, bytes moved by modeled collectives, serve-queue
+depth, latency distributions.  Everything is stdlib-only and
+lock-guarded; :meth:`MetricsRegistry.snapshot` returns plain dicts so
+exporters (:mod:`repro.obs.export`) and tests never touch live state.
+
+Naming follows the same dotted subsystem-first scheme as spans
+(``pool.steals``, ``serve.requests``, ``comm.allreduce_bytes``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "get_registry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram bucket upper bounds (seconds-ish scale; callers pick
+#: their own for other units)
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (increments may be fractional,
+    e.g. busy-seconds)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, live threads)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def max(self, value: float) -> None:
+        """Record a high-water mark (keeps the larger of current/new)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus-style cumulative exposition).
+
+    ``buckets`` are ascending upper bounds; observations land in the
+    first bucket whose bound is >= the value, with an implicit +Inf
+    bucket at the end.
+    """
+
+    __slots__ = ("name", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b1 <= b0 for b0, b1 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} needs ascending bucket bounds")
+        self.name = name
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # +Inf bucket last
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        # first bucket whose bound is >= value; past the end = +Inf slot
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric in the process.
+
+    ``counter/gauge/histogram`` return the existing instrument when the
+    name is already registered (creating is idempotent, so call sites
+    never coordinate); re-registering a name as a *different* kind is a
+    programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already a {other_kind}, not a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                self._check_free(name, "counter")
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                self._check_free(name, "gauge")
+                g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                self._check_free(name, "histogram")
+                h = self._histograms[name] = Histogram(
+                    name, buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+            return h
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time plain-dict copy of every instrument."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges},
+            "histograms": {h.name: h.snapshot() for h in histograms},
+        }
+
+    def reset(self) -> None:
+        """Drop every registered instrument (tests / fresh runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: the process-wide registry every instrumented subsystem records to
+metrics = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` instance."""
+    return metrics

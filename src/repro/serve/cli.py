@@ -9,6 +9,8 @@ Usage::
                                   [--batch-size 64] [--stats]
     cat queries.jsonl | repro-serve serve model.npz --batch-size 64 \
                                   --max-delay-ms 2 --workers 2
+    repro-serve stats model.npz [--input queries.csv] [--queries N] \
+                                  [--format table|json|prom]
     repro-serve refresh model.npz --input new_data.csv [--outdir DIR]
                                   [--batch-size 256]
 
@@ -18,9 +20,17 @@ query file (CSV/libSVM like the training CLI, or JSONL) through the
 micro-batching service; ``serve`` reads JSONL queries from stdin — one
 ``[x, ...]`` array or ``{"id": ..., "x": [...]}`` object per line — and
 writes one ``{"id": ..., "label": ...}`` result per line to stdout,
-printing the serving stats to stderr at EOF; ``refresh`` absorbs new
-data into an online-capable artifact via ``partial_fit`` and publishes
-the next numbered artifact version (``<stem>-vNNNN.npz``).
+printing the serving stats to stderr at EOF; ``stats`` drives a short
+query workload through the service and prints the serving stats as a
+table, JSON, or Prometheus text exposition (``--format prom``);
+``refresh`` absorbs new data into an online-capable artifact via
+``partial_fit`` and publishes the next numbered artifact version
+(``<stem>-vNNNN.npz``).
+
+``--trace-out FILE`` on ``predict`` / ``serve`` / ``stats`` enables
+wall-clock span tracing (:mod:`repro.obs`) and writes a combined
+Perfetto/chrome-trace of the request lifecycle next to the service's
+profiler lanes.
 
 Row-chunking flags take ``--chunk-rows`` everywhere; ``--tile-rows`` is
 kept as a deprecated alias and will be removed.
@@ -76,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--chunk-cols", dest="chunk_cols", type=int, default=None, metavar="C")
         sp.add_argument("--n-threads", dest="n_threads", type=int, default=None, metavar="T")
 
+    def add_trace_flag(sp):
+        sp.add_argument(
+            "--trace-out", dest="trace_out", default=None, metavar="FILE",
+            help="enable span tracing and write a combined Perfetto/chrome-trace "
+            "(request-lifecycle spans + the service profiler lanes)",
+        )
+
     save_p = sub.add_parser("save", help="fit an estimator and persist it as an artifact")
     save_p.add_argument("--model", default="popcorn", choices=_SAVE_MODELS)
     save_p.add_argument("-k", type=int, default=10, help="number of clusters")
@@ -118,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard each served batch across G simulated devices",
     )
     pred_p.add_argument("--stats", action="store_true", help="print serving stats")
+    add_trace_flag(pred_p)
 
     serve_p = sub.add_parser("serve", help="stdin-JSONL serving loop")
     serve_p.add_argument("model", help="artifact path")
@@ -132,6 +150,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--devices", type=int, default=None, metavar="G",
         help="shard each served batch across G simulated devices",
     )
+    add_trace_flag(serve_p)
+
+    stats_p = sub.add_parser(
+        "stats",
+        help="drive a short query workload and print the serving stats",
+    )
+    stats_p.add_argument("model", help="artifact path")
+    stats_p.add_argument(
+        "--input", default=None,
+        help="query file (CSV, libsvm, or .jsonl); default: synthetic queries",
+    )
+    stats_p.add_argument(
+        "--queries", type=int, default=256, metavar="N",
+        help="synthetic query count when --input is not given",
+    )
+    stats_p.add_argument("--batch-size", type=int, default=64)
+    stats_p.add_argument("--max-delay-ms", type=float, default=1.0)
+    stats_p.add_argument("--workers", type=int, default=1)
+    stats_p.add_argument("--cache-size", type=int, default=1024)
+    stats_p.add_argument("-s", dest="seed", type=int, default=0, help="RNG seed")
+    stats_p.add_argument(
+        "--format", dest="format", default="table",
+        choices=("table", "json", "prom"),
+        help="output format: table (human), json, or Prometheus text exposition",
+    )
+    add_trace_flag(stats_p)
 
     ref_p = sub.add_parser(
         "refresh",
@@ -153,6 +197,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="split the input into partial_fit batches of B rows",
     )
     return p
+
+
+# ----------------------------------------------------------------------
+# tracing plumbing shared by predict / serve / stats
+# ----------------------------------------------------------------------
+
+def _trace_begin(args) -> int:
+    """Enable the tracer when --trace-out is set; returns the span mark."""
+    if getattr(args, "trace_out", None):
+        from ..obs import trace
+
+        trace.enable()
+        return trace.mark()
+    return 0
+
+
+def _trace_finish(args, mark: int, svc) -> None:
+    """Write the combined request-lifecycle + profiler-lane trace."""
+    if getattr(args, "trace_out", None):
+        from ..obs import trace
+        from ..obs.export import write_combined_trace
+
+        write_combined_trace(
+            args.trace_out,
+            tracer=trace,
+            since=mark,
+            profilers={"serve-profiler": svc.profiler_},
+        )
+        print(f"combined trace written to {args.trace_out}", file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -255,6 +328,7 @@ def _read_queries(path: str) -> np.ndarray:
 def _cmd_predict(args) -> int:
     model = load_model(args.model)
     queries = _read_queries(args.input)
+    mark = _trace_begin(args)
     with PredictionService(
         model,
         batch_size=args.batch_size,
@@ -269,6 +343,7 @@ def _cmd_predict(args) -> int:
     ) as svc:
         labels = svc.predict_many(queries)
         stats = svc.stats()
+        _trace_finish(args, mark, svc)
     if args.output:
         np.savetxt(args.output, labels, fmt="%d")
         print(f"{labels.shape[0]} labels written to {args.output}")
@@ -299,6 +374,7 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
     model = load_model(args.model)
+    mark = _trace_begin(args)
     with PredictionService(
         model,
         batch_size=args.batch_size,
@@ -328,7 +404,65 @@ def _cmd_serve(args, stdin=None, stdout=None) -> int:
         for item in pending:
             _flush_one(item, stdout)
         stats = svc.stats()
+        _trace_finish(args, mark, svc)
     print(json.dumps({"stats": stats}), file=sys.stderr)
+    return 0
+
+
+def _stats_queries(args, model) -> np.ndarray:
+    """The stats workload: a query file, or synthetic rows shaped like
+    the model's support set (repeated so the cache-hit path exercises)."""
+    from ..errors import ConfigError
+
+    if args.input:
+        return _read_queries(args.input)
+    sup = getattr(model, "_support_x", None)
+    centers = getattr(model, "_support_centers", None)
+    if sup is not None:
+        d = np.asarray(sup).shape[1]
+    elif centers is not None:
+        d = np.asarray(centers).shape[1]
+    else:
+        raise ConfigError(
+            "this artifact was fitted on a precomputed kernel; synthetic "
+            "queries cannot be generated — pass --input with a query file"
+        )
+    n = max(int(args.queries), 1)
+    rng = np.random.default_rng(args.seed)
+    # half unique, half repeats: the repeated rows exercise the digest
+    # cache so hit-rate stats are non-trivial
+    uniq = rng.standard_normal((max(n // 2, 1), d))
+    rows = uniq[rng.integers(uniq.shape[0], size=n)]
+    return np.ascontiguousarray(rows)
+
+
+def _cmd_stats(args) -> int:
+    model = load_model(args.model)
+    queries = _stats_queries(args, model)
+    mark = _trace_begin(args)
+    with PredictionService(
+        model,
+        batch_size=args.batch_size,
+        max_delay_ms=args.max_delay_ms,
+        n_workers=args.workers,
+        cache_size=args.cache_size,
+    ) as svc:
+        svc.predict_many(queries)
+        stats = svc.stats()
+        prom = svc.stats(format="prom")
+        _trace_finish(args, mark, svc)
+    if args.format == "prom":
+        print(prom, end="")
+    elif args.format == "json":
+        print(json.dumps(stats, indent=2))
+    else:
+        print(
+            format_table(
+                ["stat", "value"],
+                [(k, f"{v:.4g}" if isinstance(v, float) else v)
+                 for k, v in stats.items()],
+            )
+        )
     return 0
 
 
@@ -374,6 +508,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_load(args)
         if args.command == "predict":
             return _cmd_predict(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         if args.command == "refresh":
             return _cmd_refresh(args)
         return _cmd_serve(args)

@@ -35,7 +35,7 @@ import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -43,6 +43,8 @@ from ..engine.reduction import resolve_rows_alias
 from ..errors import ConfigError
 from ..gpu.launch import Launch
 from ..gpu.profiler import Profiler
+from ..obs import metrics, trace
+from ..obs.export import stats_to_prometheus
 
 __all__ = ["PredictionService"]
 
@@ -75,6 +77,11 @@ class PredictionService:
         Worker threads serving batches concurrently.
     cache_size:
         LRU entries memoising label-by-query-digest (0 disables).
+    latency_window:
+        Size of the rolling windows behind the latency percentiles and
+        the batch-size distribution.  Bounded so sustained traffic holds
+        steady memory; lifetime totals (``requests``, ``served``,
+        ``queries_per_s``) are counted separately and stay exact.
     chunk_rows, chunk_cols, n_threads:
         Chunk schedule and thread count of the fused cross-kernel
         reduction, forwarded to ``predict`` / ``predict_batch``
@@ -102,6 +109,7 @@ class PredictionService:
         max_delay_ms: float = 2.0,
         n_workers: int = 1,
         cache_size: int = 1024,
+        latency_window: int = 4096,
         tile_rows: Optional[int] = None,
         chunk_rows: Optional[int] = None,
         chunk_cols: Optional[int] = None,
@@ -121,6 +129,8 @@ class PredictionService:
             raise ConfigError("n_workers must be >= 1")
         if cache_size < 0:
             raise ConfigError("cache_size must be >= 0")
+        if latency_window < 1:
+            raise ConfigError("latency_window must be >= 1")
         if devices is not None and devices < 1:
             raise ConfigError("devices must be >= 1")
         self.model = model
@@ -144,12 +154,17 @@ class PredictionService:
         self._model_version = 1
         self._n_swaps = 0
 
-        # stats (guarded by self._lock)
+        # stats (guarded by self._lock); the latency / batch-size windows
+        # are bounded rolling deques — under sustained traffic the old
+        # unbounded lists grew without limit — so ``served`` is counted
+        # separately instead of read off the window length
+        self.latency_window = int(latency_window)
         self._n_requests = 0
+        self._n_served = 0
         self._n_cache_hits = 0
         self._n_batches = 0
-        self._batch_sizes: List[int] = []
-        self._latencies: List[float] = []
+        self._batch_sizes: deque = deque(maxlen=self.latency_window)
+        self._latencies: deque = deque(maxlen=self.latency_window)
         self._t_first: Optional[float] = None
         self._t_last: Optional[float] = None
 
@@ -170,22 +185,31 @@ class PredictionService:
             raise ConfigError(f"submit takes one 1-D query row, got shape {row.shape}")
         key = self._digest(row) if self.cache_size else None
         req = _Request(row, key)
+        instrumented = trace.enabled
         with self._lock:
             if self._closed:
                 raise ConfigError("service is closed")
             self._n_requests += 1
+            if instrumented:
+                metrics.counter("serve.requests").inc()
             if self._t_first is None:
                 self._t_first = req.t_enqueue
             if key is not None and key in self._cache:
                 self._cache.move_to_end(key)
                 label = self._cache[key]
                 self._n_cache_hits += 1
+                self._n_served += 1
                 now = time.perf_counter()
                 self._latencies.append(now - req.t_enqueue)
                 self._t_last = now
+                if instrumented:
+                    metrics.counter("serve.cache_hits").inc()
                 req.future.set_result(label)
                 return req.future
             self._queue.append(req)
+            if instrumented:
+                metrics.gauge("serve.queue_depth").max(len(self._queue))
+                trace.instant("serve.enqueue", queued=len(self._queue))
             self._not_empty.notify()
         return req.future
 
@@ -251,15 +275,16 @@ class PredictionService:
                 "chunk_cols": self.chunk_cols,
                 "n_threads": self.n_threads,
             }
-            if self.devices is not None:
-                labels = model.predict_batch(
-                    [rows],
-                    devices=self.devices,
-                    profiler=self.profiler_,
-                    **kw,
-                )
-            else:
-                labels = model.predict(rows, **kw)
+            with trace.span("serve.batch", size=len(batch), version=version):
+                if self.devices is not None:
+                    labels = model.predict_batch(
+                        [rows],
+                        devices=self.devices,
+                        profiler=self.profiler_,
+                        **kw,
+                    )
+                else:
+                    labels = model.predict(rows, **kw)
         except Exception as exc:
             # a fused batch can fail on one bad request (e.g. a ragged row);
             # retry each request alone so the error stays with its sender
@@ -283,9 +308,16 @@ class PredictionService:
                 meta={"batch": len(batch)},
             )
         )
+        instrumented = trace.enabled
+        if instrumented:
+            metrics.counter("serve.batches").inc()
+            hist = metrics.histogram("serve.latency_s")
+            for req in batch:
+                hist.observe(t1 - req.t_enqueue)
         with self._lock:
             self._n_batches += 1
             self._batch_sizes.append(len(batch))
+            self._n_served += len(batch)
             for req in batch:
                 self._latencies.append(t1 - req.t_enqueue)
             self._t_last = t1
@@ -293,11 +325,12 @@ class PredictionService:
             # consistent with the model it ran on), but must not seed the
             # new model's cache with stale results
             if self.cache_size and version == self._model_version:
-                for req, label in zip(batch, labels):
-                    self._cache[req.key] = int(label)
-                    self._cache.move_to_end(req.key)
-                while len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+                with trace.span("serve.cache_writeback", size=len(batch)):
+                    for req, label in zip(batch, labels):
+                        self._cache[req.key] = int(label)
+                        self._cache.move_to_end(req.key)
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
         for req, label in zip(batch, labels):
             req.future.set_result(int(label))
 
@@ -324,7 +357,11 @@ class PredictionService:
             self._model_version += 1
             self._n_swaps += 1
             self._cache.clear()
-            return self._model_version
+            version = self._model_version
+        if trace.enabled:
+            trace.instant("serve.model_swap", version=version)
+            metrics.counter("serve.model_swaps").inc()
+        return version
 
     # ------------------------------------------------------------------
     # lifecycle + stats
@@ -347,13 +384,38 @@ class PredictionService:
 
     @staticmethod
     def _percentile(values: Sequence[float], q: float) -> float:
-        return float(np.percentile(np.asarray(values), q)) if values else 0.0
+        """Latency percentile with explicit edge cases.
 
-    def stats(self) -> Dict[str, float]:
-        """Serving counters: latency percentiles, hit rate, queries/sec."""
+        An empty window reports 0.0 (not NaN, and never raises) and a
+        single-sample window reports that sample for every ``q`` —
+        ``np.percentile`` would interpolate a one-point "distribution"
+        the same way, but the contract is now explicit and holds for any
+        sequence type the rolling window hands in.
+        """
+        if len(values) == 0:
+            return 0.0
+        if len(values) == 1:
+            return float(values[0])
+        return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+    def stats(self, *, format: str = "dict"):
+        """Serving counters: latency percentiles, hit rate, queries/sec.
+
+        ``format="dict"`` (default) returns the stats mapping;
+        ``format="prom"`` returns the same numbers as Prometheus text
+        exposition (``repro_serve_*`` metric families) — what
+        ``repro-serve stats --format prom`` prints.
+
+        Latency percentiles and the batch-size mean are computed over
+        the bounded rolling window (``latency_window``); ``requests`` /
+        ``served`` / ``queries_per_s`` are lifetime totals.
+        """
+        if format not in ("dict", "prom"):
+            raise ConfigError(f"format must be 'dict' or 'prom', got {format!r}")
         with self._lock:
             lat = list(self._latencies)
             n_req = self._n_requests
+            served = self._n_served
             hits = self._n_cache_hits
             batches = self._n_batches
             sizes = list(self._batch_sizes)
@@ -364,8 +426,7 @@ class PredictionService:
                 if (self._t_first is not None and self._t_last is not None)
                 else 0.0
             )
-        served = len(lat)
-        return {
+        out = {
             "requests": n_req,
             "served": served,
             "cache_hits": hits,
@@ -380,3 +441,6 @@ class PredictionService:
             "model_version": version,
             "model_swaps": swaps,
         }
+        if format == "prom":
+            return stats_to_prometheus(out)
+        return out

@@ -1,4 +1,4 @@
-"""Registry discoverability + quick-mode runnability of all 22 experiments."""
+"""Registry discoverability + quick-mode runnability of all 23 experiments."""
 
 import pytest
 
@@ -35,15 +35,16 @@ EXPECTED_IDS = {
     "ext_engine_tiling",
     "ext_reduction_engine",
     "ext_minibatch",
+    "ext_observability",
     "serve_throughput",
     "model_selection",
 }
 
 
 class TestDiscovery:
-    def test_all_22_experiments_registered(self):
+    def test_all_23_experiments_registered(self):
         assert set(experiment_ids()) == EXPECTED_IDS
-        assert len(experiment_ids()) == 22
+        assert len(experiment_ids()) == 23
 
     def test_paper_order(self):
         ids = experiment_ids()

@@ -1,0 +1,194 @@
+"""Unit tests for the exporters (repro.obs.export)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu import A100_80GB, Device
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    combined_chrome_trace,
+    estimator_profilers,
+    prometheus_text,
+    spans_to_chrome_events,
+    stats_to_prometheus,
+    write_combined_trace,
+    write_jsonl,
+)
+from repro.obs.export import SPAN_PID
+
+
+def _tracer_with_spans():
+    t = Tracer(enabled=True)
+    with t.span("fit.iter", iter=0):
+        with t.span("fit.distances"):
+            pass
+    return t
+
+
+class TestChromeEvents:
+    def test_spans_become_complete_events(self):
+        t = _tracer_with_spans()
+        events = spans_to_chrome_events(t.spans())
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"fit.iter", "fit.distances"}
+        for e in xs:
+            assert e["pid"] == SPAN_PID
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+            assert e["cat"] == "fit"
+
+    def test_timeline_zeroed_at_first_span(self):
+        t = _tracer_with_spans()
+        events = spans_to_chrome_events(t.spans())
+        assert min(e["ts"] for e in events if e["ph"] == "X") == 0.0
+
+    def test_process_and_thread_metadata(self):
+        t = _tracer_with_spans()
+        events = spans_to_chrome_events(t.spans())
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names and "thread_name" in names
+
+
+class TestCombinedTrace:
+    def test_spans_and_profilers_get_distinct_pids(self):
+        t = _tracer_with_spans()
+        from repro.gpu.launch import Launch
+
+        dev = Device(A100_80GB)
+        dev.profiler.record(
+            Launch("k", flops=1e9, bytes=1e6, time_s=1e-4, phase="fit")
+        )
+        events = combined_chrome_trace(
+            tracer=t, profilers={"dev0": dev.profiler, "dev1": dev.profiler}
+        )
+        pids = {e["pid"] for e in events}
+        assert pids == {SPAN_PID, SPAN_PID + 1, SPAN_PID + 2}
+        proc_names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e.get("name") == "process_name"
+        }
+        assert proc_names[SPAN_PID] == "wall-clock spans"
+        assert proc_names[SPAN_PID + 1] == "dev0"
+        assert proc_names[SPAN_PID + 2] == "dev1"
+
+    def test_spans_only_trace_still_has_environment(self):
+        t = _tracer_with_spans()
+        events = combined_chrome_trace(tracer=t)
+        assert any(e.get("name") == "environment" for e in events)
+
+    def test_write_is_valid_json(self, tmp_path):
+        t = _tracer_with_spans()
+        path = tmp_path / "trace.json"
+        write_combined_trace(str(path), tracer=t)
+        events = json.loads(path.read_text())
+        assert isinstance(events, list) and events
+
+    def test_since_scopes_the_window(self):
+        t = _tracer_with_spans()
+        mark = t.mark()
+        with t.span("late"):
+            pass
+        events = combined_chrome_trace(tracer=t, since=mark)
+        xs = [e["name"] for e in events if e["ph"] == "X"]
+        assert xs == ["late"]
+
+
+class TestEstimatorProfilers:
+    def test_host_fit_single_lane(self):
+        from repro.estimators import make_estimator
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((60, 5))
+        est = make_estimator(
+            "popcorn", n_clusters=3, backend="host", kernel="linear",
+            dtype=np.float64, max_iter=2, seed=0,
+        ).fit(x)
+        lanes = estimator_profilers(est)
+        assert list(lanes) == ["backend:host"]
+
+    def test_sharded_fit_one_lane_per_device_plus_comm(self):
+        from repro.estimators import make_estimator
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((60, 5))
+        est = make_estimator(
+            "popcorn", n_clusters=3, backend="sharded:3", kernel="linear",
+            dtype=np.float64, max_iter=2, seed=0,
+        ).fit(x)
+        lanes = estimator_profilers(est)
+        assert list(lanes) == ["dev0", "dev1", "dev2", "comm"]
+
+    def test_unfitted_object_yields_nothing(self):
+        assert estimator_profilers(object()) == {}
+
+
+class TestJsonl:
+    def test_span_lines_then_metrics_snapshot(self, tmp_path):
+        t = _tracer_with_spans()
+        reg = MetricsRegistry()
+        reg.counter("pool.tasks").inc(4)
+        path = tmp_path / "events.jsonl"
+        write_jsonl(str(path), tracer=t, registry=reg)
+        lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert [ln["event"] for ln in lines] == ["span", "span", "metrics"]
+        assert lines[0]["name"] == "fit.distances"  # finishes first
+        assert lines[-1]["snapshot"]["counters"] == {"pool.tasks": 4.0}
+
+
+class TestPrometheus:
+    def test_registry_snapshot_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("pool.steals").inc(3)
+        reg.gauge("serve.queue_depth").set(7)
+        reg.histogram("serve.latency_s", buckets=(0.1, 1.0)).observe(0.5)
+        text = prometheus_text(reg.snapshot())
+        assert "# TYPE repro_pool_steals_total counter" in text
+        assert "repro_pool_steals_total 3.0" in text
+        assert "repro_serve_queue_depth 7.0" in text
+        assert 'repro_serve_latency_s_bucket{le="0.1"} 0' in text
+        assert 'repro_serve_latency_s_bucket{le="1.0"} 1' in text
+        assert 'repro_serve_latency_s_bucket{le="+Inf"} 1' in text
+        assert "repro_serve_latency_s_count 1" in text
+        assert text.endswith("\n")
+
+    def test_stats_dict_rendering_counters_vs_gauges(self):
+        stats = {
+            "requests": 10,
+            "served": 10,
+            "latency_p95_ms": 1.25,
+            "model_version": 2,
+        }
+        text = stats_to_prometheus(stats)
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 10.0" in text
+        # non-monotone stats are gauges, no _total suffix
+        assert "# TYPE repro_serve_latency_p95_ms gauge" in text
+        assert "repro_serve_model_version 2.0" in text
+
+    def test_non_numeric_stats_skipped(self):
+        text = stats_to_prometheus({"requests": 1, "note": "hi"})
+        assert "note" not in text
+
+
+def test_service_stats_format_prom(tmp_path):
+    """The service's own prom face round-trips through stats()."""
+    from repro.estimators import make_estimator
+    from repro.serve import PredictionService
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((60, 5))
+    est = make_estimator(
+        "popcorn", n_clusters=3, backend="host", kernel="linear",
+        dtype=np.float64, max_iter=2, seed=0,
+    ).fit(x)
+    with PredictionService(est, n_workers=1) as svc:
+        svc.predict_many(rng.standard_normal((8, 5)))
+        text = svc.stats(format="prom")
+        with pytest.raises(ConfigError):
+            svc.stats(format="banana")
+    assert "repro_serve_served_total 8.0" in text

@@ -1,0 +1,162 @@
+"""Unit tests for the span tracer (repro.obs.tracing)."""
+
+import threading
+
+import pytest
+
+from repro.obs import Tracer, get_tracer, trace, trace_enabled_from_env
+from repro.obs.tracing import _NULL_SPAN
+
+
+class TestGate:
+    def test_disabled_by_default(self):
+        t = Tracer(enabled=False)
+        assert not t.enabled
+
+    def test_env_gate_spellings(self):
+        for off in ("", "0", "false", "no", "off", "FALSE", " Off "):
+            assert not trace_enabled_from_env({"REPRO_TRACE": off})
+        for on in ("1", "true", "yes", "on"):
+            assert trace_enabled_from_env({"REPRO_TRACE": on})
+        assert not trace_enabled_from_env({})
+
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer(enabled=False)
+        cm = t.span("x", a=1)
+        assert cm is _NULL_SPAN
+        assert cm is t.span("y")  # one shared instance, no allocation
+        with cm:
+            pass
+        assert t.spans() == []
+
+    def test_disabled_instant_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.instant("x")
+        assert t.spans() == []
+
+    def test_enable_disable_round_trip(self):
+        t = Tracer(enabled=False)
+        t.enable()
+        with t.span("a"):
+            pass
+        t.disable()
+        with t.span("b"):
+            pass
+        assert [s.name for s in t.spans()] == ["a"]
+
+
+class TestRecording:
+    def test_span_records_name_attrs_and_times(self):
+        t = Tracer(enabled=True)
+        with t.span("fit.iter", iter=3):
+            pass
+        (s,) = t.spans()
+        assert s.name == "fit.iter"
+        assert s.attrs == {"iter": 3}
+        assert s.t1 >= s.t0
+        assert s.duration_s == s.t1 - s.t0
+
+    def test_nesting_sets_parent_id(self):
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        inner, outer = t.spans()  # inner finishes first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_instant_is_zero_duration_and_nested(self):
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            t.instant("tick", n=1)
+        tick, outer = t.spans()
+        assert tick.duration_s == 0.0
+        assert tick.parent_id == outer.span_id
+        assert tick.attrs == {"n": 1}
+
+    def test_span_survives_exceptions(self):
+        t = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("x")
+        (s,) = t.spans()
+        assert s.name == "boom"
+        # the stack unwound: the next span is a root again
+        with t.span("after"):
+            pass
+        assert t.spans()[-1].parent_id is None
+
+    def test_mark_scopes_a_window(self):
+        t = Tracer(enabled=True)
+        with t.span("before"):
+            pass
+        mark = t.mark()
+        with t.span("after"):
+            pass
+        assert [s.name for s in t.spans(mark)] == ["after"]
+
+    def test_summary_aggregates_per_name(self):
+        t = Tracer(enabled=True)
+        for i in range(3):
+            with t.span("a"):
+                pass
+        with t.span("b"):
+            pass
+        summary = t.summary()
+        assert summary["a"]["count"] == 3
+        assert summary["b"]["count"] == 1
+        assert summary["a"]["total_s"] >= 0.0
+
+    def test_reset_clears_spans_and_ids(self):
+        t = Tracer(enabled=True)
+        with t.span("a"):
+            pass
+        t.reset()
+        assert t.spans() == []
+        with t.span("b"):
+            pass
+        assert t.spans()[0].span_id == 1
+
+
+class TestThreads:
+    def test_worker_thread_spans_root_on_their_own_lane(self):
+        t = Tracer(enabled=True)
+
+        def work():
+            with t.span("worker"):
+                pass
+
+        with t.span("main"):
+            th = threading.Thread(target=work, name="lane-1")
+            th.start()
+            th.join()
+        worker = next(s for s in t.spans() if s.name == "worker")
+        main = next(s for s in t.spans() if s.name == "main")
+        # fresh threads start with an empty stack: no cross-thread parent
+        assert worker.parent_id is None
+        assert worker.thread_id != main.thread_id
+        assert worker.thread_name == "lane-1"
+
+    def test_concurrent_spans_all_recorded(self):
+        t = Tracer(enabled=True)
+        n_threads, per_thread = 8, 50
+
+        def work(i):
+            for _ in range(per_thread):
+                with t.span(f"w{i}"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        spans = t.spans()
+        assert len(spans) == n_threads * per_thread
+        # span ids are unique even under contention
+        assert len({s.span_id for s in spans}) == len(spans)
+
+
+def test_module_level_tracer_is_the_singleton():
+    assert get_tracer() is trace

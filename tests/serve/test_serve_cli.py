@@ -159,3 +159,50 @@ class TestServeLoop:
         captured = capsys.readouterr()
         assert len(captured.out.strip().splitlines()) == 1
         assert "error" in captured.err
+
+
+class TestStatsCommand:
+    def test_stats_table_synthetic_queries(self, tmp_path, train_csv, capsys):
+        out = _save(tmp_path, train_csv)
+        capsys.readouterr()
+        assert main(["stats", out, "--queries", "32"]) == 0
+        text = capsys.readouterr().out
+        assert "requests" in text and "32" in text
+
+    def test_stats_json_with_query_file(self, tmp_path, train_csv, capsys):
+        out = _save(tmp_path, train_csv)
+        path, _ = train_csv
+        capsys.readouterr()
+        assert main(["stats", out, "--input", path, "--format", "json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["served"] == 120
+        assert stats["model_version"] == 1
+
+    def test_stats_prom_exposition(self, tmp_path, train_csv, capsys):
+        out = _save(tmp_path, train_csv)
+        capsys.readouterr()
+        assert main(["stats", out, "--queries", "16", "--format", "prom"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 16.0" in text
+
+    def test_stats_trace_out_writes_combined_trace(self, tmp_path, train_csv,
+                                                   capsys):
+        from repro.obs import trace
+
+        out = _save(tmp_path, train_csv)
+        trace_path = tmp_path / "trace.json"
+        was_enabled = trace.enabled
+        try:
+            assert main(["stats", out, "--queries", "8",
+                         "--trace-out", str(trace_path)]) == 0
+        finally:
+            trace.enabled = was_enabled
+        events = json.loads(trace_path.read_text())
+        names = {e["name"] for e in events if e.get("ph") == "X"}
+        assert "serve.batch" in names
+        assert "serve.enqueue" in names
+        procs = {e["args"]["name"] for e in events
+                 if e.get("name") == "process_name"}
+        assert {"wall-clock spans", "serve-profiler"} <= procs
+        assert "combined trace written" in capsys.readouterr().err

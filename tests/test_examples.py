@@ -21,6 +21,7 @@ EXAMPLES = [
     "graph_communities.py",
     "serve_quickstart.py",
     "online_refresh.py",
+    "trace_quickstart.py",
 ]
 
 
