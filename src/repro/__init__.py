@@ -51,10 +51,17 @@ Layout
 ``repro.serve``
     The inference half of the system: versioned, schema-checked model
     artifacts (``save_model`` / ``load_model``, bit-exact round trips;
-    headers store the registry name plus ``get_params()``) and
+    headers store the registry name plus ``get_params()``),
     :class:`~repro.serve.PredictionService` — a micro-batching,
-    LRU-cached, thread-pooled out-of-sample prediction server driven by
-    the ``repro-serve`` console script.
+    LRU-cached, thread-pooled out-of-sample prediction server — and
+    :class:`~repro.serve.AsyncPredictionServer`, the asyncio front door
+    for open-loop traffic (admission control with
+    :class:`~repro.errors.Overloaded` shedding, cross-request
+    coalescing, multi-process shard workers, artifact hot-swap, and an
+    autoscaling policy simulator), all configured through one
+    declarative :class:`~repro.serve.ServeConfig` and answering with
+    :class:`~repro.serve.ServeResult`; driven by the ``repro-serve``
+    console script.
 ``repro.bench``
     The registry-driven benchmark subsystem: every figure/table/ablation
     of the paper's evaluation is a declarative :class:`~repro.bench.ExperimentSpec`,
@@ -121,7 +128,14 @@ from .kernels import (
 )
 from .params import ParamSpec, check_is_fitted, clone
 from .select import GridSearchKernelKMeans, ParameterGrid, cross_validate
-from .serve import PredictionService, load_model, save_model
+from .serve import (
+    AsyncPredictionServer,
+    PredictionService,
+    ServeConfig,
+    ServeResult,
+    load_model,
+    save_model,
+)
 
 __version__ = "1.0.0"
 
@@ -175,6 +189,9 @@ __all__ = [
     "kernel_by_name",
     # serving
     "PredictionService",
+    "AsyncPredictionServer",
+    "ServeConfig",
+    "ServeResult",
     "save_model",
     "load_model",
 ]

@@ -39,6 +39,7 @@ _EXPERIMENT_MODULES = (
     "repro.bench.experiments.selection",
     "repro.bench.experiments.minibatch",
     "repro.bench.experiments.observability",
+    "repro.bench.experiments.async_serving",
 )
 
 _REGISTRY: Dict[str, "ExperimentSpec"] = {}

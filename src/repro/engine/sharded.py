@@ -59,10 +59,60 @@ from .backends import (
 from .reduction import fused_popcorn_argmin, validate_chunk_size, validate_n_threads
 from .tiling import validate_tile_rows
 
-__all__ = ["ShardedBackend", "DEFAULT_SHARD_DEVICES"]
+__all__ = ["ShardedBackend", "DEFAULT_SHARD_DEVICES", "modeled_predict_batch_s"]
 
 #: device count of the plain ``backend="sharded"`` name (no ``:<g>``)
 DEFAULT_SHARD_DEVICES = 4
+
+
+def modeled_predict_batch_s(
+    m: int,
+    n: int,
+    d: int,
+    k: int,
+    *,
+    devices: int = 1,
+    spec: DeviceSpec = A100_80GB,
+    comm=None,
+    flops_per_entry: float = 2.0,
+) -> float:
+    """Modeled seconds to serve one ``m``-row predict batch.
+
+    The serving face of the sharded cost model: each of ``devices``
+    simulated devices owns a row panel of the ``m x n`` cross-kernel
+    (rectangular GEMM + elementwise transform against the ``n``-point
+    support in ``d`` dims), runs its SpMM / gather / norm-add slice of
+    the ``k``-cluster distance assembly plus the row argmin, and —
+    beyond one device — the labels replicate with a ring allgather.
+    These are exactly the per-panel launch builders the fit path
+    charges (:mod:`repro.distributed.costs`), so the serving and
+    training scaling curves cannot drift; the autoscale simulator
+    (:mod:`repro.serve.autoscale`) turns this number into
+    workers-vs-saturation-qps curves.
+    """
+    from ..distributed.comm import NVLINK, allgather_cost
+    from ..distributed.costs import rect_gemm_cost, rect_spmm_cost, rect_transform_cost
+
+    if m < 1 or n < 1 or d < 1 or k < 1:
+        raise ConfigError(
+            f"modeled_predict_batch_s needs positive dims, got m={m} n={n} d={d} k={k}"
+        )
+    g = int(devices)
+    if g < 1:
+        raise ConfigError(f"devices must be >= 1, got {devices}")
+    rows = (m + g - 1) // g
+    t = rect_gemm_cost(spec, rows, n, d).time_s
+    t += rect_transform_cost(spec, rows, n, flops_per_entry).time_s
+    t += rect_spmm_cost(spec, rows, n, k).time_s
+    t += cost.zgather_cost(spec, rows, k).time_s
+    t += cost.dadd_cost(spec, rows, k).time_s
+    t += cost.argmin_cost(spec, rows, k).time_s
+    if g > 1:
+        comm_spec = comm
+        if comm_spec is None:
+            comm_spec = NVLINK
+        t += allgather_cost(comm_spec, g, 4.0 * m).time_s
+    return float(t)
 
 
 class ShardedBackend(Backend):

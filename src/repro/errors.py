@@ -52,6 +52,17 @@ class ConfigError(ReproError, ValueError):
     """An invalid configuration value was supplied."""
 
 
+class Overloaded(ReproError, RuntimeError):
+    """A serving request was shed by admission control.
+
+    Raised by the serving front door (:mod:`repro.serve.frontdoor`) and by
+    a bounded :class:`~repro.serve.PredictionService` when the pending
+    queue is at its configured ``queue_bound``: the request is rejected
+    *before* it consumes backend capacity, so accepted traffic keeps its
+    latency.  Clients should treat this as retryable backpressure.
+    """
+
+
 class NotFittedError(ConfigError, AttributeError):
     """A fitted-only operation was invoked on an unfitted estimator.
 

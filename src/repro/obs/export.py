@@ -217,7 +217,17 @@ def prometheus_text(
 #: stats keys that are monotone counts (exposed as Prometheus counters);
 #: everything else in a stats dict is a gauge
 _STATS_COUNTERS = frozenset(
-    {"requests", "served", "cache_hits", "batches", "model_swaps"}
+    {
+        "requests",
+        "served",
+        "cache_hits",
+        "shed",
+        "coalesced",
+        "errors",
+        "batches",
+        "backend_rows",
+        "model_swaps",
+    }
 )
 
 

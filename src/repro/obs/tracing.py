@@ -28,6 +28,8 @@ Span naming scheme (dotted, subsystem-first)::
     pool.task
     sharded.step / comm.allreduce / comm.allgather
     serve.batch / serve.predict / serve.cache_writeback / serve.model_swap
+    serve.async.batch / serve.async.worker_predict / serve.async.enqueue
+    serve.async.shed / serve.async.pool_swap / serve.async.model_swap
     bench.experiment
 """
 

@@ -14,19 +14,42 @@ Pieces
     pickling) that round-trips **bit-exactly**: a reloaded model's
     ``predict`` matches the fitting estimator's in-memory ``predict``
     bit for bit.
+:mod:`repro.serve.config`
+    :class:`ServeConfig` — the declarative serving configuration
+    (every knob a :class:`~repro.params.ParamSpec`, the estimator
+    treatment for the serving tier) consumed by both services — and
+    :class:`ServeResult`, the ``int``-compatible answer type carrying
+    label + model version + cache/coalesce provenance + latency.
 :mod:`repro.serve.service`
     :class:`PredictionService` — micro-batching request queue, LRU
-    kernel-row cache, thread-pool workers, profiler-recorded batches,
-    and atomic model hot-swap (``swap_model``) with zero dropped
-    in-flight requests.
+    kernel-row cache, thread-pool workers, optional ``queue_bound``
+    admission control, profiler-recorded batches, and atomic model
+    hot-swap (``swap_model``) with zero dropped in-flight requests.
+:mod:`repro.serve.frontdoor`
+    :class:`AsyncPredictionServer` — the asyncio ingress for open-loop
+    traffic: bounded-queue load shedding
+    (:class:`~repro.errors.Overloaded`), digest-level coalescing of
+    identical in-flight queries, backpressure-aware batching, dispatch
+    to shard workers, and artifact hot-swap propagation.  Plus
+    :func:`open_loop_load`, the paced load generator behind the SLO
+    curves.
+:mod:`repro.serve.worker`
+    :class:`ShardWorkerPool` — the model-replica workers behind the
+    front door: one process (or inline replica) each, loaded from a
+    versioned artifact, swapped behind a full-pool barrier.
+:mod:`repro.serve.autoscale`
+    The autoscaling policy simulator: workers-vs-saturation-qps curves
+    on the engine's device/comm cost models (:func:`saturation_curve`,
+    :func:`workers_for`).
 :mod:`repro.serve.refresh`
     :class:`ModelRefresher` — online refresh loop: a shadow copy of the
     served model absorbs ``partial_fit`` batches, then publishes as the
     next versioned artifact (atomic write) and hot-swaps into the
-    running service.
+    running service (thread service or async front door).
 :mod:`repro.serve.cli`
     The ``repro-serve`` console script (``save`` / ``load`` /
-    ``predict`` / ``serve`` subcommands; one-shot files or stdin JSONL).
+    ``predict`` / ``serve`` / ``loadgen`` subcommands; one-shot files
+    or stdin JSONL).
 
 Artifact format
 ---------------
@@ -81,8 +104,12 @@ from .persist import (
     load_model,
     save_model,
 )
-from .refresh import ModelRefresher
+from .config import ServeConfig, ServeResult
 from .service import PredictionService
+from .worker import ShardWorkerPool
+from .frontdoor import AsyncPredictionServer, LoadReport, open_loop_load
+from .autoscale import AutoscalePoint, curve_for_model, saturation_curve, workers_for
+from .refresh import ModelRefresher
 
 __all__ = [
     "MODEL_FORMAT",
@@ -90,6 +117,16 @@ __all__ = [
     "save_model",
     "load_model",
     "inspect_model",
+    "ServeConfig",
+    "ServeResult",
     "PredictionService",
+    "AsyncPredictionServer",
+    "ShardWorkerPool",
+    "LoadReport",
+    "open_loop_load",
+    "AutoscalePoint",
+    "saturation_curve",
+    "curve_for_model",
+    "workers_for",
     "ModelRefresher",
 ]

@@ -6,13 +6,15 @@ Usage::
     repro-serve save --model nystrom -k 5 -n 2000 -d 16 -f gaussian -o model.npz
     repro-serve load model.npz
     repro-serve predict model.npz --input queries.csv [--output labels.txt]
-                                  [--batch-size 64] [--stats]
+                                  [--batch-size 64] [--stats] [--json]
     cat queries.jsonl | repro-serve serve model.npz --batch-size 64 \
                                   --max-delay-ms 2 --workers 2
     repro-serve stats model.npz [--input queries.csv] [--queries N] \
                                   [--format table|json|prom]
     repro-serve refresh model.npz --input new_data.csv [--outdir DIR]
                                   [--batch-size 256]
+    repro-serve loadgen model.npz --qps 200,800 --requests 512 \
+                                  [--queue-bound 128] [--workers 2] [--inline]
 
 ``save`` fits an estimator and persists it as a versioned artifact;
 ``load`` prints an artifact's metadata; ``predict`` answers a one-shot
@@ -25,7 +27,14 @@ query workload through the service and prints the serving stats as a
 table, JSON, or Prometheus text exposition (``--format prom``);
 ``refresh`` absorbs new data into an online-capable artifact via
 ``partial_fit`` and publishes the next numbered artifact version
-(``<stem>-vNNNN.npz``).
+(``<stem>-vNNNN.npz``); ``loadgen`` drives the asyncio front door
+(:class:`repro.serve.AsyncPredictionServer`) with an open-loop stream
+at one or more offered-qps points and prints the measured SLO numbers
+(p50/p95/p99, shed rate) next to the modeled autoscaling curve.
+
+``predict --json`` and the ``serve`` loop emit the full
+:class:`~repro.serve.ServeResult` per answered query (label, model
+version, cache provenance, latency) as JSON.
 
 ``--trace-out FILE`` on ``predict`` / ``serve`` / ``stats`` enables
 wall-clock span tracing (:mod:`repro.obs`) and writes a combined
@@ -135,6 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard each served batch across G simulated devices",
     )
     pred_p.add_argument("--stats", action="store_true", help="print serving stats")
+    pred_p.add_argument(
+        "--json", action="store_true",
+        help="emit one ServeResult JSON object per query instead of bare labels",
+    )
     add_trace_flag(pred_p)
 
     serve_p = sub.add_parser("serve", help="stdin-JSONL serving loop")
@@ -195,6 +208,42 @@ def build_parser() -> argparse.ArgumentParser:
     ref_p.add_argument(
         "--batch-size", type=int, default=None, metavar="B",
         help="split the input into partial_fit batches of B rows",
+    )
+
+    load_gen = sub.add_parser(
+        "loadgen",
+        help="open-loop load generation against the asyncio front door",
+    )
+    load_gen.add_argument("model", help="artifact path")
+    load_gen.add_argument(
+        "--qps", default="200", metavar="Q[,Q...]",
+        help="offered-load sweep: comma-separated queries/sec points",
+    )
+    load_gen.add_argument(
+        "--requests", type=int, default=256, metavar="N",
+        help="requests per offered-load point",
+    )
+    load_gen.add_argument(
+        "--input", default=None,
+        help="query file (CSV, libsvm, or .jsonl); default: synthetic queries",
+    )
+    load_gen.add_argument("--batch-size", type=int, default=32)
+    load_gen.add_argument("--max-delay-ms", type=float, default=2.0)
+    load_gen.add_argument("--workers", type=int, default=2)
+    load_gen.add_argument("--queue-bound", type=int, default=None, metavar="B",
+                          help="admission-control bound (default: admit everything)")
+    load_gen.add_argument("--cache-size", type=int, default=0)
+    load_gen.add_argument(
+        "--devices", type=int, default=None, metavar="G",
+        help="shard each worker's batches across G simulated devices",
+    )
+    load_gen.add_argument(
+        "--inline", action="store_true",
+        help="serve with inline workers instead of worker processes",
+    )
+    load_gen.add_argument("-s", dest="seed", type=int, default=0, help="RNG seed")
+    load_gen.add_argument(
+        "--format", dest="format", default="table", choices=("table", "json"),
     )
     return p
 
@@ -341,12 +390,16 @@ def _cmd_predict(args) -> int:
         n_threads=args.n_threads,
         devices=args.devices,
     ) as svc:
-        labels = svc.predict_many(queries)
+        results = svc.predict_many(queries, details=True)
+        labels = np.array([int(r) for r in results], dtype=np.int32)
         stats = svc.stats()
         _trace_finish(args, mark, svc)
     if args.output:
         np.savetxt(args.output, labels, fmt="%d")
         print(f"{labels.shape[0]} labels written to {args.output}")
+    elif args.json:
+        for res in results:
+            print(json.dumps(res.to_dict()))
     else:
         for lab in labels:
             print(int(lab))
@@ -490,12 +543,108 @@ def _cmd_refresh(args) -> int:
 
 
 def _flush_one(item, stdout) -> None:
+    from .config import ServeResult
+
     qid, future = item
     try:
-        stdout.write(json.dumps({"id": qid, "label": int(future.result())}) + "\n")
+        result = future.result()
+        payload = {"id": qid}
+        if isinstance(result, ServeResult):
+            payload.update(result.to_dict())
+        else:
+            payload["label"] = int(result)
+        stdout.write(json.dumps(payload) + "\n")
     except Exception as exc:  # a failed request must not kill the loop
         stdout.write(json.dumps({"id": qid, "error": str(exc)}) + "\n")
     stdout.flush()
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from .autoscale import curve_for_model
+    from .config import ServeConfig
+    from .frontdoor import AsyncPredictionServer, open_loop_load
+
+    model = load_model(args.model)
+    if args.input:
+        queries = _read_queries(args.input)
+    else:
+        base = argparse.Namespace(input=None, queries=args.requests, seed=args.seed)
+        queries = _stats_queries(base, model)
+    try:
+        qps_points = [float(tok) for tok in args.qps.split(",") if tok.strip()]
+    except ValueError:
+        from ..errors import ConfigError
+
+        raise ConfigError(f"--qps takes comma-separated numbers, got {args.qps!r}")
+    cfg = ServeConfig(
+        batch_size=args.batch_size,
+        max_delay_ms=args.max_delay_ms,
+        n_workers=args.workers,
+        queue_bound=args.queue_bound,
+        cache_size=args.cache_size,
+        devices=args.devices,
+    )
+
+    async def _drive() -> list:
+        reports = []
+        for qps in qps_points:
+            # a fresh server per offered-load point: clean counters, and
+            # worker processes (when not --inline) restart from the artifact
+            async with AsyncPredictionServer(
+                args.model if not args.inline else model,
+                cfg.clone(),
+                processes=not args.inline,
+            ) as server:
+                reports.append(await open_loop_load(server, queries, qps))
+        return reports
+
+    reports = asyncio.run(_drive())
+    curve = curve_for_model(
+        model, batch_size=args.batch_size, devices=args.devices,
+        workers=(1, 2, 4, 8),
+    )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "load": [r.to_dict() for r in reports],
+                    "autoscale": [
+                        {
+                            "workers": p.workers,
+                            "saturation_qps": p.saturation_qps,
+                            "ingress_limited": p.ingress_limited,
+                        }
+                        for p in curve
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        format_table(
+            ["offered_qps", "accepted", "shed", "shed_rate", "p50_ms", "p95_ms",
+             "p99_ms", "achieved_qps"],
+            [
+                (
+                    f"{r.offered_qps:.0f}", r.accepted, r.shed,
+                    f"{r.shed_rate * 100:.1f}%", f"{r.p50_ms:.3f}",
+                    f"{r.p95_ms:.3f}", f"{r.p99_ms:.3f}", f"{r.achieved_qps:.0f}",
+                )
+                for r in reports
+            ],
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["workers", "batch_us", "worker_qps", "saturation_qps", "limited_by"],
+            [p.to_row() for p in curve],
+        )
+    )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -512,6 +661,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_stats(args)
         if args.command == "refresh":
             return _cmd_refresh(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
         return _cmd_serve(args)
     except ReproError as exc:
         print(f"repro-serve: error: {exc}", file=sys.stderr)

@@ -1,0 +1,657 @@
+"""Asyncio serving front door: admission control, coalescing, shard fan-out.
+
+:class:`AsyncPredictionServer` is the ingress of the serving tier — the
+piece that takes an *open-loop* request stream (arrivals do not wait for
+departures, the traffic shape of "millions of users") and composes the
+subsystems built underneath it:
+
+* **admission control** — a bounded ingress queue; a request arriving
+  while ``queue_bound`` are already pending is shed immediately with
+  :class:`~repro.errors.Overloaded`, so accepted traffic keeps its
+  latency instead of everyone queueing to death;
+* **cross-request coalescing** — identical in-flight queries (same row
+  digest) are deduplicated at the door: duplicates attach to the
+  original's pending entry, never occupy a queue slot, and are answered
+  by the same backend row — under duplicate-heavy load the backend sees
+  only the unique rows;
+* **backpressure-aware micro-batching** — one batcher task drains the
+  queue into batches of up to ``batch_size`` (waiting ``max_delay_ms``
+  for the batch to fill), and a dispatch semaphore sized to the worker
+  pool stops it from racing ahead of the backend;
+* **shard worker fan-out** — batches are served by a
+  :class:`~repro.serve.worker.ShardWorkerPool` of model replicas
+  (worker processes loaded from a versioned artifact, or inline
+  replicas), each optionally sharding its rows across simulated devices
+  (``devices=``, the :class:`~repro.engine.sharded.ShardedBackend`
+  serving face);
+* **hot swap** — :meth:`swap_artifact` propagates a new artifact
+  version to every replica behind a full-pool barrier
+  (:class:`~repro.serve.ModelRefresher` publishes straight into it);
+  in-flight batches finish on the version they started with, and the
+  label cache write-back is version-guarded exactly like the
+  thread-pool service's.
+
+Everything is observable through :mod:`repro.obs` (``serve.async.*``
+spans, shed/coalesce counters, queue-depth high-water gauge) and
+:meth:`stats` — which, after a drain, satisfies the accounting
+invariant ``requests == served + shed + errors``.
+
+Determinism note: asyncio is single-threaded, so a *synchronous* burst
+of :meth:`submit_nowait` calls enqueues every request before the
+batcher task runs once.  Shed counts (``N - queue_bound``) and
+coalescing counts (backend rows == unique digests) are therefore exact,
+not timing-dependent — the property the ``ext_async_serving`` bench
+experiment's blocking metrics rest on.
+
+:func:`open_loop_load` is the matching load generator: paced arrivals
+at a target offered qps, returning a :class:`LoadReport` of shed rate
+and latency percentiles (the SLO curve the autoscale simulator of
+:mod:`repro.serve.autoscale` predicts analytically).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, Overloaded
+from ..gpu.launch import Launch
+from ..gpu.profiler import Profiler
+from ..obs import metrics, trace
+from ..obs.export import stats_to_prometheus
+from .config import ServeConfig, ServeResult
+from .service import PredictionService
+from .worker import ShardWorkerPool
+
+__all__ = ["AsyncPredictionServer", "LoadReport", "open_loop_load"]
+
+#: queue sentinel ending the batcher task
+_CLOSE = object()
+
+
+class _Pending:
+    """One unique in-flight query row and everyone waiting on it."""
+
+    __slots__ = ("row", "key", "waiters")
+
+    def __init__(self, row: np.ndarray, key: str) -> None:
+        self.row = row
+        self.key = key
+        #: (future, t_enqueue) pairs; index 0 is the request that
+        #: entered the queue, the rest coalesced onto it
+        self.waiters: List[Tuple[asyncio.Future, float]] = []
+
+
+class AsyncPredictionServer:
+    """Asyncio ingress serving an open-loop stream off shard workers.
+
+    Parameters
+    ----------
+    source:
+        Artifact path (the deployment shape: every worker process loads
+        its replica from it) or, with ``processes=False``, an
+        already-fitted model object.
+    config:
+        A :class:`~repro.serve.ServeConfig`; the same keyword surface is
+        accepted loose (``batch_size=``, ``queue_bound=``, ...), exactly
+        like :class:`~repro.serve.PredictionService`.
+    processes:
+        True runs one OS process per worker, False serves inline
+        (deterministic; required for model-object sources).  Default:
+        processes when ``source`` is a path, inline otherwise.
+    start_method, profiler:
+        Worker start method / shared profiler, as elsewhere.
+
+    Usage::
+
+        async with AsyncPredictionServer("model.npz", n_workers=4,
+                                         queue_bound=256) as server:
+            fut = server.submit_nowait(row)     # may raise Overloaded
+            result = await fut                   # ServeResult
+
+    The server must be started inside a running event loop (``async
+    with`` or ``await server.start()``).
+    """
+
+    def __init__(
+        self,
+        source,
+        config: Optional[ServeConfig] = None,
+        *,
+        processes: Optional[bool] = None,
+        start_method: Optional[str] = None,
+        profiler: Optional[Profiler] = None,
+        **params,
+    ) -> None:
+        cfg = ServeConfig.coerce(config, params, owner="AsyncPredictionServer")
+        self.config = cfg
+        self._source = source
+        if processes is None:
+            processes = isinstance(source, str)
+        self.processes = bool(processes)
+        self._start_method = start_method
+        self.model = self._load_source(source)
+        if not hasattr(self.model, "predict"):
+            raise ConfigError("model must expose the engine predict contract")
+        if not hasattr(self.model, "labels_"):
+            raise ConfigError("model is not fitted; fit (or load) it before serving")
+        self.profiler_ = profiler if profiler is not None else Profiler()
+
+        self._pool: Optional[ShardWorkerPool] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = False
+        self._closed = False
+        self._model_version = 1
+        self._n_swaps = 0
+
+        # lifetime counters (single-threaded on the loop, no lock needed;
+        # swap_artifact's cross-thread writes are single atomic rebinds)
+        self._n_requests = 0
+        self._n_served = 0
+        self._n_shed = 0
+        self._n_coalesced = 0
+        self._n_cache_hits = 0
+        self._n_errors = 0
+        self._n_cancelled = 0
+        self._n_batches = 0
+        self._n_backend_rows = 0
+        self._queue_peak = 0
+        self._batch_sizes: deque = deque(maxlen=cfg.latency_window)
+        self._latencies: deque = deque(maxlen=cfg.latency_window)
+        self._t_first: Optional[float] = None
+        self._t_last: Optional[float] = None
+        self._cache: "OrderedDict[str, int]" = OrderedDict()
+        self._inflight: Dict[str, _Pending] = {}
+
+    @staticmethod
+    def _load_source(source):
+        if isinstance(source, str):
+            from .persist import load_model
+
+            return load_model(source)
+        return source
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _build_pool(self) -> ShardWorkerPool:
+        cfg = self.config
+        return ShardWorkerPool(
+            self._source if self.processes else self.model,
+            n_workers=cfg.n_workers,
+            devices=cfg.devices,
+            processes=self.processes,
+            start_method=self._start_method,
+            **cfg.predict_kwargs(),
+        )
+
+    async def start(self) -> "AsyncPredictionServer":
+        """Spin up the worker pool and the batcher task."""
+        if self._started:
+            raise ConfigError("server is already started")
+        if self._closed:
+            raise ConfigError("server is closed")
+        self._loop = asyncio.get_running_loop()
+        # worker-process startup blocks on fork/exec + artifact load;
+        # keep it off the event loop
+        self._pool = await self._loop.run_in_executor(None, self._build_pool)
+        self._queue: "asyncio.Queue" = asyncio.Queue()
+        self._dispatch_sem = asyncio.Semaphore(self.config.n_workers)
+        self._dispatch_tasks: set = set()
+        self._batcher = self._loop.create_task(self._batch_loop())
+        self._started = True
+        return self
+
+    async def __aenter__(self) -> "AsyncPredictionServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Stop the server; every outstanding Future resolves.
+
+        ``drain=True`` serves everything already admitted first;
+        ``drain=False`` cancels queued (not yet dispatched) requests
+        immediately.  Dispatched batches always finish, and the worker
+        pool is torn down last.
+        """
+        if not self._started or self._closed:
+            self._closed = True
+            if self._pool is not None:
+                pool, self._pool = self._pool, None
+                await asyncio.get_running_loop().run_in_executor(None, pool.close)
+            return
+        self._closed = True
+        if not drain:
+            pending: List[_Pending] = []
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is not _CLOSE:
+                    pending.append(item)
+            self._cancel_pending(pending)
+        self._queue.put_nowait(_CLOSE)
+        await self._batcher
+        if self._dispatch_tasks:
+            await asyncio.gather(*list(self._dispatch_tasks), return_exceptions=True)
+        # backstop: only a dead worker path can leave in-flight entries now
+        self._cancel_pending(list(self._inflight.values()))
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            await self._loop.run_in_executor(None, pool.close)
+
+    def _cancel_pending(self, pending: List[_Pending]) -> None:
+        for p in pending:
+            self._inflight.pop(p.key, None)
+            for fut, _ in p.waiters:
+                if not fut.done():
+                    fut.cancel()
+                    self._n_cancelled += 1
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def submit_nowait(self, query) -> asyncio.Future:
+        """Admit one query row (or shed it); returns a Future resolving
+        to a :class:`~repro.serve.ServeResult`.
+
+        Synchronous and non-blocking — the open-loop entry point.  Order
+        of checks: the LRU cache answers instantly, an identical
+        in-flight query coalesces (no queue slot consumed), then
+        admission control sheds with :class:`~repro.errors.Overloaded`
+        when ``queue_bound`` pending requests already wait.
+        """
+        if not self._started:
+            raise ConfigError("server is not started; use 'async with' or await start()")
+        if self._closed:
+            raise ConfigError("server is closed")
+        row = np.ascontiguousarray(np.asarray(query, dtype=np.float64))
+        if row.ndim != 1:
+            raise ConfigError(f"submit takes one 1-D query row, got shape {row.shape}")
+        t0 = time.perf_counter()
+        instrumented = trace.enabled
+        self._n_requests += 1
+        if self._t_first is None:
+            self._t_first = t0
+        if instrumented:
+            metrics.counter("serve.async.requests").inc()
+        key = PredictionService._digest(row)
+        cache = self._cache
+        if self.config.cache_size and key in cache:
+            cache.move_to_end(key)
+            self._n_cache_hits += 1
+            self._n_served += 1
+            now = time.perf_counter()
+            self._latencies.append(now - t0)
+            self._t_last = now
+            if instrumented:
+                metrics.counter("serve.async.cache_hits").inc()
+            fut = self._loop.create_future()
+            fut.set_result(
+                ServeResult(
+                    cache[key],
+                    model_version=self._model_version,
+                    cache_hit=True,
+                    latency_s=now - t0,
+                )
+            )
+            return fut
+        pending = self._inflight.get(key)
+        if pending is not None:
+            # identical query already on its way to the backend: ride along
+            self._n_coalesced += 1
+            if instrumented:
+                metrics.counter("serve.async.coalesced").inc()
+            fut = self._loop.create_future()
+            pending.waiters.append((fut, t0))
+            return fut
+        bound = self.config.queue_bound
+        if bound is not None and self._queue.qsize() >= bound:
+            self._n_shed += 1
+            if instrumented:
+                metrics.counter("serve.async.shed").inc()
+                trace.instant("serve.async.shed", queued=self._queue.qsize())
+            raise Overloaded(
+                f"ingress queue is full ({bound} pending requests); shed"
+            )
+        p = _Pending(row, key)
+        fut = self._loop.create_future()
+        p.waiters.append((fut, t0))
+        self._inflight[key] = p
+        self._queue.put_nowait(p)
+        depth = self._queue.qsize()
+        if depth > self._queue_peak:
+            self._queue_peak = depth
+        if instrumented:
+            metrics.gauge("serve.async.queue_depth").max(depth)
+            trace.instant("serve.async.enqueue", queued=depth)
+        return fut
+
+    async def submit(self, query) -> ServeResult:
+        """Awaitable single-query predict (admit, batch, answer)."""
+        return await self.submit_nowait(query)
+
+    # alias so the client surface matches PredictionService
+    predict = submit
+
+    async def predict_many(self, queries, *, details: bool = False):
+        """Admit a block of query rows and gather answers in order.
+
+        Returns an int32 label array, or the per-request
+        :class:`~repro.serve.ServeResult` list when ``details=True``.
+        Sheds propagate as :class:`~repro.errors.Overloaded`.
+        """
+        q = np.asarray(queries, dtype=np.float64)
+        if q.ndim != 2:
+            raise ConfigError(f"predict_many takes a 2-D query block, got shape {q.shape}")
+        futures = [self.submit_nowait(row) for row in q]
+        results = await asyncio.gather(*futures)
+        if details:
+            return list(results)
+        return np.array([int(r) for r in results], dtype=np.int32)
+
+    # ------------------------------------------------------------------
+    # batching + dispatch
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        cfg = self.config
+        delay = cfg.max_delay_s
+        loop = self._loop
+        while True:
+            first = await self._queue.get()
+            if first is _CLOSE:
+                return
+            batch = [first]
+            deadline = loop.time() + delay
+            closing = False
+            while len(batch) < cfg.batch_size:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                if nxt is _CLOSE:
+                    closing = True
+                    break
+                batch.append(nxt)
+            # wait for a worker slot before accepting the next batch: the
+            # pool's capacity, mirrored on the loop, is the backpressure
+            # that stops the batcher from racing ahead of the backend
+            await self._dispatch_sem.acquire()
+            task = loop.create_task(self._dispatch_batch(batch))
+            self._dispatch_tasks.add(task)
+            task.add_done_callback(self._dispatch_done)
+            if closing:
+                return
+
+    def _dispatch_done(self, task: asyncio.Task) -> None:
+        self._dispatch_tasks.discard(task)
+        self._dispatch_sem.release()
+
+    async def _dispatch_batch(self, batch: List[_Pending]) -> None:
+        rows = np.stack([p.row for p in batch])
+        t0 = time.perf_counter()
+        try:
+            with trace.span("serve.async.batch", size=len(batch)):
+                labels, version = await self._loop.run_in_executor(
+                    None, self._pool.predict, rows
+                )
+        except Exception as exc:
+            if len(batch) > 1:
+                # same isolation contract as the thread service: retry each
+                # unique row alone so one bad request cannot poison batch-mates
+                for p in batch:
+                    await self._dispatch_batch([p])
+                return
+            self._fail_pending(batch[0], exc)
+            return
+        t1 = time.perf_counter()
+        self.profiler_.record(
+            Launch(
+                "serve.async.predict_batch",
+                flops=0.0,
+                bytes=float(rows.nbytes),
+                time_s=t1 - t0,
+                phase="serve",
+                meta={
+                    "batch": len(batch),
+                    "coalesced": sum(len(p.waiters) - 1 for p in batch),
+                },
+            )
+        )
+        self._n_batches += 1
+        self._n_backend_rows += len(batch)
+        self._batch_sizes.append(len(batch))
+        self._t_last = t1
+        instrumented = trace.enabled
+        if instrumented:
+            metrics.counter("serve.async.batches").inc()
+        # a batch that raced a swap still answers (labels are consistent
+        # with the replica it ran on) but must not seed the new version's
+        # cache with stale results
+        cache_ok = bool(self.config.cache_size) and version == self._model_version
+        cache = self._cache
+        hist = metrics.histogram("serve.async.latency_s") if instrumented else None
+        for p, label in zip(batch, labels):
+            self._inflight.pop(p.key, None)
+            label = int(label)
+            if cache_ok:
+                cache[p.key] = label
+                cache.move_to_end(p.key)
+                while len(cache) > self.config.cache_size:
+                    cache.popitem(last=False)
+            for i, (fut, t_enq) in enumerate(p.waiters):
+                lat = t1 - t_enq
+                self._latencies.append(lat)
+                self._n_served += 1
+                if hist is not None:
+                    hist.observe(lat)
+                if not fut.done():
+                    fut.set_result(
+                        ServeResult(
+                            label,
+                            model_version=version,
+                            coalesced=(i > 0),
+                            latency_s=lat,
+                        )
+                    )
+
+    def _fail_pending(self, p: _Pending, exc: Exception) -> None:
+        self._inflight.pop(p.key, None)
+        self._n_errors += len(p.waiters)
+        self._t_last = time.perf_counter()
+        if trace.enabled:
+            metrics.counter("serve.async.errors").inc(len(p.waiters))
+        for fut, _ in p.waiters:
+            if not fut.done():
+                fut.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    def swap_artifact(self, artifact: str) -> int:
+        """Propagate a new artifact version to every worker replica.
+
+        Blocking and thread-safe (the :class:`~repro.serve.ModelRefresher`
+        publish path calls it from plain sync code); the pool barrier
+        guarantees in-flight batches finish on their old replica.
+        Returns the new model version.
+        """
+        if self._pool is None:
+            raise ConfigError("server is not started")
+        version = self._pool.swap(artifact)
+        self.model = self._load_source(artifact)
+        self._model_version = version
+        self._n_swaps += 1
+        self._cache = OrderedDict()  # atomic rebind: old cache dies with its version
+        if trace.enabled:
+            trace.instant("serve.async.model_swap", version=version)
+            metrics.counter("serve.async.model_swaps").inc()
+        return version
+
+    async def aswap_artifact(self, artifact: str) -> int:
+        """:meth:`swap_artifact` without blocking the event loop."""
+        return await self._loop.run_in_executor(None, self.swap_artifact, artifact)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self, *, format: str = "dict"):
+        """Serving counters; superset of ``PredictionService.stats()``.
+
+        Adds the front-door accounting: ``shed`` / ``coalesced`` /
+        ``errors`` / ``cancelled``, the backend-side ``backend_rows``
+        (unique rows actually predicted — ``requests - shed - errors -
+        cancelled - backend_rows`` duplicates and cache hits never
+        reached a worker), ``queue_peak``, ``p99``, and ``workers``.
+        After a drained close, ``requests == served + shed + errors +
+        cancelled``.
+        """
+        if format not in ("dict", "prom"):
+            raise ConfigError(f"format must be 'dict' or 'prom', got {format!r}")
+        lat = list(self._latencies)
+        sizes = list(self._batch_sizes)
+        n_req = self._n_requests
+        served = self._n_served
+        span = (
+            (self._t_last - self._t_first)
+            if (self._t_first is not None and self._t_last is not None)
+            else 0.0
+        )
+        pct = PredictionService._percentile
+        out = {
+            "requests": n_req,
+            "served": served,
+            "shed": self._n_shed,
+            "coalesced": self._n_coalesced,
+            "cache_hits": self._n_cache_hits,
+            "cache_hit_rate": self._n_cache_hits / n_req if n_req else 0.0,
+            "errors": self._n_errors,
+            "cancelled": self._n_cancelled,
+            "batches": self._n_batches,
+            "backend_rows": self._n_backend_rows,
+            "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
+            "queue_peak": self._queue_peak,
+            "latency_mean_ms": float(np.mean(lat)) * 1e3 if lat else 0.0,
+            "latency_p50_ms": pct(lat, 50) * 1e3,
+            "latency_p95_ms": pct(lat, 95) * 1e3,
+            "latency_p99_ms": pct(lat, 99) * 1e3,
+            "latency_max_ms": float(np.max(lat)) * 1e3 if lat else 0.0,
+            "queries_per_s": served / span if span > 0 else 0.0,
+            "model_version": self._model_version,
+            "model_swaps": self._n_swaps,
+            "workers": self.config.n_workers,
+        }
+        if format == "prom":
+            return stats_to_prometheus(out)
+        return out
+
+
+# ----------------------------------------------------------------------
+# open-loop load generation
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One open-loop load run: offered load in, SLO numbers out."""
+
+    offered_qps: float
+    requests: int
+    accepted: int
+    shed: int
+    errors: int
+    duration_s: float
+    achieved_qps: float
+    shed_rate: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "offered_qps": self.offered_qps,
+            "requests": self.requests,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "errors": self.errors,
+            "duration_s": self.duration_s,
+            "achieved_qps": self.achieved_qps,
+            "shed_rate": self.shed_rate,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+async def open_loop_load(
+    server: AsyncPredictionServer,
+    queries,
+    qps: float,
+    *,
+    burst: int = 1,
+) -> LoadReport:
+    """Drive ``server`` with an open-loop arrival stream at ``qps``.
+
+    Open loop means arrivals are paced by the clock, not by completions
+    — the i-th request (or burst of ``burst`` requests) is submitted at
+    ``i * burst / qps`` seconds whether or not earlier ones have been
+    answered, so queueing and shedding behave the way real traffic
+    makes them behave.  Shed requests are counted, never retried.
+    """
+    if qps <= 0:
+        raise ConfigError(f"qps must be > 0, got {qps}")
+    if burst < 1:
+        raise ConfigError(f"burst must be >= 1, got {burst}")
+    q = np.asarray(queries, dtype=np.float64)
+    if q.ndim != 2:
+        raise ConfigError(f"open_loop_load takes a 2-D query block, got shape {q.shape}")
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    futures: List[asyncio.Future] = []
+    shed = 0
+    for i in range(0, q.shape[0], burst):
+        target = start + (i / qps)
+        delay = target - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        for row in q[i:i + burst]:
+            try:
+                futures.append(server.submit_nowait(row))
+            except Overloaded:
+                shed += 1
+    results = await asyncio.gather(*futures, return_exceptions=True)
+    duration = loop.time() - start
+    ok = [r for r in results if isinstance(r, ServeResult)]
+    errors = len(results) - len(ok)
+    lats = [r.latency_s for r in ok]
+    pct = PredictionService._percentile
+    total = q.shape[0]
+    return LoadReport(
+        offered_qps=float(qps),
+        requests=total,
+        accepted=len(futures),
+        shed=shed,
+        errors=errors,
+        duration_s=duration,
+        achieved_qps=len(ok) / duration if duration > 0 else 0.0,
+        shed_rate=shed / total if total else 0.0,
+        p50_ms=pct(lats, 50) * 1e3,
+        p95_ms=pct(lats, 95) * 1e3,
+        p99_ms=pct(lats, 99) * 1e3,
+        max_ms=max(lats) * 1e3 if lats else 0.0,
+    )

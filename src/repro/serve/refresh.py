@@ -45,8 +45,12 @@ class ModelRefresher:
     Parameters
     ----------
     service:
-        The live :class:`~repro.serve.service.PredictionService` to
-        refresh.  Its current model seeds the shadow and must carry the
+        The live service to refresh: a
+        :class:`~repro.serve.service.PredictionService` (in-process hot
+        swap via ``swap_model``) or an
+        :class:`~repro.serve.frontdoor.AsyncPredictionServer` (artifact
+        propagation to every shard worker via ``swap_artifact``).  Its
+        current model seeds the shadow and must carry the
         ``supports_partial_fit`` capability
         (:func:`repro.estimators.require_capability`).
     artifact_dir:
@@ -71,9 +75,12 @@ class ModelRefresher:
         *,
         basename: str = "model",
     ) -> None:
-        if not isinstance(service, PredictionService):
+        from .frontdoor import AsyncPredictionServer
+
+        if not isinstance(service, (PredictionService, AsyncPredictionServer)):
             raise ConfigError(
-                f"service must be a PredictionService, got {type(service).__name__}"
+                "service must be a PredictionService or AsyncPredictionServer, "
+                f"got {type(service).__name__}"
             )
         if not basename or os.sep in basename:
             raise ConfigError(f"invalid artifact basename: {basename!r}")
@@ -139,8 +146,13 @@ class ModelRefresher:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
-        fresh = load_model(final)
-        self.service.swap_model(fresh)
+        if hasattr(self.service, "swap_artifact"):
+            # async front door: workers reload the published artifact
+            # themselves (the same file a process restart would load)
+            self.service.swap_artifact(final)
+        else:
+            fresh = load_model(final)
+            self.service.swap_model(fresh)
         self.history.append(final)
         return final
 

@@ -39,12 +39,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..engine.reduction import resolve_rows_alias
-from ..errors import ConfigError
+from ..errors import ConfigError, Overloaded
 from ..gpu.launch import Launch
 from ..gpu.profiler import Profiler
 from ..obs import metrics, trace
 from ..obs.export import stats_to_prometheus
+from .config import ServeConfig, ServeResult
 
 __all__ = ["PredictionService"]
 
@@ -68,34 +68,31 @@ class PredictionService:
     ----------
     model:
         A fitted estimator exposing the engine ``predict`` contract.
-    batch_size:
-        Maximum requests fused into one ``predict`` call.
-    max_delay_ms:
-        How long a worker waits for the batch to fill after the first
-        request arrives; the latency/throughput knob.
-    n_workers:
-        Worker threads serving batches concurrently.
-    cache_size:
-        LRU entries memoising label-by-query-digest (0 disables).
-    latency_window:
-        Size of the rolling windows behind the latency percentiles and
-        the batch-size distribution.  Bounded so sustained traffic holds
-        steady memory; lifetime totals (``requests``, ``served``,
-        ``queries_per_s``) are counted separately and stay exact.
-    chunk_rows, chunk_cols, n_threads:
-        Chunk schedule and thread count of the fused cross-kernel
-        reduction, forwarded to ``predict`` / ``predict_batch``
-        (labels are bit-identical for every setting).  ``tile_rows=`` is
-        accepted as a deprecated alias of ``chunk_rows=``.
-    devices:
-        Shard every served batch's rows across this many simulated
-        devices (``predict_batch(devices=...)``, the serving face of the
-        engine's sharded backend); labels are bit-identical to unsharded
-        serving, and the per-shard + allgather launches are recorded on
-        the service profiler.  None serves unsharded.
+    config:
+        A :class:`~repro.serve.ServeConfig` carrying every serving knob
+        (batch window, queue bound, workers, cache, chunk schedule,
+        devices).  The service clones it, so later mutation of the
+        caller's config does not reach the running service.
     profiler:
         Optional shared :class:`~repro.gpu.Profiler`; a fresh one is
         created (and exposed as ``profiler_``) by default.
+    **params:
+        Back-compat keyword surface: the same names ``ServeConfig``
+        declares (``batch_size=``, ``max_delay_ms=``, ``n_workers=``,
+        ``queue_bound=``, ``cache_size=``, ``latency_window=``,
+        ``chunk_rows=`` — with ``tile_rows=`` as its deprecated alias —
+        ``chunk_cols=``, ``n_threads=``, ``devices=``), validated
+        through the identical :class:`~repro.params.ParamSpec` bounds.
+        Mixing ``config=`` with keywords is a
+        :class:`~repro.errors.ConfigError`.
+
+    Futures resolve to :class:`~repro.serve.ServeResult` — an ``int``
+    subclass carrying the label plus model version, cache provenance and
+    latency — so historical bare-``int`` callers keep working unchanged.
+
+    When ``queue_bound`` is set, a request arriving while that many are
+    already pending is shed with :class:`~repro.errors.Overloaded`
+    before it consumes any backend capacity (admission control).
 
     The service starts its workers immediately; use it as a context
     manager (or call :meth:`close`) to drain the queue and join them.
@@ -104,46 +101,27 @@ class PredictionService:
     def __init__(
         self,
         model,
+        config: Optional[ServeConfig] = None,
         *,
-        batch_size: int = 32,
-        max_delay_ms: float = 2.0,
-        n_workers: int = 1,
-        cache_size: int = 1024,
-        latency_window: int = 4096,
-        tile_rows: Optional[int] = None,
-        chunk_rows: Optional[int] = None,
-        chunk_cols: Optional[int] = None,
-        n_threads: Optional[int] = None,
-        devices: Optional[int] = None,
         profiler: Optional[Profiler] = None,
+        **params,
     ) -> None:
         if not hasattr(model, "predict"):
             raise ConfigError("model must expose the engine predict contract")
         if not hasattr(model, "labels_"):
             raise ConfigError("model is not fitted; fit (or load) it before serving")
-        if batch_size < 1:
-            raise ConfigError("batch_size must be >= 1")
-        if max_delay_ms < 0:
-            raise ConfigError("max_delay_ms must be >= 0")
-        if n_workers < 1:
-            raise ConfigError("n_workers must be >= 1")
-        if cache_size < 0:
-            raise ConfigError("cache_size must be >= 0")
-        if latency_window < 1:
-            raise ConfigError("latency_window must be >= 1")
-        if devices is not None and devices < 1:
-            raise ConfigError("devices must be >= 1")
+        cfg = ServeConfig.coerce(config, params, owner="PredictionService")
+        self.config = cfg
         self.model = model
-        self.batch_size = int(batch_size)
-        self.max_delay_s = float(max_delay_ms) / 1e3
-        self.n_workers = int(n_workers)
-        self.cache_size = int(cache_size)
-        self.chunk_rows = resolve_rows_alias(
-            chunk_rows, tile_rows, owner="PredictionService"
-        )
-        self.chunk_cols = chunk_cols
-        self.n_threads = n_threads
-        self.devices = None if devices is None else int(devices)
+        self.batch_size = cfg.batch_size
+        self.max_delay_s = cfg.max_delay_s
+        self.n_workers = cfg.n_workers
+        self.queue_bound = cfg.queue_bound
+        self.cache_size = cfg.cache_size
+        self.chunk_rows = cfg.chunk_rows
+        self.chunk_cols = cfg.chunk_cols
+        self.n_threads = cfg.n_threads
+        self.devices = cfg.devices
         self.profiler_ = profiler if profiler is not None else Profiler()
 
         self._lock = threading.Lock()
@@ -158,10 +136,11 @@ class PredictionService:
         # are bounded rolling deques — under sustained traffic the old
         # unbounded lists grew without limit — so ``served`` is counted
         # separately instead of read off the window length
-        self.latency_window = int(latency_window)
+        self.latency_window = cfg.latency_window
         self._n_requests = 0
         self._n_served = 0
         self._n_cache_hits = 0
+        self._n_shed = 0
         self._n_batches = 0
         self._batch_sizes: deque = deque(maxlen=self.latency_window)
         self._latencies: deque = deque(maxlen=self.latency_window)
@@ -179,7 +158,12 @@ class PredictionService:
     # request entry points
     # ------------------------------------------------------------------
     def submit(self, query) -> Future:
-        """Enqueue one query row; returns a Future resolving to its label."""
+        """Enqueue one query row; the Future resolves to a
+        :class:`~repro.serve.ServeResult` (an ``int``-compatible label).
+
+        Raises :class:`~repro.errors.Overloaded` when ``queue_bound`` is
+        configured and that many requests are already pending.
+        """
         row = np.ascontiguousarray(np.asarray(query, dtype=np.float64))
         if row.ndim != 1:
             raise ConfigError(f"submit takes one 1-D query row, got shape {row.shape}")
@@ -204,8 +188,23 @@ class PredictionService:
                 self._t_last = now
                 if instrumented:
                     metrics.counter("serve.cache_hits").inc()
-                req.future.set_result(label)
+                req.future.set_result(
+                    ServeResult(
+                        label,
+                        model_version=self._model_version,
+                        cache_hit=True,
+                        latency_s=now - req.t_enqueue,
+                    )
+                )
                 return req.future
+            if self.queue_bound is not None and len(self._queue) >= self.queue_bound:
+                # admission control: shed before the request costs anything
+                self._n_shed += 1
+                if instrumented:
+                    metrics.counter("serve.shed").inc()
+                raise Overloaded(
+                    f"pending queue is full ({self.queue_bound} requests); shed"
+                )
             self._queue.append(req)
             if instrumented:
                 metrics.gauge("serve.queue_depth").max(len(self._queue))
@@ -213,17 +212,36 @@ class PredictionService:
             self._not_empty.notify()
         return req.future
 
-    def predict(self, query) -> int:
-        """Blocking single-query predict through the batching queue."""
-        return int(self.submit(query).result())
+    def predict(self, query) -> ServeResult:
+        """Blocking single-query predict through the batching queue.
 
-    def predict_many(self, queries, *, timeout: Optional[float] = None) -> np.ndarray:
-        """Enqueue a block of query rows and gather labels in order."""
+        Returns a :class:`~repro.serve.ServeResult`: the label as an
+        ``int`` subclass (the historical return contract) plus model
+        version, cache provenance, and latency.
+        """
+        return self.submit(query).result()
+
+    def predict_many(
+        self,
+        queries,
+        *,
+        timeout: Optional[float] = None,
+        details: bool = False,
+    ):
+        """Enqueue a block of query rows and gather answers in order.
+
+        Returns an int32 label array (the historical contract), or the
+        full per-request :class:`~repro.serve.ServeResult` list when
+        ``details=True``.
+        """
         q = np.asarray(queries, dtype=np.float64)
         if q.ndim != 2:
             raise ConfigError(f"predict_many takes a 2-D query block, got shape {q.shape}")
         futures = [self.submit(row) for row in q]
-        return np.array([f.result(timeout=timeout) for f in futures], dtype=np.int32)
+        results = [f.result(timeout=timeout) for f in futures]
+        if details:
+            return results
+        return np.array([int(r) for r in results], dtype=np.int32)
 
     # ------------------------------------------------------------------
     # worker machinery
@@ -259,7 +277,23 @@ class PredictionService:
             batch = self._next_batch()
             if batch is None:
                 return
-            self._run_batch(batch)
+            try:
+                self._run_batch(batch)
+            except BaseException as exc:  # pragma: no cover - defensive
+                # _run_batch isolates per-request failures itself; anything
+                # escaping it (post-predict bookkeeping, SystemExit) would
+                # orphan the popped requests' futures and — worse — kill
+                # the worker so later-queued futures hang forever.  Resolve
+                # what this worker holds and keep the loop alive.
+                for req in batch:
+                    if not req.future.done():
+                        req.future.set_exception(
+                            exc
+                            if isinstance(exc, Exception)
+                            else RuntimeError(f"serve worker aborted: {exc!r}")
+                        )
+                if not isinstance(exc, Exception):
+                    raise
 
     def _run_batch(self, batch: List[_Request]) -> None:
         t0 = time.perf_counter()
@@ -332,7 +366,13 @@ class PredictionService:
                     while len(self._cache) > self.cache_size:
                         self._cache.popitem(last=False)
         for req, label in zip(batch, labels):
-            req.future.set_result(int(label))
+            req.future.set_result(
+                ServeResult(
+                    int(label),
+                    model_version=version,
+                    latency_s=t1 - req.t_enqueue,
+                )
+            )
 
     # ------------------------------------------------------------------
     # hot swap
@@ -366,15 +406,43 @@ class PredictionService:
     # ------------------------------------------------------------------
     # lifecycle + stats
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Drain the queue, stop the workers, and join them."""
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the service; every outstanding Future resolves.
+
+        ``drain=True`` (default) lets the workers serve everything
+        already queued before they exit; ``drain=False`` cancels the
+        queued requests immediately (in-flight batches still finish).
+        Either way no Future is left pending: anything still queued
+        after the workers are joined — possible only if a worker died —
+        is cancelled, so a request enqueued just before close can never
+        hang its ``result()`` caller.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            leftovers: List[_Request] = []
+            if not drain:
+                leftovers = list(self._queue)
+                self._queue.clear()
             self._not_empty.notify_all()
+        self._cancel_requests(leftovers)
         for w in self._workers:
             w.join()
+        # deterministic backstop: a dead worker may have left requests
+        # queued (or a submit raced the close); nothing will serve them now
+        with self._lock:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        self._cancel_requests(leftovers)
+
+    @staticmethod
+    def _cancel_requests(requests: List[_Request]) -> None:
+        for req in requests:
+            if not req.future.cancel() and not req.future.done():
+                req.future.set_exception(
+                    ConfigError("service closed before this request was served")
+                )
 
     def __enter__(self) -> "PredictionService":
         return self
@@ -417,6 +485,7 @@ class PredictionService:
             n_req = self._n_requests
             served = self._n_served
             hits = self._n_cache_hits
+            shed = self._n_shed
             batches = self._n_batches
             sizes = list(self._batch_sizes)
             version = self._model_version
@@ -431,6 +500,7 @@ class PredictionService:
             "served": served,
             "cache_hits": hits,
             "cache_hit_rate": hits / n_req if n_req else 0.0,
+            "shed": shed,
             "batches": batches,
             "mean_batch_size": float(np.mean(sizes)) if sizes else 0.0,
             "latency_mean_ms": float(np.mean(lat)) * 1e3 if lat else 0.0,

@@ -1,0 +1,338 @@
+"""Shard worker pool: one model replica per worker, swap-aware dispatch.
+
+The async front door (:mod:`repro.serve.frontdoor`) does not predict in
+its own process.  Batches go to a :class:`ShardWorkerPool` of workers,
+each hosting one replica of the served model loaded from a versioned
+artifact — the deployment shape of the ROADMAP's serving tier, where
+model state lives behind a process boundary and the ingress only routes.
+
+Two worker flavours share one message protocol
+(``predict`` / ``swap`` / ``ping`` / ``stop``):
+
+* :class:`_ProcessShardWorker` — a ``multiprocessing`` child connected
+  by a duplex pipe.  The child loads its replica via
+  :func:`repro.serve.load_model` (so what serves is exactly what a
+  process restart would load) and answers one request at a time; the
+  parent-side handle serialises access with the pool's free-list.
+* :class:`_InlineShardWorker` — the same contract in-process, for
+  deterministic tests, quick benchmarks, and serving an already-fitted
+  model object without an artifact.
+
+Dispatch is a free-list ``queue.Queue``: a predict borrows any idle
+worker (blocking when all are busy — the pool is the backpressure the
+front door's semaphore mirrors), and :meth:`ShardWorkerPool.swap`
+borrows *all* workers before propagating a new artifact, so a swap is a
+barrier: every replica answers with one consistent model version, and
+no batch ever runs on a half-swapped pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import sys
+import threading
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, ReproError
+from ..obs import metrics, trace
+
+__all__ = ["ShardWorkerPool", "ShardWorkerError"]
+
+
+class ShardWorkerError(ReproError, RuntimeError):
+    """A shard worker failed (predict error in the child, or a dead
+    worker process); the batch that hit it gets this exception."""
+
+
+def _shard_worker_main(worker_id: int, conn, artifact: str, sys_path: List[str]) -> None:
+    """Child-process loop: load the replica, answer the pipe protocol."""
+    # a spawn-started child does not inherit sys.path mutations
+    # (PYTHONPATH=src test runs, editable installs); replay the parent's
+    for entry in sys_path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+    try:
+        from repro.serve.persist import load_model
+
+        model = load_model(artifact)
+        version = 1
+        conn.send(("ready", None, version))
+    except BaseException as exc:
+        try:
+            conn.send(("error", f"failed to load {artifact!r}: {exc!r}", 0))
+        finally:
+            conn.close()
+        return
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        cmd = msg[0]
+        if cmd == "stop":
+            conn.close()
+            return
+        try:
+            if cmd == "predict":
+                rows, predict_kw, devices = msg[1], msg[2], msg[3]
+                if devices is not None:
+                    labels = model.predict_batch([rows], devices=devices, **predict_kw)
+                else:
+                    labels = model.predict(rows, **predict_kw)
+                conn.send(("ok", np.asarray(labels, dtype=np.int32), version))
+            elif cmd == "swap":
+                model = load_model(msg[1])
+                version += 1
+                conn.send(("ok", None, version))
+            elif cmd == "ping":
+                conn.send(("ok", None, version))
+            else:
+                conn.send(("error", f"unknown command {cmd!r}", version))
+        except Exception as exc:
+            conn.send(("error", repr(exc), version))
+
+
+class _ProcessShardWorker:
+    """Parent-side handle of one worker process (pipe + liveness)."""
+
+    def __init__(self, worker_id: int, artifact: str, ctx) -> None:
+        self.worker_id = worker_id
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_shard_worker_main,
+            args=(worker_id, child_conn, artifact, list(sys.path)),
+            name=f"repro-shard-{worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        status, payload, version = self._conn.recv()
+        if status != "ready":
+            self.process.join(timeout=5.0)
+            raise ConfigError(f"shard worker {worker_id} {payload}")
+        self.version = version
+
+    def request(self, msg: Tuple) -> Tuple[Optional[np.ndarray], int]:
+        try:
+            self._conn.send(msg)
+            status, payload, version = self._conn.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise ShardWorkerError(
+                f"shard worker {self.worker_id} died mid-request: {exc!r}"
+            ) from exc
+        self.version = version
+        if status != "ok":
+            raise ShardWorkerError(f"shard worker {self.worker_id}: {payload}")
+        return payload, version
+
+    def stop(self) -> None:
+        try:
+            self._conn.send(("stop",))
+        except (OSError, BrokenPipeError, ValueError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        self._conn.close()
+
+
+class _InlineShardWorker:
+    """The same protocol served in-process (tests, quick benches, and
+    model objects that never went through an artifact)."""
+
+    def __init__(self, worker_id: int, source) -> None:
+        self.worker_id = worker_id
+        self.model = self._load(source)
+        self.version = 1
+
+    @staticmethod
+    def _load(source):
+        if isinstance(source, (str, os.PathLike)):
+            from .persist import load_model
+
+            return load_model(os.fspath(source))
+        return source
+
+    def request(self, msg: Tuple) -> Tuple[Optional[np.ndarray], int]:
+        cmd = msg[0]
+        if cmd == "predict":
+            rows, predict_kw, devices = msg[1], msg[2], msg[3]
+            try:
+                if devices is not None:
+                    labels = self.model.predict_batch(
+                        [rows], devices=devices, **predict_kw
+                    )
+                else:
+                    labels = self.model.predict(rows, **predict_kw)
+            except Exception as exc:
+                raise ShardWorkerError(
+                    f"shard worker {self.worker_id}: {exc!r}"
+                ) from exc
+            return np.asarray(labels, dtype=np.int32), self.version
+        if cmd == "swap":
+            self.model = self._load(msg[1])
+            self.version += 1
+            return None, self.version
+        if cmd == "ping":
+            return None, self.version
+        raise ShardWorkerError(f"unknown command {cmd!r}")
+
+    def stop(self) -> None:
+        self.model = None
+
+
+class ShardWorkerPool:
+    """A fixed pool of model-replica workers behind a free-list.
+
+    Parameters
+    ----------
+    source:
+        Artifact path every worker loads its replica from.  With
+        ``processes=False`` an already-fitted model object is also
+        accepted (the inline replicas then share it read-only, exactly
+        like :class:`~repro.serve.PredictionService` worker threads).
+    n_workers:
+        Replica count; also the pool's concurrency.
+    devices:
+        Forwarded to ``predict_batch(devices=...)`` per batch (each
+        worker shards its rows across this many simulated devices);
+        ``None`` predicts unsharded.
+    chunk_rows, chunk_cols, n_threads:
+        Reduction-schedule keywords forwarded to every predict.
+    processes:
+        True (default) starts one OS process per worker; False serves
+        inline — deterministic, artifact-optional, and what the quick
+        bench mode uses.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default,
+        the same choice the bench runner's process pool makes).
+
+    ``predict`` blocks while every worker is busy — the pool itself is
+    the backpressure signal the async front door's dispatch semaphore
+    mirrors — and :meth:`swap` is a full-pool barrier (see module docs).
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        n_workers: int = 1,
+        devices: Optional[int] = None,
+        chunk_rows: Optional[int] = None,
+        chunk_cols: Optional[int] = None,
+        n_threads: Optional[int] = None,
+        processes: bool = True,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+        if devices is not None and devices < 1:
+            raise ConfigError(f"devices must be >= 1, got {devices}")
+        self.n_workers = int(n_workers)
+        self.devices = None if devices is None else int(devices)
+        self.processes = bool(processes)
+        self._predict_kw = {
+            "chunk_rows": chunk_rows,
+            "chunk_cols": chunk_cols,
+            "n_threads": n_threads,
+        }
+        if self.processes:
+            if not isinstance(source, (str, os.PathLike)):
+                raise ConfigError(
+                    "process shard workers load their replica from a versioned "
+                    "artifact; pass its path (or processes=False to serve a "
+                    "model object inline)"
+                )
+            ctx = multiprocessing.get_context(start_method)
+            self._workers: List = []
+            try:
+                for i in range(self.n_workers):
+                    self._workers.append(
+                        _ProcessShardWorker(i, os.fspath(source), ctx)
+                    )
+            except BaseException:
+                for w in self._workers:
+                    w.stop()
+                raise
+        else:
+            self._workers = [
+                _InlineShardWorker(i, source) for i in range(self.n_workers)
+            ]
+        self._free: "queue.Queue" = queue.Queue()
+        for w in self._workers:
+            self._free.put(w)
+        self._swap_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def predict(self, rows: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Serve one batch on any idle worker; returns ``(labels,
+        model_version)`` where the version is the worker's at answer
+        time (the front door's cache write-back guard)."""
+        if self._closed:
+            raise ConfigError("worker pool is closed")
+        worker = self._free.get()
+        try:
+            with trace.span(
+                "serve.async.worker_predict",
+                worker=worker.worker_id,
+                rows=int(rows.shape[0]),
+            ):
+                labels, version = worker.request(
+                    ("predict", rows, self._predict_kw, self.devices)
+                )
+        finally:
+            # a worker that raised stays in rotation: a dead process fails
+            # fast on its broken pipe instead of silently shrinking the
+            # pool (and possibly deadlocking swap's all-worker barrier)
+            self._free.put(worker)
+        return labels, version
+
+    def swap(self, artifact: str) -> int:
+        """Propagate a new artifact to every replica; returns the new
+        version.  Grabs all workers first, so in-flight batches finish
+        on their old replica and no batch spans the swap."""
+        if self._closed:
+            raise ConfigError("worker pool is closed")
+        with self._swap_lock:
+            held = [self._free.get() for _ in range(self.n_workers)]
+            versions = []
+            try:
+                for w in held:
+                    versions.append(w.request(("swap", os.fspath(artifact)))[1])
+            finally:
+                for w in held:
+                    self._free.put(w)
+        if trace.enabled:
+            trace.instant("serve.async.pool_swap", version=max(versions))
+            metrics.counter("serve.async.pool_swaps").inc()
+        return max(versions)
+
+    def versions(self) -> List[int]:
+        """Current model version of every replica (``ping`` round)."""
+        with self._swap_lock:
+            held = [self._free.get() for _ in range(self.n_workers)]
+            try:
+                return [w.request(("ping",))[1] for w in held]
+            finally:
+                for w in held:
+                    self._free.put(w)
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._workers:
+            w.stop()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

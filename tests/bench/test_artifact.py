@@ -152,4 +152,4 @@ def test_committed_baseline_is_loadable_and_current():
     baseline = os.path.join(here, "..", "..", "benchmarks", "baseline", "BENCH_baseline.json")
     art = load_artifact(baseline)
     assert art["config"]["quick"] is True
-    assert len(art["experiments"]) == 23
+    assert len(art["experiments"]) == 24

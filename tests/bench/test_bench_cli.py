@@ -9,7 +9,7 @@ from repro.bench.cli import main
 def test_list_prints_all_experiments(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    assert "23 experiments registered" in out
+    assert "24 experiments registered" in out
     for exp_id in ("table2", "fig5", "ablation_norms", "ext_engine_tiling", "ext_strong_scaling"):
         assert exp_id in out
 

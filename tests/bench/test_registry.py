@@ -1,4 +1,4 @@
-"""Registry discoverability + quick-mode runnability of all 23 experiments."""
+"""Registry discoverability + quick-mode runnability of all 24 experiments."""
 
 import pytest
 
@@ -36,15 +36,16 @@ EXPECTED_IDS = {
     "ext_reduction_engine",
     "ext_minibatch",
     "ext_observability",
+    "ext_async_serving",
     "serve_throughput",
     "model_selection",
 }
 
 
 class TestDiscovery:
-    def test_all_23_experiments_registered(self):
+    def test_all_24_experiments_registered(self):
         assert set(experiment_ids()) == EXPECTED_IDS
-        assert len(experiment_ids()) == 23
+        assert len(experiment_ids()) == 24
 
     def test_paper_order(self):
         ids = experiment_ids()

@@ -1,0 +1,102 @@
+"""Autoscale policy simulator: deterministic saturation curves."""
+
+import numpy as np
+import pytest
+
+from repro import PopcornKernelKMeans
+from repro.data import make_blobs
+from repro.errors import ConfigError
+from repro.serve import saturation_curve, workers_for
+from repro.serve.autoscale import DEFAULT_DISPATCH_OVERHEAD_S, curve_for_model
+
+SHAPE = dict(n_support=1_000_000, dim=64, n_clusters=16, batch_size=64)
+
+
+class TestSaturationCurve:
+    def test_two_regimes_and_monotone(self):
+        curve = saturation_curve(workers=(1, 2, 4, 8, 16, 32, 64), **SHAPE)
+        qps = [p.saturation_qps for p in curve]
+        assert qps == sorted(qps)
+        # below the knee scaling is exactly linear in workers ...
+        assert curve[1].saturation_qps == pytest.approx(
+            2 * curve[0].saturation_qps
+        )
+        assert not curve[0].ingress_limited
+        # ... above it the ingress ceiling caps the fleet
+        assert curve[-1].ingress_limited
+        assert curve[-1].saturation_qps == pytest.approx(
+            SHAPE["batch_size"] / DEFAULT_DISPATCH_OVERHEAD_S
+        )
+
+    def test_deterministic_across_calls(self):
+        a = saturation_curve(**SHAPE)
+        b = saturation_curve(**SHAPE)
+        assert a == b  # pure function of shape + spec: the bench gate's basis
+
+    def test_worker_counts_sorted_and_deduped(self):
+        curve = saturation_curve(workers=(4, 1, 4, 2), **SHAPE)
+        assert [p.workers for p in curve] == [1, 2, 4]
+
+    def test_bigger_support_is_slower(self):
+        small = saturation_curve(
+            n_support=10_000, dim=64, n_clusters=16, batch_size=64
+        )
+        big = saturation_curve(**SHAPE)
+        assert small[0].worker_qps > big[0].worker_qps
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"batch_size": 0},
+            {"workers": ()},
+            {"workers": (0,)},
+            {"dispatch_overhead_s": 0.0},
+            {"n_support": 0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ConfigError):
+            saturation_curve(**{**SHAPE, **bad})
+
+    def test_row_rendering(self):
+        (point,) = saturation_curve(workers=(1,), **SHAPE)
+        row = point.to_row()
+        assert row[0] == 1 and row[-1] in ("ingress", "workers")
+
+
+class TestWorkersFor:
+    def test_smallest_sufficient_fleet(self):
+        one = saturation_curve(workers=(1,), **SHAPE)[0]
+        assert workers_for(one.worker_qps, **SHAPE) == 1
+        assert workers_for(1.5 * one.worker_qps, **SHAPE) == 2
+        # the knee itself is reachable ...
+        assert workers_for(one.ingress_qps, **SHAPE) is not None
+        # ... but past the ingress ceiling no fleet size helps
+        assert workers_for(2 * one.ingress_qps, **SHAPE) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            workers_for(0.0, **SHAPE)
+        with pytest.raises(ConfigError):
+            workers_for(10.0, max_workers=0, **SHAPE)
+
+
+class TestCurveForModel:
+    def test_reads_shape_off_a_fitted_model(self):
+        x = make_blobs(120, 6, 3, rng=0)[0].astype(np.float64)
+        model = PopcornKernelKMeans(
+            3, dtype=np.float64, backend="host", max_iter=4, seed=0
+        ).fit(x)
+        curve = curve_for_model(model, batch_size=32, workers=(1, 2))
+        explicit = saturation_curve(
+            n_support=120, dim=6, n_clusters=3, batch_size=32, workers=(1, 2)
+        )
+        assert curve == explicit
+
+    def test_precomputed_kernel_model_rejected(self):
+        x = make_blobs(40, 4, 2, rng=0)[0].astype(np.float64)
+        model = PopcornKernelKMeans(
+            2, dtype=np.float64, backend="host", max_iter=3, seed=0
+        ).fit(kernel_matrix=x @ x.T)
+        with pytest.raises(ConfigError, match="precomputed"):
+            curve_for_model(model, batch_size=32)

@@ -7,7 +7,7 @@ import pytest
 
 from repro import LloydKMeans, PopcornKernelKMeans
 from repro.data import make_blobs
-from repro.errors import ConfigError
+from repro.errors import ConfigError, Overloaded
 from repro.serve import PredictionService
 
 
@@ -183,3 +183,88 @@ class TestLifecycleAndValidation:
                 bad.result(timeout=5)
             # the worker is still alive and serving
             assert svc.predict(q[2]) == model.predict(q[2:3])[0]
+
+
+class _SlowModel:
+    """Wraps a fitted model, charging a fixed sleep per predict batch."""
+
+    def __init__(self, inner, delay_s):
+        self._inner = inner
+        self._delay_s = delay_s
+        self.labels_ = inner.labels_
+
+    def predict(self, rows, **kw):
+        import time
+
+        time.sleep(self._delay_s)
+        return self._inner.predict(rows, **kw)
+
+
+class TestAdmissionControl:
+    def test_queue_bound_sheds_under_burst(self, fitted):
+        model, q = fitted
+        slow = _SlowModel(model, 0.02)
+        accepted, shed = [], 0
+        with PredictionService(
+            slow, batch_size=2, max_delay_ms=0.0, n_workers=1,
+            queue_bound=3, cache_size=0,
+        ) as svc:
+            for row in np.tile(q, (3, 1)):
+                try:
+                    accepted.append(svc.submit(row))
+                except Overloaded:
+                    shed += 1
+            for fut in accepted:  # every admitted request still answers
+                assert fut.result(timeout=10) >= 0
+            stats = svc.stats()
+        assert shed > 0
+        assert stats["shed"] == shed
+        # rejected requests never corrupt the counters
+        assert stats["requests"] == stats["served"] + stats["shed"]
+        assert stats["served"] == len(accepted)
+
+    def test_unbounded_queue_never_sheds(self, fitted):
+        model, q = fitted
+        with PredictionService(model, batch_size=4) as svc:
+            svc.predict_many(q)
+            stats = svc.stats()
+        assert stats["shed"] == 0
+        assert "shed" in stats  # the key is part of the stats contract
+
+
+class TestCloseDrainsDeterministically:
+    def test_close_serves_everything_already_queued(self, fitted):
+        """Regression: close() must resolve every admitted Future."""
+        model, q = fitted
+        slow = _SlowModel(model, 0.01)
+        expected = model.predict(q)
+        svc = PredictionService(
+            slow, batch_size=4, max_delay_ms=0.0, n_workers=1, cache_size=0,
+        )
+        futures = [svc.submit(row) for row in q]
+        svc.close()  # drain=True: the queue is served, not abandoned
+        assert all(f.done() for f in futures)
+        got = np.array([f.result(timeout=0) for f in futures])
+        assert np.array_equal(got, expected)
+
+    def test_close_without_drain_cancels_queued(self, fitted):
+        model, q = fitted
+        slow = _SlowModel(model, 0.05)
+        svc = PredictionService(
+            slow, batch_size=2, max_delay_ms=0.0, n_workers=1, cache_size=0,
+        )
+        futures = [svc.submit(row) for row in q[:12]]
+        svc.close(drain=False)
+        # deterministic: every future resolved one way or the other, now
+        assert all(f.done() for f in futures)
+        outcomes = []
+        for f in futures:
+            if f.cancelled():
+                outcomes.append("cancelled")
+            elif f.exception(timeout=0) is not None:
+                outcomes.append("error")
+            else:
+                outcomes.append("served")
+        assert "cancelled" in outcomes  # the queue tail was cut loose
+        stats = svc.stats()
+        assert stats["served"] == outcomes.count("served")

@@ -20,6 +20,7 @@ EXAMPLES = [
     "distributed_clustering.py",
     "graph_communities.py",
     "serve_quickstart.py",
+    "async_serve_quickstart.py",
     "online_refresh.py",
     "trace_quickstart.py",
 ]
