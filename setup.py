@@ -46,6 +46,7 @@ setup(
             "gpukmeans=repro.cli:main",
             "repro-bench=repro.cli:bench_main",
             "repro-serve=repro.cli:serve_main",
+            "repro-lint=repro.analysis.cli:main",
         ],
     },
     classifiers=[

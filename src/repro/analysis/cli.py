@@ -1,0 +1,221 @@
+"""``repro-lint`` — the house-rules static-analysis front end.
+
+Subcommands::
+
+    repro-lint check [--format text|json|github] [--json-out FILE]
+    repro-lint rules
+    repro-lint explain RPR106
+    repro-lint baseline --justification "why these are tolerated"
+
+``check`` exits 0 when every finding is fixed, suppressed with a
+justification, or grandfathered in ``.repro-lint-baseline.json``; it
+exits 1 on new findings *and* on stale baseline entries (the baseline
+may only shrink — a fixed finding must be trimmed from the file), and
+2 on usage or environment errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import all_rules, rule_by_id
+from .core import (
+    SUPPRESSION_RULE_ID,
+    Baseline,
+    apply_baseline,
+    format_findings,
+    load_modules,
+    run_rules,
+)
+
+BASELINE_NAME = ".repro-lint-baseline.json"
+
+#: pseudo-rules the engine itself reports (not backed by Rule classes)
+_PSEUDO_RULES = {
+    SUPPRESSION_RULE_ID: (
+        "suppressions require a justification",
+        "A '# repro-lint: disable=RPRxxx' comment only suppresses its "
+        "line's findings when it carries a reason: append '-- <reason>'. "
+        "The workflow is explain-it-or-fix-it, never silence-it.",
+    ),
+    "RPR999": (
+        "file does not parse",
+        "A file that fails ast.parse cannot be checked; fix the syntax "
+        "error.  Reported at the error's line.",
+    ),
+}
+
+
+def _find_root(start: Path) -> Path:
+    """Walk up from ``start`` to the directory containing src/repro."""
+    cur = start.resolve()
+    for cand in (cur, *cur.parents):
+        if (cand / "src" / "repro").is_dir():
+            return cand
+    raise FileNotFoundError(
+        f"no src/repro found at or above {start}; pass --root"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="House-rules static analysis for the repro tree.",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: auto-detected from the cwd)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="run every rule; exit 1 on findings")
+    check.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format for new findings (default: text)",
+    )
+    check.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the full findings report as JSON to this file",
+    )
+    check.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the grandfather baseline (report everything)",
+    )
+
+    sub.add_parser("rules", help="list the rule catalog")
+
+    explain = sub.add_parser("explain", help="print one rule's rationale")
+    explain.add_argument("rule_id", help="e.g. RPR106")
+
+    baseline = sub.add_parser(
+        "baseline",
+        help=f"write current findings to {BASELINE_NAME} (grandfather them)",
+    )
+    baseline.add_argument(
+        "--justification",
+        required=True,
+        help="why these findings are tolerated (recorded per entry)",
+    )
+    return parser
+
+
+def _run_all(root: Path):
+    modules = load_modules(root)
+    return run_rules(modules, all_rules(root))
+
+
+def cmd_check(root: Path, args) -> int:
+    findings = _run_all(root)
+    baseline = None
+    baseline_path = root / BASELINE_NAME
+    if not args.no_baseline and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+    new, grandfathered, stale = apply_baseline(findings, baseline)
+
+    if args.json_out:
+        report = {
+            "new": [f.to_dict() for f in new],
+            "grandfathered": [f.to_dict() for f in grandfathered],
+            "stale_baseline_entries": [list(k) for k in stale],
+        }
+        Path(args.json_out).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+
+    if new:
+        print(format_findings(new, args.format))
+    status = 0
+    if new:
+        print(
+            f"\nrepro-lint: {len(new)} finding(s). Fix them, suppress with "
+            "'# repro-lint: disable=<rule> -- <reason>', or grandfather "
+            f"via 'repro-lint baseline' ({len(grandfathered)} already "
+            "baselined).",
+            file=sys.stderr,
+        )
+        status = 1
+    if stale:
+        print(
+            f"repro-lint: {len(stale)} stale baseline entr(y/ies) — the "
+            f"finding is fixed, so trim it from {BASELINE_NAME} "
+            "(the baseline may only shrink):",
+            file=sys.stderr,
+        )
+        for rule, path, message in stale:
+            print(f"  {rule} {path}: {message}", file=sys.stderr)
+        status = 1
+    if status == 0:
+        print(
+            f"repro-lint: clean ({len(grandfathered)} grandfathered, "
+            f"baseline {'present' if baseline else 'absent/skipped'})."
+        )
+    return status
+
+
+def cmd_rules(root: Path) -> int:
+    for rule in all_rules(root):
+        print(f"{rule.rule_id}  {rule.title}")
+    for rid, (title, _why) in sorted(_PSEUDO_RULES.items()):
+        print(f"{rid}  {title}")
+    return 0
+
+
+def cmd_explain(root: Path, rule_id: str) -> int:
+    rid = rule_id.upper()
+    if rid in _PSEUDO_RULES:
+        title, rationale = _PSEUDO_RULES[rid]
+        print(f"{rid}: {title}\n\n{rationale}")
+        return 0
+    rule = rule_by_id(root, rid)
+    if rule is None:
+        print(
+            f"unknown rule {rule_id!r}; run 'repro-lint rules'",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{rule.rule_id}: {rule.title}\n\n{rule.rationale}")
+    return 0
+
+
+def cmd_baseline(root: Path, justification: str) -> int:
+    findings = _run_all(root)
+    Baseline.from_findings(findings, justification).save(root / BASELINE_NAME)
+    print(
+        f"repro-lint: wrote {len(findings)} entr(y/ies) to "
+        f"{root / BASELINE_NAME}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        root = Path(args.root) if args.root else _find_root(Path.cwd())
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.command == "check":
+            return cmd_check(root, args)
+        if args.command == "rules":
+            return cmd_rules(root)
+        if args.command == "explain":
+            return cmd_explain(root, args.rule_id)
+        if args.command == "baseline":
+            return cmd_baseline(root, args.justification)
+    except Exception as exc:  # environment/internal error, not findings
+        print(f"repro-lint: internal error: {exc!r}", file=sys.stderr)
+        return 2
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,358 @@
+"""Rule engine of the house-rules static analyser (:mod:`repro.analysis`).
+
+The moving parts, in the order they run:
+
+* :class:`SourceModule` — one parsed file: repo-relative path, source
+  text, AST, and the per-line suppression table
+  (``# repro-lint: disable=RPRxxx -- justification``).
+* :class:`Rule` — one house rule.  Subclasses set the ``rule_id`` /
+  ``title`` / ``rationale`` catalog fields and implement
+  :meth:`Rule.check` (per module); rules that need whole-project state
+  (cross-file name tables, package introspection) additionally override
+  :meth:`Rule.finalize`.
+* :class:`Finding` — one violation: rule id, repo-relative path, line,
+  severity, message.  Findings are value objects; their :meth:`key`
+  (rule, path, message) is what the grandfather baseline matches on, so
+  unrelated edits moving a line never churn the baseline.
+* :func:`run_rules` — loads the files, applies every rule, subtracts
+  suppressed findings (flagging suppressions that carry no
+  justification), and returns the survivors sorted by location.
+* :class:`Baseline` — the grandfather file: pre-existing findings that
+  are tolerated *with a justification* until fixed.  The contract is
+  that the baseline may only shrink; :func:`apply_baseline` partitions
+  findings into new (fail) and baselined (pass), and reports stale
+  entries so the file can be trimmed.
+
+Everything here is stdlib-only and purely syntactic; the introspective
+rules (:mod:`repro.analysis.contracts`) plug into the same
+:class:`Rule` surface through :meth:`Rule.finalize`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "Rule",
+    "Baseline",
+    "load_modules",
+    "run_rules",
+    "apply_baseline",
+    "format_findings",
+    "SUPPRESSION_RULE_ID",
+]
+
+#: pseudo-rule reported when a suppression comment carries no justification
+SUPPRESSION_RULE_ID = "RPR100"
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Z0-9,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line moves."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One ``# repro-lint: disable=`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: Optional[str]
+
+
+class SourceModule:
+    """One parsed source file handed to every rule.
+
+    ``path`` is repo-relative with forward slashes (what scoping rules
+    and baselines match against); ``tree`` is the parsed AST (None when
+    the file does not parse — rules skip it, and the engine reports the
+    syntax error as a finding).
+    """
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.AST] = ast.parse(text)
+        except SyntaxError as exc:
+            self.tree = None
+            self.parse_error = exc
+        self.suppressions: Dict[int, Suppression] = self._scan_suppressions()
+
+    def _scan_suppressions(self) -> Dict[int, Suppression]:
+        """Line -> suppression, found via the token stream (never inside
+        string literals)."""
+        out: Dict[int, Suppression] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                m = _DISABLE_RE.search(tok.string)
+                if m is None:
+                    continue
+                rules = tuple(
+                    r.strip() for r in m.group("rules").split(",") if r.strip()
+                )
+                out[tok.start[0]] = Suppression(
+                    line=tok.start[0], rules=rules, justification=m.group("why")
+                )
+        except tokenize.TokenError:
+            pass
+        return out
+
+    def suppressed(self, finding: Finding) -> bool:
+        sup = self.suppressions.get(finding.line)
+        return (
+            sup is not None
+            and sup.justification is not None
+            and finding.rule in sup.rules
+        )
+
+
+class Rule:
+    """Base class every house rule derives from.
+
+    Catalog fields (``rule_id`` / ``title`` / ``rationale``) feed
+    ``repro-lint explain``; :meth:`check` yields findings for one
+    module, :meth:`finalize` yields findings that need the whole
+    project (cross-file tables, package introspection).  A rule
+    instance sees each module exactly once per run.
+    """
+
+    rule_id: str = "RPR000"
+    title: str = ""
+    #: longer prose for ``repro-lint explain`` (what, why, how to fix)
+    rationale: str = ""
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, module_or_path, line: int, message: str) -> Finding:
+        path = (
+            module_or_path.path
+            if isinstance(module_or_path, SourceModule)
+            else str(module_or_path)
+        )
+        return Finding(rule=self.rule_id, path=path, line=line, message=message)
+
+
+# ----------------------------------------------------------------------
+# file loading
+# ----------------------------------------------------------------------
+
+def load_modules(
+    root: Path, sub_paths: Sequence[str] = ("src/repro",)
+) -> List[SourceModule]:
+    """Parse every ``.py`` file under ``root / sub_path`` (sorted)."""
+    root = Path(root)
+    modules: List[SourceModule] = []
+    for sub in sub_paths:
+        base = root / sub
+        if base.is_file():
+            files = [base]
+        else:
+            files = sorted(base.rglob("*.py"))
+        for f in files:
+            rel = f.relative_to(root).as_posix()
+            modules.append(SourceModule(rel, f.read_text(encoding="utf-8")))
+    return modules
+
+
+# ----------------------------------------------------------------------
+# the run loop
+# ----------------------------------------------------------------------
+
+def run_rules(
+    modules: Sequence[SourceModule], rules: Sequence[Rule]
+) -> List[Finding]:
+    """Apply every rule to every module; returns unsuppressed findings.
+
+    Suppression comments with a justification swallow their line's
+    findings for the named rules; a disable comment *without* a
+    justification never suppresses anything and is itself reported
+    (:data:`SUPPRESSION_RULE_ID`) — the workflow is "explain it or fix
+    it", never "silence it".
+    """
+    by_path = {m.path: m for m in modules}
+    findings: List[Finding] = []
+    for module in modules:
+        if module.parse_error is not None:
+            findings.append(
+                Finding(
+                    rule="RPR999",
+                    path=module.path,
+                    line=module.parse_error.lineno or 1,
+                    message=f"file does not parse: {module.parse_error.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            findings.extend(rule.check(module))
+        for sup in module.suppressions.values():
+            if sup.justification is None:
+                findings.append(
+                    Finding(
+                        rule=SUPPRESSION_RULE_ID,
+                        path=module.path,
+                        line=sup.line,
+                        message=(
+                            "suppression without justification: append "
+                            "'-- <reason>' to the disable comment"
+                        ),
+                    )
+                )
+    for rule in rules:
+        findings.extend(rule.finalize())
+    out = [
+        f
+        for f in findings
+        if f.rule == SUPPRESSION_RULE_ID
+        or f.path not in by_path
+        or not by_path[f.path].suppressed(f)
+    ]
+    out.sort(key=lambda f: (f.path, f.line, f.rule))
+    return out
+
+
+# ----------------------------------------------------------------------
+# grandfather baseline
+# ----------------------------------------------------------------------
+
+@dataclass
+class Baseline:
+    """Pre-existing findings tolerated (with justification) until fixed.
+
+    The file contract: every entry carries a ``justification``, and the
+    entry count may only shrink over time (CI enforces the shrink
+    against the committed copy on the main branch).
+    """
+
+    entries: List[Dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = list(data.get("findings", []))
+        bad = [e for e in entries if not str(e.get("justification", "")).strip()]
+        if bad:
+            # stdlib error on purpose: the analyser stays importable even
+            # when repro.errors is mid-refactor (RPR102 scopes around it)
+            raise ValueError(
+                f"baseline {path} has {len(bad)} entries without a justification"
+            )
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str
+    ) -> "Baseline":
+        return cls(
+            entries=[
+                {**f.to_dict(), "justification": justification} for f in findings
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "note": (
+                "Grandfathered repro-lint findings. This file may only "
+                "shrink: fix the finding, then delete its entry."
+            ),
+            "findings": self.entries,
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def keys(self) -> Counter:
+        return Counter(
+            (str(e["rule"]), str(e["path"]), str(e["message"])) for e in self.entries
+        )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Optional[Baseline]
+) -> Tuple[List[Finding], List[Finding], List[Tuple[str, str, str]]]:
+    """Partition findings into (new, grandfathered) + stale baseline keys.
+
+    Matching is by :meth:`Finding.key` with multiset semantics: a
+    baseline entry absorbs at most one live finding, so adding a second
+    identical violation still fails the build.
+    """
+    if baseline is None:
+        return list(findings), [], []
+    budget = baseline.keys()
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for f in findings:
+        if budget.get(f.key(), 0) > 0:
+            budget[f.key()] -= 1
+            grandfathered.append(f)
+        else:
+            new.append(f)
+    stale = sorted(key for key, count in budget.items() if count > 0)
+    return new, grandfathered, stale
+
+
+# ----------------------------------------------------------------------
+# output faces
+# ----------------------------------------------------------------------
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render findings as ``text``, ``json``, or GitHub annotations."""
+    if fmt == "text":
+        return "\n".join(
+            f"{f.path}:{f.line}: {f.rule} {f.message}" for f in findings
+        )
+    if fmt == "json":
+        return json.dumps([f.to_dict() for f in findings], indent=2)
+    if fmt == "github":
+        lines = []
+        for f in findings:
+            kind = "error" if f.severity == "error" else "warning"
+            # '::error file=,line=::' is the GitHub Actions annotation syntax
+            msg = f.message.replace("%", "%25").replace("\n", "%0A")
+            lines.append(f"::{kind} file={f.path},line={f.line}::{f.rule} {msg}")
+        return "\n".join(lines)
+    raise ValueError(f"unknown format {fmt!r}; use text, json, or github")

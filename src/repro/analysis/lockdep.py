@@ -1,0 +1,206 @@
+"""Dynamic lock-order tracking (the runtime half of RPR106).
+
+The static rule checks that guarded state is mutated under its lock;
+what it cannot see is lock *ordering* across call chains — thread A
+taking ``service._lock`` then a metrics lock while thread B nests them
+the other way deadlocks only under the right interleaving.  The classic
+answer is the kernel's lockdep: observe every acquisition at runtime,
+key locks by their *creation site* (so all instances of
+``Counter._lock`` form one lock class), record held-lock → new-lock
+edges, and fail on a cycle in that graph — a potential deadlock is
+reported even if the deadly interleaving never fired in the test run.
+
+Usage (this is what the ``lockdep`` pytest fixture does)::
+
+    tracker = LockOrderTracker()
+    with installed(tracker):
+        ... run concurrent code ...
+    cycles = tracker.cycles()
+    assert not cycles, format_cycles(cycles)
+
+:func:`installed` monkeypatches ``threading.Lock`` / ``threading.RLock``
+with wrapping factories, so only locks *created* while installed are
+tracked; interpreter-internal locks (``threading`` binds
+``_thread.allocate_lock`` privately at import) are untouched.
+Re-entrant acquisitions of the same lock object add no edges, and the
+tracker's own bookkeeping uses a raw ``_thread`` lock so it can never
+participate in the graph it is building.
+"""
+
+from __future__ import annotations
+
+import _thread
+import contextlib
+import sys
+import threading
+from typing import Dict, List, Set, Tuple
+
+__all__ = [
+    "LockOrderTracker",
+    "TrackedLock",
+    "installed",
+    "format_cycles",
+]
+
+
+def _creation_site(depth: int = 2) -> str:
+    """``path:line`` of the frame that called the lock factory."""
+    frame = sys._getframe(depth)
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+class LockOrderTracker:
+    """Accumulates the lock-class ordering graph across threads."""
+
+    def __init__(self) -> None:
+        # raw leaf lock: the tracker must never deadlock with trackees
+        self._meta = _thread.allocate_lock()
+        #: site -> {successor site: example (holder stack) tuple}
+        self.edges: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        self._held = threading.local()
+
+    def _stack(self) -> List[Tuple[str, int]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def on_acquire(self, lock: "TrackedLock") -> None:
+        stack = self._stack()
+        key = id(lock)
+        reentrant = any(obj == key for _, obj in stack)
+        if not reentrant and stack:
+            held_sites = tuple(site for site, _ in stack)
+            with self._meta:
+                for site, _ in stack:
+                    if site == lock.site:
+                        continue  # re-entering the class, not an ordering
+                    self.edges.setdefault(site, {}).setdefault(
+                        lock.site, held_sites
+                    )
+        stack.append((lock.site, key))
+
+    def on_release(self, lock: "TrackedLock") -> None:
+        stack = self._stack()
+        key = id(lock)
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][1] == key:
+                del stack[i]
+                return
+
+    # -- analysis --------------------------------------------------------
+    def cycles(self) -> List[List[str]]:
+        """Every elementary ordering cycle (deadlock candidate) observed."""
+        with self._meta:
+            graph = {a: set(bs) for a, bs in self.edges.items()}
+        cycles: List[List[str]] = []
+        seen_keys: Set[Tuple[str, ...]] = set()
+        # DFS from every node; a back edge into the current path is a cycle
+        for start in sorted(graph):
+            path: List[str] = []
+            on_path: Set[str] = set()
+            done: Set[str] = set()
+
+            def dfs(node: str) -> None:
+                path.append(node)
+                on_path.add(node)
+                for nxt in sorted(graph.get(node, ())):
+                    if nxt in on_path:
+                        cyc = path[path.index(nxt):] + [nxt]
+                        key = tuple(sorted(set(cyc)))
+                        if key not in seen_keys:
+                            seen_keys.add(key)
+                            cycles.append(cyc)
+                    elif nxt not in done:
+                        dfs(nxt)
+                on_path.discard(node)
+                done.add(path.pop())
+
+            dfs(start)
+        return cycles
+
+
+class TrackedLock:
+    """Wraps one ``threading.Lock``/``RLock``, reporting to a tracker.
+
+    Everything not overridden delegates to the wrapped lock, including
+    the private ``_release_save``/``_acquire_restore`` pair
+    ``threading.Condition`` uses for RLocks — those are re-wrapped so
+    the held-stack stays balanced across ``Condition.wait``.
+    """
+
+    def __init__(self, inner, site: str, tracker: LockOrderTracker) -> None:
+        self._inner = inner
+        self.site = site
+        self._tracker = tracker
+
+    def acquire(self, *args, **kwargs):
+        got = self._inner.acquire(*args, **kwargs)
+        if got:
+            self._tracker.on_acquire(self)
+        return got
+
+    def release(self) -> None:
+        self._tracker.on_release(self)
+        self._inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    def __getattr__(self, name):
+        inner_attr = getattr(self._inner, name)
+        if name == "_release_save":
+            def release_save():
+                self._tracker.on_release(self)
+                return inner_attr()
+
+            return release_save
+        if name == "_acquire_restore":
+            def acquire_restore(state):
+                inner_attr(state)
+                self._tracker.on_acquire(self)
+
+            return acquire_restore
+        return inner_attr
+
+
+@contextlib.contextmanager
+def installed(tracker: LockOrderTracker):
+    """Monkeypatch ``threading.Lock``/``RLock`` to produce tracked locks."""
+    real_lock = threading.Lock
+    real_rlock = threading.RLock
+
+    def make_lock():
+        return TrackedLock(real_lock(), _creation_site(), tracker)
+
+    def make_rlock():
+        return TrackedLock(real_rlock(), _creation_site(), tracker)
+
+    threading.Lock = make_lock
+    threading.RLock = make_rlock
+    try:
+        yield tracker
+    finally:
+        threading.Lock = real_lock
+        threading.RLock = real_rlock
+
+
+def format_cycles(cycles: List[List[str]]) -> str:
+    """Human-readable deadlock-candidate report."""
+    lines = [
+        f"lockdep: {len(cycles)} lock-ordering cycle(s) observed "
+        "(potential deadlock):"
+    ]
+    for cyc in cycles:
+        lines.append("  " + " -> ".join(cyc))
+    lines.append(
+        "Each arrow means 'acquired while holding'; a cycle means two "
+        "call chains nest these lock classes in opposite orders."
+    )
+    return "\n".join(lines)

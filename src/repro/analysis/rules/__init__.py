@@ -1,0 +1,26 @@
+"""The syntactic house rules (pure-AST, no package import needed)."""
+
+from .dense import DenseMaterialisationRule
+from .discipline import ErrorDisciplineRule, PickleBanRule
+from .nondeterminism import NondeterminismRule
+from .obs_names import ObsNamingRule
+
+__all__ = [
+    "DenseMaterialisationRule",
+    "ErrorDisciplineRule",
+    "PickleBanRule",
+    "ObsNamingRule",
+    "NondeterminismRule",
+    "syntactic_rules",
+]
+
+
+def syntactic_rules():
+    """Fresh instances of every syntactic rule (order = rule id)."""
+    return [
+        DenseMaterialisationRule(),
+        ErrorDisciplineRule(),
+        PickleBanRule(),
+        ObsNamingRule(),
+        NondeterminismRule(),
+    ]

@@ -1,0 +1,36 @@
+"""Small AST helpers shared by the syntactic house rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = ["dotted_name", "call_tail", "is_constant"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def call_tail(node: ast.Call) -> Optional[str]:
+    """The last segment of the called name (``np.zeros`` -> ``zeros``)."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def is_constant(node: ast.AST) -> bool:
+    """True for literals and unary-minus literals (a static shape dim)."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.operand, ast.Constant):
+        return True
+    return False

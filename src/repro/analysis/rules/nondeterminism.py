@@ -1,0 +1,120 @@
+"""RPR108 — nondeterminism guard for bench probes.
+
+The CI perf gate is *blocking* on the modeled metrics (``time.*``,
+``comm.*``, ``quality.*``), which is only sound because every probe in
+``src/repro/bench/experiments/`` is bit-deterministic: seeded RNG,
+modeled clocks.  One ``time.time()`` or unseeded ``default_rng()``
+sneaking into a probe turns the blocking gate flaky.  This rule flags,
+inside the probe package only:
+
+* wall-clock reads that feed values (``time.time``/``time.time_ns``,
+  ``datetime.now``/``utcnow``) — ``time.perf_counter`` stays legal
+  because the measured wall-clock metrics are warn-only in CI;
+* unseeded RNG: ``np.random.default_rng()`` with no seed, the legacy
+  ``np.random.*`` global generator, and the stdlib ``random`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..core import Finding, Rule, SourceModule
+from ._util import dotted_name
+
+__all__ = ["NondeterminismRule"]
+
+_PROBE_PREFIX = "src/repro/bench/experiments/"
+
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+_LEGACY_GLOBAL_RNG = {
+    "rand", "randn", "random", "randint", "choice", "shuffle",
+    "permutation", "normal", "uniform", "standard_normal", "seed",
+}
+
+_STDLIB_RANDOM = {
+    "random", "randint", "choice", "shuffle", "uniform", "sample",
+    "randrange", "gauss", "betavariate",
+}
+
+
+class NondeterminismRule(Rule):
+    rule_id = "RPR108"
+    title = "bench probes must be deterministic"
+    rationale = (
+        "Probes under src/repro/bench/experiments/ feed the blocking CI "
+        "perf gate over modeled metrics, which is only sound when probes "
+        "are bit-deterministic.  time.time()/datetime.now() and unseeded "
+        "RNG (np.random.default_rng() with no seed, the np.random global "
+        "generator, stdlib random) are flagged there.  time.perf_counter "
+        "stays legal: measured wall-clock metrics are warn-only in CI."
+    )
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if module.tree is None or not module.path.startswith(_PROBE_PREFIX):
+            return ()
+        out: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _WALL_CLOCKS:
+                out.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"{name}() in a bench probe; probes feed the "
+                        "blocking deterministic perf gate — use modeled "
+                        "clocks (or perf_counter for warn-only metrics)",
+                    )
+                )
+                continue
+            parts = name.split(".")
+            if name.endswith("random.default_rng") and not node.args:
+                if not node.keywords:
+                    out.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            "unseeded default_rng() in a bench probe; pass "
+                            "an explicit seed so the probe is reproducible",
+                        )
+                    )
+            elif (
+                len(parts) == 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] in _LEGACY_GLOBAL_RNG
+            ):
+                out.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"global numpy RNG {name}() in a bench probe; use a "
+                        "seeded np.random.default_rng(seed) generator",
+                    )
+                )
+            elif (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _STDLIB_RANDOM
+            ):
+                out.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"stdlib {name}() in a bench probe; use a seeded "
+                        "np.random.default_rng(seed) generator",
+                    )
+                )
+        return out

@@ -1,0 +1,123 @@
+"""RPR107 — observability naming discipline.
+
+Every span and metric name in the tree follows one scheme —
+dotted-lowercase, subsystem-first (``serve.async.batches``,
+``fit.iter``) — so Perfetto traces, prom snapshots, and the bench
+comparison tool can group by prefix without a translation table.  The
+rule checks two things at the instrumentation call sites
+(``metrics.counter/gauge/histogram``, ``trace.span/instant``):
+
+* literal names match ``segment(.segment)+`` with lowercase
+  ``[a-z][a-z0-9_]*`` segments;
+* no metric name is registered under two different kinds anywhere in
+  the tree (``MetricsRegistry`` raises at runtime; this rule catches it
+  at lint time, across files).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Tuple
+
+from ..core import Finding, Rule, SourceModule
+from ._util import dotted_name
+
+__all__ = ["ObsNamingRule"]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: attribute -> instrument kind; spans share the naming scheme but live
+#: in a separate namespace from metrics (a span may mirror a counter)
+_METRIC_KINDS = {"counter": "counter", "gauge": "gauge", "histogram": "histogram"}
+_SPAN_KINDS = {"span": "span", "instant": "instant"}
+
+#: receiver spellings at instrumentation sites (module-level singletons)
+_METRIC_RECEIVERS = {"metrics"}
+_SPAN_RECEIVERS = {"trace", "tracer"}
+
+
+class ObsNamingRule(Rule):
+    rule_id = "RPR107"
+    title = "span/metric names dotted-lowercase, one kind per name"
+    rationale = (
+        "Span and metric names follow the dotted-lowercase subsystem-first "
+        "scheme documented in repro.obs.tracing (e.g. serve.async.batches, "
+        "fit.iter) so traces and prom snapshots group by prefix.  A metric "
+        "name must keep one kind tree-wide: registering serve.shed as a "
+        "counter in one file and a gauge in another raises at runtime in "
+        "MetricsRegistry — this rule fails the same mistake at lint time."
+    )
+
+    def __init__(self) -> None:
+        # metric name -> {kind: first (path, line) seen}
+        self._kinds: Dict[str, Dict[str, Tuple[str, int]]] = {}
+
+    def check(self, module: SourceModule) -> Iterable[Finding]:
+        if module.tree is None:
+            return ()
+        out: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            hit = self._instrument_site(node)
+            if hit is None:
+                continue
+            kind, name, is_metric = hit
+            if not _NAME_RE.match(name):
+                out.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"{kind} name {name!r} violates the naming scheme: "
+                        "dotted lowercase, >= 2 segments "
+                        "(e.g. 'serve.async.batches')",
+                    )
+                )
+            if is_metric:
+                sites = self._kinds.setdefault(name, {})
+                sites.setdefault(kind, (module.path, node.lineno))
+        return out
+
+    def finalize(self) -> Iterable[Finding]:
+        out: List[Finding] = []
+        for name, sites in sorted(self._kinds.items()):
+            if len(sites) < 2:
+                continue
+            spots = ", ".join(
+                f"{kind} at {path}:{line}"
+                for kind, (path, line) in sorted(sites.items())
+            )
+            for _kind, (path, line) in sorted(sites.items()):
+                out.append(
+                    self.finding(
+                        path,
+                        line,
+                        f"metric name {name!r} used with multiple kinds "
+                        f"({spots}); MetricsRegistry rejects this at runtime",
+                    )
+                )
+        return out
+
+    @staticmethod
+    def _instrument_site(node: ast.Call):
+        """(kind, literal name, is_metric) for instrumentation calls."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = dotted_name(func.value)
+        if receiver is None:
+            return None
+        tail = receiver.rsplit(".", 1)[-1]
+        if func.attr in _METRIC_KINDS and tail in _METRIC_RECEIVERS:
+            kind, is_metric = _METRIC_KINDS[func.attr], True
+        elif func.attr in _SPAN_KINDS and tail in _SPAN_RECEIVERS:
+            kind, is_metric = _SPAN_KINDS[func.attr], False
+        else:
+            return None
+        if not node.args:
+            return None
+        name = node.args[0]
+        if not isinstance(name, ast.Constant) or not isinstance(name.value, str):
+            return None  # dynamic names are the registry's problem at runtime
+        return kind, name.value, is_metric

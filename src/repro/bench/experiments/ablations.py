@@ -7,6 +7,7 @@ experiments.
 
 from __future__ import annotations
 
+from ...errors import check
 from ...gpu import A100_80GB, H100_80GB, V100_32GB, cost
 from ...kernels import model_gram_times, tune_threshold
 from ..registry import ExperimentResult, ExperimentSpec, RunConfig, register_experiment
@@ -62,7 +63,10 @@ def run_ablation_dense_vs_sparse(cfg: RunConfig) -> ExperimentResult:
 def check_ablation_dense_vs_sparse(result: ExperimentResult) -> None:
     advantages = result.aux["advantages"]
     # the sparse advantage grows linearly-ish with k
-    assert advantages[(50000, 100)] > advantages[(50000, 10)] * 3
+    check(
+        advantages[(50000, 100)] > advantages[(50000, 10)] * 3,
+        'probe invariant violated: advantages[(50000, 100)] > advantages[(50000, 10)] * 3',
+    )
 
 
 # --- centroid norms: SpMV z-gather vs SpGEMM diag --------------------------
@@ -98,7 +102,10 @@ def run_ablation_norms(cfg: RunConfig) -> ExperimentResult:
 def check_ablation_norms(result: ExperimentResult) -> None:
     advantages = result.aux["advantages"]
     # the advantage grows with k (that's the whole point of Sec. 3.3)
-    assert advantages[-1] > advantages[0]
+    check(
+        advantages[-1] > advantages[0],
+        'probe invariant violated: advantages[-1] > advantages[0]',
+    )
 
 
 # --- GEMM/SYRK dispatch threshold ------------------------------------------
@@ -137,8 +144,14 @@ def run_ablation_threshold(cfg: RunConfig) -> ExperimentResult:
 def check_ablation_threshold(result: ExperimentResult) -> None:
     # degenerate thresholds must not beat the tuned one on the A100
     t_best = result.aux["tuned_total"][A100_80GB.name][1]
-    assert t_best <= _total_time_for_threshold(A100_80GB, 0.5)  # always-GEMM
-    assert t_best <= _total_time_for_threshold(A100_80GB, 10**9)  # always-SYRK
+    check(
+        t_best <= _total_time_for_threshold(A100_80GB, 0.5),
+        'probe invariant violated: t_best <= _total_time_for_threshold(A100_80GB, 0.5)',
+    )
+    check(
+        t_best <= _total_time_for_threshold(A100_80GB, 10**9),
+        'probe invariant violated: t_best <= _total_time_for_threshold(A100_80GB, 10**9)',
+    )
 
 
 register_experiment(

@@ -35,7 +35,7 @@ import time
 
 import numpy as np
 
-from ...errors import Overloaded
+from ...errors import Overloaded, check
 from ...estimators import make_estimator
 from ..registry import ExperimentResult, ExperimentSpec, RunConfig, register_experiment
 
@@ -224,22 +224,37 @@ def run_ext_async_serving(cfg: RunConfig) -> ExperimentResult:
 
 def check_ext_async_serving(result: ExperimentResult) -> None:
     # coalescing reduced backend rows to exactly the unique-query count
-    assert result.aux["coalesce_ok"], result.aux["coalesce_stats"]
-    assert result.aux["coalesce_stats"]["backend_rows"] == result.aux["unique"]
+    check(result.aux["coalesce_ok"], result.aux["coalesce_stats"])
+    check(
+        result.aux["coalesce_stats"]["backend_rows"] == result.aux["unique"],
+        'probe invariant violated: result.aux["coalesce_stats"]["backend_rows"] == result.aux[...',
+    )
     # shedding is exact and never corrupts the counters
-    assert result.aux["shed_ok"], result.aux["shed_stats"]
+    check(result.aux["shed_ok"], result.aux["shed_stats"])
     # the modeled curve is monotone non-decreasing and actually knees:
     # the sweep must contain a worker-limited point and an ingress cap
     qps = result.aux["curve_qps"]
-    assert all(b >= a for a, b in zip(qps, qps[1:]))
-    assert qps[1] > qps[0]  # adding the 2nd worker pays below the knee
-    assert result.aux["knee_workers"] is not None
+    check(
+        all(b >= a for a, b in zip(qps, qps[1:])),
+        'probe invariant violated: all(b >= a for a, b in zip(qps, qps[1:]))',
+    )
+    check(qps[1] > qps[0], 'probe invariant violated: qps[1] > qps[0]')
+    check(
+        result.aux["knee_workers"] is not None,
+        'probe invariant violated: result.aux["knee_workers"] is not None',
+    )
     # the sweep straddles the knee: linear scaling first, ingress cap last
     limited = result.aux["curve_limited"]
-    assert not limited[0] and limited[-1]
+    check(
+        not limited[0] and limited[-1],
+        'probe invariant violated: not limited[0] and limited[-1]',
+    )
     # every open-loop report kept its books straight
     for rep in result.aux["reports"]:
-        assert rep["requests"] == rep["accepted"] + rep["shed"]
+        check(
+            rep["requests"] == rep["accepted"] + rep["shed"],
+            'probe invariant violated: rep["requests"] == rep["accepted"] + rep["shed"]',
+        )
 
 
 def probe_ext_async_serving(cfg: RunConfig):

@@ -11,6 +11,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from ...errors import check
 from ...approx import nystrom_embedding
 from ...core import model_onthefly
 from ...estimators import make_estimator
@@ -75,9 +76,15 @@ def check_ext_device_sweep(result: ExperimentResult) -> None:
     totals = result.aux["totals"]
     speedups = result.aux["speedups"]
     # newer generation -> faster Popcorn, with no code change
-    assert totals[0] > totals[1] > totals[2]
+    check(
+        totals[0] > totals[1] > totals[2],
+        'probe invariant violated: totals[0] > totals[1] > totals[2]',
+    )
     # the SpMM-vs-handwritten advantage survives every generation
-    assert all(s > 1.3 for s in speedups)
+    check(
+        all(s > 1.3 for s in speedups),
+        'probe invariant violated: all(s > 1.3 for s in speedups)',
+    )
 
 
 # --- distributed strong scaling --------------------------------------------
@@ -126,9 +133,12 @@ def check_ext_distributed(result: ExperimentResult) -> None:
     models = result.aux["models"]
     # strong scaling holds through 8 GPUs on NVLink
     nv = {g: m["makespan_s"] for (c, g), m in models.items() if c == "NVLink"}
-    assert nv[8] < nv[2] < nv[1]
+    check(nv[8] < nv[2] < nv[1], 'probe invariant violated: nv[8] < nv[2] < nv[1]')
     # InfiniBand pays more communication than NVLink
-    assert models[("InfiniBand", 8)]["comm_s"] > models[("NVLink", 8)]["comm_s"]
+    check(
+        models[("InfiniBand", 8)]["comm_s"] > models[("NVLink", 8)]["comm_s"],
+        'probe invariant violated: models[("InfiniBand", 8)]["comm_s"] > models[("NVLink", 8)]...',
+    )
 
 
 # --- the kernel-matrix memory wall -----------------------------------------
@@ -188,35 +198,49 @@ def check_ext_memory_wall(result: ExperimentResult) -> None:
     # the fallbacks still run, and 4-GPU distribution beats recompute
     pop_small = model_popcorn(50000, d, k, include_transfer=False).total_s
     otf_small = model_onthefly(50000, d, k)["total_s"]
-    assert pop_small < otf_small
+    check(pop_small < otf_small, 'probe invariant violated: pop_small < otf_small')
     big = 200000
-    assert 4.0 * big * big > MEMORY_WALL_CAPACITY  # popcorn infeasible
+    check(
+        4.0 * big * big > MEMORY_WALL_CAPACITY,
+        'probe invariant violated: 4.0 * big * big > MEMORY_WALL_CAPACITY',
+    )
     tiled_big = result.metrics["time.tiled_200k_s"]
     otf_big = model_onthefly(big, d, k)
     dist_big = result.metrics["time.distributed4_200k_s"]
-    assert 4.0 * MEMORY_WALL_TILE * big < MEMORY_WALL_CAPACITY  # tile footprint fits at any n
-    assert np.isfinite(tiled_big)
-    assert otf_big["peak_bytes"] < MEMORY_WALL_CAPACITY
-    assert dist_big < otf_big["total_s"]
+    check(
+        4.0 * MEMORY_WALL_TILE * big < MEMORY_WALL_CAPACITY,
+        'probe invariant violated: 4.0 * MEMORY_WALL_TILE * big < MEMORY_WALL_CAPACITY',
+    )
+    check(np.isfinite(tiled_big), 'probe invariant violated: np.isfinite(tiled_big)')
+    check(
+        otf_big["peak_bytes"] < MEMORY_WALL_CAPACITY,
+        'probe invariant violated: otf_big["peak_bytes"] < MEMORY_WALL_CAPACITY',
+    )
+    check(dist_big < otf_big["total_s"], 'probe invariant violated: dist_big < otf_big["total_s"]')
     # streaming is not free: tiled pays over resident popcorn where both run
-    assert (
+    check(
         model_popcorn_tiled(
             50000, d, k, tile_rows=MEMORY_WALL_TILE, include_transfer=False
         ).total_s
-        > pop_small
+        > pop_small,
+        'probe invariant violated: model_popcorn_tiled( 50000, d, k, tile_rows=MEMORY_WALL_TIL...',
     )
     # tiled-vs-recompute crossover is set by d: re-streaming K over PCIe
     # costs ~4 bytes/entry/iter regardless of d, while recomputing it
     # costs O(d) FLOPs/entry/iter — so recompute wins at moderate d and
     # streaming wins for high-dimensional data
-    assert otf_big["total_s"] < tiled_big  # d=780: recompute wins
+    check(
+        otf_big["total_s"] < tiled_big,
+        'probe invariant violated: otf_big["total_s"] < tiled_big',
+    )
     hi_d = 4000
-    assert (
+    check(
         model_popcorn_tiled(
             big, hi_d, k, tile_rows=MEMORY_WALL_TILE, include_transfer=False
         ).total_s
-        < model_onthefly(big, hi_d, k)["total_s"]
-    )  # d=4000: streaming wins
+        < model_onthefly(big, hi_d, k)["total_s"],
+        'probe invariant violated: model_popcorn_tiled( big, hi_d, k, tile_rows=MEMORY_WALL_TI...',
+    )
 
 
 # --- Nyström approximation quality -----------------------------------------
@@ -256,9 +280,9 @@ def check_ext_nystrom(result: ExperimentResult) -> None:
     aris = result.aux["aris"]
     errs = result.aux["errs"]
     # enough landmarks solve the task exactly
-    assert max(aris[-2:]) > 0.95
+    check(max(aris[-2:]) > 0.95, 'probe invariant violated: max(aris[-2:]) > 0.95')
     # kernel approximation error decreases monotonically with landmarks
-    assert errs[0] > errs[-1]
+    check(errs[0] > errs[-1], 'probe invariant violated: errs[0] > errs[-1]')
 
 
 # --- spectral clustering via weighted kernel k-means -----------------------
@@ -305,11 +329,17 @@ def run_ext_spectral(cfg: RunConfig) -> ExperimentResult:
 def check_ext_spectral(result: ExperimentResult) -> None:
     aris = result.aux["aris"]
     # quality degrades gracefully with community mixing, perfect when clean
-    assert aris[0.01] == 1.0
-    assert aris[0.01] >= aris[0.20]
+    check(aris[0.01] == 1.0, 'probe invariant violated: aris[0.01] == 1.0')
+    check(aris[0.01] >= aris[0.20], 'probe invariant violated: aris[0.01] >= aris[0.20]')
     # the graph view dominates the radial view on moons
-    assert result.aux["spect_ari"] > result.aux["plain_ari"] + 0.5
-    assert result.aux["spect_ari"] > 0.95
+    check(
+        result.aux["spect_ari"] > result.aux["plain_ari"] + 0.5,
+        'probe invariant violated: result.aux["spect_ari"] > result.aux["plain_ari"] + 0.5',
+    )
+    check(
+        result.aux["spect_ari"] > 0.95,
+        'probe invariant violated: result.aux["spect_ari"] > 0.95',
+    )
 
 
 # --- the row-tiled engine sweep --------------------------------------------
@@ -361,12 +391,15 @@ def check_ext_engine_tiling(result: ExperimentResult) -> None:
     ratios = result.aux["ratios"]
     # structure: streaming always costs something, and the overhead falls
     # monotonically as tiles grow (fixed overheads amortise)
-    assert all(r > 1.0 for r in ratios)
-    assert ratios == sorted(ratios, reverse=True)
+    check(all(r > 1.0 for r in ratios), 'probe invariant violated: all(r > 1.0 for r in ratios)')
+    check(
+        ratios == sorted(ratios, reverse=True),
+        'probe invariant violated: ratios == sorted(ratios, reverse=True)',
+    )
     # the streaming floor is the PCIe/HBM bandwidth gap (~80x on the A100
     # testbed): re-reading K over PCIe each iteration cannot cost more
     # than that relative to the resident SpMM
-    assert ratios[-1] < 80.0
+    check(ratios[-1] < 80.0, 'probe invariant violated: ratios[-1] < 80.0')
 
 
 # --- engine-executed sharded strong scaling ---------------------------------
@@ -468,17 +501,32 @@ def check_ext_strong_scaling(result: ExperimentResult) -> None:
     comms = result.aux["comms"]
     paper = result.aux["paper"]
     # the acceptance contract: sharded labels are bit-identical to host
-    assert all(result.aux["matches"].values())
+    check(
+        all(result.aux["matches"].values()),
+        'probe invariant violated: all(result.aux["matches"].values())',
+    )
     # end-to-end strong scaling holds at the executed size...
-    assert makespans[8] < makespans[1]
+    check(makespans[8] < makespans[1], 'probe invariant violated: makespans[8] < makespans[1]')
     # ...and monotonically at paper scale, where every shard stays wide
     for a, b in zip(STRONG_SCALING_GPUS, STRONG_SCALING_GPUS[1:]):
-        assert paper[b]["makespan_s"] < paper[a]["makespan_s"]
+        check(
+            paper[b]["makespan_s"] < paper[a]["makespan_s"],
+            'probe invariant violated: paper[b]["makespan_s"] < paper[a]["makespan_s"]',
+        )
     # communication is the price: it grows with the device count
     order = sorted(comms)
-    assert all(comms[a] <= comms[b] for a, b in zip(order, order[1:]))
-    assert result.metrics["throughput.sharded_g8_speedup"] > 1.2
-    assert result.metrics["throughput.paper_scale_g8_speedup"] > 4.0
+    check(
+        all(comms[a] <= comms[b] for a, b in zip(order, order[1:])),
+        'probe invariant violated: all(comms[a] <= comms[b] for a, b in zip(order, order[1:]))',
+    )
+    check(
+        result.metrics["throughput.sharded_g8_speedup"] > 1.2,
+        'probe invariant violated: result.metrics["throughput.sharded_g8_speedup"] > 1.2',
+    )
+    check(
+        result.metrics["throughput.paper_scale_g8_speedup"] > 4.0,
+        'probe invariant violated: result.metrics["throughput.paper_scale_g8_speedup"] > 4.0',
+    )
 
 
 # --- probes ----------------------------------------------------------------

@@ -16,6 +16,7 @@ import time
 
 import numpy as np
 
+from ...errors import check
 from ...eval import adjusted_rand_index
 from ...estimators import make_estimator
 from ..registry import ExperimentResult, ExperimentSpec, RunConfig, register_experiment
@@ -114,12 +115,18 @@ def run_ext_minibatch(cfg: RunConfig) -> ExperimentResult:
 
 def check_ext_minibatch(result: ExperimentResult) -> None:
     # the cold-start contract is bitwise, not approximate
-    assert result.aux["cold_bit_exact"]
+    check(result.aux["cold_bit_exact"], 'probe invariant violated: result.aux["cold_bit_exact"]')
     # the stream actually split into batches (the online path ran)
-    assert result.aux["n_batches"] > 1
+    check(result.aux["n_batches"] > 1, 'probe invariant violated: result.aux["n_batches"] > 1')
     # online quality tracks the full fit on separable data
-    assert result.aux["vs_full_ari"] >= MINIBATCH_ARI_FLOOR
-    assert result.aux["online_ari_truth"] >= MINIBATCH_ARI_FLOOR
+    check(
+        result.aux["vs_full_ari"] >= MINIBATCH_ARI_FLOOR,
+        'probe invariant violated: result.aux["vs_full_ari"] >= MINIBATCH_ARI_FLOOR',
+    )
+    check(
+        result.aux["online_ari_truth"] >= MINIBATCH_ARI_FLOOR,
+        'probe invariant violated: result.aux["online_ari_truth"] >= MINIBATCH_ARI_FLOOR',
+    )
 
 
 def minibatch_probe(cfg: RunConfig, *, n: int = 200, d: int = 8, k: int = 5):

@@ -21,6 +21,7 @@ import time
 
 import numpy as np
 
+from ...errors import check
 from ...estimators import make_estimator
 from ...obs import trace
 from ..registry import ExperimentResult, ExperimentSpec, RunConfig, register_experiment
@@ -201,18 +202,27 @@ def _timed(fn) -> float:
 
 def check_ext_observability(result: ExperimentResult) -> None:
     # the span tree of the fixed workload is exact, not approximate
-    assert result.aux["shape_ok"], (
+    check(
+        result.aux["shape_ok"],
+        (
         result.aux["expected"], result.aux["observed"],
+    ),
     )
     # schedule-dependent families are at least present
-    assert all(result.aux["coverage_families"].values()), (
+    check(
+        all(result.aux["coverage_families"].values()),
+        (
         result.aux["coverage_families"],
+    ),
     )
     # phase spans nest under their iteration; repeat fits agree
-    assert result.aux["nesting_ok"]
-    assert result.aux["deterministic"]
+    check(result.aux["nesting_ok"], 'probe invariant violated: result.aux["nesting_ok"]')
+    check(result.aux["deterministic"], 'probe invariant violated: result.aux["deterministic"]')
     # every request of the serve stage was answered
-    assert result.aux["serve_stats"]["served"] == OBS_QUERIES
+    check(
+        result.aux["serve_stats"]["served"] == OBS_QUERIES,
+        'probe invariant violated: result.aux["serve_stats"]["served"] == OBS_QUERIES',
+    )
 
 
 def observability_probe(cfg: RunConfig, *, n: int = 200, d: int = 8):

@@ -8,6 +8,7 @@ shape claims on full-mode results.
 
 from __future__ import annotations
 
+from ...errors import check
 from ...data import TABLE2
 from ...gpu import A100_80GB, op_point
 from ...kernels import model_gram_times
@@ -33,8 +34,14 @@ def run_table2(cfg: RunConfig) -> ExperimentResult:
 
 
 def check_table2(result: ExperimentResult) -> None:
-    assert len(result.rows) == len(DATASETS)
-    assert set(result.aux["names"]) == set(DATASETS)
+    check(
+        len(result.rows) == len(DATASETS),
+        'probe invariant violated: len(result.rows) == len(DATASETS)',
+    )
+    check(
+        set(result.aux["names"]) == set(DATASETS),
+        'probe invariant violated: set(result.aux["names"]) == set(DATASETS)',
+    )
 
 
 # --- Figure 2: GEMM vs SYRK ------------------------------------------------
@@ -71,10 +78,16 @@ def run_fig2(cfg: RunConfig) -> ExperimentResult:
 def check_fig2(result: ExperimentResult) -> None:
     # shape assertions (paper Sec. 5.2)
     t_big = model_gram_times(A100_80GB, 50000, 100)
-    assert t_big["gemm"] < t_big["syrk"]
+    check(t_big["gemm"] < t_big["syrk"], 'probe invariant violated: t_big["gemm"] < t_big["syrk"]')
     t_small = model_gram_times(A100_80GB, 10000, 10000)
-    assert t_small["syrk"] < t_small["gemm"]
-    assert len(result.rows) == len(FIG2_N_VALUES) * len(FIG2_D_VALUES)
+    check(
+        t_small["syrk"] < t_small["gemm"],
+        'probe invariant violated: t_small["syrk"] < t_small["gemm"]',
+    )
+    check(
+        len(result.rows) == len(FIG2_N_VALUES) * len(FIG2_D_VALUES),
+        'probe invariant violated: len(result.rows) == len(FIG2_N_VALUES) * len(FIG2_D_VALUES)',
+    )
 
 
 # --- Figure 3: baseline CUDA vs CPU PRMLT ----------------------------------
@@ -108,11 +121,17 @@ def run_fig3(cfg: RunConfig) -> ExperimentResult:
 def check_fig3(result: ExperimentResult) -> None:
     speedups = result.aux["speedups"]
     all_s = list(speedups.values())
-    assert min(all_s) >= 10 and max(all_s) <= 80
+    check(
+        min(all_s) >= 10 and max(all_s) <= 80,
+        'probe invariant violated: min(all_s) >= 10 and max(all_s) <= 80',
+    )
     best = max(speedups, key=speedups.get)
-    assert best[0] == "letter"  # paper: letter peaks at 72.8x
+    check(best[0] == "letter", 'probe invariant violated: best[0] == "letter"')
     for name in DATASETS:
-        assert speedups[(name, 100)] > speedups[(name, 10)]  # grows with k
+        check(
+            speedups[(name, 100)] > speedups[(name, 10)],
+            'probe invariant violated: speedups[(name, 100)] > speedups[(name, 10)]',
+        )
 
 
 # --- Figure 4: distance-phase speedup --------------------------------------
@@ -147,12 +166,15 @@ def check_fig4(result: ExperimentResult) -> None:
     # shape assertions (paper Sec. 5.5)
     for (name, k), s in speed.items():
         if name == "scotus":
-            assert s < 1.5, (name, k, s)  # the small-n anomaly
+            check(s < 1.5, (name, k, s))
         else:
-            assert 1.4 <= s <= 2.7, (name, k, s)
+            check(1.4 <= s <= 2.7, (name, k, s))
     # speedup grows from k=10 to k=50 on the large datasets
     for name in ("acoustic", "cifar10", "mnist"):
-        assert speed[(name, 50)] > speed[(name, 10)]
+        check(
+            speed[(name, 50)] > speed[(name, 10)],
+            'probe invariant violated: speed[(name, 50)] > speed[(name, 10)]',
+        )
 
 
 # --- Figure 5: SpMM throughput ---------------------------------------------
@@ -189,12 +211,18 @@ def check_fig5(result: ExperimentResult) -> None:
     for name in DATASETS:
         p = pop_series[name]
         b = base_series[name]
-        assert p[0] < p[1] < p[2], name
-        assert b[0] > b[1] > b[2], name
+        check(p[0] < p[1] < p[2], name)
+        check(b[0] > b[1] > b[2], name)
     # bands on the large datasets (paper: 370-729 and 304-409)
     for name in ("acoustic", "cifar10", "ledgar", "mnist"):
-        assert 330 <= min(pop_series[name]) and max(pop_series[name]) <= 760
-        assert 280 <= min(base_series[name]) and max(base_series[name]) <= 450
+        check(
+            330 <= min(pop_series[name]) and max(pop_series[name]) <= 760,
+            'probe invariant violated: 330 <= min(pop_series[name]) and max(pop_series[name]) ...',
+        )
+        check(
+            280 <= min(base_series[name]) and max(base_series[name]) <= 450,
+            'probe invariant violated: 280 <= min(base_series[name]) and max(base_series[name]...',
+        )
 
 
 # --- Figure 6: roofline placement ------------------------------------------
@@ -249,19 +277,24 @@ def check_fig6(result: ExperimentResult) -> None:
     for name, (n, d) in DATASETS.items():
         for k in (50, 100):
             p_frac, b_frac = fractions[(name, k)]
-            assert p_frac > b_frac, (name, k)  # Popcorn closer to the roof
+            check(p_frac > b_frac, (name, k))
             if n > 10000:
-                assert p_frac > 0.55, (name, k)  # "almost hits the roofline"
+                check(p_frac > 0.55, (name, k))
     # Popcorn's AI is lower than the baseline's (more off-chip traffic)
     pop = model_popcorn(60000, 780, 100, iters=ITERS)
     base = model_baseline(60000, 780, 100, iters=ITERS)
-    assert pop.profiler.arithmetic_intensity("cusparse.spmm") < base.profiler.arithmetic_intensity(
-        "baseline.k1_cluster_reduce"
+    check(
+        pop.profiler.arithmetic_intensity("cusparse.spmm")
+        < base.profiler.arithmetic_intensity("baseline.k1_cluster_reduce"),
+        "popcorn's SpMM arithmetic intensity should sit below the baseline's",
     )
     # Eq. 16/17 closed forms agree with the model's traffic accounting to ~2x
     ai_formula = distances_intensity(60000, 100)
     ai_model = pop.profiler.arithmetic_intensity("cusparse.spmm")
-    assert 0.5 < ai_formula / ai_model < 2.0
+    check(
+        0.5 < ai_formula / ai_model < 2.0,
+        'probe invariant violated: 0.5 < ai_formula / ai_model < 2.0',
+    )
 
 
 # --- Figure 7: end-to-end speedup ------------------------------------------
@@ -296,9 +329,9 @@ def check_fig7(result: ExperimentResult) -> None:
     speed = result.aux["speed"]
     # paper band: 1.6-2.6x (we accept 1.4-2.7 as shape fidelity)
     for key, s in speed.items():
-        assert 1.4 <= s <= 2.7, (key, s)
+        check(1.4 <= s <= 2.7, (key, s))
     # Popcorn is never slower end to end
-    assert min(speed.values()) > 1.0
+    check(min(speed.values()) > 1.0, 'probe invariant violated: min(speed.values()) > 1.0')
 
 
 # --- Figure 8: runtime breakdown -------------------------------------------
@@ -352,13 +385,13 @@ def check_fig8(result: ExperimentResult) -> None:
     for name in ("ledgar", "scotus"):
         for k in K_VALUES:
             km, dist, _ = shares[(name, k)]
-            assert km > dist, (name, k)
+            check(km > dist, (name, k))
     for name in ("acoustic", "letter"):
         for k in K_VALUES:
             km, dist, _ = shares[(name, k)]
-            assert dist > km, (name, k)
+            check(dist > km, (name, k))
     for key, (_, _, upd) in shares.items():
-        assert upd < 0.12, key  # "trivial for all datasets"
+        check(upd < 0.12, key)
 
 
 register_experiment(

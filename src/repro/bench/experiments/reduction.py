@@ -15,6 +15,7 @@ import time
 
 import numpy as np
 
+from ...errors import check
 from ...core.assignment import argmin_assign
 from ...engine.reduction import fused_popcorn_argmin
 from ...engine.tiling import tiled_popcorn_distances_host
@@ -134,21 +135,33 @@ def check_ext_reduction_engine(result: ExperimentResult) -> None:
     modeled = result.aux["modeled_by_t"]
     legacy_s = result.aux["legacy_modeled_s"]
     # the fused engine never materialises more than one chunk panel
-    assert result.aux["panel_bytes"] <= 4.0 * REDUCTION_CHUNK_ROWS * k
-    assert result.aux["panel_bytes"] < 4.0 * n * k  # << the full n x k block
+    check(
+        result.aux["panel_bytes"] <= 4.0 * REDUCTION_CHUNK_ROWS * k,
+        'probe invariant violated: result.aux["panel_bytes"] <= 4.0 * REDUCTION_CHUNK_ROWS * k',
+    )
+    check(
+        result.aux["panel_bytes"] < 4.0 * n * k,
+        'probe invariant violated: result.aux["panel_bytes"] < 4.0 * n * k',
+    )
     # the executed comparison is bit-for-bit, not approximately equal
-    assert result.aux["labels_equal"]
-    assert result.aux["min_d_equal"]
+    check(result.aux["labels_equal"], 'probe invariant violated: result.aux["labels_equal"]')
+    check(result.aux["min_d_equal"], 'probe invariant violated: result.aux["min_d_equal"]')
     # more workers never hurt the modeled makespan, and at 4 threads the
     # fused sweep beats the serial legacy pipeline outright
     ts = sorted(modeled)
-    assert all(modeled[a] >= modeled[b] for a, b in zip(ts, ts[1:]))
+    check(
+        all(modeled[a] >= modeled[b] for a, b in zip(ts, ts[1:])),
+        'probe invariant violated: all(modeled[a] >= modeled[b] for a, b in zip(ts, ts[1:]))',
+    )
     t4 = modeled.get(4, modeled[max(modeled)])
-    assert t4 < legacy_s
+    check(t4 < legacy_s, 'probe invariant violated: t4 < legacy_s')
     # the measured speedup needs real cores to manifest; single-core CI
     # containers legitimately run the threaded sweep no faster
     if (os.cpu_count() or 1) >= 4:
-        assert result.aux["measured_speedup_t4"] > 1.0
+        check(
+            result.aux["measured_speedup_t4"] > 1.0,
+            'probe invariant violated: result.aux["measured_speedup_t4"] > 1.0',
+        )
 
 
 def reduction_probe(cfg: RunConfig, *, n: int = 150, d: int = 8, k: int = 5):

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...errors import check
 from ...data import make_circles
 from ...kernels import GaussianKernel
 from ...select import GridSearchKernelKMeans
@@ -89,10 +90,22 @@ def run_model_selection(cfg: RunConfig) -> ExperimentResult:
 def check_model_selection(result: ExperimentResult) -> None:
     scores = result.aux["mean_scores"]
     # the sweep must discriminate: a clear winner, at a sensible bandwidth
-    assert result.aux["best_score"] > 0.4
-    assert result.aux["best_score"] >= max(scores)
-    assert min(scores) < result.aux["best_score"] - 0.2
-    assert result.aux["best_gamma"] == 5.0
+    check(
+        result.aux["best_score"] > 0.4,
+        'probe invariant violated: result.aux["best_score"] > 0.4',
+    )
+    check(
+        result.aux["best_score"] >= max(scores),
+        'probe invariant violated: result.aux["best_score"] >= max(scores)',
+    )
+    check(
+        min(scores) < result.aux["best_score"] - 0.2,
+        'probe invariant violated: min(scores) < result.aux["best_score"] - 0.2',
+    )
+    check(
+        result.aux["best_gamma"] == 5.0,
+        'probe invariant violated: result.aux["best_gamma"] == 5.0',
+    )
 
 
 def probe_model_selection(cfg: RunConfig):

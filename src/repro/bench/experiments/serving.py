@@ -16,6 +16,7 @@ import time
 
 import numpy as np
 
+from ...errors import check
 from ...estimators import make_estimator
 from ...serve import PredictionService
 from ..registry import ExperimentResult, ExperimentSpec, RunConfig, register_experiment
@@ -79,7 +80,10 @@ def run_serve_throughput(cfg: RunConfig) -> ExperimentResult:
             stats = svc.stats()
         # served labels must be bit-identical to the fitting estimator's
         # in-memory predict — the serving acceptance contract
-        assert np.array_equal(labels, reference)
+        check(
+            np.array_equal(labels, reference),
+            'probe invariant violated: np.array_equal(labels, reference)',
+        )
         qps = m / elapsed
         qps_series.append(qps)
         rows.append(
@@ -115,9 +119,9 @@ def run_serve_throughput(cfg: RunConfig) -> ExperimentResult:
 
 def check_serve_throughput(result: ExperimentResult) -> None:
     qps = result.aux["qps"]
-    assert all(q > 0 for q in qps)
+    check(all(q > 0 for q in qps), 'probe invariant violated: all(q > 0 for q in qps)')
     # batching must pay: the largest batch size beats per-request serving
-    assert qps[-1] > qps[0]
+    check(qps[-1] > qps[0], 'probe invariant violated: qps[-1] > qps[0]')
 
 
 def probe_serve_throughput(cfg: RunConfig):

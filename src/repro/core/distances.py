@@ -48,7 +48,7 @@ def distance_matrix_reference(k_mat: np.ndarray, labels: np.ndarray, k: int) -> 
     lab = check_labels(labels, n, k)
     kf = k_mat.astype(np.float64)
     counts = np.bincount(lab, minlength=k).astype(np.float64)
-    onehot = np.zeros((n, k))
+    onehot = np.zeros((n, k))  # repro-lint: disable=RPR101 -- reference dense baseline
     onehot[np.arange(n), lab] = 1.0
     inv = np.where(counts > 0, 1.0 / np.maximum(counts, 1), 0.0)
     kvt = kf @ onehot * inv[None, :]  # (K V^T)_{ij} = mean of K[i, L_j]

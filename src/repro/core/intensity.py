@@ -11,7 +11,9 @@ from ..errors import ShapeError
 __all__ = ["kernel_matrix_intensity", "distances_intensity"]
 
 
-def kernel_matrix_intensity(n: int, d: int, f_k: float | None = None, b_k: float | None = None) -> float:
+def kernel_matrix_intensity(
+    n: int, d: int, f_k: float | None = None, b_k: float | None = None
+) -> float:
     """Eq. 16: AI of computing K.
 
     ``(F_K + 2 n^2 d) / (4 (B_K + 2 n d + n^2))`` where ``F_K`` / ``B_K``

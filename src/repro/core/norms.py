@@ -70,7 +70,7 @@ def centroid_norms_reference(k_mat: np.ndarray, labels: np.ndarray, k: int) -> n
     n = k_mat.shape[0]
     lab = check_labels(labels, n, k)
     counts = np.bincount(lab, minlength=k).astype(np.float64)
-    onehot = np.zeros((n, k))
+    onehot = np.zeros((n, k))  # repro-lint: disable=RPR101 -- reference dense baseline
     onehot[np.arange(n), lab] = 1.0
     block = onehot.T @ k_mat.astype(np.float64) @ onehot  # k x k cluster sums
     with np.errstate(invalid="ignore", divide="ignore"):

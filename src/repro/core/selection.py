@@ -62,6 +62,6 @@ def selection_dense(labels: np.ndarray, k: int, *, dtype=np.float64) -> np.ndarr
     lab = check_labels(labels, np.asarray(labels).shape[0], k)
     n = lab.shape[0]
     counts = np.bincount(lab, minlength=k).astype(np.float64)
-    v = np.zeros((k, n), dtype=dtype)
+    v = np.zeros((k, n), dtype=dtype)  # repro-lint: disable=RPR101 -- dense V for tests/docs
     v[lab, np.arange(n)] = 1.0 / np.maximum(counts, 1)[lab]
     return v

@@ -74,6 +74,28 @@ class NotFittedError(ConfigError, AttributeError):
     """
 
 
+class InternalError(ReproError, AssertionError):
+    """An internal invariant was violated (a bug, not a usage error).
+
+    The replacement for library-code ``assert`` statements guarding
+    state: asserts vanish under ``python -O``, so real invariants raise
+    this instead (via :func:`check`).  Subclasses ``AssertionError`` so
+    callers and tests written against the assert era keep working.
+    """
+
+
+def check(condition: object, message: str) -> None:
+    """Raise :class:`InternalError` unless ``condition`` is truthy.
+
+    The ``python -O``-proof spelling of ``assert condition, message``
+    for invariants that must hold in production, e.g.::
+
+        check(len(out) == len(batch), "batch size drifted in flight")
+    """
+    if not condition:
+        raise InternalError(message)
+
+
 class DatasetError(ConfigError):
     """A dataset file or generator specification is invalid.
 

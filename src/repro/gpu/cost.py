@@ -260,7 +260,9 @@ def gemm_tile_cost(spec: DeviceSpec, rows: int, n: int, d: int) -> Launch:
     return Launch("cublas.gemm_tile", flops, bytes_, t, meta={"rows": rows, "n": n, "d": d})
 
 
-def transform_tile_cost(spec: DeviceSpec, rows: int, n: int, flops_per_entry: float = 4.0) -> Launch:
+def transform_tile_cost(
+    spec: DeviceSpec, rows: int, n: int, flops_per_entry: float = 4.0
+) -> Launch:
     """Elementwise kernel application over one ``rows x n`` Gram panel."""
     flops = flops_per_entry * rows * n
     bytes_ = FP32 * 2.0 * rows * n

@@ -69,7 +69,9 @@ class DeviceCSR:
             raise DeviceError("use of freed device CSR buffer")
 
 
-def spmm_kvt(device: Device, k_mat: DeviceArray, v: DeviceCSR, *, alpha: float = -2.0) -> DeviceArray:
+def spmm_kvt(
+    device: Device, k_mat: DeviceArray, v: DeviceCSR, *, alpha: float = -2.0
+) -> DeviceArray:
     """cuSPARSE SpMM computing ``E = alpha * K V^T`` (Alg. 2 line 7).
 
     cuSPARSE's sparse-times-dense orientation evaluates ``alpha * V K``;

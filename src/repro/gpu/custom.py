@@ -81,7 +81,9 @@ def z_gather(device: Device, e_mat: DeviceArray, labels: np.ndarray) -> DeviceAr
     return z
 
 
-def d_add(device: Device, e_mat: DeviceArray, p_norms: DeviceArray, c_norms: DeviceArray) -> DeviceArray:
+def d_add(
+    device: Device, e_mat: DeviceArray, p_norms: DeviceArray, c_norms: DeviceArray
+) -> DeviceArray:
     """Compute ``D = E + P~ + C~`` in place on E (Alg. 2 line 10).
 
     ``p_norms`` (length n) implicitly represents P~ (identical columns);
@@ -129,7 +131,9 @@ def baseline_reduce_numerics(k_mat: np.ndarray, labels: np.ndarray, k: int) -> n
     return k_mat @ onehot
 
 
-def baseline_norms_numerics(r_mat: np.ndarray, labels: np.ndarray, counts: np.ndarray) -> np.ndarray:
+def baseline_norms_numerics(
+    r_mat: np.ndarray, labels: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
     """``||c_j||^2 = (1 / |L_j|^2) * sum_{i in L_j} R[i, j]`` (float64 accumulate)."""
     n = r_mat.shape[0]
     k = r_mat.shape[1]
@@ -147,7 +151,9 @@ def baseline_assemble_numerics(
     return k_diag[:, None] - 2.0 * r_mat * inv[None, :] + c_norms[None, :]
 
 
-def baseline_cluster_reduce(device: Device, k_mat: DeviceArray, labels: np.ndarray, k: int) -> DeviceArray:
+def baseline_cluster_reduce(
+    device: Device, k_mat: DeviceArray, labels: np.ndarray, k: int
+) -> DeviceArray:
     """Baseline kernel 1: reduce each row of K by cluster membership.
 
     ``R[i, j] = sum_{l in L_j} K[i, l]`` — one thread block per row,

@@ -13,6 +13,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..errors import ConfigError
 from .launch import Launch
 from .profiler import Profiler
 from .spec import DeviceSpec
@@ -23,7 +24,7 @@ __all__ = ["attainable_gflops", "roofline_series", "RooflinePoint", "op_point", 
 def attainable_gflops(spec: DeviceSpec, ai: float) -> float:
     """Peak attainable throughput at arithmetic intensity ``ai`` (FLOP/byte)."""
     if ai < 0:
-        raise ValueError("arithmetic intensity must be non-negative")
+        raise ConfigError("arithmetic intensity must be non-negative")
     return min(spec.peak_fp32_gflops, ai * spec.mem_bw_gbps)
 
 

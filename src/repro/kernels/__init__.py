@@ -5,6 +5,7 @@ sigmoid) plus the Gaussian kernel of Sec. 3.2 and a non-Gram-expressible
 Laplacian, and the GEMM/SYRK Gram-matrix pipeline with dynamic dispatch.
 """
 
+from ..errors import ConfigError
 from .base import Kernel
 from .dispatch import choose_gram_method, model_gram_times, tune_threshold
 from .extra import CosineKernel, RationalQuadraticKernel
@@ -50,7 +51,7 @@ def kernel_by_name(name: str, **params) -> Kernel:
     try:
         cls = _BY_NAME[name.lower()]
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown kernel {name!r}; available: {sorted(_BY_NAME)}"
         ) from None
     return cls(**params)

@@ -14,6 +14,13 @@ Three layers, all stdlib-only:
 
 See the README "Observability" section for the span/metric naming
 scheme and the Perfetto workflow.
+
+Names are dotted-lowercase, subsystem-first (``serve.async.batches``,
+``fit.iter``), and a metric name keeps one kind tree-wide — enforced at
+lint time by rule RPR107.  The thread-safe instruments declare their
+locking contract in class-level ``_guarded_by`` dicts (attr → lock
+attribute), checked statically by rule RPR106 and dynamically by the
+``lockdep`` pytest fixture (see ``repro-lint explain RPR106``).
 """
 
 from .export import (

@@ -17,6 +17,8 @@ import threading
 from bisect import bisect_left
 from typing import Dict, Optional, Sequence
 
+from ..errors import ConfigError
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -40,6 +42,8 @@ class Counter:
     e.g. busy-seconds)."""
 
     __slots__ = ("name", "_lock", "_value")
+    # lock-discipline declaration, checked by repro-lint rule RPR106
+    _guarded_by = {"_value": "_lock"}
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -48,7 +52,7 @@ class Counter:
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
-            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+            raise ConfigError(f"counter {self.name!r} cannot decrease (inc {amount})")
         with self._lock:
             self._value += amount
 
@@ -62,6 +66,7 @@ class Gauge:
     """A value that goes up and down (queue depth, live threads)."""
 
     __slots__ = ("name", "_lock", "_value")
+    _guarded_by = {"_value": "_lock"}
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -101,11 +106,12 @@ class Histogram:
     """
 
     __slots__ = ("name", "buckets", "_lock", "_counts", "_sum", "_count")
+    _guarded_by = {"_counts": "_lock", "_sum": "_lock", "_count": "_lock"}
 
     def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds or any(b1 <= b0 for b0, b1 in zip(bounds, bounds[1:])):
-            raise ValueError(f"histogram {name!r} needs ascending bucket bounds")
+            raise ConfigError(f"histogram {name!r} needs ascending bucket bounds")
         self.name = name
         self.buckets = bounds
         self._lock = threading.Lock()
@@ -140,6 +146,12 @@ class MetricsRegistry:
     programming error and raises.
     """
 
+    _guarded_by = {
+        "_counters": "_lock",
+        "_gauges": "_lock",
+        "_histograms": "_lock",
+    }
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
@@ -153,7 +165,7 @@ class MetricsRegistry:
             ("histogram", self._histograms),
         ):
             if other_kind != kind and name in table:
-                raise ValueError(
+                raise ConfigError(
                     f"metric {name!r} is already a {other_kind}, not a {kind}"
                 )
 

@@ -150,6 +150,9 @@ class Tracer:
     read plus returning a shared null context manager.
     """
 
+    # lock-discipline declaration, checked by repro-lint rule RPR106
+    _guarded_by = {"_spans": "_lock", "_id": "_lock"}
+
     def __init__(self, *, enabled: Optional[bool] = None) -> None:
         self._lock = threading.Lock()
         self._spans: List[Span] = []

@@ -87,6 +87,19 @@ Micro-batching knobs (:class:`PredictionService`)
 ``chunk_rows``     row-chunk bound on the live cross-kernel panel
                    (``tile_rows`` is a deprecated alias)
 
+Lock discipline (``_guarded_by``)
+---------------------------------
+The concurrency-bearing classes here declare their locking contract as
+data: a class-level ``_guarded_by`` dict mapping each shared mutable
+attribute to the lock that must be held to mutate it — a lock attribute
+name, a tuple of alternative names (``Condition(self._lock)`` aliases
+its lock), or ``"event-loop"`` for asyncio loop-confined state, with
+``_off_loop_methods`` naming the sync entry points that run on foreign
+threads and may only *atomically rebind* loop-confined attributes.
+The declaration is enforced twice: statically by lint rule RPR106
+(``repro-lint explain RPR106``) and dynamically by the ``lockdep``
+pytest fixture, which fails the hammer tests on lock-ordering cycles.
+
 Quickstart
 ----------
 >>> from repro import PopcornKernelKMeans

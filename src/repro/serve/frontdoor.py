@@ -118,6 +118,38 @@ class AsyncPredictionServer:
     with`` or ``await server.start()``).
     """
 
+    # Lock-discipline declaration (repro-lint rule RPR106): this class
+    # has no locks — its shared state is confined to the event loop.
+    # "event-loop" guards mean: in-place mutation only from loop-side
+    # code; methods listed in _off_loop_methods run on foreign threads
+    # and may only *rebind* these attributes atomically (swap_artifact
+    # publishes a fresh cache/version that way).  ``_n_swaps`` is
+    # deliberately undeclared: the swap path owns it off-loop, serialized
+    # by the worker pool's swap barrier.
+    _guarded_by = {
+        "_inflight": "event-loop",
+        "_cache": "event-loop",
+        "_latencies": "event-loop",
+        "_batch_sizes": "event-loop",
+        "_n_requests": "event-loop",
+        "_n_served": "event-loop",
+        "_n_shed": "event-loop",
+        "_n_coalesced": "event-loop",
+        "_n_cache_hits": "event-loop",
+        "_n_errors": "event-loop",
+        "_n_cancelled": "event-loop",
+        "_n_batches": "event-loop",
+        "_n_backend_rows": "event-loop",
+        "_queue_peak": "event-loop",
+        "_t_first": "event-loop",
+        "_t_last": "event-loop",
+        "_started": "event-loop",
+        "_closed": "event-loop",
+        "_pool": "event-loop",
+        "_model_version": "event-loop",
+    }
+    _off_loop_methods = ("swap_artifact",)
+
     def __init__(
         self,
         source,

@@ -98,6 +98,29 @@ class PredictionService:
     manager (or call :meth:`close`) to drain the queue and join them.
     """
 
+    # The lock-discipline declaration (checked statically by repro-lint
+    # rule RPR106, dynamically by the lockdep fixture): every attribute
+    # below may only be mutated while holding the named lock.
+    # ``_not_empty`` is a Condition built over ``_lock``, so holding
+    # either name is holding the same lock.
+    _guarded_by = {
+        "_queue": ("_lock", "_not_empty"),
+        "_cache": "_lock",
+        "_closed": "_lock",
+        "_model_version": "_lock",
+        "_n_swaps": "_lock",
+        "model": "_lock",
+        "_n_requests": "_lock",
+        "_n_served": "_lock",
+        "_n_cache_hits": "_lock",
+        "_n_shed": "_lock",
+        "_n_batches": "_lock",
+        "_batch_sizes": "_lock",
+        "_latencies": "_lock",
+        "_t_first": "_lock",
+        "_t_last": "_lock",
+    }
+
     def __init__(
         self,
         model,

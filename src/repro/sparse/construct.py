@@ -62,7 +62,9 @@ def from_coo(rows, cols, values, shape, *, dtype=None, sum_duplicates: bool = Tr
         raise SparseFormatError("row index out of bounds")
     if cols.size and (cols.min() < 0 or cols.max() >= ncols):
         raise SparseFormatError("column index out of bounds")
-    dt = as_float_dtype(dtype if dtype is not None else (vals.dtype if vals.dtype.kind == "f" else np.float64))
+    dt = as_float_dtype(
+        dtype if dtype is not None else (vals.dtype if vals.dtype.kind == "f" else np.float64)
+    )
     vals = vals.astype(dt, copy=False)
 
     # lexicographic (row, col) sort via a combined 64-bit key

@@ -38,7 +38,8 @@ class COOMatrix:
             raise ShapeError("values must be 1-D")
         if not (self.rows.shape == self.cols.shape == vals.shape):
             raise ShapeError("rows/cols/values must have equal length")
-        dt = vals.dtype if vals.dtype in (np.dtype(np.float32), np.dtype(np.float64)) else np.float64
+        floats = (np.dtype(np.float32), np.dtype(np.float64))
+        dt = vals.dtype if vals.dtype in floats else np.float64
         self.values = np.ascontiguousarray(vals, dtype=dt)
         nrows, ncols = int(shape[0]), int(shape[1])
         self.shape = (nrows, ncols)

@@ -75,10 +75,13 @@ class CSRMatrix:
         if self.values.ndim != 1 or self.colinds.ndim != 1 or self.rowptrs.ndim != 1:
             raise SparseFormatError("values, colinds and rowptrs must be 1-D")
         if self.values.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
-            raise SparseFormatError(f"values dtype must be float32/float64, got {self.values.dtype}")
+            raise SparseFormatError(
+                f"values dtype must be float32/float64, got {self.values.dtype}"
+            )
         if self.values.shape[0] != self.colinds.shape[0]:
             raise SparseFormatError(
-                f"values ({self.values.shape[0]}) and colinds ({self.colinds.shape[0]}) disagree on nnz"
+                f"values ({self.values.shape[0]}) and colinds "
+                f"({self.colinds.shape[0]}) disagree on nnz"
             )
         if self.rowptrs.shape[0] != nrows + 1:
             raise SparseFormatError(
@@ -99,13 +102,19 @@ class CSRMatrix:
             # strictly increasing columns within each row (canonical form)
             d = np.diff(self.colinds)
             row_starts = self.rowptrs[1:-1]
-            interior = np.ones(self.colinds.size - 1, dtype=bool) if self.colinds.size > 1 else np.zeros(0, dtype=bool)
+            interior = (
+                np.ones(self.colinds.size - 1, dtype=bool)
+                if self.colinds.size > 1
+                else np.zeros(0, dtype=bool)
+            )
             if interior.size:
                 boundary = row_starts[(row_starts > 0) & (row_starts < self.colinds.size)]
                 interior[boundary - 1] = False
                 bad = interior & (d <= 0)
                 if np.any(bad):
-                    raise SparseFormatError("column indices must be strictly increasing within rows")
+                    raise SparseFormatError(
+                        "column indices must be strictly increasing within rows"
+                    )
 
     # ------------------------------------------------------------------
     # basic properties
@@ -220,8 +229,9 @@ class CSRMatrix:
             and np.array_equal(self.values, other.values)
         )
 
-    def __hash__(self) -> None:  # type: ignore[override]
-        raise TypeError("CSRMatrix is unhashable")
+    # unhashable by declaration: hash() raises the interpreter's own
+    # TypeError, and mutability stays out of dict keys under python -O too
+    __hash__ = None  # type: ignore[assignment]
 
     def allclose(self, other: "CSRMatrix", rtol: float = 1e-5, atol: float = 1e-8) -> bool:
         """Numerical comparison via dense materialisation (test helper)."""

@@ -107,7 +107,8 @@ def col_sums(a: CSRMatrix) -> np.ndarray:
     """Per-column sums as a dense vector of length ``ncols``."""
     if a.nnz == 0:
         return np.zeros(a.ncols, dtype=a.dtype)
-    return np.bincount(a.colinds, weights=a.values.astype(np.float64), minlength=a.ncols).astype(a.dtype)
+    sums = np.bincount(a.colinds, weights=a.values.astype(np.float64), minlength=a.ncols)
+    return sums.astype(a.dtype)
 
 
 def row_scale(a: CSRMatrix, d: np.ndarray) -> CSRMatrix:

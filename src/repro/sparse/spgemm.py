@@ -87,7 +87,9 @@ def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
 
     out_rows = np.repeat(a_rows, counts)
     out_cols = b.colinds[b_pos].astype(np.int64)
-    out_vals = np.repeat(a.values.astype(dtype, copy=False), counts) * b.values[b_pos].astype(dtype, copy=False)
+    out_vals = np.repeat(a.values.astype(dtype, copy=False), counts) * b.values[b_pos].astype(
+        dtype, copy=False
+    )
 
     # --- sort + compress -----------------------------------------------
     key = out_rows * np.int64(p) + out_cols

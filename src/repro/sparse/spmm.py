@@ -52,7 +52,9 @@ def _segment_row_sum(contrib: np.ndarray, rowptrs: np.ndarray, nrows: int) -> np
     return out
 
 
-def spmm(a: CSRMatrix, b: np.ndarray, *, alpha: float = 1.0, out: np.ndarray | None = None) -> np.ndarray:
+def spmm(
+    a: CSRMatrix, b: np.ndarray, *, alpha: float = 1.0, out: np.ndarray | None = None
+) -> np.ndarray:
     """Compute ``alpha * a @ b`` with CSR ``a`` and dense ``b``.
 
     Parameters

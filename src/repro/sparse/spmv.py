@@ -16,7 +16,9 @@ from .csr import CSRMatrix
 __all__ = ["spmv"]
 
 
-def spmv(a: CSRMatrix, x: np.ndarray, *, alpha: float = 1.0, out: np.ndarray | None = None) -> np.ndarray:
+def spmv(
+    a: CSRMatrix, x: np.ndarray, *, alpha: float = 1.0, out: np.ndarray | None = None
+) -> np.ndarray:
     """Compute ``alpha * a @ x``.
 
     Parameters

@@ -1,0 +1,258 @@
+"""Engine tests for :mod:`repro.analysis.core` and the repro-lint CLI.
+
+Covers the machinery every rule rides on: suppression comments (with
+and without a justification), parse-error reporting, the grandfather
+baseline's multiset semantics and stale detection, the three output
+formats, and the CLI end-to-end against a throwaway mini-repo.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.core import (
+    SUPPRESSION_RULE_ID,
+    Baseline,
+    Finding,
+    Rule,
+    SourceModule,
+    apply_baseline,
+    format_findings,
+    load_modules,
+    run_rules,
+)
+
+
+class _LineRule(Rule):
+    """Test rule: flags every line containing the token FLAGME."""
+
+    rule_id = "RPR901"
+    title = "test rule"
+
+    def check(self, module):
+        for i, line in enumerate(module.lines, start=1):
+            if "FLAGME" in line:
+                yield self.finding(module, i, "token found")
+
+
+def _mod(text, path="src/repro/x.py"):
+    return SourceModule(path, text)
+
+
+class TestSuppressions:
+    def test_justified_suppression_swallows_the_finding(self):
+        mod = _mod("x = 1  # FLAGME  # repro-lint: disable=RPR901 -- known\n")
+        assert run_rules([mod], [_LineRule()]) == []
+
+    def test_unjustified_suppression_reports_rpr100_and_keeps_finding(self):
+        mod = _mod("x = 1  # FLAGME  # repro-lint: disable=RPR901\n")
+        findings = run_rules([mod], [_LineRule()])
+        rules = sorted(f.rule for f in findings)
+        assert rules == [SUPPRESSION_RULE_ID, "RPR901"]
+
+    def test_suppression_only_covers_the_named_rule(self):
+        mod = _mod("x = 1  # FLAGME  # repro-lint: disable=RPR999 -- other\n")
+        findings = run_rules([mod], [_LineRule()])
+        assert [f.rule for f in findings] == ["RPR901"]
+
+    def test_suppression_covers_multiple_rules(self):
+        mod = _mod(
+            "x = 1  # FLAGME  # repro-lint: disable=RPR901, RPR902 -- both\n"
+        )
+        assert run_rules([mod], [_LineRule()]) == []
+
+    def test_suppression_must_be_on_the_finding_line(self):
+        mod = _mod(
+            "# repro-lint: disable=RPR901 -- wrong line\nx = 1  # FLAGME\n"
+        )
+        findings = run_rules([mod], [_LineRule()])
+        assert [f.rule for f in findings] == ["RPR901"]
+
+    def test_disable_text_inside_a_string_is_not_a_suppression(self):
+        mod = _mod('s = "# repro-lint: disable=RPR901 -- nope"  # FLAGME\n')
+        findings = run_rules([mod], [_LineRule()])
+        assert [f.rule for f in findings] == ["RPR901"]
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_as_rpr999(self):
+        mod = _mod("def broken(:\n    pass\n")
+        findings = run_rules([mod], [_LineRule()])
+        assert len(findings) == 1
+        assert findings[0].rule == "RPR999"
+        assert "does not parse" in findings[0].message
+
+
+class TestBaseline:
+    def _finding(self, msg="token found", line=3):
+        return Finding(rule="RPR901", path="src/repro/x.py", line=line, message=msg)
+
+    def test_multiset_semantics_one_entry_absorbs_one_finding(self):
+        base = Baseline.from_findings([self._finding()], "legacy")
+        live = [self._finding(line=3), self._finding(line=9)]
+        new, grandfathered, stale = apply_baseline(live, base)
+        assert len(new) == 1 and len(grandfathered) == 1 and stale == []
+
+    def test_key_ignores_line_moves(self):
+        base = Baseline.from_findings([self._finding(line=3)], "legacy")
+        new, grandfathered, stale = apply_baseline([self._finding(line=40)], base)
+        assert new == [] and len(grandfathered) == 1 and stale == []
+
+    def test_stale_entries_are_reported(self):
+        base = Baseline.from_findings([self._finding()], "legacy")
+        new, grandfathered, stale = apply_baseline([], base)
+        assert new == [] and grandfathered == []
+        assert stale == [("RPR901", "src/repro/x.py", "token found")]
+
+    def test_no_baseline_means_everything_is_new(self):
+        new, grandfathered, stale = apply_baseline([self._finding()], None)
+        assert len(new) == 1 and grandfathered == [] and stale == []
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([self._finding()], "legacy").save(path)
+        loaded = Baseline.load(path)
+        assert loaded.keys() == Baseline.from_findings(
+            [self._finding()], "legacy"
+        ).keys()
+
+    def test_load_rejects_entries_without_justification(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {
+                            "rule": "RPR901",
+                            "path": "src/repro/x.py",
+                            "line": 1,
+                            "message": "m",
+                            "justification": "   ",
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="without a justification"):
+            Baseline.load(path)
+
+
+class TestOutputFormats:
+    def _findings(self):
+        return [
+            Finding(
+                rule="RPR901",
+                path="src/repro/x.py",
+                line=7,
+                message="100% bad\nsecond line",
+            )
+        ]
+
+    def test_text(self):
+        out = format_findings(self._findings(), "text")
+        assert out.startswith("src/repro/x.py:7: RPR901 ")
+
+    def test_json(self):
+        data = json.loads(format_findings(self._findings(), "json"))
+        assert data[0]["rule"] == "RPR901"
+        assert data[0]["line"] == 7
+
+    def test_github_escapes_percent_and_newlines(self):
+        out = format_findings(self._findings(), "github")
+        assert out.startswith("::error file=src/repro/x.py,line=7::RPR901 ")
+        assert "%25" in out and "%0A" in out and "\n" not in out
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            format_findings([], "xml")
+
+
+class TestLoadModules:
+    def test_loads_repo_relative_posix_paths(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text("x = 1\n", encoding="utf-8")
+        (pkg / "sub").mkdir()
+        (pkg / "sub" / "b.py").write_text("y = 2\n", encoding="utf-8")
+        mods = load_modules(tmp_path)
+        assert [m.path for m in mods] == [
+            "src/repro/a.py",
+            "src/repro/sub/b.py",
+        ]
+
+
+class TestCli:
+    """End-to-end runs against a throwaway mini-repo under tmp_path."""
+
+    def _mini_repo(self, tmp_path, body):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(body, encoding="utf-8")
+        return tmp_path
+
+    def test_check_clean_exits_zero(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+
+        root = self._mini_repo(tmp_path, "x = 1\n")
+        assert main(["--root", str(root), "check"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_finding_exits_one(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+
+        root = self._mini_repo(tmp_path, "import pickle\n")
+        assert main(["--root", str(root), "check"]) == 1
+        assert "RPR103" in capsys.readouterr().out
+
+    def test_check_json_out_report(self, tmp_path):
+        from repro.analysis.cli import main
+
+        root = self._mini_repo(tmp_path, "import pickle\n")
+        out = tmp_path / "report.json"
+        assert main(["--root", str(root), "check", "--json-out", str(out)]) == 1
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["new"] and report["new"][0]["rule"] == "RPR103"
+        assert report["grandfathered"] == []
+
+    def test_baseline_grandfathers_then_stale_fails(self, tmp_path, capsys):
+        from repro.analysis.cli import BASELINE_NAME, main
+
+        root = self._mini_repo(tmp_path, "import pickle\n")
+        assert (
+            main(["--root", str(root), "baseline", "--justification", "legacy"])
+            == 0
+        )
+        assert (root / BASELINE_NAME).exists()
+        # grandfathered: check is now clean
+        assert main(["--root", str(root), "check"]) == 0
+        # fixing the finding makes the baseline entry stale -> exit 1
+        (root / "src" / "repro" / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["--root", str(root), "check"]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_no_baseline_flag_reports_grandfathered(self, tmp_path):
+        from repro.analysis.cli import main
+
+        root = self._mini_repo(tmp_path, "import pickle\n")
+        main(["--root", str(root), "baseline", "--justification", "legacy"])
+        assert main(["--root", str(root), "check", "--no-baseline"]) == 1
+
+    def test_rules_and_explain(self, tmp_path, capsys):
+        from repro.analysis.cli import main
+
+        root = self._mini_repo(tmp_path, "x = 1\n")
+        assert main(["--root", str(root), "rules"]) == 0
+        listing = capsys.readouterr().out
+        for rid in (
+            "RPR100", "RPR101", "RPR102", "RPR103", "RPR104",
+            "RPR105", "RPR106", "RPR107", "RPR108", "RPR999",
+        ):
+            assert rid in listing
+        assert main(["--root", str(root), "explain", "rpr106"]) == 0
+        assert "_guarded_by" in capsys.readouterr().out
+        assert main(["--root", str(root), "explain", "RPR777"]) == 2

@@ -63,9 +63,9 @@ class TestModeledCostContrasts:
         pop = PopcornKernelKMeans(k, dtype=np.float64, max_iter=10, check_convergence=False).fit(
             x, init_labels=init
         )
-        cuda = BaselineCUDAKernelKMeans(k, dtype=np.float64, max_iter=10, check_convergence=False).fit(
-            x, init_labels=init
-        )
+        cuda = BaselineCUDAKernelKMeans(
+            k, dtype=np.float64, max_iter=10, check_convergence=False
+        ).fit(x, init_labels=init)
         cpu = PRMLTKernelKMeans(k, max_iter=10, check_convergence=False).fit(x, init_labels=init)
         return pop, cuda, cpu
 

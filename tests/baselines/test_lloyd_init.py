@@ -52,8 +52,12 @@ class TestLloyd:
     def test_kmeanspp_at_least_as_good_on_average(self):
         """k-means++ should not lose to random init across seeds (mean inertia)."""
         x, _ = make_blobs(200, 2, 6, rng=9, spread=1.0)
-        rand_inertia = np.mean([LloydKMeans(6, init="random", seed=s).fit(x).inertia_ for s in range(5)])
-        pp_inertia = np.mean([LloydKMeans(6, init="k-means++", seed=s).fit(x).inertia_ for s in range(5)])
+        rand_inertia = np.mean(
+            [LloydKMeans(6, init="random", seed=s).fit(x).inertia_ for s in range(5)]
+        )
+        pp_inertia = np.mean(
+            [LloydKMeans(6, init="k-means++", seed=s).fit(x).inertia_ for s in range(5)]
+        )
         assert pp_inertia <= rand_inertia * 1.05
 
     def test_k_exceeds_n(self):

@@ -12,6 +12,25 @@ from repro.kernels import PolynomialKernel, kernel_matrix
 
 
 @pytest.fixture
+def lockdep():
+    """Dynamic lock-order tracking (the runtime half of RPR106).
+
+    Locks *created* while the test runs are wrapped and keyed by their
+    creation site; every held-lock -> new-lock acquisition records an
+    edge, and the test fails at teardown if the ordering graph contains
+    a cycle — a potential deadlock, reported even when the deadly
+    interleaving never fired in this run.
+    """
+    from repro.analysis import lockdep as _lockdep
+
+    tracker = _lockdep.LockOrderTracker()
+    with _lockdep.installed(tracker):
+        yield tracker
+    cycles = tracker.cycles()
+    assert not cycles, _lockdep.format_cycles(cycles)
+
+
+@pytest.fixture
 def rng():
     """Deterministic generator, fresh per test."""
     return np.random.default_rng(12345)

@@ -59,8 +59,11 @@ class TestAgainstExplicitFeatureSpace:
 
 
 class TestHostPipeline:
-    @pytest.mark.parametrize("kern", [LinearKernel(), PolynomialKernel(), GaussianKernel(gamma=0.5)],
-                             ids=["linear", "poly", "gauss"])
+    @pytest.mark.parametrize(
+        "kern",
+        [LinearKernel(), PolynomialKernel(), GaussianKernel(gamma=0.5)],
+        ids=["linear", "poly", "gauss"],
+    )
     def test_matches_reference(self, rng, kern):
         n, k = 30, 5
         x = rng.standard_normal((n, 4))

@@ -10,8 +10,11 @@ from repro.kernels import GaussianKernel, LaplacianKernel, LinearKernel, Polynom
 
 
 class TestExactEquivalence:
-    @pytest.mark.parametrize("kern", [LinearKernel(), PolynomialKernel(), GaussianKernel(gamma=0.4)],
-                             ids=["linear", "poly", "gauss"])
+    @pytest.mark.parametrize(
+        "kern",
+        [LinearKernel(), PolynomialKernel(), GaussianKernel(gamma=0.4)],
+        ids=["linear", "poly", "gauss"],
+    )
     @pytest.mark.parametrize("block_rows", [1, 7, 40, 1000])
     def test_matches_standard_popcorn(self, rng, kern, block_rows):
         """Any panel height reproduces the standard trajectory exactly."""

@@ -244,5 +244,7 @@ class TestQuality:
 
     def test_blobs_recovered(self, blobs):
         x, y, k = blobs
-        m = PopcornKernelKMeans(k, kernel=LinearKernel(), init="k-means++", seed=2, max_iter=50).fit(x)
+        m = PopcornKernelKMeans(
+            k, kernel=LinearKernel(), init="k-means++", seed=2, max_iter=50
+        ).fit(x)
         assert adjusted_rand_index(m.labels_, y) > 0.9

@@ -126,7 +126,9 @@ class TestWeightedEstimator:
         x = rng.standard_normal((40, 3))
         km = kernel_matrix(x, PolynomialKernel())
         w = rng.uniform(0.5, 2.0, 40)
-        m = WeightedPopcornKernelKMeans(4, seed=0, max_iter=30).fit(kernel_matrix=km, sample_weight=w)
+        m = WeightedPopcornKernelKMeans(4, seed=0, max_iter=30).fit(
+            kernel_matrix=km, sample_weight=w
+        )
         h = m.objective_history_
         assert all(h[i + 1] <= h[i] + 1e-7 * abs(h[i]) for i in range(len(h) - 1))
 
@@ -136,7 +138,9 @@ class TestWeightedEstimator:
         km = x @ x.T
         init = np.array([0, 0, 1, 1], dtype=np.int32)
         w = np.array([1.0, 1000.0, 1.0, 1.0])
-        m = WeightedPopcornKernelKMeans(2, max_iter=5).fit(kernel_matrix=km, sample_weight=w, init_labels=init)
+        m = WeightedPopcornKernelKMeans(2, max_iter=5).fit(
+            kernel_matrix=km, sample_weight=w, init_labels=init
+        )
         # cluster 0's centroid sits at ~1.0; both left points stay together
         assert m.labels_[0] == m.labels_[1]
 

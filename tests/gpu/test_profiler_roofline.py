@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.gpu import A100_80GB, Profiler, attainable_gflops, op_point, points_from, roofline_series
+from repro.gpu import (
+    A100_80GB,
+    Profiler,
+    attainable_gflops,
+    op_point,
+    points_from,
+    roofline_series,
+)
 from repro.gpu.launch import Launch
 
 

@@ -119,7 +119,9 @@ class TestOpCosts:
             cost.baseline_k1_cost(spec, 8000, 64),
             cost.dadd_cost(spec, 8000, 64),
         ]:
-            lower = max(l.flops / (spec.peak_fp32_gflops * 1e9), l.bytes / (spec.mem_bw_gbps * 1e9))
+            lower = max(
+                l.flops / (spec.peak_fp32_gflops * 1e9), l.bytes / (spec.mem_bw_gbps * 1e9)
+            )
             assert l.time_s >= lower * 0.999, l.name
 
     def test_spmm_time_scales_quadratically(self):

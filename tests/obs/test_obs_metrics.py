@@ -101,7 +101,7 @@ class TestRegistry:
         # names are reusable (any kind) after reset
         reg.gauge("c").set(1)
 
-    def test_concurrent_increments_do_not_lose_updates(self):
+    def test_concurrent_increments_do_not_lose_updates(self, lockdep):
         reg = MetricsRegistry()
         per_thread = 1000
 

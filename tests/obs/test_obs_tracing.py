@@ -138,7 +138,7 @@ class TestThreads:
         assert worker.thread_id != main.thread_id
         assert worker.thread_name == "lane-1"
 
-    def test_concurrent_spans_all_recorded(self):
+    def test_concurrent_spans_all_recorded(self, lockdep):
         t = Tracer(enabled=True)
         n_threads, per_thread = 8, 50
 

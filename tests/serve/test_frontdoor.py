@@ -371,7 +371,7 @@ class TestHotSwap:
             save_model(b, str(tmp_path / "b.npz")),
         )
 
-    def test_swap_under_async_load_drops_nothing(self, fitted, tmp_path):
+    def test_swap_under_async_load_drops_nothing(self, fitted, tmp_path, lockdep):
         """Mirror of the thread-service hammer: readers + swapper, zero drops."""
         path_a, path_b = self._two_artifacts(tmp_path)
         q = np.random.default_rng(3).standard_normal((400, 4))

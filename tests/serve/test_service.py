@@ -42,7 +42,7 @@ class TestCorrectness:
         with PredictionService(model, batch_size=4, n_workers=4) as svc:
             assert np.array_equal(svc.predict_many(q), expected)
 
-    def test_concurrent_clients(self, fitted):
+    def test_concurrent_clients(self, fitted, lockdep):
         model, q = fitted
         expected = model.predict(q)
         results = {}

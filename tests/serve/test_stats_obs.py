@@ -78,7 +78,7 @@ class TestBoundedWindow:
 
 
 class TestStatsSwapRaces:
-    def test_hammer_stats_and_submits_during_swaps(self):
+    def test_hammer_stats_and_submits_during_swaps(self, lockdep):
         """stats() must never tear, raise, or go backwards while
         swap_model() and submissions run concurrently."""
         model_a = _fitted(seed=0)

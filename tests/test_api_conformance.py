@@ -73,6 +73,54 @@ class TestUniformSurface:
             make_estimator(name, n_clusters=0)
 
 
+# ----------------------------------------------------------------------
+# ParamSpec <-> __init__ conformance (the runtime twin of lint rule
+# RPR104 — repro-lint fails the same drift without running the tests)
+# ----------------------------------------------------------------------
+
+def _kernel_classes():
+    from repro.kernels.base import Kernel
+
+    seen = [Kernel]
+    stack = list(Kernel.__subclasses__())
+    while stack:
+        cls = stack.pop()
+        if cls in seen or not cls.__module__.startswith("repro."):
+            continue
+        seen.append(cls)
+        stack.extend(cls.__subclasses__())
+    return seen
+
+
+_PARAMS_CLASSES = sorted(
+    {get_estimator_class(name) for name in ALL} | set(_kernel_classes()),
+    key=lambda cls: cls.__name__,
+)
+
+
+@pytest.mark.parametrize(
+    "cls", _PARAMS_CLASSES, ids=[c.__name__ for c in _PARAMS_CLASSES]
+)
+def test_paramspec_matches_init_surface(cls):
+    """Every __init__ kwarg is a declared ParamSpec (or declared alias),
+    defaults agree on both sides, every declared parameter is
+    constructible, and clone() round-trips get_params()."""
+    from pathlib import Path
+
+    from repro.analysis.contracts import check_params_class
+    from repro.analysis.core import Rule
+
+    root = Path(__file__).resolve().parents[1]
+    findings = check_params_class(root, Rule(), cls)
+    assert findings == [], [f.message for f in findings]
+
+
+def test_conformance_covers_the_whole_registry_and_kernel_tree():
+    """The parametrized surface above spans all estimators + kernels."""
+    assert len(ALL) >= 10
+    assert len(_kernel_classes()) >= 8
+
+
 def test_default_fit_produces_fitted_attributes():
     """One tiny real fit per estimator: labels_ + the fitted guard clears."""
     x, _ = make_blobs(36, 3, 2, rng=0)
